@@ -1,0 +1,150 @@
+// §4 future work: "extensively study the memory access patterns and
+// locality of algorithms (e.g., sequential scans vs random access)".
+//
+// Sweeps access pattern x madvise policy over a mapped dataset, reporting
+// effective scan bandwidth and the AccessPatternTracer's locality metrics.
+// Patterns:
+//   sequential  — the full-pass scan all batch trainers use
+//   chunked     — SGD's shuffled-batch order (sequential inside batches)
+//   strided     — every k-th row (subsampling pass)
+//   random      — uniform row gather (worst case for readahead)
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench/bench_common.h"
+#include "core/m3.h"
+#include "la/blas.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+namespace m3::bench {
+namespace {
+
+/// Sums one row (forces the page in; cheap enough to expose I/O).
+double ConsumeRow(la::ConstMatrixView x, size_t row) {
+  return la::Sum(x.Row(row));
+}
+
+int Run(int argc, char** argv) {
+  int64_t size_mb = 48;
+  int64_t stride = 16;
+  std::string dir = "/tmp";
+  bool csv = false;
+  util::FlagParser flags("Access-pattern x madvise-policy sweep");
+  flags.AddInt64("size_mb", &size_mb, "dataset size in MiB");
+  flags.AddInt64("stride", &stride, "row stride for the strided pattern");
+  flags.AddString("dir", &dir, "scratch directory");
+  flags.AddBool("csv", &csv, "emit CSV");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    return 0;
+  }
+
+  PrintPreamble("Access patterns x madvise policies");
+  const std::string path = dir + "/m3_patterns.m3";
+  const uint64_t images = ImagesForMb(static_cast<uint64_t>(size_mb));
+  if (auto st = EnsureDataset(path, images); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  struct Pattern {
+    const char* name;
+    std::vector<size_t> order;
+  };
+  auto dataset_probe = MappedDataset::Open(path).ValueOrDie();
+  const size_t rows = dataset_probe.rows();
+  const uint64_t row_bytes = dataset_probe.cols() * sizeof(double);
+
+  std::vector<Pattern> patterns;
+  {
+    Pattern sequential{"sequential", {}};
+    sequential.order.resize(rows);
+    std::iota(sequential.order.begin(), sequential.order.end(), 0);
+    patterns.push_back(std::move(sequential));
+
+    Pattern chunked{"chunked(sgd)", {}};
+    const size_t batch = 256;
+    const size_t num_batches = (rows + batch - 1) / batch;
+    std::vector<size_t> batches(num_batches);
+    std::iota(batches.begin(), batches.end(), 0);
+    util::Rng shuffle_rng(5);
+    shuffle_rng.Shuffle(&batches);
+    for (size_t b : batches) {
+      for (size_t r = b * batch; r < std::min(rows, (b + 1) * batch); ++r) {
+        chunked.order.push_back(r);
+      }
+    }
+    patterns.push_back(std::move(chunked));
+
+    Pattern strided{"strided", {}};
+    for (size_t phase = 0; phase < static_cast<size_t>(stride); ++phase) {
+      for (size_t r = phase; r < rows; r += stride) {
+        strided.order.push_back(r);
+      }
+    }
+    patterns.push_back(std::move(strided));
+
+    Pattern random{"random", {}};
+    util::Rng rng(11);
+    random.order = rng.Permutation(rows);
+    patterns.push_back(std::move(random));
+  }
+
+  util::TablePrinter table({"pattern", "advice", "seconds", "MiB_s",
+                            "sequential_frac", "page_locality"});
+  double sink = 0;
+  for (const Pattern& pattern : patterns) {
+    // Full (unsampled) trace: sampling would alias consecutive accesses
+    // into artificial strides and break the locality metrics.
+    AccessPatternTracer tracer(row_bytes, /*sample_period=*/1);
+    for (size_t row : pattern.order) {
+      tracer.Record(row);
+    }
+    const AccessPatternSummary summary = tracer.Summarize();
+    for (io::Advice advice : {io::Advice::kNormal, io::Advice::kSequential,
+                              io::Advice::kRandom, io::Advice::kWillNeed}) {
+      auto dataset = MappedDataset::Open(path).ValueOrDie();
+      (void)dataset.EvictAll();  // cold start per cell
+      (void)dataset.Advise(advice);
+      la::ConstMatrixView x = dataset.features();
+      util::Stopwatch watch;
+      for (size_t row : pattern.order) {
+        sink += ConsumeRow(x, row);
+      }
+      const double seconds = watch.ElapsedSeconds();
+      const double mib =
+          static_cast<double>(rows) * static_cast<double>(row_bytes) /
+          (1 << 20);
+      table.AddRow({pattern.name, std::string(io::AdviceToString(advice)),
+                    util::StrFormat("%.3f", seconds),
+                    util::StrFormat("%.0f", mib / seconds),
+                    util::StrFormat("%.2f", summary.sequential_fraction),
+                    util::StrFormat("%.2f", summary.page_locality)});
+    }
+  }
+  table.Print(stdout, csv);
+  std::printf("(sink=%g)\n", sink);
+  std::printf("\nexpectation: sequential/chunked sustain the highest "
+              "bandwidth; random is pathological unless the kernel is told "
+              "MADV_RANDOM; this is why M3 favors sequential-scan "
+              "algorithms (§4).\n");
+  if (!io::GetPlatformCapabilities().mincore_tracks_eviction) {
+    std::printf("NOTE: this kernel ignores page eviction, so every cell ran "
+                "warm from cache and the sweep reflects CPU-side pattern "
+                "cost only; on a stock Linux kernel the cold-cache spread "
+                "appears.\n");
+  }
+  (void)io::RemoveFile(path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace m3::bench
+
+int main(int argc, char** argv) { return m3::bench::Run(argc, argv); }

@@ -1,0 +1,85 @@
+#ifndef M3_BENCH_BENCH_COMMON_H_
+#define M3_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/m3.h"
+#include "data/dataset.h"
+#include "data/infimnist.h"
+#include "io/disk_probe.h"
+#include "io/platform.h"
+#include "util/format.h"
+#include "util/stopwatch.h"
+#include "util/sys_info.h"
+
+namespace m3::bench {
+
+/// \brief Prints the standard bench preamble (host + platform caps).
+inline void PrintPreamble(const char* title) {
+  std::printf("=== %s ===\n", title);
+  std::printf("host: %s\n", util::SysInfoString().c_str());
+  std::printf("platform: %s\n",
+              io::GetPlatformCapabilities().ToString().c_str());
+}
+
+/// \brief Generates (or reuses) a binary-label InfiMNIST-style dataset of
+/// `images` images at `path`; prints progress.
+inline util::Status EnsureDataset(const std::string& path, uint64_t images,
+                                  bool binary_labels = true,
+                                  uint64_t seed = 2016) {
+  const uint64_t want_bytes =
+      data::kImageFeatures * sizeof(double) * images;
+  if (io::FileExists(path)) {
+    auto meta = data::ReadDatasetMeta(path);
+    if (meta.ok() && meta.value().rows == images &&
+        meta.value().FeatureBytes() == want_bytes) {
+      std::printf("reusing dataset %s (%s)\n", path.c_str(),
+                  util::HumanBytes(want_bytes).c_str());
+      return util::Status::OK();
+    }
+  }
+  std::printf("generating %llu images (%s) -> %s\n",
+              static_cast<unsigned long long>(images),
+              util::HumanBytes(want_bytes).c_str(), path.c_str());
+  util::Stopwatch watch;
+  M3_RETURN_IF_ERROR(
+      data::GenerateInfimnistDataset(path, images, seed, binary_labels));
+  std::printf("  generated in %s\n",
+              util::HumanDuration(watch.ElapsedSeconds()).c_str());
+  return util::Status::OK();
+}
+
+/// \brief Number of images whose dense double matrix occupies `mb` MiB.
+inline uint64_t ImagesForMb(uint64_t mb) {
+  return (mb << 20) / (data::kImageFeatures * sizeof(double));
+}
+
+/// \brief Probes the disk under `dir` once and prints the result.
+inline io::DiskProbeResult ProbeAndPrint(const std::string& dir,
+                                         uint64_t probe_bytes = 64ull << 20) {
+  auto probe = io::ProbeDisk(dir, probe_bytes);
+  if (!probe.ok()) {
+    std::printf("disk probe failed (%s); assuming 1 GB/s\n",
+                probe.status().ToString().c_str());
+    io::DiskProbeResult fallback;
+    fallback.sequential_read_bytes_per_sec = 1e9;
+    fallback.sequential_write_bytes_per_sec = 1e9;
+    fallback.random_read_latency_sec = 1e-4;
+    return fallback;
+  }
+  std::printf("disk: seq read %s/s, seq write %s/s, rand 4K %.0f us\n",
+              util::HumanBytes(static_cast<uint64_t>(
+                                   probe.value().sequential_read_bytes_per_sec))
+                  .c_str(),
+              util::HumanBytes(
+                  static_cast<uint64_t>(
+                      probe.value().sequential_write_bytes_per_sec))
+                  .c_str(),
+              probe.value().random_read_latency_sec * 1e6);
+  return probe.value();
+}
+
+}  // namespace m3::bench
+
+#endif  // M3_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,136 @@
+// §4 future work: "develop mathematical models and systematic approaches
+// to profile and predict algorithm performance".
+//
+// Validates the PerfModel: calibrate the CPU constant from the smallest
+// measured run, then predict the remaining sizes and report the error.
+// Also prints the model's out-of-core knee for this machine's measured
+// disk bandwidth (the analytic Fig. 1a).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/m3.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace m3::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::string sizes_csv = "8,16,32,64";
+  int64_t iterations = 5;
+  std::string dir = "/tmp";
+  bool csv = false;
+  util::FlagParser flags("PerfModel validation: predicted vs measured");
+  flags.AddString("sizes_mb", &sizes_csv, "comma-separated sizes in MiB");
+  flags.AddInt64("iterations", &iterations, "L-BFGS iterations");
+  flags.AddString("dir", &dir, "scratch directory");
+  flags.AddBool("csv", &csv, "emit CSV");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    return 0;
+  }
+
+  PrintPreamble("Performance model validation");
+  const io::DiskProbeResult disk = ProbeAndPrint(dir, 32ull << 20);
+
+  std::vector<uint64_t> sizes_mb;
+  for (const auto& token : util::StrSplit(sizes_csv, ',')) {
+    auto parsed = util::ParseInt64(token);
+    if (!parsed.ok() || parsed.value() <= 0) {
+      std::fprintf(stderr, "bad size '%s'\n", token.c_str());
+      return 1;
+    }
+    sizes_mb.push_back(static_cast<uint64_t>(parsed.value()));
+  }
+
+  ml::LogisticRegressionOptions options;
+  options.lbfgs = PaperLbfgsOptions();
+  options.lbfgs.max_iterations = static_cast<size_t>(iterations);
+
+  // Measure (warm, in-RAM: the CPU side of the model).
+  struct Measurement {
+    uint64_t size_mb;
+    double seconds;
+    size_t passes;
+  };
+  std::vector<Measurement> measured;
+  const std::string path = dir + "/m3_perfmodel.m3";
+  for (uint64_t size_mb : sizes_mb) {
+    if (auto st = EnsureDataset(path, ImagesForMb(size_mb)); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto dataset = MappedDataset::Open(path).ValueOrDie();
+    dataset.mapping().TouchAllPages();  // warm: isolate the CPU term
+    ml::OptimizationResult stats;
+    util::Stopwatch watch;
+    auto model = TrainLogisticRegression(dataset, options, &stats);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    measured.push_back(
+        {size_mb, watch.ElapsedSeconds(), stats.function_evaluations});
+  }
+  (void)io::RemoveFile(path);
+
+  // Calibrate on the smallest size only; predict the rest.
+  PerfModelParams params;
+  params.cpu_seconds_per_byte = PerfModel::FitCpuSecondsPerByte(
+      measured[0].seconds, measured[0].size_mb << 20, measured[0].passes);
+  params.disk_read_bytes_per_sec = disk.sequential_read_bytes_per_sec;
+  params.ram_bytes = util::TotalRamBytes();
+  PerfModel model(params);
+  std::printf("calibrated: %s\n", model.ToString().c_str());
+
+  util::TablePrinter table(
+      {"size_mib", "measured_s", "predicted_s", "error"});
+  double worst_error = 0;
+  for (const Measurement& m : measured) {
+    // Warm runs: predict with the steady-state pass only (no cold pass).
+    const double predicted =
+        model.PredictPass(m.size_mb << 20).cpu_seconds *
+        static_cast<double>(m.passes);
+    const double error = std::fabs(predicted - m.seconds) / m.seconds;
+    worst_error = std::max(worst_error, error);
+    table.AddRow({util::StrFormat("%llu",
+                                  static_cast<unsigned long long>(m.size_mb)),
+                  util::StrFormat("%.3f", m.seconds),
+                  util::StrFormat("%.3f", predicted),
+                  util::StrFormat("%.0f%%", error * 100)});
+  }
+  table.Print(stdout, csv);
+  std::printf("worst extrapolation error: %.0f%% (model is a two-term "
+              "max(cpu, io) approximation)\n",
+              worst_error * 100);
+
+  // Analytic knee for this machine.
+  std::printf("\n-- analytic Fig. 1a for THIS machine (RAM %s, measured "
+              "disk) --\n",
+              util::HumanBytes(params.ram_bytes).c_str());
+  std::vector<uint64_t> sweep_sizes;
+  for (uint64_t fraction = 1; fraction <= 16; fraction *= 2) {
+    sweep_sizes.push_back(params.ram_bytes / 8 * fraction);
+  }
+  util::TablePrinter knee({"size", "predicted_s", "regime", "cpu_util"});
+  for (const SweepPoint& p :
+       PredictSweep(model, sweep_sizes, measured[0].passes)) {
+    knee.AddRow({util::HumanBytes(p.dataset_bytes),
+                 util::StrFormat("%.1f", p.predicted_seconds),
+                 p.out_of_core ? "out-of-core" : "in-RAM",
+                 util::StrFormat("%.0f%%", p.cpu_utilization * 100)});
+  }
+  knee.Print(stdout, csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace m3::bench
+
+int main(int argc, char** argv) { return m3::bench::Run(argc, argv); }

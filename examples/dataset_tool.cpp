@@ -1,0 +1,206 @@
+// Swiss-army tool for M3 dataset files. Subcommands (first positional
+// argument):
+//
+//   info <file.m3>                      print header + label histogram
+//   generate <file.m3> --images=N       InfiMNIST-style digits
+//   from-csv <in.csv> <out.m3>          last column = label
+//   to-idx <in.m3> <images.idx3> <labels.idx1>
+//                                        export as MNIST IDX containers
+//                                        (values clamped to [0,255] bytes)
+
+#include <cstdio>
+#include <map>
+
+#include "core/m3.h"
+#include "data/dataset.h"
+#include "data/idx_format.h"
+#include "data/infimnist.h"
+#include "util/flags.h"
+#include "util/format.h"
+
+namespace {
+
+using m3::util::Status;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Info(const std::string& path) {
+  auto dataset = m3::MappedDataset::Open(path);
+  if (!dataset.ok()) {
+    return Fail(dataset.status());
+  }
+  const auto& meta = dataset.value().meta();
+  std::printf("%s\n", path.c_str());
+  std::printf("  rows:        %llu\n",
+              static_cast<unsigned long long>(meta.rows));
+  std::printf("  cols:        %llu\n",
+              static_cast<unsigned long long>(meta.cols));
+  std::printf("  classes:     %u\n", meta.num_classes);
+  std::printf("  features:    %s at offset %llu\n",
+              m3::util::HumanBytes(meta.FeatureBytes()).c_str(),
+              static_cast<unsigned long long>(meta.features_offset));
+  std::printf("  file size:   %s\n",
+              m3::util::HumanBytes(meta.FileBytes()).c_str());
+  std::map<double, uint64_t> histogram;
+  for (double label : dataset.value().CopyLabels()) {
+    ++histogram[label];
+  }
+  std::printf("  labels:");
+  for (const auto& [label, count] : histogram) {
+    std::printf("  %g:%llu", label, static_cast<unsigned long long>(count));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Generate(const std::string& path, uint64_t images, uint64_t seed,
+             bool binary) {
+  if (auto st = m3::data::GenerateInfimnistDataset(path, images, seed, binary);
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("wrote %llu images to %s\n",
+              static_cast<unsigned long long>(images), path.c_str());
+  return Info(path);
+}
+
+int FromCsv(const std::string& csv_path, const std::string& out_path) {
+  auto contents = m3::io::ReadFileToString(csv_path);
+  if (!contents.ok()) {
+    return Fail(contents.status());
+  }
+  std::vector<std::vector<double>> rows;
+  std::map<double, bool> labels_seen;
+  size_t cols = 0;
+  for (const std::string& line :
+       m3::util::StrSplit(contents.value(), '\n')) {
+    if (m3::util::StrTrim(line).empty()) {
+      continue;
+    }
+    std::vector<double> row;
+    for (const std::string& cell : m3::util::StrSplit(line, ',')) {
+      auto value = m3::util::ParseDouble(cell);
+      if (!value.ok()) {
+        return Fail(Status::InvalidArgument("bad CSV cell: " + cell));
+      }
+      row.push_back(value.value());
+    }
+    if (row.size() < 2) {
+      return Fail(Status::InvalidArgument(
+          "CSV rows need at least one feature and one label column"));
+    }
+    if (cols == 0) {
+      cols = row.size();
+    } else if (row.size() != cols) {
+      return Fail(Status::InvalidArgument("ragged CSV"));
+    }
+    labels_seen[row.back()] = true;
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Fail(Status::InvalidArgument("empty CSV"));
+  }
+  auto writer = m3::data::DatasetWriter::Create(out_path, cols - 1);
+  if (!writer.ok()) {
+    return Fail(writer.status());
+  }
+  for (const auto& row : rows) {
+    m3::la::ConstVectorView features(row.data(), cols - 1);
+    if (auto st = writer.value().AppendRow(features, row.back()); !st.ok()) {
+      return Fail(st);
+    }
+  }
+  if (auto st = writer.value().Finalize(
+          static_cast<uint32_t>(labels_seen.size()));
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("wrote %zu rows x %zu features to %s\n", rows.size(), cols - 1,
+              out_path.c_str());
+  return 0;
+}
+
+int ToIdx(const std::string& in_path, const std::string& images_path,
+          const std::string& labels_path) {
+  auto dataset = m3::MappedDataset::Open(in_path);
+  if (!dataset.ok()) {
+    return Fail(dataset.status());
+  }
+  if (dataset.value().cols() != m3::data::kImageFeatures) {
+    return Fail(Status::InvalidArgument(
+        "to-idx requires 784-feature (28x28) datasets"));
+  }
+  const size_t rows = dataset.value().rows();
+  std::vector<uint8_t> pixels(rows * m3::data::kImageFeatures);
+  auto features = dataset.value().features();
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < m3::data::kImageFeatures; ++c) {
+      const double v = std::clamp(features(r, c), 0.0, 255.0);
+      pixels[r * m3::data::kImageFeatures + c] = static_cast<uint8_t>(v);
+    }
+  }
+  std::vector<uint8_t> labels(rows);
+  auto label_view = dataset.value().labels();
+  for (size_t r = 0; r < rows; ++r) {
+    labels[r] = static_cast<uint8_t>(label_view[r]);
+  }
+  if (auto st = m3::data::WriteIdxImages(images_path, pixels,
+                                         static_cast<uint32_t>(rows),
+                                         m3::data::kImageSide,
+                                         m3::data::kImageSide);
+      !st.ok()) {
+    return Fail(st);
+  }
+  if (auto st = m3::data::WriteIdxLabels(labels_path, labels); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("wrote %zu images -> %s, labels -> %s\n", rows,
+              images_path.c_str(), labels_path.c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  int64_t images = 1000;
+  int64_t seed = 2016;
+  bool binary = false;
+  m3::util::FlagParser flags(
+      "M3 dataset tool: info | generate | from-csv | to-idx");
+  flags.AddInt64("images", &images, "images for `generate`");
+  flags.AddInt64("seed", &seed, "generator seed");
+  flags.AddBool("binary", &binary, "binary labels for `generate`");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    return Fail(st);
+  }
+  if (flags.help_requested()) {
+    return 0;
+  }
+  const auto& args = flags.positional();
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: dataset_tool <info|generate|from-csv|to-idx>"
+                         " <paths...> [flags]\n");
+    return 1;
+  }
+  const std::string& command = args[0];
+  if (command == "info" && args.size() == 2) {
+    return Info(args[1]);
+  }
+  if (command == "generate" && args.size() == 2) {
+    return Generate(args[1], static_cast<uint64_t>(images),
+                    static_cast<uint64_t>(seed), binary);
+  }
+  if (command == "from-csv" && args.size() == 3) {
+    return FromCsv(args[1], args[2]);
+  }
+  if (command == "to-idx" && args.size() == 4) {
+    return ToIdx(args[1], args[2], args[3]);
+  }
+  std::fprintf(stderr, "bad command or argument count; see --help\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,73 @@
+#include "cluster/cluster_config.h"
+
+#include "util/format.h"
+
+namespace m3::cluster {
+
+util::Status ClusterConfig::Validate() const {
+  if (num_instances == 0 || cores_per_instance == 0) {
+    return util::Status::InvalidArgument(
+        "cluster needs at least one instance and one core");
+  }
+  if (cache_fraction <= 0 || cache_fraction > 1) {
+    return util::Status::InvalidArgument("cache_fraction must be in (0, 1]");
+  }
+  if (core_speed <= 0 || jvm_slowdown <= 0) {
+    return util::Status::InvalidArgument(
+        "core_speed and jvm_slowdown must be positive");
+  }
+  if (network_bandwidth <= 0 || hdfs_read_bytes_per_sec <= 0 ||
+      spill_read_bytes_per_sec <= 0) {
+    return util::Status::InvalidArgument("bandwidths must be positive");
+  }
+  if (local_cpu_seconds_per_byte <= 0) {
+    return util::Status::InvalidArgument(
+        "local_cpu_seconds_per_byte must be calibrated (> 0)");
+  }
+  if (record_overhead_seconds_per_byte < 0) {
+    return util::Status::InvalidArgument(
+        "record_overhead_seconds_per_byte must be >= 0");
+  }
+  if (partitions_per_core == 0) {
+    return util::Status::InvalidArgument("partitions_per_core must be >= 1");
+  }
+  return util::Status::OK();
+}
+
+std::string ClusterConfig::ToString() const {
+  return util::StrFormat(
+      "%zu instances x %zu cores, ram=%s/instance (cache %s total), "
+      "jvm_slowdown=%.1f, task_ovh=%.0fms, job_ovh=%.0fms, net=%s/s",
+      num_instances, cores_per_instance,
+      util::HumanBytes(instance_ram_bytes).c_str(),
+      util::HumanBytes(CacheCapacityBytes()).c_str(), jvm_slowdown,
+      task_overhead_seconds * 1e3, job_overhead_seconds * 1e3,
+      util::HumanBytes(static_cast<uint64_t>(network_bandwidth)).c_str());
+}
+
+void JobStats::Accumulate(const JobStats& other) {
+  simulated_seconds += other.simulated_seconds;
+  compute_seconds += other.compute_seconds;
+  io_seconds += other.io_seconds;
+  network_seconds += other.network_seconds;
+  overhead_seconds += other.overhead_seconds;
+  jobs += other.jobs;
+  tasks += other.tasks;
+  bytes_read_from_disk += other.bytes_read_from_disk;
+  bytes_over_network += other.bytes_over_network;
+}
+
+std::string JobStats::ToString() const {
+  return util::StrFormat(
+      "simulated=%s (compute=%s io=%s net=%s ovh=%s) jobs=%zu tasks=%zu "
+      "disk=%s net_bytes=%s",
+      util::HumanDuration(simulated_seconds).c_str(),
+      util::HumanDuration(compute_seconds).c_str(),
+      util::HumanDuration(io_seconds).c_str(),
+      util::HumanDuration(network_seconds).c_str(),
+      util::HumanDuration(overhead_seconds).c_str(), jobs, tasks,
+      util::HumanBytes(bytes_read_from_disk).c_str(),
+      util::HumanBytes(bytes_over_network).c_str());
+}
+
+}  // namespace m3::cluster

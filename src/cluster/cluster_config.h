@@ -1,0 +1,116 @@
+#ifndef M3_CLUSTER_CLUSTER_CONFIG_H_
+#define M3_CLUSTER_CLUSTER_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace m3::cluster {
+
+/// \brief Parameters of the simulated Spark cluster.
+///
+/// SUBSTITUTION NOTE (see DESIGN.md §3): the paper benchmarks Amazon EMR
+/// Spark on m3.2xlarge instances. We cannot run EC2, so this simulator
+/// executes the *real* distributed algorithms (per-partition math on real
+/// data, driver-side aggregation) while *charging* wall time from a cost
+/// model with the overhead classes that drive the paper's comparison:
+///
+///   - JVM/serialization compute slowdown vs native C++,
+///   - per-task scheduling/dispatch overhead,
+///   - per-job driver barrier overhead,
+///   - cold HDFS loads and, when the cached RDD exceeds the cluster's
+///     aggregate cache capacity, per-iteration spill re-reads,
+///   - tree-aggregation and broadcast network rounds.
+///
+/// Defaults approximate the paper's m3.2xlarge instances (8 vCPUs, 30 GB
+/// RAM, 2x80 GB SSD, 1 GbE). The decisive regime effect in Fig. 1b is
+/// aggregate cache capacity: 4 instances cannot cache the paper's dataset
+/// (so every iteration re-reads spilled partitions), 8 instances can.
+struct ClusterConfig {
+  ClusterConfig() {}  // NOLINT: allows `= ClusterConfig()` default args
+
+  size_t num_instances = 4;
+  size_t cores_per_instance = 8;  ///< m3.2xlarge: 8 vCPUs
+
+  /// RAM per instance (m3.2xlarge: 30 GB).
+  uint64_t instance_ram_bytes = 30ull << 30;
+  /// Fraction of instance RAM usable for RDD caching (spark.memory).
+  double cache_fraction = 0.6;
+
+  /// EC2 vCPU speed relative to a local core (Xeon 2.5 GHz HT vs the
+  /// paper's i7 3.5 GHz).
+  double core_speed = 0.7;
+  /// JVM JIT'd arithmetic multiplier vs native C++ (small).
+  double jvm_slowdown = 2.0;
+  /// Per-byte cost of Spark's row pipeline per vCPU (iterator chain,
+  /// boxing, closure dispatch), largely independent of the math done per
+  /// record. ~11 MB/s/vCPU matches both the paper's Fig. 1b Spark
+  /// throughputs and the COST paper's [McSherry et al., HotOS'15]
+  /// observation that distributed frameworks pay orders of magnitude per
+  /// record over native code. Dominates for cheap kernels.
+  double record_overhead_seconds_per_byte = 5e-8;
+
+  /// Scheduler dispatch + task deserialization per task, seconds.
+  double task_overhead_seconds = 0.015;
+  /// Driver-side job submission/barrier per job (stage), seconds.
+  double job_overhead_seconds = 0.15;
+
+  /// Network bandwidth between any two nodes, bytes/sec (1 GbE).
+  double network_bandwidth = 120e6;
+  /// One-way network latency, seconds.
+  double network_latency = 1e-3;
+
+  /// Cold read bandwidth from HDFS per instance, bytes/sec.
+  double hdfs_read_bytes_per_sec = 250e6;
+  /// Spilled-partition re-read bandwidth per instance. Dominated by
+  /// DESERIALIZATION, not the SSD: Spark stores spilled RDD blocks
+  /// serialized, so re-reading them costs ~tens of MB/s per instance.
+  double spill_read_bytes_per_sec = 40e6;
+
+  /// Tasks per core per stage (Spark convention: 2-3x cores).
+  size_t partitions_per_core = 2;
+
+  /// Calibrated native compute cost, seconds per byte per local core.
+  /// Benches fit this from a measured single-machine run so that simulated
+  /// instances and the local M3 run share one compute scale.
+  double local_cpu_seconds_per_byte = 1e-10;
+
+  /// Total partitions in a stage.
+  size_t TotalPartitions() const {
+    return num_instances * cores_per_instance * partitions_per_core;
+  }
+
+  /// Aggregate RDD cache capacity across the cluster, bytes.
+  uint64_t CacheCapacityBytes() const {
+    return static_cast<uint64_t>(
+        static_cast<double>(instance_ram_bytes * num_instances) *
+        cache_fraction);
+  }
+
+  /// Validates ranges; returns InvalidArgument on nonsense.
+  util::Status Validate() const;
+
+  std::string ToString() const;
+};
+
+/// \brief Simulated-time breakdown of a distributed job or run.
+struct JobStats {
+  double simulated_seconds = 0;   ///< modeled cluster wall time
+  double compute_seconds = 0;     ///< simulated busy CPU component
+  double io_seconds = 0;          ///< HDFS/spill read component
+  double network_seconds = 0;     ///< broadcast + aggregation component
+  double overhead_seconds = 0;    ///< scheduler/task dispatch component
+  size_t jobs = 0;                ///< driver jobs (stages) executed
+  size_t tasks = 0;               ///< tasks executed
+  uint64_t bytes_read_from_disk = 0;
+  uint64_t bytes_over_network = 0;
+
+  void Accumulate(const JobStats& other);
+  std::string ToString() const;
+};
+
+}  // namespace m3::cluster
+
+#endif  // M3_CLUSTER_CLUSTER_CONFIG_H_

@@ -1,0 +1,40 @@
+#include "cluster/partition.h"
+
+#include <algorithm>
+
+namespace m3::cluster {
+
+std::vector<Partition> MakePartitions(size_t total_rows,
+                                      size_t num_partitions,
+                                      size_t num_instances,
+                                      size_t cache_capacity_rows) {
+  std::vector<Partition> partitions;
+  if (total_rows == 0 || num_partitions == 0 || num_instances == 0) {
+    return partitions;
+  }
+  num_partitions = std::min(num_partitions, total_rows);
+  partitions.reserve(num_partitions);
+  // Near-equal split: the first (total % n) partitions get one extra row.
+  const size_t base = total_rows / num_partitions;
+  const size_t extra = total_rows % num_partitions;
+  size_t cursor = 0;
+  size_t cached_rows = 0;
+  for (size_t p = 0; p < num_partitions; ++p) {
+    Partition partition;
+    partition.row_begin = cursor;
+    partition.row_end = cursor + base + (p < extra ? 1 : 0);
+    partition.instance = p % num_instances;
+    cursor = partition.row_end;
+    // Cache fills in load order; later partitions spill.
+    if (cached_rows + partition.rows() <= cache_capacity_rows) {
+      cached_rows += partition.rows();
+      partition.cached = true;
+    } else {
+      partition.cached = false;
+    }
+    partitions.push_back(partition);
+  }
+  return partitions;
+}
+
+}  // namespace m3::cluster

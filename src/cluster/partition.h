@@ -1,0 +1,32 @@
+#ifndef M3_CLUSTER_PARTITION_H_
+#define M3_CLUSTER_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace m3::cluster {
+
+/// \brief A contiguous row range of the dataset assigned to an instance —
+/// the simulated analogue of one cached RDD partition.
+struct Partition {
+  size_t row_begin = 0;
+  size_t row_end = 0;
+  size_t instance = 0;   ///< owning instance (data locality)
+  bool cached = true;    ///< false = spilled; re-read from disk every use
+
+  size_t rows() const { return row_end - row_begin; }
+};
+
+/// \brief Splits `total_rows` into `num_partitions` near-equal contiguous
+/// partitions assigned round-robin to `num_instances`, then marks the
+/// overflow beyond `cache_capacity_rows` as spilled (LRU-style: the last
+/// partitions loaded lose the cache race).
+std::vector<Partition> MakePartitions(size_t total_rows,
+                                      size_t num_partitions,
+                                      size_t num_instances,
+                                      size_t cache_capacity_rows);
+
+}  // namespace m3::cluster
+
+#endif  // M3_CLUSTER_PARTITION_H_

@@ -1,0 +1,77 @@
+#include "cluster/sim_clock.h"
+
+#include <algorithm>
+
+namespace m3::cluster {
+
+JobStats StageCostModel::StageCost(const std::vector<Partition>& partitions,
+                                   uint64_t row_bytes, bool cold) const {
+  JobStats stats;
+  stats.jobs = 1;
+  stats.tasks = partitions.size();
+
+  const size_t n = config_.num_instances;
+  std::vector<double> compute(n, 0.0);
+  std::vector<double> io(n, 0.0);
+  std::vector<size_t> task_count(n, 0);
+
+  for (const Partition& partition : partitions) {
+    const uint64_t bytes = partition.rows() * row_bytes;
+    compute[partition.instance] += TaskComputeSeconds(bytes);
+    ++task_count[partition.instance];
+    if (cold) {
+      io[partition.instance] +=
+          static_cast<double>(bytes) / config_.hdfs_read_bytes_per_sec;
+      stats.bytes_read_from_disk += bytes;
+    } else if (!partition.cached) {
+      io[partition.instance] +=
+          static_cast<double>(bytes) / config_.spill_read_bytes_per_sec;
+      stats.bytes_read_from_disk += bytes;
+    }
+  }
+
+  double slowest = 0.0;
+  double total_compute = 0.0;
+  double total_io = 0.0;
+  double total_overhead = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double cores = static_cast<double>(config_.cores_per_instance);
+    const double busy = compute[i] / cores;
+    // One dispatch overhead per task, amortized across core slots.
+    const double dispatch = config_.task_overhead_seconds *
+                            std::ceil(static_cast<double>(task_count[i]) /
+                                      cores);
+    // Disk reads overlap compute (readahead), overheads do not.
+    const double instance_time = std::max(busy, io[i]) + dispatch;
+    slowest = std::max(slowest, instance_time);
+    total_compute += compute[i];
+    total_io += io[i];
+    total_overhead += dispatch;
+  }
+  stats.compute_seconds = total_compute;
+  stats.io_seconds = total_io;
+  stats.overhead_seconds = total_overhead + config_.job_overhead_seconds;
+  stats.simulated_seconds = slowest + config_.job_overhead_seconds;
+  return stats;
+}
+
+JobStats StageCostModel::TreeAggregate(uint64_t result_bytes) const {
+  JobStats stats;
+  const double rounds =
+      std::ceil(std::log2(std::max<size_t>(2, config_.num_instances)));
+  const double per_round =
+      config_.network_latency +
+      static_cast<double>(result_bytes) / config_.network_bandwidth;
+  stats.network_seconds = rounds * per_round;
+  stats.simulated_seconds = stats.network_seconds;
+  stats.bytes_over_network =
+      result_bytes * static_cast<uint64_t>(rounds);
+  return stats;
+}
+
+JobStats StageCostModel::Broadcast(uint64_t payload_bytes) const {
+  // BitTorrent-ish broadcast: log2 rounds to reach every instance.
+  return TreeAggregate(payload_bytes);
+}
+
+}  // namespace m3::cluster

@@ -1,0 +1,54 @@
+#ifndef M3_CLUSTER_SIM_CLOCK_H_
+#define M3_CLUSTER_SIM_CLOCK_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/partition.h"
+
+namespace m3::cluster {
+
+/// \brief Computes the simulated wall time of one distributed stage.
+///
+/// Scheduling model: each instance runs its tasks on `cores_per_instance`
+/// parallel slots (near-equal tasks => busy time = work / cores, plus a
+/// dispatch overhead per task wave). Disk reads overlap compute within an
+/// instance (readahead), so instance time = max(compute, io). The stage
+/// finishes when the slowest instance does (driver barrier), after which
+/// results flow back through a binary aggregation tree.
+class StageCostModel {
+ public:
+  explicit StageCostModel(const ClusterConfig& config) : config_(config) {}
+
+  /// Simulated seconds of compute for `bytes` of data on one task slot:
+  /// native per-core math cost scaled by the JVM factor, plus Spark's
+  /// per-record pipeline overhead, at the instance's core speed.
+  double TaskComputeSeconds(uint64_t bytes) const {
+    const double per_byte =
+        config_.local_cpu_seconds_per_byte * config_.jvm_slowdown +
+        config_.record_overhead_seconds_per_byte;
+    return static_cast<double>(bytes) * per_byte / config_.core_speed;
+  }
+
+  /// Stage cost for running one task per partition. `row_bytes` converts
+  /// partition rows to bytes. `cold` forces every partition to be read
+  /// from HDFS (first pass) regardless of cache flags.
+  JobStats StageCost(const std::vector<Partition>& partitions,
+                     uint64_t row_bytes, bool cold) const;
+
+  /// Network cost of tree-aggregating `result_bytes` from all instances to
+  /// the driver (ceil(log2(instances)) rounds).
+  JobStats TreeAggregate(uint64_t result_bytes) const;
+
+  /// Network cost of broadcasting `payload_bytes` driver -> all instances.
+  JobStats Broadcast(uint64_t payload_bytes) const;
+
+ private:
+  const ClusterConfig& config_;
+};
+
+}  // namespace m3::cluster
+
+#endif  // M3_CLUSTER_SIM_CLOCK_H_

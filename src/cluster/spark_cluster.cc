@@ -1,0 +1,207 @@
+#include "cluster/spark_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/sim_clock.h"
+#include "la/blas.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace m3::cluster {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Driver-side objective that evaluates the data term partition by
+/// partition (real math) and charges simulated cluster time per job.
+class DistributedLrObjective final : public ml::DifferentiableFunction {
+ public:
+  DistributedLrObjective(la::ConstMatrixView x, la::ConstVectorView y,
+                         double l2, std::vector<Partition> partitions,
+                         const ClusterConfig& config, JobStats* stats)
+      : data_objective_(x, y, /*l2=*/0.0),
+        x_(x),
+        l2_(l2),
+        partitions_(std::move(partitions)),
+        config_(config),
+        model_(config),
+        stats_(stats) {}
+
+  size_t Dimension() const override { return x_.cols() + 1; }
+
+  double EvaluateWithGradient(la::ConstVectorView w,
+                              la::VectorView grad) override {
+    grad.SetZero();
+    // Real per-partition gradient tasks. Partition order is the reduce
+    // order (deterministic). The local thread pool only accelerates the
+    // simulation's execution; simulated time comes from the cost model.
+    double loss = 0;
+    for (const Partition& partition : partitions_) {
+      loss += data_objective_.EvaluateChunk(partition.row_begin,
+                                            partition.row_end, w, grad);
+    }
+    // Driver adds the ridge term (as MLlib's updater does).
+    const size_t d = x_.cols();
+    if (l2_ > 0) {
+      la::ConstVectorView weights = w.Slice(0, d);
+      loss += 0.5 * l2_ * la::Dot(weights, weights);
+      la::Axpy(l2_, weights, grad.Slice(0, d));
+    }
+
+    // Charge simulated time: broadcast w, run the stage, tree-aggregate
+    // the (d+1)-gradient + loss.
+    const uint64_t row_bytes = x_.cols() * sizeof(double);
+    const uint64_t result_bytes = (Dimension() + 1) * sizeof(double);
+    JobStats job;
+    job.Accumulate(model_.Broadcast(result_bytes));
+    job.Accumulate(model_.StageCost(partitions_, row_bytes, first_pass_));
+    job.Accumulate(model_.TreeAggregate(result_bytes));
+    // Accumulate() sums `jobs` from parts; a gradient evaluation is one job.
+    job.jobs = 1;
+    stats_->Accumulate(job);
+    first_pass_ = false;
+    return loss;
+  }
+
+ private:
+  ml::LogisticRegressionObjective data_objective_;
+  la::ConstMatrixView x_;
+  double l2_;
+  std::vector<Partition> partitions_;
+  const ClusterConfig& config_;
+  StageCostModel model_;
+  JobStats* stats_;
+  bool first_pass_ = true;
+};
+
+}  // namespace
+
+SparkCluster::SparkCluster(ClusterConfig config) : config_(config) {}
+
+std::vector<Partition> SparkCluster::PlanPartitions(size_t rows,
+                                                    uint64_t row_bytes) const {
+  const uint64_t cache_rows =
+      row_bytes == 0 ? rows : config_.CacheCapacityBytes() / row_bytes;
+  return MakePartitions(rows, config_.TotalPartitions(),
+                        config_.num_instances,
+                        static_cast<size_t>(std::min<uint64_t>(
+                            cache_rows, rows)));
+}
+
+Result<DistributedLrResult> SparkCluster::RunLogisticRegression(
+    la::ConstMatrixView x, la::ConstVectorView y, double l2,
+    ml::LbfgsOptions optimizer_options) const {
+  M3_RETURN_IF_ERROR(config_.Validate());
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("labels size does not match rows");
+  }
+
+  DistributedLrResult result;
+  const uint64_t row_bytes = x.cols() * sizeof(double);
+  std::vector<Partition> partitions = PlanPartitions(x.rows(), row_bytes);
+  DistributedLrObjective objective(x, y, l2, partitions, config_,
+                                   &result.stats);
+  la::Vector params(x.cols() + 1);
+  ml::Lbfgs optimizer(optimizer_options);
+  M3_ASSIGN_OR_RETURN(result.optimization,
+                      optimizer.Minimize(&objective, params));
+  result.model.weights = la::Vector(x.cols());
+  la::Copy(params.View().Slice(0, x.cols()), result.model.weights);
+  result.model.intercept = params[x.cols()];
+  return result;
+}
+
+Result<DistributedKMeansResult> SparkCluster::RunKMeans(
+    la::ConstMatrixView x, ml::KMeansOptions options) const {
+  M3_RETURN_IF_ERROR(config_.Validate());
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  const size_t k = options.k;
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("empty data");
+  }
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("k must be in [1, rows]");
+  }
+
+  DistributedKMeansResult result;
+  const uint64_t row_bytes = d * sizeof(double);
+  std::vector<Partition> partitions = PlanPartitions(n, row_bytes);
+  StageCostModel model(config_);
+
+  // Initialization: reuse the single-machine seeding (it touches a bounded
+  // sample; MLlib similarly samples for kmeans||). Simulated cost: one
+  // bounded-sample stage.
+  // Identical seeding to the single-machine implementation: both sides of
+  // the Fig. 1b comparison start from the same centers.
+  M3_ASSIGN_OR_RETURN(la::Matrix centers, ml::KMeans::SeedCenters(x, options));
+
+  const uint64_t centers_bytes = k * d * sizeof(double);
+  const uint64_t result_bytes = centers_bytes + k * sizeof(uint64_t);
+
+  la::Matrix sums(k, d);
+  std::vector<uint64_t> counts(k);
+  util::Rng rng(options.seed);
+  double previous_inertia = std::numeric_limits<double>::max();
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    sums.SetZero();
+    std::fill(counts.begin(), counts.end(), 0);
+    double inertia = 0;
+    // Real per-partition assignment + accumulation tasks.
+    for (const Partition& partition : partitions) {
+      for (size_t r = partition.row_begin; r < partition.row_end; ++r) {
+        size_t best = 0;
+        double best_dist2 = la::SquaredDistance(x.Row(r), centers.Row(0));
+        for (size_t c = 1; c < k; ++c) {
+          const double dist2 = la::SquaredDistance(x.Row(r), centers.Row(c));
+          if (dist2 < best_dist2) {
+            best_dist2 = dist2;
+            best = c;
+          }
+        }
+        inertia += best_dist2;
+        la::Axpy(1.0, x.Row(r), sums.Row(best));
+        ++counts[best];
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        la::Copy(sums.Row(c), centers.Row(c));
+        la::Scal(1.0 / static_cast<double>(counts[c]), centers.Row(c));
+      } else {
+        const size_t row = static_cast<size_t>(rng.UniformInt(uint64_t{n}));
+        la::Copy(x.Row(row), centers.Row(c));
+      }
+    }
+
+    // Simulated time: broadcast centers, stage, aggregate partials.
+    JobStats job;
+    job.Accumulate(model.Broadcast(centers_bytes));
+    job.Accumulate(model.StageCost(partitions, row_bytes, iter == 0));
+    job.Accumulate(model.TreeAggregate(result_bytes));
+    job.jobs = 1;
+    result.stats.Accumulate(job);
+
+    result.clustering.inertia = inertia;
+    result.clustering.inertia_history.push_back(inertia);
+    ++result.clustering.iterations;
+    const double improvement =
+        (previous_inertia - inertia) / std::max(1.0, previous_inertia);
+    if (iter > 0 && improvement >= 0 && improvement < options.tolerance) {
+      result.clustering.converged = true;
+      break;
+    }
+    previous_inertia = inertia;
+  }
+  result.clustering.centers = std::move(centers);
+  return result;
+}
+
+}  // namespace m3::cluster

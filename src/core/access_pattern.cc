@@ -1,0 +1,78 @@
+#include "core/access_pattern.h"
+
+#include <cmath>
+
+#include "util/format.h"
+#include "util/logging.h"
+#include "util/sys_info.h"
+
+namespace m3 {
+
+std::string AccessPatternSummary::ToString() const {
+  return util::StrFormat(
+      "accesses=%llu unique=%llu sequential=%.1f%% mean|stride|=%.2f "
+      "page_locality=%.1f%%",
+      static_cast<unsigned long long>(num_accesses),
+      static_cast<unsigned long long>(unique_rows),
+      sequential_fraction * 100, mean_abs_stride, page_locality * 100);
+}
+
+AccessPatternTracer::AccessPatternTracer(uint64_t row_bytes,
+                                         uint64_t sample_period)
+    : row_bytes_(row_bytes == 0 ? 1 : row_bytes),
+      sample_period_(sample_period == 0 ? 1 : sample_period) {}
+
+void AccessPatternTracer::Record(uint64_t row) {
+  if (tick_++ % sample_period_ == 0) {
+    trace_.push_back(row);
+  }
+}
+
+void AccessPatternTracer::RecordRange(uint64_t begin, uint64_t end) {
+  for (uint64_t row = begin; row < end; ++row) {
+    Record(row);
+  }
+}
+
+AccessPatternSummary AccessPatternTracer::Summarize() const {
+  AccessPatternSummary summary;
+  summary.num_accesses = trace_.size();
+  if (trace_.empty()) {
+    return summary;
+  }
+  std::unordered_set<uint64_t> unique(trace_.begin(), trace_.end());
+  summary.unique_rows = unique.size();
+
+  const uint64_t page = util::PageSize();
+  uint64_t sequential = 0;
+  uint64_t local_pages = 0;
+  double stride_sum = 0;
+  for (size_t i = 1; i < trace_.size(); ++i) {
+    const uint64_t prev = trace_[i - 1];
+    const uint64_t cur = trace_[i];
+    if (cur == prev + 1) {
+      ++sequential;
+    }
+    stride_sum += std::fabs(static_cast<double>(cur) -
+                            static_cast<double>(prev));
+    const uint64_t prev_page = prev * row_bytes_ / page;
+    const uint64_t cur_page = cur * row_bytes_ / page;
+    if (cur_page == prev_page || cur_page == prev_page + 1) {
+      ++local_pages;
+    }
+  }
+  const double transitions = static_cast<double>(trace_.size() - 1);
+  if (transitions > 0) {
+    summary.sequential_fraction = static_cast<double>(sequential) / transitions;
+    summary.mean_abs_stride = stride_sum / transitions;
+    summary.page_locality = static_cast<double>(local_pages) / transitions;
+  }
+  return summary;
+}
+
+void AccessPatternTracer::Clear() {
+  trace_.clear();
+  tick_ = 0;
+}
+
+}  // namespace m3

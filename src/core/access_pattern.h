@@ -1,0 +1,62 @@
+#ifndef M3_CORE_ACCESS_PATTERN_H_
+#define M3_CORE_ACCESS_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace m3 {
+
+/// \brief Summary statistics of a recorded row-access trace.
+struct AccessPatternSummary {
+  uint64_t num_accesses = 0;
+  uint64_t unique_rows = 0;
+  /// Fraction of accesses with stride exactly +1 (pure sequential scan
+  /// approaches 1; uniform random access approaches 0).
+  double sequential_fraction = 0;
+  /// Mean |row_t - row_{t-1}|.
+  double mean_abs_stride = 0;
+  /// Fraction of accesses whose 4 KiB-page (given row_bytes) equals or
+  /// follows the previous access's page — the readahead-friendliness proxy.
+  double page_locality = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Records row access order to study algorithm locality (§4 of the
+/// paper: "extensively study the memory access patterns and locality of
+/// algorithms (e.g., sequential scans vs random access)").
+///
+/// Not thread-safe: record from the scan driver, not from workers. For
+/// long traces, construct with a sampling period to bound memory.
+class AccessPatternTracer {
+ public:
+  /// \param row_bytes bytes per row (to map rows onto pages)
+  /// \param sample_period record every k-th access (1 = all)
+  explicit AccessPatternTracer(uint64_t row_bytes, uint64_t sample_period = 1);
+
+  /// Records an access to `row`.
+  void Record(uint64_t row);
+
+  /// Records accesses to all rows in [begin, end) in order.
+  void RecordRange(uint64_t begin, uint64_t end);
+
+  /// Computes the summary over everything recorded so far.
+  AccessPatternSummary Summarize() const;
+
+  /// Recorded (possibly sampled) trace.
+  const std::vector<uint64_t>& trace() const { return trace_; }
+
+  void Clear();
+
+ private:
+  uint64_t row_bytes_;
+  uint64_t sample_period_;
+  uint64_t tick_ = 0;
+  std::vector<uint64_t> trace_;
+};
+
+}  // namespace m3
+
+#endif  // M3_CORE_ACCESS_PATTERN_H_

@@ -1,0 +1,66 @@
+#include "core/mapped_dataset.h"
+
+namespace m3 {
+
+using util::Result;
+using util::Status;
+
+Result<MappedDataset> MappedDataset::Open(const std::string& path,
+                                          M3Options options) {
+  M3_ASSIGN_OR_RETURN(data::DatasetMeta meta, data::ReadDatasetMeta(path));
+  io::MemoryMappedFile::Options map_options;
+  map_options.mode = io::MemoryMappedFile::Mode::kReadOnly;
+  map_options.populate = options.populate;
+  M3_ASSIGN_OR_RETURN(io::MemoryMappedFile mapping,
+                      io::MemoryMappedFile::Map(path, map_options));
+  MappedDataset dataset(
+      std::make_unique<io::MemoryMappedFile>(std::move(mapping)), meta,
+      options);
+  M3_RETURN_IF_ERROR(dataset.Advise(options.advice));
+  return dataset;
+}
+
+MappedDataset::MappedDataset(std::unique_ptr<io::MemoryMappedFile> mapping,
+                             data::DatasetMeta meta, M3Options options)
+    : mapping_(std::move(mapping)), meta_(meta), options_(options) {
+  if (options_.ram_budget_bytes > 0) {
+    budget_ = std::make_unique<RamBudgetEmulator>(
+        mapping_.get(), options_.ram_budget_bytes,
+        meta_.cols * sizeof(double), meta_.features_offset);
+  }
+}
+
+la::ConstMatrixView MappedDataset::features() const {
+  const double* base = reinterpret_cast<const double*>(
+      mapping_->As<const char>() + meta_.features_offset);
+  return la::ConstMatrixView(base, meta_.rows, meta_.cols);
+}
+
+la::ConstVectorView MappedDataset::labels() const {
+  const double* base = reinterpret_cast<const double*>(
+      mapping_->As<const char>() + meta_.labels_offset);
+  return la::ConstVectorView(base, meta_.rows);
+}
+
+std::vector<double> MappedDataset::CopyLabels() const {
+  la::ConstVectorView view = labels();
+  return std::vector<double>(view.begin(), view.end());
+}
+
+ml::ScanHooks MappedDataset::MakeScanHooks() {
+  if (budget_ != nullptr) {
+    return budget_->MakeHooks();
+  }
+  return ml::ScanHooks();
+}
+
+Status MappedDataset::Advise(io::Advice advice) {
+  return mapping_->AdviseRange(advice, meta_.features_offset,
+                               meta_.FeatureBytes());
+}
+
+Status MappedDataset::EvictAll() {
+  return mapping_->Evict(meta_.features_offset, meta_.FeatureBytes());
+}
+
+}  // namespace m3

@@ -1,0 +1,89 @@
+#ifndef M3_CORE_MAPPED_DATASET_H_
+#define M3_CORE_MAPPED_DATASET_H_
+
+#include <memory>
+#include <string>
+
+#include "core/options.h"
+#include "core/ram_budget.h"
+#include "data/dataset.h"
+#include "io/mmap_file.h"
+#include "la/matrix.h"
+#include "ml/objective.h"
+#include "util/result.h"
+
+namespace m3 {
+
+/// \brief An M3 dataset file mapped into the address space.
+///
+/// The central M3 abstraction: open a dataset of any size and receive
+/// matrix/vector *views* indistinguishable from in-memory data. Algorithms
+/// take the views; the OS pages the file in and out. With
+/// `M3Options::ram_budget_bytes` set, a RamBudgetEmulator rides along and
+/// forces the out-of-core regime at laptop scale.
+///
+///   auto ds = m3::MappedDataset::Open("digits.m3").ValueOrDie();
+///   trainer.Train(ds.features(), ds.labels());   // unchanged ML code
+class MappedDataset {
+ public:
+  /// Maps the dataset at `path` read-only.
+  static util::Result<MappedDataset> Open(const std::string& path,
+                                          M3Options options = M3Options());
+
+  MappedDataset(MappedDataset&&) = default;
+  MappedDataset& operator=(MappedDataset&&) = default;
+  MappedDataset(const MappedDataset&) = delete;
+  MappedDataset& operator=(const MappedDataset&) = delete;
+
+  /// The n x d feature matrix view over the mapping.
+  la::ConstMatrixView features() const;
+
+  /// The n labels view over the mapping.
+  la::ConstVectorView labels() const;
+
+  /// Copies the labels out (they are small) — convenient for metrics.
+  std::vector<double> CopyLabels() const;
+
+  uint64_t rows() const { return meta_.rows; }
+  uint64_t cols() const { return meta_.cols; }
+  uint32_t num_classes() const { return meta_.num_classes; }
+  uint64_t feature_bytes() const { return meta_.FeatureBytes(); }
+  const std::string& path() const { return mapping_->path(); }
+  const data::DatasetMeta& meta() const { return meta_; }
+
+  /// The underlying mapping (residency inspection, manual advice, ...).
+  io::MemoryMappedFile& mapping() { return *mapping_; }
+  const io::MemoryMappedFile& mapping() const { return *mapping_; }
+
+  /// Scan hooks for training objectives. When a RAM budget is configured
+  /// the hooks evict behind the scan; otherwise they are empty (no-ops).
+  ml::ScanHooks MakeScanHooks();
+
+  /// The emulator, or nullptr when no budget is configured.
+  RamBudgetEmulator* ram_budget() { return budget_.get(); }
+
+  /// Chunk size (rows) the options request for training scans.
+  uint64_t chunk_rows() const { return options_.chunk_rows; }
+
+  /// Re-applies an madvise hint to the feature region.
+  util::Status Advise(io::Advice advice);
+
+  /// Drops the entire feature region from RAM and page cache (cold-cache
+  /// benchmark preamble).
+  util::Status EvictAll();
+
+ private:
+  MappedDataset(std::unique_ptr<io::MemoryMappedFile> mapping,
+                data::DatasetMeta meta, M3Options options);
+
+  // unique_ptr keeps the mapping address stable across moves so the
+  // emulator's pointer (and any outstanding views) remain valid.
+  std::unique_ptr<io::MemoryMappedFile> mapping_;
+  data::DatasetMeta meta_;
+  M3Options options_;
+  std::unique_ptr<RamBudgetEmulator> budget_;
+};
+
+}  // namespace m3
+
+#endif  // M3_CORE_MAPPED_DATASET_H_

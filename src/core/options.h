@@ -1,0 +1,36 @@
+#ifndef M3_CORE_OPTIONS_H_
+#define M3_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "io/mmap_file.h"
+
+namespace m3 {
+
+/// \brief Options controlling how M3 maps and scans a dataset.
+struct M3Options {
+  M3Options() {}  // NOLINT: explicit ctor so `= M3Options()` defaults work
+
+  /// madvise hint applied to the feature region after mapping. The paper's
+  /// workloads are sequential scans, so kSequential (aggressive readahead)
+  /// is the default; kRandom is the ablation setting.
+  io::Advice advice = io::Advice::kSequential;
+
+  /// Pre-fault all pages at map time (only sensible when the dataset fits
+  /// in RAM; defeats the purpose for out-of-core data).
+  bool populate = false;
+
+  /// Emulated RAM budget in bytes for the feature region. 0 disables
+  /// emulation (use all physical RAM, the paper's in-core regime). When
+  /// positive, pages more than `ram_budget_bytes` behind the scan cursor
+  /// are evicted (madvise(DONTNEED) + fadvise(DONTNEED)), reproducing the
+  /// paper's dataset-exceeds-RAM regime at laptop scale.
+  uint64_t ram_budget_bytes = 0;
+
+  /// Rows per sequential scan chunk for training algorithms (0 = auto).
+  uint64_t chunk_rows = 0;
+};
+
+}  // namespace m3
+
+#endif  // M3_CORE_OPTIONS_H_

@@ -1,0 +1,86 @@
+#include "core/perf_model.h"
+
+#include <algorithm>
+
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace m3 {
+
+PerfModel::PerfModel(PerfModelParams params) : params_(params) {
+  M3_CHECK(params_.disk_read_bytes_per_sec > 0, "disk bandwidth must be > 0");
+}
+
+PassPrediction PerfModel::PredictPass(uint64_t dataset_bytes) const {
+  PassPrediction prediction;
+  prediction.cpu_seconds =
+      params_.cpu_seconds_per_byte * static_cast<double>(dataset_bytes);
+  const bool fits = dataset_bytes <= params_.ram_bytes;
+  prediction.miss_bytes = fits ? 0 : dataset_bytes;
+  prediction.io_seconds = static_cast<double>(prediction.miss_bytes) /
+                          params_.disk_read_bytes_per_sec;
+  prediction.seconds =
+      std::max(prediction.cpu_seconds, prediction.io_seconds) +
+      params_.pass_overhead_seconds;
+  prediction.io_bound = prediction.io_seconds > prediction.cpu_seconds;
+  prediction.cpu_utilization =
+      prediction.seconds > 0 ? prediction.cpu_seconds / prediction.seconds
+                             : 0.0;
+  return prediction;
+}
+
+double PerfModel::PredictRun(uint64_t dataset_bytes,
+                             size_t num_passes) const {
+  if (num_passes == 0) {
+    return 0.0;
+  }
+  const PassPrediction steady = PredictPass(dataset_bytes);
+  // The first pass is always cold: data comes from storage regardless of
+  // whether it will fit in RAM afterwards.
+  PassPrediction cold = steady;
+  cold.miss_bytes = dataset_bytes;
+  cold.io_seconds = static_cast<double>(dataset_bytes) /
+                    params_.disk_read_bytes_per_sec;
+  cold.seconds = std::max(cold.cpu_seconds, cold.io_seconds) +
+                 params_.pass_overhead_seconds;
+  return cold.seconds + steady.seconds * static_cast<double>(num_passes - 1);
+}
+
+double PerfModel::FitCpuSecondsPerByte(double measured_seconds,
+                                       uint64_t dataset_bytes,
+                                       size_t num_passes) {
+  M3_CHECK(dataset_bytes > 0 && num_passes > 0, "empty measurement");
+  return measured_seconds /
+         (static_cast<double>(dataset_bytes) *
+          static_cast<double>(num_passes));
+}
+
+std::string PerfModel::ToString() const {
+  return util::StrFormat(
+      "cpu=%.3g s/B disk=%s/s ram=%s overhead=%.3g s/pass",
+      params_.cpu_seconds_per_byte,
+      util::HumanBytes(
+          static_cast<uint64_t>(params_.disk_read_bytes_per_sec))
+          .c_str(),
+      util::HumanBytes(params_.ram_bytes).c_str(),
+      params_.pass_overhead_seconds);
+}
+
+std::vector<SweepPoint> PredictSweep(const PerfModel& model,
+                                     const std::vector<uint64_t>& sizes,
+                                     size_t num_passes) {
+  std::vector<SweepPoint> points;
+  points.reserve(sizes.size());
+  for (uint64_t bytes : sizes) {
+    SweepPoint point;
+    point.dataset_bytes = bytes;
+    point.predicted_seconds = model.PredictRun(bytes, num_passes);
+    const PassPrediction pass = model.PredictPass(bytes);
+    point.out_of_core = pass.miss_bytes > 0;
+    point.cpu_utilization = pass.cpu_utilization;
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace m3

@@ -1,0 +1,87 @@
+#ifndef M3_CORE_PERF_MODEL_H_
+#define M3_CORE_PERF_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace m3 {
+
+/// \brief Calibrated platform parameters for the M3 performance model.
+struct PerfModelParams {
+  /// CPU cost of the algorithm per byte of the feature matrix per pass
+  /// (fit from an in-RAM timed run; includes parallel speedup).
+  double cpu_seconds_per_byte = 0;
+  /// Sequential storage read bandwidth, bytes/sec (from io::ProbeDisk or
+  /// the paper's hardware spec: the OCZ RevoDrive 350 reads ~1 GB/s).
+  double disk_read_bytes_per_sec = 1e9;
+  /// RAM available for caching the dataset, bytes (the paper: 32 GB).
+  uint64_t ram_bytes = 32ull << 30;
+  /// Fixed per-pass overhead (dispatch, reductions), seconds.
+  double pass_overhead_seconds = 0;
+};
+
+/// \brief Prediction for one full pass over a dataset.
+struct PassPrediction {
+  double seconds = 0;
+  double cpu_seconds = 0;
+  double io_seconds = 0;
+  /// Bytes that must come from storage this pass (0 once cached in RAM).
+  uint64_t miss_bytes = 0;
+  bool io_bound = false;
+  /// Predicted CPU utilization in [0, 1] (the paper observes ~13% when
+  /// I/O-bound out-of-core).
+  double cpu_utilization = 0;
+};
+
+/// \brief Analytic model of M3 pass time (§4 "develop mathematical models
+/// ... to profile and predict algorithm performance").
+///
+/// Model: a training pass is a sequential scan of `dataset_bytes`. If the
+/// dataset fits in `ram_bytes` it is served from the page cache after the
+/// first pass (miss_bytes = 0). If it exceeds RAM, a cyclic sequential
+/// scan under LRU has zero steady-state hit rate, so every byte is read
+/// from storage each pass (miss_bytes = dataset_bytes) — this is why the
+/// paper's Fig. 1a is linear on both sides of the RAM boundary with a
+/// steeper out-of-core slope. CPU work overlaps I/O (readahead), so
+///   pass_seconds = max(cpu, io) + overhead.
+class PerfModel {
+ public:
+  explicit PerfModel(PerfModelParams params);
+
+  /// Predicts one steady-state pass over `dataset_bytes`.
+  PassPrediction PredictPass(uint64_t dataset_bytes) const;
+
+  /// Predicts a full run of `num_passes` over the dataset, including the
+  /// cold first pass (which always reads from storage).
+  double PredictRun(uint64_t dataset_bytes, size_t num_passes) const;
+
+  /// Fits cpu_seconds_per_byte from an in-RAM measurement.
+  static double FitCpuSecondsPerByte(double measured_seconds,
+                                     uint64_t dataset_bytes,
+                                     size_t num_passes);
+
+  const PerfModelParams& params() const { return params_; }
+
+  std::string ToString() const;
+
+ private:
+  PerfModelParams params_;
+};
+
+/// \brief One row of a Fig. 1a-style sweep table.
+struct SweepPoint {
+  uint64_t dataset_bytes = 0;
+  double predicted_seconds = 0;
+  bool out_of_core = false;
+  double cpu_utilization = 0;
+};
+
+/// \brief Predicts runtimes for a sweep of dataset sizes (Fig. 1a shape).
+std::vector<SweepPoint> PredictSweep(const PerfModel& model,
+                                     const std::vector<uint64_t>& sizes,
+                                     size_t num_passes);
+
+}  // namespace m3
+
+#endif  // M3_CORE_PERF_MODEL_H_

@@ -1,0 +1,65 @@
+#ifndef M3_CORE_RAM_BUDGET_H_
+#define M3_CORE_RAM_BUDGET_H_
+
+#include <cstdint>
+
+#include "io/mmap_file.h"
+#include "ml/objective.h"
+
+namespace m3 {
+
+/// \brief Emulates a machine whose RAM holds only `budget_bytes` of the
+/// mapped feature region.
+///
+/// The paper's out-of-core regime (190 GB dataset, 32 GB RAM) cannot be
+/// reproduced directly on a development machine, so this emulator recreates
+/// its *mechanism*: under a cyclic sequential scan with LRU caching, every
+/// page is evicted before the scan returns to it whenever the dataset
+/// exceeds RAM — the steady-state hit rate is zero. The emulator registers
+/// ScanHooks on a training objective; as the scan advances it evicts pages
+/// more than `budget_bytes` behind the cursor (madvise + fadvise DONTNEED),
+/// so the next pass takes real page faults and real storage reads through
+/// the very same mmap code path the paper exercises.
+///
+/// Statistics are exposed so benches can report how much eviction work the
+/// emulation performed. On kernels that silently ignore page eviction
+/// (see io::GetPlatformCapabilities), the calls still execute but physical
+/// re-reads may not occur; the PerfModel covers that case analytically.
+class RamBudgetEmulator {
+ public:
+  /// \param mapping   the live mapping that backs the scanned matrix
+  /// \param budget_bytes emulated RAM capacity for the feature region
+  /// \param row_bytes bytes per matrix row (stride in the mapped file)
+  /// \param base_offset byte offset of row 0 inside the mapping
+  RamBudgetEmulator(io::MemoryMappedFile* mapping, uint64_t budget_bytes,
+                    uint64_t row_bytes, uint64_t base_offset);
+
+  /// Hooks to install on a training objective (ScanHooks composition:
+  /// callers may wrap these if they need their own instrumentation too).
+  ml::ScanHooks MakeHooks();
+
+  /// Eviction calls issued so far.
+  uint64_t evictions() const { return evictions_; }
+  /// Bytes evicted so far (page-rounded by the kernel).
+  uint64_t bytes_evicted() const { return bytes_evicted_; }
+  /// Full passes observed.
+  uint64_t passes() const { return passes_; }
+  uint64_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  void OnChunk(size_t row_begin, size_t row_end);
+  void OnPass(size_t pass_index);
+
+  io::MemoryMappedFile* mapping_;
+  uint64_t budget_bytes_;
+  uint64_t row_bytes_;
+  uint64_t base_offset_;
+  uint64_t evict_cursor_ = 0;  // bytes [base, base+cursor) already evicted
+  uint64_t evictions_ = 0;
+  uint64_t bytes_evicted_ = 0;
+  uint64_t passes_ = 0;
+};
+
+}  // namespace m3
+
+#endif  // M3_CORE_RAM_BUDGET_H_

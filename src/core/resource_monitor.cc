@@ -1,0 +1,102 @@
+#include "core/resource_monitor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "io/platform.h"
+#include "util/format.h"
+#include "util/logging.h"
+#include "util/sys_info.h"
+
+namespace m3 {
+
+std::string MonitorReport::ToString() const {
+  std::string out = util::StrFormat(
+      "wall=%s cpu(mean/peak)=%.0f%%/%.0f%% read=%s (%s/s) major_faults=%lld "
+      "samples=%zu",
+      util::HumanDuration(wall_seconds).c_str(), mean_cpu_utilization * 100,
+      peak_cpu_utilization * 100, util::HumanBytes(total_read_bytes).c_str(),
+      util::HumanBytes(static_cast<uint64_t>(mean_read_bandwidth)).c_str(),
+      static_cast<long long>(total_major_faults), num_samples);
+  if (!io_counters_trustworthy) {
+    out += " [io counters synthetic on this kernel]";
+  }
+  return out;
+}
+
+ResourceMonitor::ResourceMonitor(double interval_seconds)
+    : interval_seconds_(std::max(0.01, interval_seconds)) {}
+
+ResourceMonitor::~ResourceMonitor() {
+  if (running_.load()) {
+    Stop();
+  }
+}
+
+void ResourceMonitor::Start() {
+  M3_CHECK(!running_.load(), "monitor already running");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.clear();
+  }
+  start_sample_ = io::ResourceSample::Now();
+  running_.store(true);
+  thread_ = std::thread([this] { SampleLoop(); });
+}
+
+void ResourceMonitor::SampleLoop() {
+  io::ResourceSample previous = start_sample_;
+  while (running_.load()) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(interval_seconds_));
+    const io::ResourceSample now = io::ResourceSample::Now();
+    const io::ResourceSample delta = now - previous;
+    MonitorSample sample;
+    sample.at_seconds = now.wall_seconds - start_sample_.wall_seconds;
+    sample.cpu_utilization = delta.CpuUtilization(util::NumCpus());
+    sample.read_bandwidth = delta.ReadBandwidth();
+    sample.major_faults = delta.faults.major;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      samples_.push_back(sample);
+    }
+    previous = now;
+  }
+}
+
+MonitorReport ResourceMonitor::Stop() {
+  M3_CHECK(running_.load(), "monitor not running");
+  running_.store(false);
+  thread_.join();
+
+  const io::ResourceSample end = io::ResourceSample::Now();
+  const io::ResourceSample total = end - start_sample_;
+
+  MonitorReport report;
+  report.wall_seconds = total.wall_seconds;
+  report.total_read_bytes = total.io.read_bytes;
+  report.total_major_faults = total.faults.major;
+  report.mean_cpu_utilization = total.CpuUtilization(util::NumCpus());
+  report.mean_read_bandwidth =
+      total.wall_seconds > 0
+          ? static_cast<double>(total.io.read_bytes) / total.wall_seconds
+          : 0.0;
+  report.io_counters_trustworthy =
+      io::GetPlatformCapabilities().proc_io_counters_live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    report.num_samples = samples_.size();
+    for (const MonitorSample& s : samples_) {
+      report.peak_cpu_utilization =
+          std::max(report.peak_cpu_utilization, s.cpu_utilization);
+    }
+  }
+  return report;
+}
+
+std::vector<MonitorSample> ResourceMonitor::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+}  // namespace m3

@@ -1,0 +1,164 @@
+#include "data/dataset.h"
+
+#include <cstring>
+
+#include "data/infimnist.h"
+#include "util/format.h"
+#include "util/thread_pool.h"
+
+namespace m3::data {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr char kMagic[4] = {'M', '3', 'D', 'S'};
+constexpr uint32_t kVersion = 1;
+
+// Fixed header record at the start of the reserved page.
+struct RawHeader {
+  char magic[4];
+  uint32_t version;
+  uint64_t rows;
+  uint64_t cols;
+  uint32_t num_classes;
+  uint32_t flags;
+  uint64_t features_offset;
+  uint64_t labels_offset;
+};
+static_assert(sizeof(RawHeader) == 48);
+static_assert(sizeof(RawHeader) <= kDatasetHeaderBytes);
+
+}  // namespace
+
+Result<DatasetWriter> DatasetWriter::Create(const std::string& path,
+                                            uint64_t cols) {
+  if (cols == 0) {
+    return Status::InvalidArgument("dataset must have at least one column");
+  }
+  M3_ASSIGN_OR_RETURN(io::BufferedWriter writer,
+                      io::BufferedWriter::Create(path, 4 << 20));
+  // Reserve the header page; contents are stamped in Finalize().
+  const std::vector<char> zeros(kDatasetHeaderBytes, 0);
+  M3_RETURN_IF_ERROR(writer.Append(zeros.data(), zeros.size()));
+  return DatasetWriter(std::move(writer), path, cols);
+}
+
+Status DatasetWriter::AppendRow(la::ConstVectorView features, double label) {
+  if (features.size() != cols_) {
+    return Status::InvalidArgument(
+        util::StrFormat("row has %zu features, dataset has %llu columns",
+                        features.size(),
+                        static_cast<unsigned long long>(cols_)));
+  }
+  M3_RETURN_IF_ERROR(
+      writer_.Append(features.data(), cols_ * sizeof(double)));
+  labels_.push_back(label);
+  return Status::OK();
+}
+
+Status DatasetWriter::AppendRows(const double* features, const double* labels,
+                                 uint64_t count) {
+  M3_RETURN_IF_ERROR(
+      writer_.Append(features, count * cols_ * sizeof(double)));
+  labels_.insert(labels_.end(), labels, labels + count);
+  return Status::OK();
+}
+
+Status DatasetWriter::Finalize(uint32_t num_classes) {
+  if (finalized_) {
+    return Status::FailedPrecondition("dataset already finalized");
+  }
+  finalized_ = true;
+  const uint64_t rows = labels_.size();
+  // Labels live immediately behind the feature block.
+  M3_RETURN_IF_ERROR(
+      writer_.Append(labels_.data(), labels_.size() * sizeof(double)));
+  M3_RETURN_IF_ERROR(writer_.Close());
+
+  RawHeader header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.rows = rows;
+  header.cols = cols_;
+  header.num_classes = num_classes;
+  header.flags = 0;
+  header.features_offset = kDatasetHeaderBytes;
+  header.labels_offset =
+      kDatasetHeaderBytes + rows * cols_ * sizeof(double);
+  M3_ASSIGN_OR_RETURN(io::File file, io::File::OpenReadWrite(path_));
+  M3_RETURN_IF_ERROR(file.WriteExactAt(0, &header, sizeof(header)));
+  M3_RETURN_IF_ERROR(file.Sync());
+  return file.Close();
+}
+
+Result<DatasetMeta> ReadDatasetMeta(const std::string& path) {
+  M3_ASSIGN_OR_RETURN(io::File file, io::File::OpenReadOnly(path));
+  RawHeader header;
+  M3_RETURN_IF_ERROR(file.ReadExactAt(0, &header, sizeof(header)));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an M3 dataset: " + path);
+  }
+  if (header.version != kVersion) {
+    return Status::NotSupported(
+        util::StrFormat("dataset version %u unsupported", header.version));
+  }
+  DatasetMeta meta;
+  meta.rows = header.rows;
+  meta.cols = header.cols;
+  meta.num_classes = header.num_classes;
+  meta.features_offset = header.features_offset;
+  meta.labels_offset = header.labels_offset;
+  M3_ASSIGN_OR_RETURN(uint64_t actual_size, file.Size());
+  if (actual_size < meta.FileBytes()) {
+    return Status::InvalidArgument(util::StrFormat(
+        "dataset truncated: %llu bytes on disk, header implies %llu",
+        static_cast<unsigned long long>(actual_size),
+        static_cast<unsigned long long>(meta.FileBytes())));
+  }
+  return meta;
+}
+
+Status WriteDataset(const std::string& path, la::ConstMatrixView x,
+                    const std::vector<double>& labels, uint32_t num_classes) {
+  if (x.rows() != labels.size()) {
+    return Status::InvalidArgument("labels size != matrix rows");
+  }
+  M3_ASSIGN_OR_RETURN(DatasetWriter writer,
+                      DatasetWriter::Create(path, x.cols()));
+  for (size_t r = 0; r < x.rows(); ++r) {
+    M3_RETURN_IF_ERROR(writer.AppendRow(x.Row(r), labels[r]));
+  }
+  return writer.Finalize(num_classes);
+}
+
+Status GenerateInfimnistDataset(const std::string& path, uint64_t count,
+                                uint64_t seed, bool binary_labels) {
+  if (count == 0) {
+    return Status::InvalidArgument("cannot generate empty dataset");
+  }
+  M3_ASSIGN_OR_RETURN(DatasetWriter writer,
+                      DatasetWriter::Create(path, kImageFeatures));
+  const InfiMnistGenerator generator(seed);
+  // Generate in batches: workers render deterministic images in parallel,
+  // the writer streams each completed batch sequentially.
+  constexpr uint64_t kBatch = 2048;
+  std::vector<double> features(kBatch * kImageFeatures);
+  std::vector<double> labels(kBatch);
+  for (uint64_t base = 0; base < count; base += kBatch) {
+    const uint64_t n = std::min(kBatch, count - base);
+    util::ParallelFor(0, n, 64, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        const uint8_t label = generator.GenerateDoubles(
+            base + i, features.data() + i * kImageFeatures);
+        labels[i] = binary_labels ? (label < 5 ? 0.0 : 1.0)
+                                  : static_cast<double>(label);
+      }
+    });
+    M3_RETURN_IF_ERROR(writer.AppendRows(features.data(), labels.data(), n));
+  }
+  return writer.Finalize(binary_labels ? 2 : 10);
+}
+
+}  // namespace m3::data

@@ -1,0 +1,98 @@
+#ifndef M3_DATA_DATASET_H_
+#define M3_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/buffered_io.h"
+#include "la/matrix.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace m3::data {
+
+/// \brief On-disk layout of an M3 dataset file.
+///
+/// The format is designed for memory mapping:
+///   [0, 4096)                    header page (fixed size, versioned)
+///   [4096, 4096 + rows*cols*8)   dense row-major double feature matrix
+///   [labels_offset, +rows*8)     double labels, one per row
+///
+/// Features start on a page boundary so a MatrixView over the mapping is
+/// aligned, and the whole feature block is one contiguous sequential scan —
+/// the access pattern M3's performance story depends on.
+struct DatasetMeta {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  uint32_t num_classes = 0;
+  uint64_t features_offset = 0;
+  uint64_t labels_offset = 0;
+
+  /// Bytes of the feature matrix.
+  uint64_t FeatureBytes() const { return rows * cols * sizeof(double); }
+  /// Total file size implied by the meta.
+  uint64_t FileBytes() const { return labels_offset + rows * sizeof(double); }
+};
+
+/// Size of the reserved header page.
+inline constexpr uint64_t kDatasetHeaderBytes = 4096;
+
+/// \brief Streams rows into a new dataset file.
+///
+/// Features are written sequentially (buffered) as they arrive; labels are
+/// held in memory (8 bytes/row) and written behind the feature block by
+/// Finalize(), which also stamps the header. A writer that is dropped
+/// without Finalize() leaves an unreadable file by design.
+class DatasetWriter {
+ public:
+  static util::Result<DatasetWriter> Create(const std::string& path,
+                                            uint64_t cols);
+
+  DatasetWriter(DatasetWriter&&) = default;
+  DatasetWriter& operator=(DatasetWriter&&) = default;
+
+  /// Appends one row. \pre features.size() == cols.
+  util::Status AppendRow(la::ConstVectorView features, double label);
+
+  /// Appends `count` rows from a packed row-major buffer.
+  util::Status AppendRows(const double* features, const double* labels,
+                          uint64_t count);
+
+  uint64_t rows_written() const { return labels_.size(); }
+
+  /// Writes labels + header and closes the file.
+  util::Status Finalize(uint32_t num_classes);
+
+ private:
+  DatasetWriter(io::BufferedWriter writer, std::string path, uint64_t cols)
+      : writer_(std::move(writer)), path_(std::move(path)), cols_(cols) {}
+
+  io::BufferedWriter writer_;
+  std::string path_;
+  uint64_t cols_;
+  std::vector<double> labels_;
+  bool finalized_ = false;
+};
+
+/// \brief Reads and validates the header page of a dataset file.
+util::Result<DatasetMeta> ReadDatasetMeta(const std::string& path);
+
+/// \brief Writes a complete in-memory matrix + labels as a dataset file.
+util::Status WriteDataset(const std::string& path, la::ConstMatrixView x,
+                          const std::vector<double>& labels,
+                          uint32_t num_classes);
+
+/// \brief Generates an InfiMNIST-style dataset file of `count` images.
+///
+/// Rows are 784 doubles in [0, 255] (no preprocessing, like the paper);
+/// labels are the digit classes 0..9. Generation is deterministic in
+/// `seed` and parallelized across the thread pool. `binary_labels`
+/// collapses classes to {0, 1} (digit < 5 -> 0) for binary logistic
+/// regression experiments.
+util::Status GenerateInfimnistDataset(const std::string& path, uint64_t count,
+                                      uint64_t seed, bool binary_labels);
+
+}  // namespace m3::data
+
+#endif  // M3_DATA_DATASET_H_

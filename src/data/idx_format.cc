@@ -1,0 +1,103 @@
+#include "data/idx_format.h"
+
+#include "io/buffered_io.h"
+#include "util/format.h"
+
+namespace m3::data {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr uint8_t kUnsignedByteType = 0x08;
+
+uint32_t ToBigEndian(uint32_t v) {
+  return ((v & 0xFF000000u) >> 24) | ((v & 0x00FF0000u) >> 8) |
+         ((v & 0x0000FF00u) << 8) | ((v & 0x000000FFu) << 24);
+}
+
+Status WriteIdx(const std::string& path, uint8_t ndims,
+                const std::vector<uint32_t>& dims,
+                const std::vector<uint8_t>& payload) {
+  M3_ASSIGN_OR_RETURN(io::BufferedWriter writer,
+                      io::BufferedWriter::Create(path));
+  const uint8_t magic[4] = {0, 0, kUnsignedByteType, ndims};
+  M3_RETURN_IF_ERROR(writer.Append(magic, sizeof(magic)));
+  for (uint32_t dim : dims) {
+    const uint32_t be = ToBigEndian(dim);
+    M3_RETURN_IF_ERROR(writer.AppendValue(be));
+  }
+  M3_RETURN_IF_ERROR(writer.Append(payload.data(), payload.size()));
+  return writer.Close();
+}
+
+}  // namespace
+
+uint64_t IdxData::NumElements() const {
+  uint64_t n = dims.empty() ? 0 : 1;
+  for (uint32_t d : dims) {
+    n *= d;
+  }
+  return n;
+}
+
+Result<IdxData> ReadIdx(const std::string& path) {
+  M3_ASSIGN_OR_RETURN(io::BufferedReader reader, io::BufferedReader::Open(path));
+  uint8_t magic[4];
+  M3_RETURN_IF_ERROR(reader.ReadExact(magic, sizeof(magic)));
+  if (magic[0] != 0 || magic[1] != 0) {
+    return Status::InvalidArgument("not an IDX file: " + path);
+  }
+  if (magic[2] != kUnsignedByteType) {
+    return Status::NotSupported(
+        util::StrFormat("IDX element type 0x%02x unsupported (only ubyte)",
+                        magic[2]));
+  }
+  const uint8_t ndims = magic[3];
+  if (ndims == 0 || ndims > 4) {
+    return Status::InvalidArgument(
+        util::StrFormat("IDX dimension count %u out of range", ndims));
+  }
+  IdxData data;
+  data.dims.resize(ndims);
+  for (uint8_t i = 0; i < ndims; ++i) {
+    M3_ASSIGN_OR_RETURN(uint32_t be, reader.ReadValue<uint32_t>());
+    data.dims[i] = ToBigEndian(be);  // involution: BE <-> host
+  }
+  const uint64_t elements = data.NumElements();
+  const uint64_t header = 4 + 4ull * ndims;
+  if (reader.file_size() != header + elements) {
+    return Status::InvalidArgument(
+        util::StrFormat("IDX payload size mismatch: header says %llu "
+                        "elements, file has %llu payload bytes",
+                        static_cast<unsigned long long>(elements),
+                        static_cast<unsigned long long>(
+                            reader.file_size() - header)));
+  }
+  data.bytes.resize(elements);
+  if (elements > 0) {
+    M3_RETURN_IF_ERROR(reader.ReadExact(data.bytes.data(), elements));
+  }
+  return data;
+}
+
+Status WriteIdxImages(const std::string& path,
+                      const std::vector<uint8_t>& pixels, uint32_t count,
+                      uint32_t rows, uint32_t cols) {
+  const uint64_t expected =
+      static_cast<uint64_t>(count) * rows * cols;
+  if (pixels.size() != expected) {
+    return Status::InvalidArgument(util::StrFormat(
+        "pixel buffer has %zu bytes, expected %llu", pixels.size(),
+        static_cast<unsigned long long>(expected)));
+  }
+  return WriteIdx(path, 3, {count, rows, cols}, pixels);
+}
+
+Status WriteIdxLabels(const std::string& path,
+                      const std::vector<uint8_t>& labels) {
+  return WriteIdx(path, 1, {static_cast<uint32_t>(labels.size())}, labels);
+}
+
+}  // namespace m3::data

@@ -1,0 +1,42 @@
+#ifndef M3_DATA_IDX_FORMAT_H_
+#define M3_DATA_IDX_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace m3::data {
+
+/// \brief Parsed contents of an IDX file (the MNIST container format).
+///
+/// IDX layout: magic {0, 0, type, ndims}, then ndims big-endian uint32
+/// dimension sizes, then the payload. Only the unsigned-byte element type
+/// (0x08) is supported — that is what MNIST/InfiMNIST ship.
+struct IdxData {
+  std::vector<uint32_t> dims;
+  std::vector<uint8_t> bytes;
+
+  /// Product of dims (number of elements).
+  uint64_t NumElements() const;
+};
+
+/// \brief Reads and validates an IDX file.
+util::Result<IdxData> ReadIdx(const std::string& path);
+
+/// \brief Writes `count` images of rows x cols uint8 pixels
+/// (IDX3, magic 0x00000803 — same as train-images-idx3-ubyte).
+util::Status WriteIdxImages(const std::string& path,
+                            const std::vector<uint8_t>& pixels, uint32_t count,
+                            uint32_t rows, uint32_t cols);
+
+/// \brief Writes `labels` (IDX1, magic 0x00000801 — same as
+/// train-labels-idx1-ubyte).
+util::Status WriteIdxLabels(const std::string& path,
+                            const std::vector<uint8_t>& labels);
+
+}  // namespace m3::data
+
+#endif  // M3_DATA_IDX_FORMAT_H_

@@ -1,0 +1,227 @@
+#include "data/infimnist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace m3::data {
+
+namespace {
+
+/// A 2D point in glyph space ([0,1] x [0,1], y growing downward).
+struct Point {
+  double x;
+  double y;
+};
+
+/// Polyline stroke description of one digit prototype.
+using Stroke = std::vector<Point>;
+
+/// Appends an elliptical arc (polygon approximation) to a stroke.
+Stroke Ellipse(double cx, double cy, double rx, double ry, int segments = 20,
+               double start = 0.0, double sweep = 2 * M_PI) {
+  Stroke stroke;
+  stroke.reserve(segments + 1);
+  for (int i = 0; i <= segments; ++i) {
+    const double t = start + sweep * i / segments;
+    stroke.push_back({cx + rx * std::sin(t), cy - ry * std::cos(t)});
+  }
+  return stroke;
+}
+
+/// Stroke sets for each digit 0..9, hand-laid-out in [0,1]^2.
+const std::vector<std::vector<Stroke>>& DigitStrokes() {
+  static const std::vector<std::vector<Stroke>>* strokes = [] {
+    auto* s = new std::vector<std::vector<Stroke>>(10);
+    // 0: single ellipse.
+    (*s)[0] = {Ellipse(0.5, 0.5, 0.21, 0.3)};
+    // 1: serif + vertical.
+    (*s)[1] = {{{0.38, 0.3}, {0.52, 0.16}, {0.52, 0.84}}};
+    // 2: top hook, diagonal, base bar.
+    (*s)[2] = {{{0.32, 0.3},
+                {0.36, 0.2},
+                {0.5, 0.15},
+                {0.64, 0.2},
+                {0.68, 0.32},
+                {0.6, 0.47},
+                {0.42, 0.62},
+                {0.3, 0.8}},
+               {{0.3, 0.8}, {0.7, 0.8}}};
+    // 3: two right-facing bumps.
+    (*s)[3] = {{{0.32, 0.22},
+                {0.46, 0.15},
+                {0.62, 0.2},
+                {0.66, 0.32},
+                {0.56, 0.44},
+                {0.45, 0.48}},
+               {{0.45, 0.48},
+                {0.6, 0.52},
+                {0.68, 0.64},
+                {0.62, 0.78},
+                {0.46, 0.85},
+                {0.32, 0.78}}};
+    // 4: diagonal, crossbar, vertical.
+    (*s)[4] = {{{0.58, 0.15}, {0.3, 0.6}},
+               {{0.3, 0.6}, {0.74, 0.6}},
+               {{0.58, 0.15}, {0.58, 0.85}}};
+    // 5: top bar, descender, bowl.
+    (*s)[5] = {{{0.66, 0.16}, {0.36, 0.16}},
+               {{0.36, 0.16}, {0.34, 0.45}},
+               {{0.34, 0.45},
+                {0.52, 0.4},
+                {0.66, 0.5},
+                {0.67, 0.66},
+                {0.55, 0.82},
+                {0.36, 0.8}}};
+    // 6: sweep into a lower loop.
+    (*s)[6] = {{{0.62, 0.16},
+                {0.46, 0.2},
+                {0.36, 0.35},
+                {0.33, 0.55},
+                {0.36, 0.72},
+                {0.5, 0.84},
+                {0.63, 0.74},
+                {0.63, 0.58},
+                {0.5, 0.5},
+                {0.36, 0.58}}};
+    // 7: top bar + steep diagonal.
+    (*s)[7] = {{{0.3, 0.17}, {0.7, 0.17}}, {{0.7, 0.17}, {0.46, 0.85}}};
+    // 8: stacked loops.
+    (*s)[8] = {Ellipse(0.5, 0.32, 0.15, 0.16),
+               Ellipse(0.5, 0.66, 0.18, 0.18)};
+    // 9: upper loop with a tail (mirrored 6).
+    (*s)[9] = {{{0.38, 0.84},
+                {0.54, 0.8},
+                {0.64, 0.65},
+                {0.67, 0.45},
+                {0.64, 0.28},
+                {0.5, 0.16},
+                {0.37, 0.26},
+                {0.37, 0.42},
+                {0.5, 0.5},
+                {0.64, 0.42}}};
+    return s;
+  }();
+  return *strokes;
+}
+
+/// Distance from point p to segment ab.
+double SegmentDistance(Point p, Point a, Point b) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len2 = abx * abx + aby * aby;
+  double t = 0.0;
+  if (len2 > 0) {
+    t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  const double dx = p.x - (a.x + t * abx);
+  const double dy = p.y - (a.y + t * aby);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Distance from p to the nearest stroke of `glyph`.
+double GlyphDistance(Point p, const std::vector<Stroke>& glyph) {
+  double best = 1e9;
+  for (const Stroke& stroke : glyph) {
+    for (size_t i = 0; i + 1 < stroke.size(); ++i) {
+      best = std::min(best, SegmentDistance(p, stroke[i], stroke[i + 1]));
+    }
+  }
+  return best;
+}
+
+/// Per-image deformation parameters drawn deterministically.
+struct Deformation {
+  double dx, dy;          // translation (glyph-space units)
+  double angle;           // rotation, radians
+  double scale;           // isotropic
+  double shear;           // x-shear
+  double thickness;       // stroke half-width
+  double elastic_amp;     // elastic displacement amplitude
+  double elastic_fx, elastic_fy, elastic_px, elastic_py;  // wave params
+  double noise_sigma;     // additive pixel noise
+  uint64_t noise_seed;
+};
+
+Deformation DrawDeformation(uint64_t seed, uint64_t index) {
+  // Mix seed and index so each image has an independent stream.
+  util::Rng rng(seed * 0x9E3779B97F4A7C15ULL + index * 0xD1B54A32D192ED03ULL +
+                0x632BE59BD9B4E019ULL);
+  Deformation d;
+  d.dx = rng.Uniform(-0.09, 0.09);            // about +-2.5 px
+  d.dy = rng.Uniform(-0.09, 0.09);
+  d.angle = rng.Uniform(-0.22, 0.22);         // about +-12.6 degrees
+  d.scale = rng.Uniform(0.88, 1.12);
+  d.shear = rng.Uniform(-0.18, 0.18);
+  d.thickness = rng.Uniform(0.035, 0.055);
+  d.elastic_amp = rng.Uniform(0.0, 0.035);
+  d.elastic_fx = rng.Uniform(1.0, 3.0);
+  d.elastic_fy = rng.Uniform(1.0, 3.0);
+  d.elastic_px = rng.Uniform(0.0, 2 * M_PI);
+  d.elastic_py = rng.Uniform(0.0, 2 * M_PI);
+  d.noise_sigma = rng.Uniform(0.0, 10.0);
+  d.noise_seed = rng.Next();
+  return d;
+}
+
+}  // namespace
+
+InfiMnistGenerator::InfiMnistGenerator(uint64_t seed) : seed_(seed) {}
+
+DigitImage InfiMnistGenerator::Generate(uint64_t index) const {
+  const uint8_t label = static_cast<uint8_t>(index % 10);
+  const std::vector<Stroke>& glyph = DigitStrokes()[label];
+  const Deformation d = DrawDeformation(seed_, index);
+
+  const double cos_a = std::cos(-d.angle);
+  const double sin_a = std::sin(-d.angle);
+
+  DigitImage image;
+  image.label = label;
+  util::Rng noise(d.noise_seed);
+  for (size_t py = 0; py < kImageSide; ++py) {
+    for (size_t px = 0; px < kImageSide; ++px) {
+      // Output pixel center in unit space.
+      const double u = (static_cast<double>(px) + 0.5) / kImageSide;
+      const double v = (static_cast<double>(py) + 0.5) / kImageSide;
+      // Elastic displacement (smooth, low-frequency).
+      const double eu =
+          u + d.elastic_amp *
+                  std::sin(2 * M_PI * d.elastic_fy * v + d.elastic_py);
+      const double ev =
+          v + d.elastic_amp *
+                  std::sin(2 * M_PI * d.elastic_fx * u + d.elastic_px);
+      // Inverse affine: translate to center, un-rotate/un-shear/un-scale.
+      double x = eu - 0.5 - d.dx;
+      double y = ev - 0.5 - d.dy;
+      const double xs = x - d.shear * y;  // inverse of x-shear
+      const double xr = (cos_a * xs - sin_a * y) / d.scale + 0.5;
+      const double yr = (sin_a * xs + cos_a * y) / d.scale + 0.5;
+      // Intensity from the stroke distance field.
+      const double dist = GlyphDistance({xr, yr}, glyph);
+      double intensity = 0.0;
+      if (dist < d.thickness) {
+        intensity = 255.0;
+      } else if (dist < d.thickness + 0.03) {
+        intensity = 255.0 * (1.0 - (dist - d.thickness) / 0.03);  // soft edge
+      }
+      intensity += noise.Gaussian(0.0, d.noise_sigma);
+      image.pixels[py * kImageSide + px] =
+          static_cast<uint8_t>(std::clamp(intensity, 0.0, 255.0));
+    }
+  }
+  return image;
+}
+
+uint8_t InfiMnistGenerator::GenerateDoubles(uint64_t index, double* out) const {
+  const DigitImage image = Generate(index);
+  for (size_t i = 0; i < kImageFeatures; ++i) {
+    out[i] = static_cast<double>(image.pixels[i]);
+  }
+  return image.label;
+}
+
+}  // namespace m3::data

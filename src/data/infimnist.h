@@ -1,0 +1,54 @@
+#ifndef M3_DATA_INFIMNIST_H_
+#define M3_DATA_INFIMNIST_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace m3::data {
+
+/// Side length of a digit image (matches MNIST).
+inline constexpr size_t kImageSide = 28;
+/// Features per image = 28 * 28 (matches the paper: 784 features).
+inline constexpr size_t kImageFeatures = kImageSide * kImageSide;
+
+/// \brief One generated digit image with its class label.
+struct DigitImage {
+  std::array<uint8_t, kImageFeatures> pixels;  // grayscale, row-major
+  uint8_t label = 0;                           // 0..9
+};
+
+/// \brief InfiMNIST-style infinite digit stream, built from scratch.
+///
+/// The paper uses InfiMNIST (Loosli/Canu/Bottou): an endless supply of
+/// MNIST-like 28x28 digits produced by applying pseudo-random deformations
+/// to seed images. We do not have the MNIST originals, so this generator
+/// substitutes procedurally rendered glyph prototypes (stroke polylines
+/// rasterized through a distance field) and applies the same *kinds* of
+/// deformation the original tool uses: translation, rotation, shear, scale,
+/// smooth elastic displacement, and pixel noise.
+///
+/// Determinism contract: `Generate(i)` is a pure function of (seed, i) —
+/// no sequential state — so images can be generated in parallel, in any
+/// order, and reproduced exactly.
+class InfiMnistGenerator {
+ public:
+  explicit InfiMnistGenerator(uint64_t seed = 2016);
+
+  /// Generates image number `index` (label = index % 10).
+  DigitImage Generate(uint64_t index) const;
+
+  /// Writes image `index` as doubles in [0, 255] into `out[0..783]` and
+  /// returns the label. The double layout is what the paper benchmarks:
+  /// a dense 6272-byte (784 x 8B) record per image.
+  uint8_t GenerateDoubles(uint64_t index, double* out) const;
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace m3::data
+
+#endif  // M3_DATA_INFIMNIST_H_

@@ -1,0 +1,59 @@
+#include "graph/connected_components.h"
+
+#include <numeric>
+
+namespace m3::graph {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+uint64_t Find(std::vector<uint64_t>* parent, uint64_t v) {
+  // Iterative find with path halving.
+  while ((*parent)[v] != v) {
+    (*parent)[v] = (*parent)[(*parent)[v]];
+    v = (*parent)[v];
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<ComponentsResult> ConnectedComponents(const MappedEdgeList& graph) {
+  const uint64_t n = graph.num_nodes();
+  if (n == 0) {
+    return Status::InvalidArgument("graph has no nodes");
+  }
+  std::vector<uint64_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+
+  // Single sequential pass over the mapped edges.
+  const Edge* edges = graph.edges();
+  for (uint64_t e = 0; e < graph.num_edges(); ++e) {
+    uint64_t a = Find(&parent, edges[e].src);
+    uint64_t b = Find(&parent, edges[e].dst);
+    if (a != b) {
+      // Union by minimum id: canonical labels independent of edge order.
+      if (a < b) {
+        parent[b] = a;
+      } else {
+        parent[a] = b;
+      }
+    }
+  }
+
+  ComponentsResult result;
+  result.component.resize(n);
+  for (uint64_t v = 0; v < n; ++v) {
+    result.component[v] = Find(&parent, v);
+  }
+  for (uint64_t v = 0; v < n; ++v) {
+    if (result.component[v] == v) {
+      ++result.num_components;
+    }
+  }
+  return result;
+}
+
+}  // namespace m3::graph

@@ -1,0 +1,30 @@
+#ifndef M3_GRAPH_CONNECTED_COMPONENTS_H_
+#define M3_GRAPH_CONNECTED_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "util/result.h"
+
+namespace m3::graph {
+
+/// \brief Connected-components result (edges treated as undirected).
+struct ComponentsResult {
+  /// Component label per node; labels are the smallest node id in the
+  /// component (canonical, deterministic).
+  std::vector<uint64_t> component;
+  uint64_t num_components = 0;
+};
+
+/// \brief Union-find over one sequential scan of the mapped edges.
+///
+/// The second workload of the MMap prior work [3]: a single streaming pass
+/// with O(nodes) state, rank-free union by minimum label + full path
+/// compression in a finalize pass.
+util::Result<ComponentsResult> ConnectedComponents(
+    const MappedEdgeList& graph);
+
+}  // namespace m3::graph
+
+#endif  // M3_GRAPH_CONNECTED_COMPONENTS_H_

@@ -1,0 +1,95 @@
+#include "graph/edge_list.h"
+
+#include <cstring>
+
+#include "io/buffered_io.h"
+#include "util/format.h"
+#include "util/random.h"
+
+namespace m3::graph {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr char kMagic[4] = {'M', '3', 'G', 'R'};
+constexpr uint32_t kVersion = 1;
+constexpr uint64_t kHeaderBytes = 4096;
+
+struct RawHeader {
+  char magic[4];
+  uint32_t version;
+  uint64_t num_nodes;
+  uint64_t num_edges;
+};
+static_assert(sizeof(RawHeader) == 24);
+
+}  // namespace
+
+Result<MappedEdgeList> MappedEdgeList::Open(const std::string& path) {
+  M3_ASSIGN_OR_RETURN(io::MemoryMappedFile mapping,
+                      io::MemoryMappedFile::Map(path));
+  if (mapping.size() < kHeaderBytes) {
+    return Status::InvalidArgument("edge file too small: " + path);
+  }
+  RawHeader header;
+  std::memcpy(&header, mapping.data(), sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an M3 edge file: " + path);
+  }
+  if (header.version != kVersion) {
+    return Status::NotSupported(
+        util::StrFormat("edge file version %u unsupported", header.version));
+  }
+  const uint64_t expected = kHeaderBytes + header.num_edges * sizeof(Edge);
+  if (mapping.size() < expected) {
+    return Status::InvalidArgument(util::StrFormat(
+        "edge file truncated: %llu bytes, header implies %llu",
+        static_cast<unsigned long long>(mapping.size()),
+        static_cast<unsigned long long>(expected)));
+  }
+  const Edge* edges = reinterpret_cast<const Edge*>(
+      mapping.As<const char>() + kHeaderBytes);
+  return MappedEdgeList(std::move(mapping), header.num_nodes,
+                        header.num_edges, edges);
+}
+
+Status WriteEdgeList(const std::string& path, uint64_t num_nodes,
+                     const std::vector<Edge>& edges) {
+  for (const Edge& edge : edges) {
+    if (edge.src >= num_nodes || edge.dst >= num_nodes) {
+      return Status::InvalidArgument(util::StrFormat(
+          "edge (%llu -> %llu) out of range for %llu nodes",
+          static_cast<unsigned long long>(edge.src),
+          static_cast<unsigned long long>(edge.dst),
+          static_cast<unsigned long long>(num_nodes)));
+    }
+  }
+  M3_ASSIGN_OR_RETURN(io::BufferedWriter writer,
+                      io::BufferedWriter::Create(path, 4 << 20));
+  RawHeader header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.num_nodes = num_nodes;
+  header.num_edges = edges.size();
+  M3_RETURN_IF_ERROR(writer.Append(&header, sizeof(header)));
+  const std::vector<char> pad(kHeaderBytes - sizeof(header), 0);
+  M3_RETURN_IF_ERROR(writer.Append(pad.data(), pad.size()));
+  M3_RETURN_IF_ERROR(
+      writer.Append(edges.data(), edges.size() * sizeof(Edge)));
+  return writer.Close();
+}
+
+std::vector<Edge> RandomGraph(uint64_t num_nodes, uint64_t num_edges,
+                              uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Edge> edges(num_edges);
+  for (Edge& edge : edges) {
+    edge.src = rng.UniformInt(num_nodes);
+    edge.dst = rng.UniformInt(num_nodes);
+  }
+  return edges;
+}
+
+}  // namespace m3::graph

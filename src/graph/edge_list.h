@@ -1,0 +1,74 @@
+#ifndef M3_GRAPH_EDGE_LIST_H_
+#define M3_GRAPH_EDGE_LIST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/mmap_file.h"
+#include "util/result.h"
+
+namespace m3::graph {
+
+/// \brief One directed edge.
+struct Edge {
+  uint64_t src = 0;
+  uint64_t dst = 0;
+};
+static_assert(sizeof(Edge) == 16, "Edge must be a packed 16-byte record");
+
+/// \brief A binary edge-list file mapped into memory.
+///
+/// This module mirrors the prior work M3 generalizes from ([3] "MMap: Fast
+/// billion-scale graph computation on a PC via memory mapping"): graph
+/// algorithms stream a mapped edge file sequentially, exactly like the ML
+/// algorithms stream a mapped feature matrix.
+///
+/// File layout: 4096-byte header page ("M3GR", version, node count, edge
+/// count) followed by packed (src, dst) uint64 pairs.
+class MappedEdgeList {
+ public:
+  /// Maps the edge file at `path` read-only.
+  static util::Result<MappedEdgeList> Open(const std::string& path);
+
+  MappedEdgeList(MappedEdgeList&&) = default;
+  MappedEdgeList& operator=(MappedEdgeList&&) = default;
+
+  uint64_t num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// Edge `i`. \pre i < num_edges().
+  const Edge& edge(uint64_t i) const { return edges_[i]; }
+
+  /// Raw pointer to the packed edge array (sequential scans).
+  const Edge* edges() const { return edges_; }
+
+  io::MemoryMappedFile& mapping() { return mapping_; }
+
+ private:
+  MappedEdgeList(io::MemoryMappedFile mapping, uint64_t num_nodes,
+                 uint64_t num_edges, const Edge* edges)
+      : mapping_(std::move(mapping)),
+        num_nodes_(num_nodes),
+        num_edges_(num_edges),
+        edges_(edges) {}
+
+  io::MemoryMappedFile mapping_;
+  uint64_t num_nodes_ = 0;
+  uint64_t num_edges_ = 0;
+  const Edge* edges_ = nullptr;
+};
+
+/// \brief Writes `edges` (validating node ids < num_nodes) as an edge file.
+util::Status WriteEdgeList(const std::string& path, uint64_t num_nodes,
+                           const std::vector<Edge>& edges);
+
+/// \brief Generates a reproducible random directed graph: `num_edges`
+/// edges with endpoints uniform over [0, num_nodes) (self-loops allowed,
+/// like real web-graph crawls contain).
+std::vector<Edge> RandomGraph(uint64_t num_nodes, uint64_t num_edges,
+                              uint64_t seed);
+
+}  // namespace m3::graph
+
+#endif  // M3_GRAPH_EDGE_LIST_H_

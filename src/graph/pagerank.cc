@@ -1,0 +1,66 @@
+#include "graph/pagerank.h"
+
+#include <cmath>
+
+namespace m3::graph {
+
+using util::Result;
+using util::Status;
+
+Result<PageRankResult> PageRank(const MappedEdgeList& graph,
+                                PageRankOptions options) {
+  const uint64_t n = graph.num_nodes();
+  if (n == 0) {
+    return Status::InvalidArgument("graph has no nodes");
+  }
+  if (options.damping < 0 || options.damping >= 1) {
+    return Status::InvalidArgument("damping must be in [0, 1)");
+  }
+
+  // Prologue scan: out-degrees.
+  std::vector<uint64_t> out_degree(n, 0);
+  const Edge* edges = graph.edges();
+  for (uint64_t e = 0; e < graph.num_edges(); ++e) {
+    ++out_degree[edges[e].src];
+  }
+
+  PageRankResult result;
+  result.ranks.assign(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    // Scatter pass: sequential scan of the mapped edge array.
+    for (uint64_t e = 0; e < graph.num_edges(); ++e) {
+      const Edge& edge = edges[e];
+      next[edge.dst] +=
+          result.ranks[edge.src] / static_cast<double>(out_degree[edge.src]);
+    }
+    // Dangling mass (nodes with no out-edges) is spread uniformly.
+    double dangling = 0.0;
+    for (uint64_t v = 0; v < n; ++v) {
+      if (out_degree[v] == 0) {
+        dangling += result.ranks[v];
+      }
+    }
+    const double teleport =
+        (1.0 - options.damping) / static_cast<double>(n);
+    const double dangling_share =
+        options.damping * dangling / static_cast<double>(n);
+    double delta = 0.0;
+    for (uint64_t v = 0; v < n; ++v) {
+      const double updated =
+          teleport + dangling_share + options.damping * next[v];
+      delta += std::fabs(updated - result.ranks[v]);
+      result.ranks[v] = updated;
+    }
+    ++result.iterations;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace m3::graph

@@ -1,0 +1,38 @@
+#ifndef M3_GRAPH_PAGERANK_H_
+#define M3_GRAPH_PAGERANK_H_
+
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "util/result.h"
+
+namespace m3::graph {
+
+/// \brief Options for power-iteration PageRank.
+struct PageRankOptions {
+  double damping = 0.85;
+  size_t max_iterations = 20;
+  /// Stop when the L1 change between iterations falls below this.
+  double tolerance = 1e-9;
+};
+
+/// \brief PageRank result.
+struct PageRankResult {
+  std::vector<double> ranks;  ///< sums to 1
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Edge-scan PageRank over a mapped edge list.
+///
+/// Each power iteration is two sequential passes over the mapped edges
+/// (degree-weighted scatter, then dangling/teleport fixup) — the graph
+/// workload of the MMap prior work [3], included here to connect M3 back
+/// to its inspiration. Out-degrees are computed once in a prologue scan.
+util::Result<PageRankResult> PageRank(const MappedEdgeList& graph,
+                                      PageRankOptions options =
+                                          PageRankOptions());
+
+}  // namespace m3::graph
+
+#endif  // M3_GRAPH_PAGERANK_H_

@@ -1,0 +1,119 @@
+#include "io/buffered_io.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace m3::io {
+
+using util::Result;
+using util::Status;
+
+Result<BufferedWriter> BufferedWriter::Create(const std::string& path,
+                                              size_t buffer_bytes) {
+  if (buffer_bytes == 0) {
+    return Status::InvalidArgument("buffer_bytes must be positive");
+  }
+  M3_ASSIGN_OR_RETURN(File file, File::CreateTruncate(path));
+  return BufferedWriter(std::move(file), buffer_bytes);
+}
+
+Status BufferedWriter::Append(const void* data, size_t length) {
+  if (!file_.is_open()) {
+    return Status::FailedPrecondition("append to closed writer");
+  }
+  const char* src = static_cast<const char*>(data);
+  while (length > 0) {
+    const size_t room = capacity_ - buffer_.size();
+    const size_t take = std::min(room, length);
+    buffer_.insert(buffer_.end(), src, src + take);
+    src += take;
+    length -= take;
+    if (buffer_.size() == capacity_) {
+      M3_RETURN_IF_ERROR(Flush());
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferedWriter::Flush() {
+  if (!file_.is_open()) {
+    return Status::FailedPrecondition("flush on closed writer");
+  }
+  if (!buffer_.empty()) {
+    M3_RETURN_IF_ERROR(file_.WriteExactAt(offset_, buffer_.data(),
+                                          buffer_.size()));
+    offset_ += buffer_.size();
+    buffer_.clear();
+  }
+  return Status::OK();
+}
+
+Status BufferedWriter::Close() {
+  M3_RETURN_IF_ERROR(Flush());
+  M3_RETURN_IF_ERROR(file_.Sync());
+  return file_.Close();
+}
+
+Result<BufferedReader> BufferedReader::Open(const std::string& path,
+                                            size_t buffer_bytes) {
+  if (buffer_bytes == 0) {
+    return Status::InvalidArgument("buffer_bytes must be positive");
+  }
+  M3_ASSIGN_OR_RETURN(File file, File::OpenReadOnly(path));
+  M3_ASSIGN_OR_RETURN(uint64_t size, file.Size());
+  return BufferedReader(std::move(file), size, buffer_bytes);
+}
+
+Result<size_t> BufferedReader::Refill() {
+  buffer_pos_ = 0;
+  buffer_len_ = 0;
+  if (consumed_ >= file_size_) {
+    return size_t{0};
+  }
+  const size_t want = static_cast<size_t>(
+      std::min<uint64_t>(capacity_, file_size_ - consumed_));
+  M3_RETURN_IF_ERROR(file_.ReadExactAt(consumed_, buffer_.data(), want));
+  buffer_len_ = want;
+  return want;
+}
+
+Status BufferedReader::ReadExact(void* out, size_t length) {
+  char* dst = static_cast<char*>(out);
+  while (length > 0) {
+    if (buffer_pos_ == buffer_len_) {
+      M3_ASSIGN_OR_RETURN(size_t available, Refill());
+      if (available == 0) {
+        return Status::IoError("unexpected EOF in " + file_.path());
+      }
+    }
+    const size_t take = std::min(length, buffer_len_ - buffer_pos_);
+    std::memcpy(dst, buffer_.data() + buffer_pos_, take);
+    buffer_pos_ += take;
+    consumed_ += take;
+    dst += take;
+    length -= take;
+  }
+  return Status::OK();
+}
+
+Status BufferedReader::Skip(uint64_t length) {
+  while (length > 0) {
+    if (buffer_pos_ == buffer_len_) {
+      // Skip whole buffers without reading when possible.
+      if (consumed_ + length > file_size_) {
+        return Status::OutOfRange("skip beyond EOF in " + file_.path());
+      }
+      consumed_ += length;
+      buffer_pos_ = buffer_len_ = 0;
+      return Status::OK();
+    }
+    const size_t take = static_cast<size_t>(
+        std::min<uint64_t>(length, buffer_len_ - buffer_pos_));
+    buffer_pos_ += take;
+    consumed_ += take;
+    length -= take;
+  }
+  return Status::OK();
+}
+
+}  // namespace m3::io

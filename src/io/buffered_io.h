@@ -1,0 +1,122 @@
+#ifndef M3_IO_BUFFERED_IO_H_
+#define M3_IO_BUFFERED_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/file.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace m3::io {
+
+/// \brief Sequential writer with an in-process buffer.
+///
+/// Used by the dataset generators to stream multi-hundred-MB matrices to
+/// disk without one syscall per row. Call Flush()/Close() before relying on
+/// file contents.
+class BufferedWriter {
+ public:
+  /// Creates (truncating) `path` with the given buffer capacity.
+  static util::Result<BufferedWriter> Create(const std::string& path,
+                                             size_t buffer_bytes = 1 << 20);
+
+  BufferedWriter(BufferedWriter&&) = default;
+  BufferedWriter& operator=(BufferedWriter&&) = default;
+  BufferedWriter(const BufferedWriter&) = delete;
+  BufferedWriter& operator=(const BufferedWriter&) = delete;
+
+  /// Appends `length` bytes.
+  util::Status Append(const void* data, size_t length);
+
+  /// Appends a trivially-copyable value.
+  template <typename T>
+  util::Status AppendValue(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Append(&value, sizeof(T));
+  }
+
+  /// Bytes appended so far (buffered + written).
+  uint64_t bytes_written() const { return offset_ + buffer_.size(); }
+
+  /// Writes out any buffered bytes.
+  util::Status Flush();
+
+  /// Flush + fsync + close. The writer is unusable afterwards.
+  util::Status Close();
+
+ private:
+  BufferedWriter(File file, size_t buffer_bytes) : file_(std::move(file)) {
+    buffer_.reserve(buffer_bytes);
+    capacity_ = buffer_bytes;
+  }
+
+  File file_;
+  std::vector<char> buffer_;
+  size_t capacity_ = 0;
+  uint64_t offset_ = 0;
+};
+
+/// \brief Sequential reader with an in-process buffer.
+///
+/// The streaming (non-mmap) access path: the conventional way to process
+/// out-of-core data that M3 replaces. Also used by format parsers.
+class BufferedReader {
+ public:
+  /// Opens `path` with the given buffer capacity.
+  static util::Result<BufferedReader> Open(const std::string& path,
+                                           size_t buffer_bytes = 1 << 20);
+
+  BufferedReader(BufferedReader&&) = default;
+  BufferedReader& operator=(BufferedReader&&) = default;
+  BufferedReader(const BufferedReader&) = delete;
+  BufferedReader& operator=(const BufferedReader&) = delete;
+
+  /// Reads exactly `length` bytes; IoError on premature EOF.
+  util::Status ReadExact(void* out, size_t length);
+
+  /// Reads a trivially-copyable value.
+  template <typename T>
+  util::Result<T> ReadValue() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    M3_RETURN_IF_ERROR(ReadExact(&value, sizeof(T)));
+    return value;
+  }
+
+  /// Skips `length` bytes forward.
+  util::Status Skip(uint64_t length);
+
+  /// Current read position from the start of the file.
+  uint64_t position() const { return consumed_; }
+
+  /// Total file size.
+  uint64_t file_size() const { return file_size_; }
+
+  /// True once position() == file_size().
+  bool AtEof() const { return consumed_ >= file_size_; }
+
+ private:
+  BufferedReader(File file, uint64_t file_size, size_t buffer_bytes)
+      : file_(std::move(file)), file_size_(file_size), capacity_(buffer_bytes) {
+    buffer_.resize(capacity_);
+  }
+
+  // Refills the buffer from the current file offset. Returns bytes now
+  // available (0 at EOF).
+  util::Result<size_t> Refill();
+
+  File file_;
+  uint64_t file_size_ = 0;
+  size_t capacity_ = 0;
+  std::vector<char> buffer_;
+  size_t buffer_pos_ = 0;   // next unread byte in buffer_
+  size_t buffer_len_ = 0;   // valid bytes in buffer_
+  uint64_t consumed_ = 0;   // total bytes consumed from the file
+};
+
+}  // namespace m3::io
+
+#endif  // M3_IO_BUFFERED_IO_H_

@@ -1,0 +1,82 @@
+#include "io/disk_probe.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "io/buffered_io.h"
+#include "io/file.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace m3::io {
+
+using util::Result;
+using util::Status;
+
+Result<DiskProbeResult> ProbeDisk(const std::string& directory,
+                                  uint64_t probe_bytes) {
+  if (probe_bytes < (1 << 20)) {
+    return Status::InvalidArgument("probe_bytes must be at least 1 MiB");
+  }
+  const std::string path = directory + "/.m3_disk_probe.tmp";
+  DiskProbeResult result;
+
+  // Sequential write.
+  {
+    util::Stopwatch watch;
+    M3_ASSIGN_OR_RETURN(BufferedWriter writer,
+                        BufferedWriter::Create(path, 4 << 20));
+    std::vector<char> block(1 << 20);
+    util::Rng rng(0xD15C);
+    for (char& c : block) {
+      c = static_cast<char>(rng.Next());
+    }
+    for (uint64_t written = 0; written < probe_bytes;
+         written += block.size()) {
+      M3_RETURN_IF_ERROR(writer.Append(block.data(), block.size()));
+    }
+    M3_RETURN_IF_ERROR(writer.Close());
+    result.sequential_write_bytes_per_sec =
+        static_cast<double>(probe_bytes) / watch.ElapsedSeconds();
+  }
+
+  // Cold sequential read.
+  {
+    M3_ASSIGN_OR_RETURN(File file, File::OpenReadOnly(path));
+    M3_RETURN_IF_ERROR(file.DropCache());
+    std::vector<char> block(1 << 20);
+    util::Stopwatch watch;
+    uint64_t offset = 0;
+    while (offset < probe_bytes) {
+      const size_t take = static_cast<size_t>(
+          std::min<uint64_t>(block.size(), probe_bytes - offset));
+      M3_RETURN_IF_ERROR(file.ReadExactAt(offset, block.data(), take));
+      offset += take;
+    }
+    result.sequential_read_bytes_per_sec =
+        static_cast<double>(probe_bytes) / watch.ElapsedSeconds();
+  }
+
+  // Cold random 4 KiB reads.
+  {
+    M3_ASSIGN_OR_RETURN(File file, File::OpenReadOnly(path));
+    M3_RETURN_IF_ERROR(file.DropCache());
+    M3_RETURN_IF_ERROR(file.AdviseRandom());
+    constexpr int kProbes = 256;
+    constexpr uint64_t kBlock = 4096;
+    std::vector<char> block(kBlock);
+    util::Rng rng(0x4EAD);
+    util::Stopwatch watch;
+    for (int i = 0; i < kProbes; ++i) {
+      const uint64_t page_count = probe_bytes / kBlock;
+      const uint64_t offset = rng.UniformInt(page_count) * kBlock;
+      M3_RETURN_IF_ERROR(file.ReadExactAt(offset, block.data(), kBlock));
+    }
+    result.random_read_latency_sec = watch.ElapsedSeconds() / kProbes;
+  }
+
+  M3_RETURN_IF_ERROR(RemoveFile(path));
+  return result;
+}
+
+}  // namespace m3::io

@@ -1,0 +1,32 @@
+#ifndef M3_IO_DISK_PROBE_H_
+#define M3_IO_DISK_PROBE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace m3::io {
+
+/// \brief Measured characteristics of the storage backing a directory.
+struct DiskProbeResult {
+  double sequential_read_bytes_per_sec = 0;
+  double sequential_write_bytes_per_sec = 0;
+  /// Cold random 4 KiB page-read latency estimate, seconds.
+  double random_read_latency_sec = 0;
+};
+
+/// \brief Benchmarks the storage under `directory` with a scratch file of
+/// `probe_bytes` (default 64 MiB).
+///
+/// Writes a scratch file, fsyncs, drops its page cache, then times a cold
+/// sequential read and a set of cold random 4 KiB reads. The scratch file is
+/// removed afterwards. Feeds PerfModel calibration so paper-scale
+/// projections use the bandwidth of *this* machine, mirroring the paper's
+/// note that M3's ceiling is the disk (OCZ RevoDrive, ~1 GB/s).
+util::Result<DiskProbeResult> ProbeDisk(const std::string& directory,
+                                        uint64_t probe_bytes = 64ull << 20);
+
+}  // namespace m3::io
+
+#endif  // M3_IO_DISK_PROBE_H_

@@ -1,0 +1,252 @@
+#include "io/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace m3::io {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+// Returns an fd (>= 0) or a Status describing the failure.
+Result<int> OpenFd(const std::string& path, int flags, mode_t mode,
+                   const char* what) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::IoErrorFromErrno(std::string(what) + " " + path, errno);
+  }
+  return fd;
+}
+
+}  // namespace
+
+Result<File> File::OpenReadOnly(const std::string& path) {
+  M3_ASSIGN_OR_RETURN(int fd, OpenFd(path, O_RDONLY | O_CLOEXEC, 0, "open"));
+  return File(fd, path);
+}
+
+Result<File> File::CreateTruncate(const std::string& path) {
+  M3_ASSIGN_OR_RETURN(
+      int fd,
+      OpenFd(path, O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644, "create"));
+  return File(fd, path);
+}
+
+Result<File> File::OpenReadWrite(const std::string& path) {
+  M3_ASSIGN_OR_RETURN(int fd,
+                      OpenFd(path, O_RDWR | O_CLOEXEC, 0, "open(rw)"));
+  return File(fd, path);
+}
+
+File::~File() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<uint64_t> File::Size() const {
+  if (!is_open()) {
+    return Status::FailedPrecondition("Size on closed file");
+  }
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IoErrorFromErrno("fstat " + path_, errno);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status File::ReadExactAt(uint64_t offset, void* buffer, size_t length) const {
+  if (!is_open()) {
+    return Status::FailedPrecondition("read on closed file");
+  }
+  char* dst = static_cast<char*>(buffer);
+  size_t done = 0;
+  while (done < length) {
+    const ssize_t n = ::pread(fd_, dst + done, length - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoErrorFromErrno("pread " + path_, errno);
+    }
+    if (n == 0) {
+      return Status::IoError("short read (EOF) in " + path_);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status File::WriteExactAt(uint64_t offset, const void* buffer,
+                          size_t length) const {
+  if (!is_open()) {
+    return Status::FailedPrecondition("write on closed file");
+  }
+  const char* src = static_cast<const char*>(buffer);
+  size_t done = 0;
+  while (done < length) {
+    const ssize_t n = ::pwrite(fd_, src + done, length - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoErrorFromErrno("pwrite " + path_, errno);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status File::Resize(uint64_t size) const {
+  if (!is_open()) {
+    return Status::FailedPrecondition("resize on closed file");
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IoErrorFromErrno("ftruncate " + path_, errno);
+  }
+  return Status::OK();
+}
+
+Status File::Sync() const {
+  if (!is_open()) {
+    return Status::FailedPrecondition("sync on closed file");
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IoErrorFromErrno("fsync " + path_, errno);
+  }
+  return Status::OK();
+}
+
+Status File::DropCache() const {
+  if (!is_open()) {
+    return Status::FailedPrecondition("DropCache on closed file");
+  }
+  const int rc = ::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED);
+  if (rc != 0) {
+    return Status::IoErrorFromErrno("posix_fadvise(DONTNEED) " + path_, rc);
+  }
+  return Status::OK();
+}
+
+Status File::AdviseSequential() const {
+  if (!is_open()) {
+    return Status::FailedPrecondition("advise on closed file");
+  }
+  const int rc = ::posix_fadvise(fd_, 0, 0, POSIX_FADV_SEQUENTIAL);
+  if (rc != 0) {
+    return Status::IoErrorFromErrno("posix_fadvise(SEQUENTIAL) " + path_, rc);
+  }
+  return Status::OK();
+}
+
+Status File::AdviseRandom() const {
+  if (!is_open()) {
+    return Status::FailedPrecondition("advise on closed file");
+  }
+  const int rc = ::posix_fadvise(fd_, 0, 0, POSIX_FADV_RANDOM);
+  if (rc != 0) {
+    return Status::IoErrorFromErrno("posix_fadvise(RANDOM) " + path_, rc);
+  }
+  return Status::OK();
+}
+
+Status File::Close() {
+  if (fd_ < 0) {
+    return Status::OK();
+  }
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) {
+    return Status::IoErrorFromErrno("close " + path_, errno);
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IoErrorFromErrno("stat " + path, errno);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::IoErrorFromErrno("unlink " + path, errno);
+  }
+  return Status::OK();
+}
+
+Status MakeDirs(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("empty path");
+  }
+  std::string partial;
+  for (size_t i = 0; i < path.size(); ++i) {
+    partial += path[i];
+    if (path[i] == '/' || i + 1 == path.size()) {
+      if (partial == "/" || partial.empty()) {
+        continue;
+      }
+      if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+        return Status::IoErrorFromErrno("mkdir " + partial, errno);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& contents) {
+  M3_ASSIGN_OR_RETURN(File file, File::CreateTruncate(path));
+  M3_RETURN_IF_ERROR(file.WriteExactAt(0, contents.data(), contents.size()));
+  return file.Close();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  M3_ASSIGN_OR_RETURN(File file, File::OpenReadOnly(path));
+  M3_ASSIGN_OR_RETURN(uint64_t size, file.Size());
+  std::string contents(size, '\0');
+  if (size > 0) {
+    M3_RETURN_IF_ERROR(file.ReadExactAt(0, contents.data(), contents.size()));
+  }
+  return contents;
+}
+
+}  // namespace m3::io

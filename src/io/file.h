@@ -1,0 +1,98 @@
+#ifndef M3_IO_FILE_H_
+#define M3_IO_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace m3::io {
+
+/// \brief RAII wrapper around a POSIX file descriptor.
+///
+/// Move-only. All operations return Status/Result; no exceptions. Offsets
+/// use pread/pwrite so a File can be shared across threads for positional
+/// I/O.
+class File {
+ public:
+  /// An empty File that owns nothing.
+  File() = default;
+
+  /// Opens an existing file for reading.
+  static util::Result<File> OpenReadOnly(const std::string& path);
+
+  /// Opens (or creates, truncating) a file for reading and writing.
+  static util::Result<File> CreateTruncate(const std::string& path);
+
+  /// Opens an existing file for reading and writing.
+  static util::Result<File> OpenReadWrite(const std::string& path);
+
+  ~File();
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  bool is_open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  const std::string& path() const { return path_; }
+
+  /// Size of the file in bytes (fstat).
+  util::Result<uint64_t> Size() const;
+
+  /// Reads exactly `length` bytes at `offset`; IoError on short read/EOF.
+  util::Status ReadExactAt(uint64_t offset, void* buffer, size_t length) const;
+
+  /// Writes exactly `length` bytes at `offset`.
+  util::Status WriteExactAt(uint64_t offset, const void* buffer,
+                            size_t length) const;
+
+  /// Grows or shrinks the file to `size` bytes (ftruncate).
+  util::Status Resize(uint64_t size) const;
+
+  /// Flushes data and metadata to stable storage (fsync).
+  util::Status Sync() const;
+
+  /// Drops this file's clean pages from the OS page cache
+  /// (posix_fadvise(POSIX_FADV_DONTNEED)). Used by cold-cache benchmarks.
+  util::Status DropCache() const;
+
+  /// Hints the kernel about the expected access pattern
+  /// (posix_fadvise SEQUENTIAL/RANDOM/...).
+  util::Status AdviseSequential() const;
+  util::Status AdviseRandom() const;
+
+  /// Closes the descriptor early; subsequent operations fail.
+  util::Status Close();
+
+ private:
+  File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// \brief True if a filesystem entry exists at `path`.
+bool FileExists(const std::string& path);
+
+/// \brief Size of the file at `path` in bytes.
+util::Result<uint64_t> FileSize(const std::string& path);
+
+/// \brief Deletes the file at `path` (OK if absent is false -> NotFound).
+util::Status RemoveFile(const std::string& path);
+
+/// \brief Creates directory `path` (and parents). OK if it already exists.
+util::Status MakeDirs(const std::string& path);
+
+/// \brief Writes `contents` to `path` atomically enough for tests/tools.
+util::Status WriteStringToFile(const std::string& path,
+                               const std::string& contents);
+
+/// \brief Reads the whole file at `path` into a string.
+util::Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace m3::io
+
+#endif  // M3_IO_FILE_H_

@@ -1,0 +1,258 @@
+#include "io/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <vector>
+
+#include "util/sys_info.h"
+
+namespace m3::io {
+
+using util::Result;
+using util::Status;
+
+int AdviceToMadvFlag(Advice advice) {
+  switch (advice) {
+    case Advice::kNormal:
+      return MADV_NORMAL;
+    case Advice::kRandom:
+      return MADV_RANDOM;
+    case Advice::kSequential:
+      return MADV_SEQUENTIAL;
+    case Advice::kWillNeed:
+      return MADV_WILLNEED;
+    case Advice::kDontNeed:
+      return MADV_DONTNEED;
+  }
+  return MADV_NORMAL;
+}
+
+std::string_view AdviceToString(Advice advice) {
+  switch (advice) {
+    case Advice::kNormal:
+      return "normal";
+    case Advice::kRandom:
+      return "random";
+    case Advice::kSequential:
+      return "sequential";
+    case Advice::kWillNeed:
+      return "willneed";
+    case Advice::kDontNeed:
+      return "dontneed";
+  }
+  return "unknown";
+}
+
+Result<MemoryMappedFile> MemoryMappedFile::Map(const std::string& path,
+                                               Options options) {
+  File file;
+  if (options.mode == Mode::kReadOnly) {
+    M3_ASSIGN_OR_RETURN(file, File::OpenReadOnly(path));
+  } else {
+    M3_ASSIGN_OR_RETURN(file, File::OpenReadWrite(path));
+  }
+  M3_ASSIGN_OR_RETURN(uint64_t size, file.Size());
+  if (size == 0) {
+    return Status::InvalidArgument("cannot map empty file: " + path);
+  }
+
+  int prot = PROT_READ;
+  int flags = MAP_SHARED;
+  switch (options.mode) {
+    case Mode::kReadOnly:
+      break;
+    case Mode::kReadWrite:
+      prot |= PROT_WRITE;
+      break;
+    case Mode::kPrivate:
+      prot |= PROT_WRITE;
+      flags = MAP_PRIVATE;
+      break;
+  }
+  if (options.populate) {
+    flags |= MAP_POPULATE;
+  }
+  void* addr = ::mmap(nullptr, size, prot, flags, file.fd(), 0);
+  if (addr == MAP_FAILED) {
+    return Status::IoErrorFromErrno("mmap " + path, errno);
+  }
+  MemoryMappedFile mapped(addr, size, std::move(file));
+  if (options.advice != Advice::kNormal) {
+    M3_RETURN_IF_ERROR(mapped.Advise(options.advice));
+  }
+  return mapped;
+}
+
+Result<MemoryMappedFile> MemoryMappedFile::CreateAndMap(
+    const std::string& path, uint64_t size) {
+  if (size == 0) {
+    return Status::InvalidArgument("cannot create empty mapping: " + path);
+  }
+  M3_ASSIGN_OR_RETURN(File file, File::CreateTruncate(path));
+  M3_RETURN_IF_ERROR(file.Resize(size));
+  void* addr =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, file.fd(), 0);
+  if (addr == MAP_FAILED) {
+    return Status::IoErrorFromErrno("mmap(create) " + path, errno);
+  }
+  return MemoryMappedFile(addr, size, std::move(file));
+}
+
+Result<MemoryMappedFile> MemoryMappedFile::MapAnonymous(uint64_t size) {
+  if (size == 0) {
+    return Status::InvalidArgument("cannot map zero anonymous bytes");
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (addr == MAP_FAILED) {
+    return Status::IoErrorFromErrno("mmap(anonymous)", errno);
+  }
+  return MemoryMappedFile(addr, size, File());
+}
+
+MemoryMappedFile::~MemoryMappedFile() {
+  if (addr_ != nullptr) {
+    ::munmap(addr_, size_);
+  }
+}
+
+MemoryMappedFile::MemoryMappedFile(MemoryMappedFile&& other) noexcept
+    : addr_(other.addr_), size_(other.size_), file_(std::move(other.file_)) {
+  other.addr_ = nullptr;
+  other.size_ = 0;
+}
+
+MemoryMappedFile& MemoryMappedFile::operator=(
+    MemoryMappedFile&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) {
+      ::munmap(addr_, size_);
+    }
+    addr_ = other.addr_;
+    size_ = other.size_;
+    file_ = std::move(other.file_);
+    other.addr_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+Status MemoryMappedFile::Advise(Advice advice) {
+  return AdviseRange(advice, 0, size_);
+}
+
+Status MemoryMappedFile::AdviseRange(Advice advice, uint64_t offset,
+                                     uint64_t length) {
+  if (!is_mapped()) {
+    return Status::FailedPrecondition("advise on unmapped region");
+  }
+  if (offset >= size_) {
+    return Status::OutOfRange("advise offset beyond mapping");
+  }
+  length = std::min(length, size_ - offset);
+  // madvise requires a page-aligned start address.
+  const uint64_t page = util::PageSize();
+  const uint64_t aligned_offset = offset / page * page;
+  const uint64_t aligned_length = length + (offset - aligned_offset);
+  char* start = static_cast<char*>(addr_) + aligned_offset;
+  if (::madvise(start, aligned_length, AdviceToMadvFlag(advice)) != 0) {
+    return Status::IoErrorFromErrno("madvise", errno);
+  }
+  return Status::OK();
+}
+
+Status MemoryMappedFile::Prefetch(uint64_t offset, uint64_t length) {
+  return AdviseRange(Advice::kWillNeed, offset, length);
+}
+
+Status MemoryMappedFile::Evict(uint64_t offset, uint64_t length) {
+  // Drop the pages from this mapping...
+  M3_RETURN_IF_ERROR(AdviseRange(Advice::kDontNeed, offset, length));
+  // ...and evict the backing file's page-cache copy so the next fault does
+  // real I/O. Without this, MADV_DONTNEED alone re-faults from page cache.
+  if (file_.is_open()) {
+    length = std::min(length, size_ - offset);
+    const int rc = ::posix_fadvise(file_.fd(), static_cast<off_t>(offset),
+                                   static_cast<off_t>(length),
+                                   POSIX_FADV_DONTNEED);
+    if (rc != 0) {
+      return Status::IoErrorFromErrno("posix_fadvise(DONTNEED)", rc);
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t MemoryMappedFile::TouchAllPages() const {
+  const uint64_t page = util::PageSize();
+  const volatile char* bytes = static_cast<const char*>(addr_);
+  uint64_t checksum = 0;
+  for (uint64_t off = 0; off < size_; off += page) {
+    checksum += static_cast<uint64_t>(bytes[off]);
+  }
+  if (size_ > 0) {
+    checksum += static_cast<uint64_t>(bytes[size_ - 1]);
+  }
+  return checksum;
+}
+
+Status MemoryMappedFile::Sync(bool asynchronous) {
+  if (!is_mapped()) {
+    return Status::FailedPrecondition("sync on unmapped region");
+  }
+  if (::msync(addr_, size_, asynchronous ? MS_ASYNC : MS_SYNC) != 0) {
+    return Status::IoErrorFromErrno("msync", errno);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> MemoryMappedFile::CountResidentPages(uint64_t offset,
+                                                      uint64_t length) const {
+  if (!is_mapped()) {
+    return Status::FailedPrecondition("mincore on unmapped region");
+  }
+  if (offset >= size_) {
+    return Status::OutOfRange("mincore offset beyond mapping");
+  }
+  length = std::min(length, size_ - offset);
+  const uint64_t page = util::PageSize();
+  const uint64_t aligned_offset = offset / page * page;
+  const uint64_t aligned_length = length + (offset - aligned_offset);
+  const uint64_t num_pages = (aligned_length + page - 1) / page;
+  std::vector<unsigned char> residency(num_pages);
+  char* start = static_cast<char*>(addr_) + aligned_offset;
+  if (::mincore(start, aligned_length, residency.data()) != 0) {
+    return Status::IoErrorFromErrno("mincore", errno);
+  }
+  uint64_t resident = 0;
+  for (unsigned char flag : residency) {
+    resident += flag & 1u;
+  }
+  return resident;
+}
+
+Result<double> MemoryMappedFile::ResidentFraction() const {
+  M3_ASSIGN_OR_RETURN(uint64_t resident, CountResidentPages(0, size_));
+  const uint64_t page = util::PageSize();
+  const uint64_t total = (size_ + page - 1) / page;
+  return total == 0 ? 0.0
+                    : static_cast<double>(resident) / static_cast<double>(total);
+}
+
+Status MemoryMappedFile::Unmap() {
+  if (addr_ == nullptr) {
+    return Status::OK();
+  }
+  const int rc = ::munmap(addr_, size_);
+  addr_ = nullptr;
+  size_ = 0;
+  if (rc != 0) {
+    return Status::IoErrorFromErrno("munmap", errno);
+  }
+  return file_.Close();
+}
+
+}  // namespace m3::io

@@ -1,0 +1,101 @@
+#include "io/platform.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+#include "io/io_stats.h"
+#include "util/format.h"
+#include "util/sys_info.h"
+
+namespace m3::io {
+
+namespace {
+
+bool ProbeMincore() {
+  const size_t bytes = 1 << 20;
+  void* addr = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (addr == MAP_FAILED) {
+    return false;
+  }
+  std::memset(addr, 1, bytes);
+  const size_t pages = bytes / util::PageSize();
+  std::vector<unsigned char> residency(pages);
+  bool verdict = false;
+  if (::mincore(addr, bytes, residency.data()) == 0) {
+    size_t before = 0;
+    for (unsigned char r : residency) {
+      before += r & 1u;
+    }
+    ::madvise(addr, bytes, MADV_DONTNEED);
+    if (::mincore(addr, bytes, residency.data()) == 0) {
+      size_t after = 0;
+      for (unsigned char r : residency) {
+        after += r & 1u;
+      }
+      verdict = after < before;
+    }
+  }
+  ::munmap(addr, bytes);
+  return verdict;
+}
+
+bool ProbeRusageFaults() {
+  const FaultCounters before = ReadFaultCounters();
+  const size_t bytes = 4 << 20;
+  void* addr = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (addr == MAP_FAILED) {
+    return false;
+  }
+  volatile char* p = static_cast<char*>(addr);
+  for (size_t off = 0; off < bytes; off += util::PageSize()) {
+    p[off] = 1;
+  }
+  ::munmap(addr, bytes);
+  const FaultCounters after = ReadFaultCounters();
+  return after.minor > before.minor;
+}
+
+bool ProbeProcIo() {
+  auto before = ReadIoCounters();
+  if (!before.ok()) {
+    return false;
+  }
+  // /proc reads are themselves read syscalls; a handful must move syscr.
+  for (int i = 0; i < 4; ++i) {
+    auto ignored = ReadIoCounters();
+    (void)ignored;
+  }
+  auto after = ReadIoCounters();
+  if (!after.ok()) {
+    return false;
+  }
+  return after.value().syscr > before.value().syscr;
+}
+
+}  // namespace
+
+std::string PlatformCapabilities::ToString() const {
+  return util::StrFormat(
+      "mincore_tracks_eviction=%d rusage_tracks_faults=%d "
+      "proc_io_counters_live=%d",
+      mincore_tracks_eviction ? 1 : 0, rusage_tracks_faults ? 1 : 0,
+      proc_io_counters_live ? 1 : 0);
+}
+
+const PlatformCapabilities& GetPlatformCapabilities() {
+  static const PlatformCapabilities capabilities = [] {
+    PlatformCapabilities caps;
+    caps.mincore_tracks_eviction = ProbeMincore();
+    caps.rusage_tracks_faults = ProbeRusageFaults();
+    caps.proc_io_counters_live = ProbeProcIo();
+    return caps;
+  }();
+  return capabilities;
+}
+
+}  // namespace m3::io

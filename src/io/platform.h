@@ -1,0 +1,32 @@
+#ifndef M3_IO_PLATFORM_H_
+#define M3_IO_PLATFORM_H_
+
+#include <string>
+
+namespace m3::io {
+
+/// \brief What the running kernel actually implements.
+///
+/// M3 leans on kernel facilities (mincore residency, rusage fault counters,
+/// /proc/self/io traffic counters, madvise eviction). Sandboxed or emulated
+/// kernels (gVisor, some containers) accept these syscalls but return
+/// synthetic data. Each probe below performs a small real experiment once
+/// and caches the verdict; callers (tests, the resource monitor, the Fig. 1a
+/// harness) degrade to model-based accounting when a facility is faked.
+struct PlatformCapabilities {
+  /// mincore() reflects page eviction (MADV_DONTNEED drops residency bits).
+  bool mincore_tracks_eviction = false;
+  /// getrusage() minor-fault counter advances when touching fresh pages.
+  bool rusage_tracks_faults = false;
+  /// /proc/self/io syscr advances across read syscalls.
+  bool proc_io_counters_live = false;
+
+  std::string ToString() const;
+};
+
+/// \brief Probes (once, cached) and returns the platform capabilities.
+const PlatformCapabilities& GetPlatformCapabilities();
+
+}  // namespace m3::io
+
+#endif  // M3_IO_PLATFORM_H_

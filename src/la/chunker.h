@@ -1,0 +1,54 @@
+#ifndef M3_LA_CHUNKER_H_
+#define M3_LA_CHUNKER_H_
+
+#include <cstddef>
+
+#include "util/logging.h"
+
+namespace m3::la {
+
+/// \brief Partitions `total` rows into contiguous chunks of at most
+/// `chunk_rows`.
+///
+/// Drives the sequential-scan structure shared by the ML algorithms: one
+/// pass per iteration, chunk by chunk, which is what gives M3 its
+/// sequential, readahead-friendly access pattern on mapped files. Also used
+/// by the RAM-budget emulator to decide which chunk to evict next.
+class RowChunker {
+ public:
+  struct Range {
+    size_t begin = 0;
+    size_t end = 0;
+    size_t size() const { return end - begin; }
+  };
+
+  RowChunker(size_t total_rows, size_t chunk_rows)
+      : total_rows_(total_rows),
+        chunk_rows_(chunk_rows == 0 ? 1 : chunk_rows) {}
+
+  size_t total_rows() const { return total_rows_; }
+  size_t chunk_rows() const { return chunk_rows_; }
+
+  size_t NumChunks() const {
+    return total_rows_ == 0 ? 0
+                            : (total_rows_ + chunk_rows_ - 1) / chunk_rows_;
+  }
+
+  /// Half-open row range of chunk `index`. \pre index < NumChunks().
+  Range Chunk(size_t index) const {
+    M3_CHECK(index < NumChunks(), "chunk index %zu out of %zu", index,
+             NumChunks());
+    const size_t begin = index * chunk_rows_;
+    const size_t end =
+        begin + chunk_rows_ < total_rows_ ? begin + chunk_rows_ : total_rows_;
+    return Range{begin, end};
+  }
+
+ private:
+  size_t total_rows_;
+  size_t chunk_rows_;
+};
+
+}  // namespace m3::la
+
+#endif  // M3_LA_CHUNKER_H_

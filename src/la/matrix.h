@@ -1,0 +1,256 @@
+#ifndef M3_LA_MATRIX_H_
+#define M3_LA_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace m3::la {
+
+/// \defgroup la Dense linear algebra (row-major, double precision)
+///
+/// The central design point for M3: every algorithm consumes *views*
+/// (ConstMatrixView / ConstVectorView) that are plain pointer+shape
+/// wrappers. A view over heap memory and a view over an mmap'd file are
+/// indistinguishable to the math kernels — which is exactly the paper's
+/// Table 1 claim that adopting memory mapping is a two-line change.
+
+/// \brief Non-owning read-only view of a contiguous double vector.
+class ConstVectorView {
+ public:
+  ConstVectorView() = default;
+  ConstVectorView(const double* data, size_t size)
+      : data_(data), size_(size) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const double* data() const { return data_; }
+
+  double operator[](size_t i) const { return data_[i]; }
+
+  /// Sub-view [offset, offset + count). \pre offset + count <= size().
+  ConstVectorView Slice(size_t offset, size_t count) const {
+    M3_CHECK(offset + count <= size_, "vector slice out of range");
+    return ConstVectorView(data_ + offset, count);
+  }
+
+  const double* begin() const { return data_; }
+  const double* end() const { return data_ + size_; }
+
+ private:
+  const double* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// \brief Non-owning mutable view of a contiguous double vector.
+class VectorView {
+ public:
+  VectorView() = default;
+  VectorView(double* data, size_t size) : data_(data), size_(size) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  double* data() const { return data_; }
+
+  double& operator[](size_t i) const { return data_[i]; }
+
+  /// Implicit read-only decay.
+  operator ConstVectorView() const {  // NOLINT(runtime/explicit)
+    return ConstVectorView(data_, size_);
+  }
+
+  VectorView Slice(size_t offset, size_t count) const {
+    M3_CHECK(offset + count <= size_, "vector slice out of range");
+    return VectorView(data_ + offset, count);
+  }
+
+  void Fill(double value) const {
+    for (size_t i = 0; i < size_; ++i) {
+      data_[i] = value;
+    }
+  }
+  void SetZero() const { Fill(0.0); }
+
+  double* begin() const { return data_; }
+  double* end() const { return data_ + size_; }
+
+ private:
+  double* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// \brief Non-owning read-only view of a dense row-major matrix.
+///
+/// `stride` is the distance in elements between consecutive rows, allowing
+/// views of row sub-ranges and of matrices embedded in larger buffers
+/// (e.g. a feature block inside a dataset record). For a tightly packed
+/// matrix, stride == cols.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, size_t rows, size_t cols)
+      : data_(data), rows_(rows), cols_(cols), stride_(cols) {}
+  ConstMatrixView(const double* data, size_t rows, size_t cols, size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    M3_CHECK(stride >= cols, "stride must be >= cols");
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t stride() const { return stride_; }
+  const double* data() const { return data_; }
+
+  double operator()(size_t r, size_t c) const {
+    return data_[r * stride_ + c];
+  }
+
+  /// Row `r` as a vector view.
+  ConstVectorView Row(size_t r) const {
+    M3_CHECK(r < rows_, "row index %zu out of range (%zu rows)", r, rows_);
+    return ConstVectorView(data_ + r * stride_, cols_);
+  }
+
+  /// Rows [row0, row0 + count).
+  ConstMatrixView RowRange(size_t row0, size_t count) const {
+    M3_CHECK(row0 + count <= rows_, "row range out of bounds");
+    return ConstMatrixView(data_ + row0 * stride_, count, cols_, stride_);
+  }
+
+ private:
+  const double* data_ = nullptr;
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t stride_ = 0;
+};
+
+/// \brief Non-owning mutable view of a dense row-major matrix.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, size_t rows, size_t cols)
+      : data_(data), rows_(rows), cols_(cols), stride_(cols) {}
+  MatrixView(double* data, size_t rows, size_t cols, size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    M3_CHECK(stride >= cols, "stride must be >= cols");
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t stride() const { return stride_; }
+  double* data() const { return data_; }
+
+  double& operator()(size_t r, size_t c) const {
+    return data_[r * stride_ + c];
+  }
+
+  operator ConstMatrixView() const {  // NOLINT(runtime/explicit)
+    return ConstMatrixView(data_, rows_, cols_, stride_);
+  }
+
+  VectorView Row(size_t r) const {
+    M3_CHECK(r < rows_, "row index %zu out of range (%zu rows)", r, rows_);
+    return VectorView(data_ + r * stride_, cols_);
+  }
+
+  MatrixView RowRange(size_t row0, size_t count) const {
+    M3_CHECK(row0 + count <= rows_, "row range out of bounds");
+    return MatrixView(data_ + row0 * stride_, count, cols_, stride_);
+  }
+
+  void Fill(double value) const {
+    for (size_t r = 0; r < rows_; ++r) {
+      Row(r).Fill(value);
+    }
+  }
+  void SetZero() const { Fill(0.0); }
+
+ private:
+  double* data_ = nullptr;
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t stride_ = 0;
+};
+
+/// \brief Owning heap-allocated double vector.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(size_t size) : values_(size, 0.0) {}
+  Vector(size_t size, double fill) : values_(size, fill) {}
+  explicit Vector(std::vector<double> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double* data() { return values_.data(); }
+  const double* data() const { return values_.data(); }
+
+  double operator[](size_t i) const { return values_[i]; }
+  double& operator[](size_t i) { return values_[i]; }
+
+  VectorView View() { return VectorView(values_.data(), values_.size()); }
+  ConstVectorView View() const {
+    return ConstVectorView(values_.data(), values_.size());
+  }
+  operator ConstVectorView() const { return View(); }  // NOLINT
+  operator VectorView() { return View(); }             // NOLINT
+
+  void Fill(double value) { View().Fill(value); }
+  void SetZero() { Fill(0.0); }
+  void Resize(size_t size) { values_.resize(size, 0.0); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// \brief Owning heap-allocated row-major double matrix.
+///
+/// This is the "Mat data;" of the paper's Table 1: the conventional
+/// in-memory container. The M3 path replaces it with a MatrixView over an
+/// mmap'd region without touching downstream code.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     values_(rows * cols, 0.0) {}
+  Matrix(size_t rows, size_t cols, std::vector<double> values)
+      : rows_(rows), cols_(cols), values_(std::move(values)) {
+    M3_CHECK(values_.size() == rows * cols,
+             "matrix storage size mismatch: %zu != %zu*%zu", values_.size(),
+             rows, cols);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  double* data() { return values_.data(); }
+  const double* data() const { return values_.data(); }
+
+  double operator()(size_t r, size_t c) const {
+    return values_[r * cols_ + c];
+  }
+  double& operator()(size_t r, size_t c) { return values_[r * cols_ + c]; }
+
+  MatrixView View() { return MatrixView(values_.data(), rows_, cols_); }
+  ConstMatrixView View() const {
+    return ConstMatrixView(values_.data(), rows_, cols_);
+  }
+  operator ConstMatrixView() const { return View(); }  // NOLINT
+  operator MatrixView() { return View(); }             // NOLINT
+
+  VectorView Row(size_t r) { return View().Row(r); }
+  ConstVectorView Row(size_t r) const { return View().Row(r); }
+
+  void Fill(double value) { View().Fill(value); }
+  void SetZero() { Fill(0.0); }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace m3::la
+
+#endif  // M3_LA_MATRIX_H_

@@ -1,0 +1,77 @@
+#include "la/solve.h"
+
+#include <cmath>
+
+#include "la/blas.h"
+
+namespace m3::la {
+
+using util::Result;
+using util::Status;
+
+Status CholeskyFactor(MatrixView a) {
+  M3_CHECK(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  const size_t n = a.rows();
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) {
+      diag -= a(j, k) * a(j, k);
+    }
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::FailedPrecondition(
+          "matrix is not positive definite (Cholesky pivot <= 0)");
+    }
+    const double ljj = std::sqrt(diag);
+    a(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double value = a(i, j);
+      for (size_t k = 0; k < j; ++k) {
+        value -= a(i, k) * a(j, k);
+      }
+      a(i, j) = value / ljj;
+    }
+  }
+  return Status::OK();
+}
+
+void CholeskySolveInPlace(ConstMatrixView l, VectorView x) {
+  M3_CHECK(l.rows() == l.cols() && l.rows() == x.size(),
+           "Cholesky solve shape mismatch");
+  const size_t n = l.rows();
+  // Forward substitution: L y = b.
+  for (size_t i = 0; i < n; ++i) {
+    double value = x[i];
+    for (size_t k = 0; k < i; ++k) {
+      value -= l(i, k) * x[k];
+    }
+    x[i] = value / l(i, i);
+  }
+  // Back substitution: L^T x = y.
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double value = x[i];
+    for (size_t k = i + 1; k < n; ++k) {
+      value -= l(k, i) * x[k];
+    }
+    x[i] = value / l(i, i);
+  }
+}
+
+Result<Vector> SolveSpd(ConstMatrixView a, ConstVectorView b) {
+  M3_CHECK(a.rows() == a.cols() && a.rows() == b.size(),
+           "SolveSpd shape mismatch");
+  const size_t n = a.rows();
+  Matrix factor(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      factor(i, j) = a(i, j);
+    }
+  }
+  M3_RETURN_IF_ERROR(CholeskyFactor(factor));
+  Vector x(n);
+  Copy(b, x);
+  CholeskySolveInPlace(factor, x);
+  return x;
+}
+
+}  // namespace m3::la

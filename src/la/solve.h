@@ -1,0 +1,27 @@
+#ifndef M3_LA_SOLVE_H_
+#define M3_LA_SOLVE_H_
+
+#include "la/matrix.h"
+#include "util/result.h"
+
+namespace m3::la {
+
+/// \brief In-place Cholesky factorization A = L L^T of a symmetric
+/// positive-definite matrix (lower triangle of `a` is overwritten with L;
+/// the strict upper triangle is left untouched).
+///
+/// Returns FailedPrecondition if a non-positive pivot is met (matrix not
+/// SPD within numerical tolerance).
+util::Status CholeskyFactor(MatrixView a);
+
+/// \brief Solves A x = b given the Cholesky factor L in the lower triangle
+/// of `l` (forward + back substitution). `x` may alias `b`.
+void CholeskySolveInPlace(ConstMatrixView l, VectorView x);
+
+/// \brief Convenience: solves the SPD system A x = b, returning x.
+/// `a` is copied; callers keep their matrix.
+util::Result<Vector> SolveSpd(ConstMatrixView a, ConstVectorView b);
+
+}  // namespace m3::la
+
+#endif  // M3_LA_SOLVE_H_

@@ -1,0 +1,82 @@
+#include "ml/gradient_descent.h"
+
+#include <cmath>
+
+#include "la/blas.h"
+
+namespace m3::ml {
+
+using util::Result;
+using util::Status;
+
+GradientDescent::GradientDescent(GradientDescentOptions options)
+    : options_(std::move(options)) {}
+
+Result<OptimizationResult> GradientDescent::Minimize(
+    DifferentiableFunction* function, la::VectorView w) const {
+  if (function == nullptr) {
+    return Status::InvalidArgument("null objective");
+  }
+  const size_t n = function->Dimension();
+  if (w.size() != n) {
+    return Status::InvalidArgument("initial point has wrong dimension");
+  }
+
+  OptimizationResult result;
+  la::Vector grad(n), w_trial(n), grad_trial(n);
+  double f = function->EvaluateWithGradient(w, grad);
+  ++result.function_evaluations;
+
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    const double grad_inf = la::AbsMax(grad);
+    if (options_.iteration_callback) {
+      options_.iteration_callback(iter, f, grad_inf);
+    }
+    if (grad_inf <= options_.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+    const double grad_sq = la::Dot(grad, grad);
+
+    // Backtracking: shrink until Armijo holds.
+    double step = options_.initial_step;
+    double f_new = f;
+    bool accepted = false;
+    for (size_t bt = 0; bt < options_.max_backtracks; ++bt) {
+      la::Copy(w, w_trial);
+      la::Axpy(-step, grad, w_trial);
+      f_new = function->EvaluateWithGradient(w_trial, grad_trial);
+      ++result.function_evaluations;
+      if (f_new <= f - options_.armijo * step * grad_sq &&
+          std::isfinite(f_new)) {
+        accepted = true;
+        break;
+      }
+      step *= options_.backtrack;
+    }
+    if (!accepted) {
+      break;  // no acceptable step: flat to numerical precision
+    }
+    la::Copy(w_trial, w);
+    la::Copy(grad_trial, grad);
+
+    const double improvement =
+        std::fabs(f - f_new) / std::max(1.0, std::fabs(f));
+    f = f_new;
+    ++result.iterations;
+    result.objective_history.push_back(f);
+    if (improvement < options_.objective_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.objective = f;
+  result.gradient_norm = la::AbsMax(grad);
+  if (result.gradient_norm <= options_.gradient_tolerance) {
+    result.converged = true;
+  }
+  return result;
+}
+
+}  // namespace m3::ml

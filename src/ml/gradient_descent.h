@@ -1,0 +1,48 @@
+#ifndef M3_ML_GRADIENT_DESCENT_H_
+#define M3_ML_GRADIENT_DESCENT_H_
+
+#include <functional>
+
+#include "ml/lbfgs.h"  // OptimizationResult
+#include "ml/objective.h"
+#include "util/result.h"
+
+namespace m3::ml {
+
+/// \brief Options for batch gradient descent.
+struct GradientDescentOptions {
+  size_t max_iterations = 500;
+  double gradient_tolerance = 1e-6;
+  double objective_tolerance = 1e-12;
+  /// Initial step size tried each iteration before backtracking.
+  double initial_step = 1.0;
+  /// Armijo sufficient-decrease constant.
+  double armijo = 1e-4;
+  /// Multiplicative backtracking factor in (0, 1).
+  double backtrack = 0.5;
+  size_t max_backtracks = 40;
+  std::function<void(size_t, double, double)> iteration_callback;
+};
+
+/// \brief Full-batch gradient descent with Armijo backtracking.
+///
+/// The simplest baseline optimizer: one gradient pass + a few cheap probes
+/// per iteration. Used in tests and as an ablation against L-BFGS (which
+/// converges in far fewer passes on the paper's logistic regression).
+class GradientDescent {
+ public:
+  explicit GradientDescent(
+      GradientDescentOptions options = GradientDescentOptions());
+
+  util::Result<OptimizationResult> Minimize(DifferentiableFunction* function,
+                                            la::VectorView w) const;
+
+  const GradientDescentOptions& options() const { return options_; }
+
+ private:
+  GradientDescentOptions options_;
+};
+
+}  // namespace m3::ml
+
+#endif  // M3_ML_GRADIENT_DESCENT_H_

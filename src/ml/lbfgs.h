@@ -1,0 +1,64 @@
+#ifndef M3_ML_LBFGS_H_
+#define M3_ML_LBFGS_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "ml/objective.h"
+#include "util/result.h"
+
+namespace m3::ml {
+
+/// \brief Outcome of an optimizer run.
+struct OptimizationResult {
+  double objective = 0;              ///< final f(w)
+  double gradient_norm = 0;          ///< final ||grad||
+  size_t iterations = 0;             ///< outer iterations performed
+  size_t function_evaluations = 0;   ///< full data passes
+  bool converged = false;            ///< gradient tolerance reached
+  std::vector<double> objective_history;  ///< f after each iteration
+};
+
+/// \brief Options for the L-BFGS optimizer.
+struct LbfgsOptions {
+  size_t max_iterations = 100;
+  /// Number of (s, y) correction pairs kept (mlpack default is 10).
+  size_t history = 10;
+  /// Stop when ||grad||_inf <= this.
+  double gradient_tolerance = 1e-6;
+  /// Stop when |f_k - f_{k+1}| / max(1, |f_k|) falls below this.
+  double objective_tolerance = 1e-12;
+  /// Armijo sufficient-decrease constant (c1) for the Wolfe line search.
+  double armijo = 1e-4;
+  /// Curvature constant (c2) for the strong Wolfe condition.
+  double wolfe = 0.9;
+  size_t max_line_search_steps = 30;
+  /// Optional per-iteration observer: (iteration, f, ||grad||_inf).
+  std::function<void(size_t, double, double)> iteration_callback;
+};
+
+/// \brief Limited-memory BFGS with a strong-Wolfe line search
+/// (Nocedal & Wright, Algorithms 3.5/3.6 + 7.4 two-loop recursion).
+///
+/// This is the optimizer the paper uses for logistic regression ("10
+/// iterations of L-BFGS"). Each line-search probe is a full pass over the
+/// data, which is why L-BFGS on a memory-mapped out-of-core dataset is
+/// I/O-bound: every evaluation streams the file once.
+class Lbfgs {
+ public:
+  explicit Lbfgs(LbfgsOptions options = LbfgsOptions());
+
+  /// Minimizes `function` starting from (and updating) `w`.
+  util::Result<OptimizationResult> Minimize(DifferentiableFunction* function,
+                                            la::VectorView w) const;
+
+  const LbfgsOptions& options() const { return options_; }
+
+ private:
+  LbfgsOptions options_;
+};
+
+}  // namespace m3::ml
+
+#endif  // M3_ML_LBFGS_H_

@@ -1,0 +1,108 @@
+#include "ml/linear_regression.h"
+
+#include <mutex>
+
+#include "la/blas.h"
+#include "la/chunker.h"
+#include "la/solve.h"
+#include "ml/logistic_regression.h"  // AutoChunkRows
+#include "util/thread_pool.h"
+
+namespace m3::ml {
+
+using util::Result;
+using util::Status;
+
+LinearRegression::LinearRegression(LinearRegressionOptions options)
+    : options_(std::move(options)) {}
+
+double LinearRegressionModel::Predict(la::ConstVectorView x) const {
+  return la::Dot(x, weights) + intercept;
+}
+
+Result<LinearRegressionModel> LinearRegression::Train(
+    la::ConstMatrixView x, la::ConstVectorView y) const {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("empty data");
+  }
+  if (n != y.size()) {
+    return Status::InvalidArgument("labels size mismatch");
+  }
+
+  // Augmented system over [features, 1]: G = Z^T Z (SPD), r = Z^T y.
+  const size_t m = d + 1;
+  la::Matrix gram(m, m);
+  la::Vector rhs(m);
+
+  const size_t chunk_rows = AutoChunkRows(d, options_.chunk_rows);
+  la::RowChunker chunker(n, chunk_rows);
+  if (options_.hooks.before_pass) {
+    options_.hooks.before_pass(0);
+  }
+  for (size_t ci = 0; ci < chunker.NumChunks(); ++ci) {
+    const la::RowChunker::Range range = chunker.Chunk(ci);
+    const auto ranges = util::PartitionRange(
+        range.begin, range.end, 256, util::GlobalThreadPool().num_threads());
+    std::vector<la::Matrix> local_gram(ranges.size(), la::Matrix(m, m));
+    std::vector<la::Vector> local_rhs(ranges.size(), la::Vector(m));
+    util::ParallelForIndexed(range.begin, range.end, 256,
+                             [&](size_t chunk, size_t lo, size_t hi) {
+      la::Matrix& my_gram = local_gram[chunk];
+      la::Vector& my_rhs = local_rhs[chunk];
+      for (size_t r = lo; r < hi; ++r) {
+        la::ConstVectorView xi = x.Row(r);
+        const double yi = y[r];
+        // Lower triangle of the outer product (SPD symmetry).
+        for (size_t a = 0; a < d; ++a) {
+          const double xa = xi[a];
+          double* grow = my_gram.Row(a).data();
+          for (size_t b = 0; b <= a; ++b) {
+            grow[b] += xa * xi[b];
+          }
+          my_rhs[a] += xa * yi;
+        }
+        // Intercept column: Z[:, d] = 1.
+        double* last = my_gram.Row(d).data();
+        for (size_t b = 0; b < d; ++b) {
+          last[b] += xi[b];
+        }
+        last[d] += 1.0;
+        my_rhs[d] += yi;
+      }
+    });
+    for (size_t s = 0; s < ranges.size(); ++s) {
+      for (size_t a = 0; a < m; ++a) {
+        la::Axpy(1.0, local_gram[s].Row(a), gram.Row(a));
+      }
+      la::Axpy(1.0, local_rhs[s], rhs);
+    }
+    if (options_.hooks.after_chunk) {
+      options_.hooks.after_chunk(range.begin, range.end);
+    }
+  }
+
+  // Mirror the lower triangle and add the ridge term (not on intercept).
+  for (size_t a = 0; a < m; ++a) {
+    for (size_t b = a + 1; b < m; ++b) {
+      gram(a, b) = gram(b, a);
+    }
+  }
+  for (size_t a = 0; a < d; ++a) {
+    gram(a, a) += options_.l2;
+  }
+  // Tiny jitter keeps the Cholesky stable when features are collinear.
+  for (size_t a = 0; a < m; ++a) {
+    gram(a, a) += 1e-10;
+  }
+
+  M3_ASSIGN_OR_RETURN(la::Vector solution, la::SolveSpd(gram, rhs));
+  LinearRegressionModel model;
+  model.weights = la::Vector(d);
+  la::Copy(solution.View().Slice(0, d), model.weights);
+  model.intercept = solution[d];
+  return model;
+}
+
+}  // namespace m3::ml

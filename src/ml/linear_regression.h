@@ -1,0 +1,47 @@
+#ifndef M3_ML_LINEAR_REGRESSION_H_
+#define M3_ML_LINEAR_REGRESSION_H_
+
+#include <cstddef>
+
+#include "la/matrix.h"
+#include "ml/objective.h"
+#include "util/result.h"
+
+namespace m3::ml {
+
+/// \brief Trained ridge linear-regression model.
+struct LinearRegressionModel {
+  la::Vector weights;
+  double intercept = 0;
+
+  double Predict(la::ConstVectorView x) const;
+};
+
+/// \brief Options for linear regression.
+struct LinearRegressionOptions {
+  double l2 = 0.0;        ///< ridge penalty (intercept unpenalized)
+  size_t chunk_rows = 0;  ///< 0 = auto
+  ScanHooks hooks;
+};
+
+/// \brief Least-squares regression via the normal equations.
+///
+/// Accumulates X^T X and X^T y in one sequential chunked pass (d x d
+/// sufficient statistics), then solves the (d+1) SPD system by Cholesky.
+/// Another single-scan workload for the access-pattern study: one pass,
+/// O(d^2) state, exact solution.
+class LinearRegression {
+ public:
+  explicit LinearRegression(
+      LinearRegressionOptions options = LinearRegressionOptions());
+
+  util::Result<LinearRegressionModel> Train(la::ConstMatrixView x,
+                                            la::ConstVectorView y) const;
+
+ private:
+  LinearRegressionOptions options_;
+};
+
+}  // namespace m3::ml
+
+#endif  // M3_ML_LINEAR_REGRESSION_H_

@@ -1,0 +1,159 @@
+#ifndef M3_ML_LOGISTIC_REGRESSION_H_
+#define M3_ML_LOGISTIC_REGRESSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.h"
+#include "ml/lbfgs.h"
+#include "ml/objective.h"
+#include "util/result.h"
+
+namespace m3::ml {
+
+/// \brief Binary logistic-regression objective over a dense feature view.
+///
+/// loss(w, b) = (1/n) sum_i [ log(1 + e^{z_i}) - y_i z_i ]
+///              + (lambda/2) ||w||^2,   z_i = w . x_i + b
+///
+/// The data is scanned in sequential row chunks; within a chunk the work is
+/// partitioned across the thread pool with per-worker partial gradients.
+/// Because `x` is a view, the same objective runs on heap data and on an
+/// mmap'd dataset — the M3 property under test. One EvaluateWithGradient
+/// call performs exactly one full pass over `x` (ScanHooks observe it).
+class LogisticRegressionObjective final : public ChunkedObjective {
+ public:
+  /// \param x n-by-d feature view (rows are samples)
+  /// \param y n labels in {0, 1}
+  /// \param l2 ridge penalty lambda (intercept not penalized)
+  /// \param chunk_rows rows per sequential chunk (0 = auto, ~8 MiB chunks)
+  LogisticRegressionObjective(la::ConstMatrixView x, la::ConstVectorView y,
+                              double l2, size_t chunk_rows = 0,
+                              ScanHooks hooks = ScanHooks());
+
+  /// d + 1 parameters: weights then intercept (last element).
+  size_t Dimension() const override { return x_.cols() + 1; }
+  size_t NumRows() const override { return x_.rows(); }
+
+  double EvaluateWithGradient(la::ConstVectorView w,
+                              la::VectorView grad) override;
+  double EvaluateChunk(size_t begin, size_t end, la::ConstVectorView w,
+                       la::VectorView grad) override;
+
+  size_t chunk_rows() const { return chunk_rows_; }
+  size_t passes() const { return passes_; }
+
+ private:
+  la::ConstMatrixView x_;
+  la::ConstVectorView y_;
+  double l2_;
+  size_t chunk_rows_;
+  ScanHooks hooks_;
+  size_t passes_ = 0;
+};
+
+/// \brief Trained binary logistic-regression model.
+struct LogisticRegressionModel {
+  la::Vector weights;  ///< d feature weights
+  double intercept = 0;
+
+  /// P(y = 1 | x).
+  double PredictProbability(la::ConstVectorView x) const;
+  /// Hard 0/1 decision at threshold 0.5.
+  double Predict(la::ConstVectorView x) const;
+};
+
+/// \brief Options for training logistic regression.
+struct LogisticRegressionOptions {
+  double l2 = 1e-6;
+  size_t chunk_rows = 0;  ///< 0 = auto
+  LbfgsOptions lbfgs;
+  ScanHooks hooks;
+};
+
+/// \brief L-BFGS-trained logistic regression (the paper's classifier).
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(
+      LogisticRegressionOptions options = LogisticRegressionOptions());
+
+  /// Trains on (x, y); labels must be {0, 1}.
+  util::Result<LogisticRegressionModel> Train(
+      la::ConstMatrixView x, la::ConstVectorView y,
+      OptimizationResult* stats = nullptr) const;
+
+ private:
+  LogisticRegressionOptions options_;
+};
+
+/// \brief Multiclass softmax-regression objective (k classes).
+///
+/// Parameters are a flattened k x (d+1) matrix (per-class weights + bias).
+/// Same chunked sequential-scan structure as the binary objective.
+class SoftmaxRegressionObjective final : public ChunkedObjective {
+ public:
+  SoftmaxRegressionObjective(la::ConstMatrixView x, la::ConstVectorView y,
+                             size_t num_classes, double l2,
+                             size_t chunk_rows = 0,
+                             ScanHooks hooks = ScanHooks());
+
+  size_t Dimension() const override {
+    return num_classes_ * (x_.cols() + 1);
+  }
+  size_t NumRows() const override { return x_.rows(); }
+
+  double EvaluateWithGradient(la::ConstVectorView w,
+                              la::VectorView grad) override;
+  double EvaluateChunk(size_t begin, size_t end, la::ConstVectorView w,
+                       la::VectorView grad) override;
+
+  size_t num_classes() const { return num_classes_; }
+
+ private:
+  la::ConstMatrixView x_;
+  la::ConstVectorView y_;
+  size_t num_classes_;
+  double l2_;
+  size_t chunk_rows_;
+  ScanHooks hooks_;
+  size_t passes_ = 0;
+};
+
+/// \brief Trained softmax model: class scores = W x + b.
+struct SoftmaxRegressionModel {
+  la::Matrix weights;   ///< k x d
+  la::Vector biases;    ///< k
+  size_t num_classes() const { return weights.rows(); }
+
+  /// Most likely class for x.
+  size_t Predict(la::ConstVectorView x) const;
+};
+
+/// \brief Options for softmax training.
+struct SoftmaxRegressionOptions {
+  double l2 = 1e-6;
+  size_t chunk_rows = 0;
+  LbfgsOptions lbfgs;
+  ScanHooks hooks;
+};
+
+/// \brief L-BFGS-trained multiclass classifier (for the 10-digit example).
+class SoftmaxRegression {
+ public:
+  explicit SoftmaxRegression(
+      SoftmaxRegressionOptions options = SoftmaxRegressionOptions());
+
+  util::Result<SoftmaxRegressionModel> Train(
+      la::ConstMatrixView x, la::ConstVectorView y, size_t num_classes,
+      OptimizationResult* stats = nullptr) const;
+
+ private:
+  SoftmaxRegressionOptions options_;
+};
+
+/// \brief Picks a chunk size targeting ~8 MiB per chunk (min 256 rows).
+size_t AutoChunkRows(size_t cols, size_t requested);
+
+}  // namespace m3::ml
+
+#endif  // M3_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,43 @@
+#ifndef M3_ML_MODEL_IO_H_
+#define M3_ML_MODEL_IO_H_
+
+#include <string>
+
+#include "ml/kmeans.h"
+#include "ml/logistic_regression.h"
+#include "util/result.h"
+
+namespace m3::ml {
+
+/// \defgroup model_io Model persistence
+///
+/// Small versioned binary container ("M3ML") for trained models so that
+/// the out-of-core training examples can hand results to downstream
+/// consumers. Layout: 16-byte header (magic, version, kind, reserved),
+/// then kind-specific payload of little-endian uint64 dims + doubles.
+
+/// \brief Persists a binary logistic-regression model.
+util::Status SaveModel(const std::string& path,
+                       const LogisticRegressionModel& model);
+
+/// \brief Loads a binary logistic-regression model.
+util::Result<LogisticRegressionModel> LoadLogisticRegressionModel(
+    const std::string& path);
+
+/// \brief Persists a softmax model.
+util::Status SaveModel(const std::string& path,
+                       const SoftmaxRegressionModel& model);
+
+/// \brief Loads a softmax model.
+util::Result<SoftmaxRegressionModel> LoadSoftmaxRegressionModel(
+    const std::string& path);
+
+/// \brief Persists k-means centers.
+util::Status SaveCenters(const std::string& path, const la::Matrix& centers);
+
+/// \brief Loads k-means centers.
+util::Result<la::Matrix> LoadCenters(const std::string& path);
+
+}  // namespace m3::ml
+
+#endif  // M3_ML_MODEL_IO_H_

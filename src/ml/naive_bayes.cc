@@ -1,0 +1,140 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "la/blas.h"
+#include "la/chunker.h"
+#include "ml/logistic_regression.h"  // AutoChunkRows
+#include "util/thread_pool.h"
+
+namespace m3::ml {
+
+using util::Result;
+using util::Status;
+
+NaiveBayes::NaiveBayes(NaiveBayesOptions options)
+    : options_(std::move(options)) {}
+
+Result<NaiveBayesModel> NaiveBayes::Train(la::ConstMatrixView x,
+                                          la::ConstVectorView y,
+                                          size_t num_classes) const {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("empty data");
+  }
+  if (n != y.size()) {
+    return Status::InvalidArgument("labels size mismatch");
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least 2 classes");
+  }
+
+  la::Matrix sums(num_classes, d);
+  la::Matrix sq_sums(num_classes, d);
+  std::vector<uint64_t> counts(num_classes, 0);
+
+  const size_t chunk_rows = AutoChunkRows(d, options_.chunk_rows);
+  la::RowChunker chunker(n, chunk_rows);
+  if (options_.hooks.before_pass) {
+    options_.hooks.before_pass(0);
+  }
+  for (size_t ci = 0; ci < chunker.NumChunks(); ++ci) {
+    const la::RowChunker::Range range = chunker.Chunk(ci);
+    const auto ranges = util::PartitionRange(
+        range.begin, range.end, 512, util::GlobalThreadPool().num_threads());
+    std::vector<la::Matrix> local_sums(ranges.size(),
+                                       la::Matrix(num_classes, d));
+    std::vector<la::Matrix> local_sq(ranges.size(),
+                                     la::Matrix(num_classes, d));
+    std::vector<std::vector<uint64_t>> local_counts(
+        ranges.size(), std::vector<uint64_t>(num_classes, 0));
+    util::ParallelForIndexed(range.begin, range.end, 512,
+                             [&](size_t chunk, size_t lo, size_t hi) {
+      for (size_t r = lo; r < hi; ++r) {
+        const double label = y[r];
+        if (label < 0 || label >= static_cast<double>(num_classes) ||
+            label != std::floor(label)) {
+          return;  // leaves total != n; reported below
+        }
+        const size_t c = static_cast<size_t>(label);
+        la::ConstVectorView xi = x.Row(r);
+        la::Axpy(1.0, xi, local_sums[chunk].Row(c));
+        double* sq = local_sq[chunk].Row(c).data();
+        for (size_t j = 0; j < d; ++j) {
+          sq[j] += xi[j] * xi[j];
+        }
+        ++local_counts[chunk][c];
+      }
+    });
+    for (size_t s = 0; s < ranges.size(); ++s) {
+      for (size_t c = 0; c < num_classes; ++c) {
+        la::Axpy(1.0, local_sums[s].Row(c), sums.Row(c));
+        la::Axpy(1.0, local_sq[s].Row(c), sq_sums.Row(c));
+        counts[c] += local_counts[s][c];
+      }
+    }
+    if (options_.hooks.after_chunk) {
+      options_.hooks.after_chunk(range.begin, range.end);
+    }
+  }
+
+  // Validate labels were all integral in range (re-scan cheaply).
+  uint64_t total = 0;
+  for (uint64_t c : counts) {
+    total += c;
+  }
+  if (total != n) {
+    return Status::InvalidArgument(
+        "labels must be integers in [0, num_classes)");
+  }
+
+  NaiveBayesModel model;
+  model.means = la::Matrix(num_classes, d);
+  model.variances = la::Matrix(num_classes, d);
+  model.log_priors = la::Vector(num_classes);
+  double max_var = 0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    const double count = static_cast<double>(std::max<uint64_t>(1, counts[c]));
+    for (size_t j = 0; j < d; ++j) {
+      const double mean = sums(c, j) / count;
+      model.means(c, j) = mean;
+      const double var = sq_sums(c, j) / count - mean * mean;
+      model.variances(c, j) = std::max(0.0, var);
+      max_var = std::max(max_var, model.variances(c, j));
+    }
+    // Laplace-free prior; empty classes get a tiny prior.
+    model.log_priors[c] =
+        std::log(std::max(1e-12, static_cast<double>(counts[c]) /
+                                     static_cast<double>(n)));
+  }
+  const double epsilon = std::max(options_.var_smoothing * max_var, 1e-12);
+  for (size_t c = 0; c < num_classes; ++c) {
+    for (size_t j = 0; j < d; ++j) {
+      model.variances(c, j) += epsilon;
+    }
+  }
+  return model;
+}
+
+size_t NaiveBayesModel::Predict(la::ConstVectorView x) const {
+  size_t best = 0;
+  double best_score = -std::numeric_limits<double>::max();
+  for (size_t c = 0; c < means.rows(); ++c) {
+    double score = log_priors[c];
+    for (size_t j = 0; j < means.cols(); ++j) {
+      const double var = variances(c, j);
+      const double diff = x[j] - means(c, j);
+      score += -0.5 * (std::log(2 * M_PI * var) + diff * diff / var);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace m3::ml

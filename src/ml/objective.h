@@ -1,0 +1,61 @@
+#ifndef M3_ML_OBJECTIVE_H_
+#define M3_ML_OBJECTIVE_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "la/matrix.h"
+
+namespace m3::ml {
+
+/// \brief A differentiable objective f: R^d -> R to be minimized.
+///
+/// Optimizers (L-BFGS, gradient descent) know only this interface; the
+/// data-backed objectives below implement it with sequential chunked scans,
+/// so one `EvaluateWithGradient` call equals one full pass over the dataset
+/// — the unit of I/O the paper's runtime analysis counts.
+class DifferentiableFunction {
+ public:
+  virtual ~DifferentiableFunction() = default;
+
+  /// Number of parameters.
+  virtual size_t Dimension() const = 0;
+
+  /// Returns f(w) and writes the full gradient into `grad`.
+  /// \pre w.size() == grad.size() == Dimension().
+  virtual double EvaluateWithGradient(la::ConstVectorView w,
+                                      la::VectorView grad) = 0;
+};
+
+/// \brief Instrumentation hooks for data-scanning objectives.
+///
+/// `after_chunk` fires after each contiguous block of rows has been
+/// consumed during a pass; the core RAM-budget emulator uses it to evict
+/// pages behind the scan. `before_pass` fires at the start of every full
+/// pass over the data (each optimizer function evaluation is one pass).
+struct ScanHooks {
+  std::function<void(size_t row_begin, size_t row_end)> after_chunk;
+  std::function<void(size_t pass_index)> before_pass;
+};
+
+/// \brief A data-backed objective that can be evaluated on row subsets.
+///
+/// Extends DifferentiableFunction with per-chunk evaluation used by the
+/// mini-batch SGD trainer (the paper's §4 online-learning extension).
+class ChunkedObjective : public DifferentiableFunction {
+ public:
+  /// Rows in the backing dataset.
+  virtual size_t NumRows() const = 0;
+
+  /// Adds the gradient contribution of rows [begin, end) (already divided
+  /// by NumRows() so that summing all chunks yields the full data term) and
+  /// returns those rows' loss contribution. Regularization is NOT included;
+  /// it is applied once per full pass by EvaluateWithGradient.
+  virtual double EvaluateChunk(size_t begin, size_t end,
+                               la::ConstVectorView w,
+                               la::VectorView grad) = 0;
+};
+
+}  // namespace m3::ml
+
+#endif  // M3_ML_OBJECTIVE_H_

@@ -1,0 +1,112 @@
+#include "ml/scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/chunker.h"
+#include "ml/logistic_regression.h"  // AutoChunkRows
+#include "util/thread_pool.h"
+
+namespace m3::ml {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Per-feature Welford accumulator block.
+struct Moments {
+  la::Vector mean;
+  la::Vector m2;
+  uint64_t count = 0;
+
+  explicit Moments(size_t cols) : mean(cols), m2(cols) {}
+
+  void Add(la::ConstVectorView row) {
+    ++count;
+    const double inv = 1.0 / static_cast<double>(count);
+    for (size_t j = 0; j < mean.size(); ++j) {
+      const double delta = row[j] - mean[j];
+      mean[j] += delta * inv;
+      m2[j] += delta * (row[j] - mean[j]);
+    }
+  }
+
+  void Merge(const Moments& other) {
+    if (other.count == 0) {
+      return;
+    }
+    if (count == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(count + other.count);
+    for (size_t j = 0; j < mean.size(); ++j) {
+      const double delta = other.mean[j] - mean[j];
+      mean[j] += delta * static_cast<double>(other.count) / total;
+      m2[j] += other.m2[j] + delta * delta * static_cast<double>(count) *
+                                 static_cast<double>(other.count) / total;
+    }
+    count += other.count;
+  }
+};
+
+}  // namespace
+
+Result<StandardScaler::Params> StandardScaler::Fit(la::ConstMatrixView x,
+                                                   size_t chunk_rows,
+                                                   ScanHooks hooks) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("empty data");
+  }
+  Moments global(d);
+  la::RowChunker chunker(n, AutoChunkRows(d, chunk_rows));
+  if (hooks.before_pass) {
+    hooks.before_pass(0);
+  }
+  for (size_t ci = 0; ci < chunker.NumChunks(); ++ci) {
+    const la::RowChunker::Range range = chunker.Chunk(ci);
+    const auto ranges = util::PartitionRange(
+        range.begin, range.end, 512, util::GlobalThreadPool().num_threads());
+    std::vector<Moments> partials(ranges.size(), Moments(d));
+    util::ParallelForIndexed(range.begin, range.end, 512,
+                             [&](size_t chunk, size_t lo, size_t hi) {
+      for (size_t r = lo; r < hi; ++r) {
+        partials[chunk].Add(x.Row(r));
+      }
+    });
+    for (const Moments& partial : partials) {
+      global.Merge(partial);
+    }
+    if (hooks.after_chunk) {
+      hooks.after_chunk(range.begin, range.end);
+    }
+  }
+
+  Params params;
+  params.mean = std::move(global.mean);
+  params.scale = la::Vector(d);
+  for (size_t j = 0; j < d; ++j) {
+    const double variance = global.m2[j] / static_cast<double>(n);
+    params.scale[j] = std::max(std::sqrt(variance), 1e-12);
+  }
+  return params;
+}
+
+void StandardScaler::TransformRow(const Params& params,
+                                  la::ConstVectorView row,
+                                  la::VectorView out) {
+  for (size_t j = 0; j < params.mean.size(); ++j) {
+    out[j] = (row[j] - params.mean[j]) / params.scale[j];
+  }
+}
+
+void StandardScaler::TransformInPlace(const Params& params, la::MatrixView x) {
+  for (size_t r = 0; r < x.rows(); ++r) {
+    TransformRow(params, x.Row(r), x.Row(r));
+  }
+}
+
+}  // namespace m3::ml

@@ -1,0 +1,45 @@
+#ifndef M3_ML_SCALER_H_
+#define M3_ML_SCALER_H_
+
+#include <cstddef>
+
+#include "la/matrix.h"
+#include "ml/objective.h"
+#include "util/result.h"
+
+namespace m3::ml {
+
+/// \brief Per-feature standardization fitted in ONE sequential scan.
+///
+/// Out-of-core preprocessing in the M3 style: the fit is a single chunked
+/// pass over the (possibly mapped) matrix accumulating per-feature
+/// mean/variance with Welford partials merged deterministically, so the
+/// I/O cost is exactly one dataset read. Transform is applied per-row on
+/// the fly (the mapped file is read-only), e.g. by copying scaled rows
+/// into a batch buffer.
+class StandardScaler {
+ public:
+  /// Fitted parameters: x' = (x - mean) / scale, scale = max(stddev, eps).
+  struct Params {
+    la::Vector mean;
+    la::Vector scale;
+    size_t cols() const { return mean.size(); }
+  };
+
+  /// Fits over all rows of `x` in one chunked pass.
+  static util::Result<Params> Fit(la::ConstMatrixView x,
+                                  size_t chunk_rows = 0,
+                                  ScanHooks hooks = ScanHooks());
+
+  /// Applies the transform to one row, writing into `out`.
+  /// \pre row.size() == params.cols() == out.size().
+  static void TransformRow(const Params& params, la::ConstVectorView row,
+                           la::VectorView out);
+
+  /// Applies the transform in place to an owning matrix.
+  static void TransformInPlace(const Params& params, la::MatrixView x);
+};
+
+}  // namespace m3::ml
+
+#endif  // M3_ML_SCALER_H_

@@ -1,0 +1,81 @@
+#include "ml/sgd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas.h"
+#include "la/chunker.h"
+#include "util/random.h"
+
+namespace m3::ml {
+
+using util::Result;
+using util::Status;
+
+Sgd::Sgd(SgdOptions options) : options_(std::move(options)) {}
+
+Result<OptimizationResult> Sgd::Minimize(ChunkedObjective* objective,
+                                         la::VectorView w) const {
+  if (objective == nullptr) {
+    return Status::InvalidArgument("null objective");
+  }
+  if (w.size() != objective->Dimension()) {
+    return Status::InvalidArgument("initial point has wrong dimension");
+  }
+  if (options_.batch_rows == 0 || options_.epochs == 0) {
+    return Status::InvalidArgument("batch_rows and epochs must be positive");
+  }
+  const size_t n = objective->NumRows();
+  if (n == 0) {
+    return Status::InvalidArgument("objective has no data");
+  }
+
+  util::Rng rng(options_.seed);
+  la::RowChunker chunker(n, options_.batch_rows);
+  const size_t num_batches = chunker.NumChunks();
+  std::vector<size_t> order(num_batches);
+  for (size_t i = 0; i < num_batches; ++i) {
+    order[i] = i;
+  }
+
+  OptimizationResult result;
+  la::Vector grad(w.size());
+  size_t step_index = 0;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0;
+    for (size_t batch : order) {
+      const la::RowChunker::Range range = chunker.Chunk(batch);
+      grad.SetZero();
+      // EvaluateChunk returns loss/n and gradient/n contributions; rescale
+      // to the batch mean so the step size is batch-size independent.
+      const double scale =
+          static_cast<double>(n) / static_cast<double>(range.size());
+      const double batch_loss =
+          objective->EvaluateChunk(range.begin, range.end, w, grad) * scale;
+      ++result.function_evaluations;
+      const double lr =
+          options_.learning_rate /
+          (1.0 + options_.decay * static_cast<double>(step_index));
+      la::Axpy(-lr * scale, grad, w);
+      epoch_loss += batch_loss;
+      ++step_index;
+    }
+    epoch_loss /= static_cast<double>(num_batches);
+    result.objective_history.push_back(epoch_loss);
+    ++result.iterations;
+    if (options_.epoch_callback) {
+      options_.epoch_callback(epoch, epoch_loss);
+    }
+  }
+  result.objective = result.objective_history.back();
+  // Final full gradient for reporting.
+  grad.SetZero();
+  result.objective = objective->EvaluateWithGradient(w, grad);
+  ++result.function_evaluations;
+  result.gradient_norm = la::AbsMax(grad);
+  result.converged = true;  // SGD runs a fixed budget
+  return result;
+}
+
+}  // namespace m3::ml

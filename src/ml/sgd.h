@@ -1,0 +1,51 @@
+#ifndef M3_ML_SGD_H_
+#define M3_ML_SGD_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "ml/lbfgs.h"  // OptimizationResult
+#include "ml/objective.h"
+#include "util/result.h"
+
+namespace m3::ml {
+
+/// \brief Options for mini-batch stochastic gradient descent.
+struct SgdOptions {
+  size_t epochs = 5;
+  /// Rows per mini-batch. Batches are *contiguous* row blocks whose visit
+  /// order is shuffled per epoch: randomness for convergence, sequential
+  /// in-batch access for mmap locality (the §4 access-pattern tradeoff).
+  size_t batch_rows = 256;
+  double learning_rate = 0.1;
+  /// Step decay: lr_t = learning_rate / (1 + decay * t), t = batch counter.
+  double decay = 1e-3;
+  uint64_t seed = 42;
+  /// Optional per-epoch observer: (epoch, mean-loss-over-batches).
+  std::function<void(size_t, double)> epoch_callback;
+};
+
+/// \brief Mini-batch SGD over a ChunkedObjective.
+///
+/// The paper's §4 names online learning as the first extension target for
+/// M3; this trainer is that extension. It reuses the same chunk-evaluation
+/// path as the batch optimizers, so it runs identically on mmap'd data.
+class Sgd {
+ public:
+  explicit Sgd(SgdOptions options = SgdOptions());
+
+  /// Runs `epochs` passes, updating `w` in place. The returned
+  /// OptimizationResult reports per-epoch mean batch loss in
+  /// objective_history (data term only; regularization is excluded).
+  util::Result<OptimizationResult> Minimize(ChunkedObjective* objective,
+                                            la::VectorView w) const;
+
+  const SgdOptions& options() const { return options_; }
+
+ private:
+  SgdOptions options_;
+};
+
+}  // namespace m3::ml
+
+#endif  // M3_ML_SGD_H_

@@ -1,0 +1,122 @@
+#include "util/flags.h"
+
+#include <cstdio>
+
+#include "util/format.h"
+#include "util/result.h"
+
+namespace m3::util {
+
+FlagParser::FlagParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagParser::Register(const std::string& name, Type type, void* storage,
+                          const std::string& help, std::string default_repr) {
+  flags_[name] = Flag{type, storage, help, std::move(default_repr)};
+}
+
+void FlagParser::AddInt64(const std::string& name, int64_t* storage,
+                          const std::string& help) {
+  Register(name, Type::kInt64, storage, help,
+           StrFormat("%lld", static_cast<long long>(*storage)));
+}
+
+void FlagParser::AddDouble(const std::string& name, double* storage,
+                           const std::string& help) {
+  Register(name, Type::kDouble, storage, help, StrFormat("%g", *storage));
+}
+
+void FlagParser::AddString(const std::string& name, std::string* storage,
+                           const std::string& help) {
+  Register(name, Type::kString, storage, help, *storage);
+}
+
+void FlagParser::AddBool(const std::string& name, bool* storage,
+                         const std::string& help) {
+  Register(name, Type::kBool, storage, help, *storage ? "true" : "false");
+}
+
+void FlagParser::AddSize(const std::string& name, uint64_t* storage,
+                         const std::string& help) {
+  Register(name, Type::kSize, storage, help, HumanBytes(*storage));
+}
+
+Status FlagParser::Apply(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kInt64: {
+      M3_ASSIGN_OR_RETURN(int64_t v, ParseInt64(value));
+      *static_cast<int64_t*>(flag.storage) = v;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      M3_ASSIGN_OR_RETURN(double v, ParseDouble(value));
+      *static_cast<double*>(flag.storage) = v;
+      return Status::OK();
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.storage) = value;
+      return Status::OK();
+    case Type::kBool: {
+      M3_ASSIGN_OR_RETURN(bool v, ParseBool(value));
+      *static_cast<bool*>(flag.storage) = v;
+      return Status::OK();
+    }
+    case Type::kSize: {
+      M3_ASSIGN_OR_RETURN(uint64_t v, ParseSizeBytes(value));
+      *static_cast<uint64_t*>(flag.storage) = v;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled flag type");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      std::fputs(Usage(argv[0]).c_str(), stdout);
+      return Status::OK();
+    }
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      M3_RETURN_IF_ERROR(Apply(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    // `--name value`, or bare `--name` for booleans.
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + body);
+    }
+    if (it->second.type == Type::kBool) {
+      *static_cast<bool*>(it->second.storage) = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + body + " expects a value");
+    }
+    M3_RETURN_IF_ERROR(Apply(body, argv[++i]));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage(const std::string& argv0) const {
+  std::string out = description_ + "\n\nUsage: " + argv0 + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%-24s %s (default: %s)\n", name.c_str(),
+                     flag.help.c_str(), flag.default_repr.c_str());
+  }
+  return out;
+}
+
+}  // namespace m3::util

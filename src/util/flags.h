@@ -1,0 +1,72 @@
+#ifndef M3_UTIL_FLAGS_H_
+#define M3_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace m3::util {
+
+/// \brief Minimal command-line flag parser for bench and example binaries.
+///
+/// Flags are registered with pointers to caller-owned storage holding the
+/// default value. Accepted syntax: `--name=value`, `--name value`, and bare
+/// `--name` for booleans (sets true). `--help` prints usage; positional
+/// arguments are collected in order.
+class FlagParser {
+ public:
+  /// \param program_description One-line description printed by --help.
+  explicit FlagParser(std::string program_description);
+
+  /// \name Flag registration. Storage must outlive Parse().
+  /// @{
+  void AddInt64(const std::string& name, int64_t* storage,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* storage,
+                 const std::string& help);
+  void AddString(const std::string& name, std::string* storage,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* storage, const std::string& help);
+  /// Size flag accepting k/m/g/t suffixes; stored in bytes.
+  void AddSize(const std::string& name, uint64_t* storage,
+               const std::string& help);
+  /// @}
+
+  /// Parses argv. On `--help`, prints usage and returns a NotSupported
+  /// status that callers should treat as "exit 0".
+  Status Parse(int argc, char** argv);
+
+  /// True iff Parse consumed a --help flag.
+  bool help_requested() const { return help_requested_; }
+
+  /// Arguments that were not flags, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the usage text.
+  std::string Usage(const std::string& argv0) const;
+
+ private:
+  enum class Type { kInt64, kDouble, kString, kBool, kSize };
+  struct Flag {
+    Type type;
+    void* storage;
+    std::string help;
+    std::string default_repr;
+  };
+
+  void Register(const std::string& name, Type type, void* storage,
+                const std::string& help, std::string default_repr);
+  Status Apply(const std::string& name, const std::string& value);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace m3::util
+
+#endif  // M3_UTIL_FLAGS_H_

@@ -1,0 +1,178 @@
+#include "util/format.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace m3::util {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    // vsnprintf writes the NUL one past the requested length, so format into
+    // a buffer with room for it.
+    std::vsnprintf(out.data(), static_cast<size_t>(needed) + 1, fmt,
+                   args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  if (bytes < 1024) {
+    return StrFormat("%llu B", static_cast<unsigned long long>(bytes));
+  }
+  double value = static_cast<double>(bytes);
+  size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return StrFormat("%.2f %s", value, kUnits[unit]);
+}
+
+std::string HumanDuration(double seconds) {
+  if (seconds < 0) {
+    std::string out = "-";
+    out += HumanDuration(-seconds);
+    return out;
+  }
+  if (seconds < 1e-3) {
+    return StrFormat("%.1f us", seconds * 1e6);
+  }
+  if (seconds < 1.0) {
+    return StrFormat("%.1f ms", seconds * 1e3);
+  }
+  if (seconds < 120.0) {
+    return StrFormat("%.2f s", seconds);
+  }
+  const int64_t whole = static_cast<int64_t>(seconds);
+  return StrFormat("%lldm%02llds", static_cast<long long>(whole / 60),
+                   static_cast<long long>(whole % 60));
+}
+
+std::vector<std::string> StrSplit(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view StrTrim(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  std::string buf(StrTrim(text));
+  if (buf.empty()) {
+    return Status::InvalidArgument("empty integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an integer: " + buf);
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  std::string buf(StrTrim(text));
+  if (buf.empty()) {
+    return Status::InvalidArgument("empty number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("number out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a number: " + buf);
+  }
+  return value;
+}
+
+Result<bool> ParseBool(std::string_view text) {
+  std::string buf(StrTrim(text));
+  for (char& c : buf) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (buf == "true" || buf == "1" || buf == "yes" || buf == "on") {
+    return true;
+  }
+  if (buf == "false" || buf == "0" || buf == "no" || buf == "off") {
+    return false;
+  }
+  return Status::InvalidArgument("not a boolean: " + buf);
+}
+
+Result<uint64_t> ParseSizeBytes(std::string_view text) {
+  std::string buf(StrTrim(text));
+  if (buf.empty()) {
+    return Status::InvalidArgument("empty size");
+  }
+  uint64_t multiplier = 1;
+  char last = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(buf.back())));
+  if (last == 'k' || last == 'm' || last == 'g' || last == 't') {
+    switch (last) {
+      case 'k':
+        multiplier = 1ULL << 10;
+        break;
+      case 'm':
+        multiplier = 1ULL << 20;
+        break;
+      case 'g':
+        multiplier = 1ULL << 30;
+        break;
+      case 't':
+        multiplier = 1ULL << 40;
+        break;
+    }
+    buf.pop_back();
+  }
+  M3_ASSIGN_OR_RETURN(int64_t value, ParseInt64(buf));
+  if (value < 0) {
+    return Status::InvalidArgument("negative size: " + buf);
+  }
+  return static_cast<uint64_t>(value) * multiplier;
+}
+
+}  // namespace m3::util

@@ -1,0 +1,47 @@
+#ifndef M3_UTIL_FORMAT_H_
+#define M3_UTIL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace m3::util {
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief "1.50 GiB", "640.00 KiB", "17 B" — binary units.
+std::string HumanBytes(uint64_t bytes);
+
+/// \brief "1.2 us", "35.0 ms", "2.50 s", "4m12s" — adaptive units.
+std::string HumanDuration(double seconds);
+
+/// \brief Splits on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view text);
+
+/// \brief True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// \brief Strict integer parse of the full string (base 10).
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// \brief Strict floating-point parse of the full string.
+Result<double> ParseDouble(std::string_view text);
+
+/// \brief Parses "true/false/1/0/yes/no" (case-insensitive).
+Result<bool> ParseBool(std::string_view text);
+
+/// \brief Parses a size with optional suffix: "64", "64k", "8m", "2g"
+/// (binary multipliers), returning bytes.
+Result<uint64_t> ParseSizeBytes(std::string_view text);
+
+}  // namespace m3::util
+
+#endif  // M3_UTIL_FORMAT_H_

@@ -1,0 +1,130 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace m3::util {
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  const double new_mean =
+      mean_ + delta * static_cast<double>(other.count_) / total;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ = new_mean;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+Histogram::Histogram() {
+  // Bounds from 1e-9 growing by 1.5x; ~70 buckets spans > 1e12 range.
+  double limit = 1e-9;
+  while (limit < 1e3) {
+    bucket_limits_.push_back(limit);
+    limit *= 1.5;
+  }
+  bucket_limits_.push_back(std::numeric_limits<double>::infinity());
+  buckets_.assign(bucket_limits_.size(), 0);
+}
+
+size_t Histogram::BucketIndex(double value) const {
+  // First bucket whose upper bound exceeds the value.
+  auto it =
+      std::upper_bound(bucket_limits_.begin(), bucket_limits_.end(), value);
+  if (it == bucket_limits_.end()) {
+    return bucket_limits_.size() - 1;
+  }
+  return static_cast<size_t>(it - bucket_limits_.begin());
+}
+
+void Histogram::Add(double value) {
+  value = std::max(0.0, value);
+  ++buckets_[BucketIndex(value)];
+  stats_.Add(value);
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  stats_ = RunningStats();
+}
+
+double Histogram::Percentile(double p) const {
+  if (count() == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count());
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      const double lower = i == 0 ? 0.0 : bucket_limits_[i - 1];
+      double upper = bucket_limits_[i];
+      if (!std::isfinite(upper)) {
+        upper = max();
+      }
+      // Interpolate within the bucket.
+      const uint64_t in_bucket = buckets_[i];
+      const double before = static_cast<double>(cumulative - in_bucket);
+      const double frac =
+          in_bucket == 0
+              ? 0.0
+              : (rank - before) / static_cast<double>(in_bucket);
+      return std::clamp(lower + frac * (upper - lower), min(), max());
+    }
+  }
+  return max();
+}
+
+std::string Histogram::ToString() const {
+  return StrFormat(
+      "count=%llu mean=%.6g stddev=%.6g min=%.6g p50=%.6g p95=%.6g p99=%.6g "
+      "max=%.6g",
+      static_cast<unsigned long long>(count()), mean(), StdDev(), min(),
+      Percentile(50), Percentile(95), Percentile(99), max());
+}
+
+void Histogram::Merge(const Histogram& other) {
+  M3_CHECK(buckets_.size() == other.buckets_.size(),
+           "histogram layout mismatch");
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  stats_.Merge(other.stats_);
+}
+
+}  // namespace m3::util

@@ -1,0 +1,74 @@
+#ifndef M3_UTIL_HISTOGRAM_H_
+#define M3_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace m3::util {
+
+/// \brief Streaming summary statistics (count/mean/variance/min/max) using
+/// Welford's online algorithm.
+class RunningStats {
+ public:
+  void Add(double value);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Population variance (0 for fewer than 2 samples).
+  double Variance() const;
+  double StdDev() const;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Latency-style histogram with exponentially growing buckets.
+///
+/// Tracks non-negative samples (values are clamped at 0). Bucket upper
+/// bounds grow by ~1.5x per bucket, covering roughly 12 orders of magnitude,
+/// which matches the RocksDB histogram approach for timing data.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value);
+  void Clear();
+
+  uint64_t count() const { return stats_.count(); }
+  double mean() const { return stats_.mean(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+  double StdDev() const { return stats_.StdDev(); }
+
+  /// Linear-interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// Multi-line summary: count/mean/stddev and P50/P95/P99/max.
+  std::string ToString() const;
+
+  /// Merges another histogram with identical bucket layout.
+  void Merge(const Histogram& other);
+
+ private:
+  size_t BucketIndex(double value) const;
+
+  std::vector<double> bucket_limits_;  // upper bounds, ascending
+  std::vector<uint64_t> buckets_;
+  RunningStats stats_;
+};
+
+}  // namespace m3::util
+
+#endif  // M3_UTIL_HISTOGRAM_H_

@@ -1,0 +1,73 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace m3::util {
+
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+
+// Serializes interleaved writes from worker threads.
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?????";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
+
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) {
+  if (level < GetLogLevel() && level != LogLevel::kFatal) {
+    return;
+  }
+  char buffer[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+
+  {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::fprintf(stderr, "[%s] %s:%d %s\n", LevelName(level), Basename(file),
+                 line, buffer);
+    std::fflush(stderr);
+  }
+  if (level == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace m3::util

@@ -1,0 +1,56 @@
+#ifndef M3_UTIL_LOGGING_H_
+#define M3_UTIL_LOGGING_H_
+
+#include <cstdarg>
+
+namespace m3::util {
+
+/// \brief Severity levels for the process-wide logger.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// \brief Sets the minimum severity that will be emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+
+/// \brief Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+/// \brief printf-style log sink; prefer the M3_LOG_* macros.
+///
+/// Writes `[LEVEL] file:line message` to stderr. kFatal messages abort the
+/// process after logging.
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace m3::util
+
+#define M3_LOG_DEBUG(...)                                                \
+  ::m3::util::LogMessage(::m3::util::LogLevel::kDebug, __FILE__, __LINE__, \
+                         __VA_ARGS__)
+#define M3_LOG_INFO(...)                                                \
+  ::m3::util::LogMessage(::m3::util::LogLevel::kInfo, __FILE__, __LINE__, \
+                         __VA_ARGS__)
+#define M3_LOG_WARN(...)                                                \
+  ::m3::util::LogMessage(::m3::util::LogLevel::kWarn, __FILE__, __LINE__, \
+                         __VA_ARGS__)
+#define M3_LOG_ERROR(...)                                                \
+  ::m3::util::LogMessage(::m3::util::LogLevel::kError, __FILE__, __LINE__, \
+                         __VA_ARGS__)
+#define M3_LOG_FATAL(...)                                                \
+  ::m3::util::LogMessage(::m3::util::LogLevel::kFatal, __FILE__, __LINE__, \
+                         __VA_ARGS__)
+
+/// Internal consistency check that stays enabled in release builds.
+#define M3_CHECK(cond, ...)     \
+  do {                          \
+    if (!(cond)) {              \
+      M3_LOG_FATAL(__VA_ARGS__); \
+    }                           \
+  } while (false)
+
+#endif  // M3_UTIL_LOGGING_H_

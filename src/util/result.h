@@ -1,0 +1,93 @@
+#ifndef M3_UTIL_RESULT_H_
+#define M3_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace m3::util {
+
+/// \brief Either a value of type T or an error Status.
+///
+/// The library-wide return type for fallible functions that produce a value
+/// (Arrow's `Result<T>` idiom). A Result is never "empty": it holds exactly
+/// one of a T or a non-OK Status. Constructing a Result from an OK Status is
+/// a programming error and is converted to an Internal error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit to allow `return value;`).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit to allow `return status;`).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(payload_).ok()) {
+      payload_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status, or OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  /// \pre ok()
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+
+  /// \pre ok()
+  T& value() & {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+
+  /// \pre ok()
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// Returns the value or aborts with the error message. Test/example use.
+  T ValueOrDie() && {
+    if (!ok()) {
+      M3_LOG_FATAL("Result::ValueOrDie on error: %s",
+                   status().ToString().c_str());
+    }
+    return std::get<T>(std::move(payload_));
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      M3_LOG_FATAL("Result::value on error: %s", status().ToString().c_str());
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace m3::util
+
+/// Unwraps a Result into `lhs`, propagating an error Status outward.
+/// Usage: `M3_ASSIGN_OR_RETURN(auto file, File::Open(path));`
+#define M3_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) {                               \
+    return tmp.status();                         \
+  }                                              \
+  lhs = std::move(tmp).value()
+
+#define M3_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define M3_ASSIGN_OR_RETURN_NAME(a, b) M3_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define M3_ASSIGN_OR_RETURN(lhs, expr)                                    \
+  M3_ASSIGN_OR_RETURN_IMPL(M3_ASSIGN_OR_RETURN_NAME(m3_result_, __LINE__), \
+                           lhs, expr)
+
+#endif  // M3_UTIL_RESULT_H_

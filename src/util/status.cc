@@ -1,0 +1,58 @@
+#include "util/status.h"
+
+#include <cstring>
+
+namespace m3::util {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+Status Status::IoErrorFromErrno(std::string_view context, int errno_value) {
+  std::string msg(context);
+  msg += ": ";
+  msg += std::strerror(errno_value);
+  return Status::IoError(msg);
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) {
+    return *this;
+  }
+  std::string msg(context);
+  msg += ": ";
+  msg += message_;
+  return Status(code_, msg);
+}
+
+}  // namespace m3::util

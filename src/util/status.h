@@ -1,0 +1,111 @@
+#ifndef M3_UTIL_STATUS_H_
+#define M3_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace m3::util {
+
+/// \brief Coarse error category carried by a Status.
+///
+/// Mirrors the small set of categories used by storage-engine style C++
+/// libraries (RocksDB, Arrow): library code never throws across its API
+/// boundary; every fallible operation returns a Status (or a Result<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIoError,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotSupported,
+  kInternal,
+};
+
+/// \brief Returns a stable human-readable name for a StatusCode.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Value type describing the outcome of a fallible operation.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Statuses are cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// \name Factory functions, one per error category.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status IoError(std::string_view msg) {
+    return Status(StatusCode::kIoError, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(StatusCode::kNotSupported, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+  /// @}
+
+  /// \brief Builds an IoError that appends strerror(errno_value).
+  static Status IoErrorFromErrno(std::string_view context, int errno_value);
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// \brief Returns this status with `context` prepended to the message.
+  ///
+  /// OK statuses are returned unchanged. Useful when propagating errors up
+  /// a call chain: `return st.WithContext("opening dataset");`.
+  Status WithContext(std::string_view context) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  Status(StatusCode code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace m3::util
+
+/// Propagates an error Status out of the current function.
+#define M3_RETURN_IF_ERROR(expr)                      \
+  do {                                                \
+    ::m3::util::Status m3_status_macro_tmp = (expr);  \
+    if (!m3_status_macro_tmp.ok()) {                  \
+      return m3_status_macro_tmp;                     \
+    }                                                 \
+  } while (false)
+
+#endif  // M3_UTIL_STATUS_H_

@@ -1,0 +1,61 @@
+#ifndef M3_UTIL_STOPWATCH_H_
+#define M3_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace m3::util {
+
+/// \brief Monotonic wall-clock stopwatch.
+///
+/// Starts running on construction; `Restart()` resets the origin. All
+/// elapsed accessors may be called repeatedly while the watch keeps running.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates the lifetime of the scope into a double (in seconds).
+///
+/// Usage:
+///   double gradient_seconds = 0;
+///   { ScopedTimer t(&gradient_seconds); ComputeGradient(); }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* accumulator_seconds)
+      : accumulator_seconds_(accumulator_seconds) {}
+  ~ScopedTimer() { *accumulator_seconds_ += watch_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* accumulator_seconds_;
+  Stopwatch watch_;
+};
+
+}  // namespace m3::util
+
+#endif  // M3_UTIL_STOPWATCH_H_

@@ -1,0 +1,45 @@
+#include "util/sys_info.h"
+
+#include <unistd.h>
+
+#include "util/format.h"
+
+namespace m3::util {
+
+size_t PageSize() {
+  static const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+uint64_t TotalRamBytes() {
+  const long pages = sysconf(_SC_PHYS_PAGES);
+  if (pages <= 0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(pages) * PageSize();
+}
+
+uint64_t AvailableRamBytes() {
+  const long pages = sysconf(_SC_AVPHYS_PAGES);
+  if (pages <= 0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(pages) * PageSize();
+}
+
+size_t NumCpus() {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n <= 0 ? 1 : static_cast<size_t>(n);
+}
+
+size_t RoundUpToPageSize(size_t bytes) {
+  const size_t page = PageSize();
+  return (bytes + page - 1) / page * page;
+}
+
+std::string SysInfoString() {
+  return StrFormat("cpus=%zu ram=%s page=%zuB", NumCpus(),
+                   HumanBytes(TotalRamBytes()).c_str(), PageSize());
+}
+
+}  // namespace m3::util

@@ -1,0 +1,30 @@
+#ifndef M3_UTIL_SYS_INFO_H_
+#define M3_UTIL_SYS_INFO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace m3::util {
+
+/// \brief Size of a virtual-memory page in bytes (usually 4096).
+size_t PageSize();
+
+/// \brief Total physical RAM in bytes.
+uint64_t TotalRamBytes();
+
+/// \brief Physical RAM currently available (free + reclaimable), in bytes.
+uint64_t AvailableRamBytes();
+
+/// \brief Number of online logical CPUs.
+size_t NumCpus();
+
+/// \brief Rounds `bytes` up to a whole number of pages.
+size_t RoundUpToPageSize(size_t bytes);
+
+/// \brief One-line description: CPUs, RAM, page size. For bench headers.
+std::string SysInfoString();
+
+}  // namespace m3::util
+
+#endif  // M3_UTIL_SYS_INFO_H_

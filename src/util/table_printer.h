@@ -1,0 +1,40 @@
+#ifndef M3_UTIL_TABLE_PRINTER_H_
+#define M3_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace m3::util {
+
+/// \brief Accumulates rows and renders an aligned text table or CSV.
+///
+/// Used by the benchmark harnesses to print paper-style result rows. All
+/// cells are strings; numeric formatting is the caller's responsibility
+/// (see StrFormat).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with aligned columns and a header separator line.
+  std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing comma/quote are quoted).
+  std::string ToCsv() const;
+
+  /// Convenience: writes ToText() (or ToCsv() when `csv`) to `out`.
+  void Print(FILE* out, bool csv = false) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace m3::util
+
+#endif  // M3_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,74 @@
+#include "cluster/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace m3::cluster {
+namespace {
+
+TEST(PartitionTest, TilesRowsExactly) {
+  auto partitions = MakePartitions(1000, 8, 4, 1000);
+  ASSERT_EQ(partitions.size(), 8u);
+  size_t cursor = 0;
+  for (const Partition& p : partitions) {
+    EXPECT_EQ(p.row_begin, cursor);
+    EXPECT_GT(p.row_end, p.row_begin);
+    cursor = p.row_end;
+  }
+  EXPECT_EQ(cursor, 1000u);
+}
+
+TEST(PartitionTest, NearEqualSizes) {
+  auto partitions = MakePartitions(10, 3, 2, 10);
+  ASSERT_EQ(partitions.size(), 3u);
+  EXPECT_EQ(partitions[0].rows(), 4u);
+  EXPECT_EQ(partitions[1].rows(), 3u);
+  EXPECT_EQ(partitions[2].rows(), 3u);
+}
+
+TEST(PartitionTest, RoundRobinInstanceAssignment) {
+  auto partitions = MakePartitions(100, 6, 3, 100);
+  EXPECT_EQ(partitions[0].instance, 0u);
+  EXPECT_EQ(partitions[1].instance, 1u);
+  EXPECT_EQ(partitions[2].instance, 2u);
+  EXPECT_EQ(partitions[3].instance, 0u);
+}
+
+TEST(PartitionTest, CacheCapacityMarksSpill) {
+  // Capacity for 50 of 100 rows: about half the partitions spill.
+  auto partitions = MakePartitions(100, 10, 2, 50);
+  size_t cached_rows = 0;
+  size_t spilled = 0;
+  for (const Partition& p : partitions) {
+    if (p.cached) {
+      cached_rows += p.rows();
+    } else {
+      ++spilled;
+    }
+  }
+  EXPECT_LE(cached_rows, 50u);
+  EXPECT_EQ(spilled, 5u);
+}
+
+TEST(PartitionTest, FullCacheMeansNoSpill) {
+  auto partitions = MakePartitions(100, 10, 2, 100);
+  for (const Partition& p : partitions) {
+    EXPECT_TRUE(p.cached);
+  }
+}
+
+TEST(PartitionTest, MorePartitionsThanRowsClamps) {
+  auto partitions = MakePartitions(3, 10, 2, 3);
+  EXPECT_EQ(partitions.size(), 3u);
+  for (const Partition& p : partitions) {
+    EXPECT_EQ(p.rows(), 1u);
+  }
+}
+
+TEST(PartitionTest, DegenerateInputsYieldEmpty) {
+  EXPECT_TRUE(MakePartitions(0, 4, 2, 10).empty());
+  EXPECT_TRUE(MakePartitions(10, 0, 2, 10).empty());
+  EXPECT_TRUE(MakePartitions(10, 4, 0, 10).empty());
+}
+
+}  // namespace
+}  // namespace m3::cluster

@@ -1,0 +1,252 @@
+#include "cluster/spark_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "la/blas.h"
+#include "ml/metrics.h"
+
+namespace m3::cluster {
+namespace {
+
+ClusterConfig SmallCluster(size_t instances) {
+  ClusterConfig config;
+  config.num_instances = instances;
+  config.cores_per_instance = 4;
+  config.instance_ram_bytes = 1ull << 30;
+  config.local_cpu_seconds_per_byte = 1e-9;
+  return config;
+}
+
+TEST(ClusterConfigTest, ValidateCatchesNonsense) {
+  EXPECT_TRUE(SmallCluster(4).Validate().ok());
+  ClusterConfig config = SmallCluster(4);
+  config.num_instances = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallCluster(4);
+  config.cache_fraction = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallCluster(4);
+  config.jvm_slowdown = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallCluster(4);
+  config.local_cpu_seconds_per_byte = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ClusterConfigTest, DerivedQuantities) {
+  ClusterConfig config = SmallCluster(4);
+  config.partitions_per_core = 2;
+  EXPECT_EQ(config.TotalPartitions(), 4 * 4 * 2u);
+  EXPECT_EQ(config.CacheCapacityBytes(),
+            static_cast<uint64_t>(4.0 * (1ull << 30) * 0.6));
+  EXPECT_NE(config.ToString().find("4 instances"), std::string::npos);
+}
+
+TEST(SparkClusterTest, LrGradientMatchesSingleMachine) {
+  // The simulator executes real math: the trained model must match the
+  // single-machine trainer run with the same optimizer budget.
+  data::SeparableResult sep = data::LinearlySeparable(2000, 10, 0.05, 42);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+
+  ml::LbfgsOptions lbfgs;
+  lbfgs.max_iterations = 10;
+  lbfgs.gradient_tolerance = 0;
+  lbfgs.objective_tolerance = 0;
+
+  SparkCluster cluster(SmallCluster(4));
+  auto distributed =
+      cluster.RunLogisticRegression(sep.data.features, y, 1e-4, lbfgs);
+  ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
+
+  ml::LogisticRegressionOptions local_options;
+  local_options.l2 = 1e-4;
+  local_options.lbfgs = lbfgs;
+  auto local = ml::LogisticRegression(local_options)
+                   .Train(sep.data.features, y)
+                   .ValueOrDie();
+
+  // Partition sums reorder FP addition; results agree to high precision.
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(distributed.value().model.weights[i], local.weights[i], 1e-6)
+        << "weight " << i;
+  }
+  EXPECT_NEAR(distributed.value().model.intercept, local.intercept, 1e-6);
+}
+
+TEST(SparkClusterTest, LrAccumulatesSimulatedTime) {
+  data::SeparableResult sep = data::LinearlySeparable(1000, 5, 0.0, 7);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  ml::LbfgsOptions lbfgs;
+  lbfgs.max_iterations = 5;
+  SparkCluster cluster(SmallCluster(4));
+  auto result =
+      cluster.RunLogisticRegression(sep.data.features, y, 0.0, lbfgs)
+          .ValueOrDie();
+  EXPECT_GT(result.stats.simulated_seconds, 0.0);
+  EXPECT_GT(result.stats.jobs, 0u);
+  EXPECT_GT(result.stats.tasks, 0u);
+  EXPECT_GT(result.stats.network_seconds, 0.0);
+  EXPECT_GT(result.stats.overhead_seconds, 0.0);
+  EXPECT_GT(result.stats.bytes_read_from_disk, 0u);  // cold first pass
+  // Components are part of the total story.
+  EXPECT_GE(result.stats.simulated_seconds, result.stats.network_seconds);
+}
+
+TEST(SparkClusterTest, KMeansMatchesSingleMachineFromSameInit) {
+  data::BlobsResult blobs = data::GaussianBlobs(1500, 6, 5, 1.0, 21);
+  la::Matrix init(5, 6);
+  for (size_t c = 0; c < 5; ++c) {
+    la::Copy(blobs.data.features.Row(c * 300), init.Row(c));
+  }
+  ml::KMeansOptions options;
+  options.k = 5;
+  options.max_iterations = 10;
+  options.tolerance = 0;
+  options.initial_centers = &init;
+
+  SparkCluster cluster(SmallCluster(4));
+  auto distributed = cluster.RunKMeans(blobs.data.features, options);
+  ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
+  auto local = ml::KMeans(options).Cluster(blobs.data.features).ValueOrDie();
+
+  EXPECT_NEAR(distributed.value().clustering.inertia, local.inertia,
+              1e-6 * std::max(1.0, local.inertia));
+  for (size_t c = 0; c < 5; ++c) {
+    for (size_t d = 0; d < 6; ++d) {
+      EXPECT_NEAR(distributed.value().clustering.centers(c, d),
+                  local.centers(c, d), 1e-8);
+    }
+  }
+}
+
+TEST(SparkClusterTest, KMeansChargesPerIteration) {
+  data::BlobsResult blobs = data::GaussianBlobs(500, 4, 3, 1.0, 5);
+  ml::KMeansOptions options;
+  options.k = 3;
+  options.max_iterations = 4;
+  options.tolerance = 0;
+  SparkCluster cluster(SmallCluster(2));
+  auto result = cluster.RunKMeans(blobs.data.features, options).ValueOrDie();
+  EXPECT_EQ(result.clustering.iterations, 4u);
+  EXPECT_EQ(result.stats.jobs, 4u);
+}
+
+TEST(SparkClusterTest, MoreInstancesAreFasterWhenComputeBound) {
+  data::SeparableResult sep = data::LinearlySeparable(4000, 20, 0.0, 13);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  ml::LbfgsOptions lbfgs;
+  lbfgs.max_iterations = 5;
+  lbfgs.gradient_tolerance = 0;
+
+  // Make compute dominate so the instance count matters: expensive CPU,
+  // negligible overheads.
+  auto config4 = SmallCluster(4);
+  auto config8 = SmallCluster(8);
+  for (ClusterConfig* config : {&config4, &config8}) {
+    config->local_cpu_seconds_per_byte = 1e-6;
+    config->task_overhead_seconds = 1e-5;
+    config->job_overhead_seconds = 1e-4;
+  }
+  auto four = SparkCluster(config4)
+                  .RunLogisticRegression(sep.data.features, y, 0.0, lbfgs)
+                  .ValueOrDie();
+  auto eight = SparkCluster(config8)
+                   .RunLogisticRegression(sep.data.features, y, 0.0, lbfgs)
+                   .ValueOrDie();
+  EXPECT_LT(eight.stats.simulated_seconds,
+            four.stats.simulated_seconds * 0.75);
+}
+
+TEST(SparkClusterTest, SpillRegimeSlowsSmallCluster) {
+  // Dataset sized between 4-instance and 8-instance cache capacity: the
+  // Fig. 1b mechanism. Per-byte compute is tiny so I/O dominates.
+  data::SeparableResult sep = data::LinearlySeparable(5000, 32, 0.0, 29);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  const uint64_t dataset_bytes = 5000 * 32 * sizeof(double);
+
+  auto make_config = [&](size_t instances) {
+    ClusterConfig config = SmallCluster(instances);
+    // 4-instance cache: 75% of data; 8-instance: 150%.
+    config.instance_ram_bytes =
+        static_cast<uint64_t>(dataset_bytes * 0.3125);
+    config.cache_fraction = 0.6;
+    config.local_cpu_seconds_per_byte = 1e-12;
+    // Let spill I/O dominate the fixed overheads at this tiny test scale.
+    config.spill_read_bytes_per_sec = 1e6;
+    config.job_overhead_seconds = 1e-4;
+    config.task_overhead_seconds = 1e-5;
+    config.network_latency = 1e-5;
+    return config;
+  };
+  ml::LbfgsOptions lbfgs;
+  lbfgs.max_iterations = 10;
+  lbfgs.gradient_tolerance = 0;
+  lbfgs.objective_tolerance = 0;
+
+  auto four = SparkCluster(make_config(4))
+                  .RunLogisticRegression(sep.data.features, y, 0.0, lbfgs)
+                  .ValueOrDie();
+  auto eight = SparkCluster(make_config(8))
+                   .RunLogisticRegression(sep.data.features, y, 0.0, lbfgs)
+                   .ValueOrDie();
+  // The 4-instance cluster re-reads spilled partitions every pass.
+  EXPECT_GT(four.stats.io_seconds, eight.stats.io_seconds * 2);
+  EXPECT_GT(four.stats.simulated_seconds, eight.stats.simulated_seconds);
+}
+
+TEST(SparkClusterTest, PlanPartitionsHonorsCacheCapacity) {
+  ClusterConfig config = SmallCluster(2);
+  config.instance_ram_bytes = 800;  // bytes! absurdly tiny on purpose
+  config.cache_fraction = 0.5;
+  SparkCluster cluster(config);
+  auto partitions = cluster.PlanPartitions(100, /*row_bytes=*/80);
+  // Cache capacity = 2*800*0.5 = 800 bytes = 10 rows of 80B.
+  size_t cached_rows = 0;
+  for (const auto& p : partitions) {
+    if (p.cached) {
+      cached_rows += p.rows();
+    }
+  }
+  EXPECT_LE(cached_rows, 10u);
+  EXPECT_LT(cached_rows, 100u);
+}
+
+TEST(SparkClusterTest, RejectsInvalidInputs) {
+  SparkCluster cluster(SmallCluster(2));
+  la::Matrix empty;
+  la::Vector none;
+  ml::LbfgsOptions lbfgs;
+  EXPECT_FALSE(cluster.RunLogisticRegression(empty, none, 0.0, lbfgs).ok());
+  la::Matrix x(10, 2);
+  la::Vector bad(3);
+  EXPECT_FALSE(cluster.RunLogisticRegression(x, bad, 0.0, lbfgs).ok());
+  ml::KMeansOptions options;
+  options.k = 100;  // > rows
+  EXPECT_FALSE(cluster.RunKMeans(x, options).ok());
+  ClusterConfig broken = SmallCluster(2);
+  broken.local_cpu_seconds_per_byte = 0;
+  la::Vector y(10);
+  EXPECT_FALSE(
+      SparkCluster(broken).RunLogisticRegression(x, y, 0.0, lbfgs).ok());
+}
+
+TEST(JobStatsTest, AccumulateSums) {
+  JobStats a, b;
+  a.simulated_seconds = 1;
+  a.jobs = 2;
+  a.bytes_over_network = 100;
+  b.simulated_seconds = 2;
+  b.jobs = 3;
+  b.bytes_over_network = 50;
+  a.Accumulate(b);
+  EXPECT_DOUBLE_EQ(a.simulated_seconds, 3.0);
+  EXPECT_EQ(a.jobs, 5u);
+  EXPECT_EQ(a.bytes_over_network, 150u);
+  EXPECT_NE(a.ToString().find("jobs=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace m3::cluster

@@ -1,0 +1,91 @@
+#include "core/access_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace m3 {
+namespace {
+
+TEST(AccessPatternTest, PureSequentialScan) {
+  AccessPatternTracer tracer(/*row_bytes=*/8);
+  tracer.RecordRange(0, 1000);
+  AccessPatternSummary summary = tracer.Summarize();
+  EXPECT_EQ(summary.num_accesses, 1000u);
+  EXPECT_EQ(summary.unique_rows, 1000u);
+  EXPECT_DOUBLE_EQ(summary.sequential_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(summary.mean_abs_stride, 1.0);
+  EXPECT_DOUBLE_EQ(summary.page_locality, 1.0);
+}
+
+TEST(AccessPatternTest, RandomAccessHasLowSequentiality) {
+  AccessPatternTracer tracer(/*row_bytes=*/6272);  // one image per ~1.5 pages
+  util::Rng rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    tracer.Record(rng.UniformInt(uint64_t{100000}));
+  }
+  AccessPatternSummary summary = tracer.Summarize();
+  EXPECT_LT(summary.sequential_fraction, 0.01);
+  EXPECT_GT(summary.mean_abs_stride, 1000.0);
+  EXPECT_LT(summary.page_locality, 0.05);
+}
+
+TEST(AccessPatternTest, ChunkedScanIsSequential) {
+  // The access order produced by the chunked trainers: chunk after chunk,
+  // rows in order within each chunk.
+  AccessPatternTracer tracer(/*row_bytes=*/64);
+  for (uint64_t chunk = 0; chunk < 10; ++chunk) {
+    tracer.RecordRange(chunk * 100, (chunk + 1) * 100);
+  }
+  EXPECT_DOUBLE_EQ(tracer.Summarize().sequential_fraction, 1.0);
+}
+
+TEST(AccessPatternTest, ShuffledBatchOrderIsMostlySequential) {
+  // SGD's pattern: batches visited in random order, rows sequential inside.
+  AccessPatternTracer tracer(/*row_bytes=*/64);
+  util::Rng rng(7);
+  std::vector<size_t> batches(50);
+  for (size_t i = 0; i < 50; ++i) {
+    batches[i] = i;
+  }
+  rng.Shuffle(&batches);
+  for (size_t b : batches) {
+    tracer.RecordRange(b * 100, (b + 1) * 100);
+  }
+  AccessPatternSummary summary = tracer.Summarize();
+  // 99 of 100 transitions inside each batch are sequential.
+  EXPECT_GT(summary.sequential_fraction, 0.95);
+  EXPECT_LT(summary.sequential_fraction, 1.0);
+}
+
+TEST(AccessPatternTest, SamplingBoundsTraceSize) {
+  AccessPatternTracer tracer(/*row_bytes=*/8, /*sample_period=*/10);
+  tracer.RecordRange(0, 1000);
+  EXPECT_EQ(tracer.trace().size(), 100u);
+  EXPECT_EQ(tracer.Summarize().num_accesses, 100u);
+}
+
+TEST(AccessPatternTest, EmptyTraceIsZeroes) {
+  AccessPatternTracer tracer(8);
+  AccessPatternSummary summary = tracer.Summarize();
+  EXPECT_EQ(summary.num_accesses, 0u);
+  EXPECT_DOUBLE_EQ(summary.sequential_fraction, 0.0);
+}
+
+TEST(AccessPatternTest, ClearResets) {
+  AccessPatternTracer tracer(8);
+  tracer.RecordRange(0, 10);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.trace().empty());
+  EXPECT_EQ(tracer.Summarize().num_accesses, 0u);
+}
+
+TEST(AccessPatternTest, ToStringIsInformative) {
+  AccessPatternTracer tracer(8);
+  tracer.RecordRange(0, 10);
+  EXPECT_NE(tracer.Summarize().ToString().find("sequential=100.0%"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace m3

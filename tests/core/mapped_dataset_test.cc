@@ -1,0 +1,148 @@
+#include "core/mapped_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/m3.h"
+#include "data/synthetic.h"
+
+namespace m3 {
+namespace {
+
+class MappedDatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/m3_mds_test_" + std::to_string(::getpid());
+    ASSERT_TRUE(io::MakeDirs(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Writes a small dataset and returns its path.
+  std::string MakeDataset(const std::string& name, size_t rows, size_t cols) {
+    data::SeparableResult sep =
+        data::LinearlySeparable(rows, cols, 0.0, 42);
+    const std::string path = dir_ + "/" + name;
+    EXPECT_TRUE(
+        data::WriteDataset(path, sep.data.features, sep.data.labels, 2).ok());
+    return path;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(MappedDatasetTest, OpenExposesShapeAndViews) {
+  const std::string path = MakeDataset("basic.m3", 100, 7);
+  auto dataset = MappedDataset::Open(path);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset.value().rows(), 100u);
+  EXPECT_EQ(dataset.value().cols(), 7u);
+  EXPECT_EQ(dataset.value().num_classes(), 2u);
+  EXPECT_EQ(dataset.value().features().rows(), 100u);
+  EXPECT_EQ(dataset.value().features().cols(), 7u);
+  EXPECT_EQ(dataset.value().labels().size(), 100u);
+}
+
+TEST_F(MappedDatasetTest, ViewsMatchOriginalData) {
+  data::SeparableResult sep = data::LinearlySeparable(50, 3, 0.0, 9);
+  const std::string path = dir_ + "/match.m3";
+  ASSERT_TRUE(
+      data::WriteDataset(path, sep.data.features, sep.data.labels, 2).ok());
+  auto dataset = MappedDataset::Open(path).ValueOrDie();
+  for (size_t r = 0; r < 50; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      ASSERT_EQ(dataset.features()(r, c), sep.data.features(r, c));
+    }
+    ASSERT_EQ(dataset.labels()[r], sep.data.labels[r]);
+  }
+  EXPECT_EQ(dataset.CopyLabels(), sep.data.labels);
+}
+
+TEST_F(MappedDatasetTest, OpenMissingFileFails) {
+  EXPECT_FALSE(MappedDataset::Open(dir_ + "/missing.m3").ok());
+}
+
+TEST_F(MappedDatasetTest, NoBudgetMeansNoHooksAndNoEmulator) {
+  const std::string path = MakeDataset("nobudget.m3", 10, 2);
+  auto dataset = MappedDataset::Open(path).ValueOrDie();
+  EXPECT_EQ(dataset.ram_budget(), nullptr);
+  ml::ScanHooks hooks = dataset.MakeScanHooks();
+  EXPECT_FALSE(static_cast<bool>(hooks.after_chunk));
+  EXPECT_FALSE(static_cast<bool>(hooks.before_pass));
+}
+
+TEST_F(MappedDatasetTest, BudgetCreatesWorkingEmulator) {
+  const std::string path = MakeDataset("budget.m3", 1000, 8);
+  M3Options options;
+  options.ram_budget_bytes = 1000 * 8 * sizeof(double) / 4;  // quarter of data
+  auto dataset = MappedDataset::Open(path, options).ValueOrDie();
+  ASSERT_NE(dataset.ram_budget(), nullptr);
+  ml::ScanHooks hooks = dataset.MakeScanHooks();
+  ASSERT_TRUE(static_cast<bool>(hooks.after_chunk));
+  // Simulate a pass: chunks of 100 rows.
+  hooks.before_pass(0);
+  for (size_t begin = 0; begin < 1000; begin += 100) {
+    hooks.after_chunk(begin, begin + 100);
+  }
+  EXPECT_GT(dataset.ram_budget()->evictions(), 0u);
+  EXPECT_GT(dataset.ram_budget()->bytes_evicted(), 0u);
+  EXPECT_EQ(dataset.ram_budget()->passes(), 1u);
+}
+
+TEST_F(MappedDatasetTest, EmulatorEvictsExactlyBehindTheWindow) {
+  const std::string path = MakeDataset("window.m3", 100, 4);
+  const uint64_t row_bytes = 4 * sizeof(double);
+  M3Options options;
+  options.ram_budget_bytes = 20 * row_bytes;  // window of 20 rows
+  auto dataset = MappedDataset::Open(path, options).ValueOrDie();
+  auto hooks = dataset.MakeScanHooks();
+  hooks.before_pass(0);
+  hooks.after_chunk(0, 10);   // cursor 10 rows < window: nothing evicted
+  EXPECT_EQ(dataset.ram_budget()->bytes_evicted(), 0u);
+  hooks.after_chunk(10, 30);  // cursor 30 rows: evict rows [0, 10)
+  EXPECT_EQ(dataset.ram_budget()->bytes_evicted(), 10 * row_bytes);
+  hooks.after_chunk(30, 50);  // cursor 50: evict rows [10, 30)
+  EXPECT_EQ(dataset.ram_budget()->bytes_evicted(), 30 * row_bytes);
+  // New pass resets the cursor.
+  hooks.before_pass(1);
+  hooks.after_chunk(0, 50);
+  EXPECT_EQ(dataset.ram_budget()->bytes_evicted(), 60 * row_bytes);
+}
+
+TEST_F(MappedDatasetTest, AdviseAndEvictAllSucceed) {
+  const std::string path = MakeDataset("adv.m3", 64, 4);
+  auto dataset = MappedDataset::Open(path).ValueOrDie();
+  EXPECT_TRUE(dataset.Advise(io::Advice::kRandom).ok());
+  EXPECT_TRUE(dataset.Advise(io::Advice::kSequential).ok());
+  EXPECT_TRUE(dataset.EvictAll().ok());
+  // Views still readable after eviction (pages fault back in).
+  EXPECT_EQ(dataset.features()(0, 0), dataset.features()(0, 0));
+}
+
+TEST_F(MappedDatasetTest, MoveKeepsViewsAndEmulatorValid) {
+  const std::string path = MakeDataset("move.m3", 200, 4);
+  M3Options options;
+  options.ram_budget_bytes = 1024;
+  auto dataset = MappedDataset::Open(path, options).ValueOrDie();
+  const double first = dataset.features()(0, 0);
+  auto hooks = dataset.MakeScanHooks();  // bound to emulator
+  MappedDataset moved = std::move(dataset);
+  EXPECT_EQ(moved.features()(0, 0), first);
+  // Hooks captured the emulator owned via unique_ptr: still safe.
+  hooks.before_pass(0);
+  hooks.after_chunk(0, 200);
+  EXPECT_GT(moved.ram_budget()->bytes_evicted(), 0u);
+}
+
+TEST_F(MappedDatasetTest, PopulateOptionWorks) {
+  const std::string path = MakeDataset("pop.m3", 64, 4);
+  M3Options options;
+  options.populate = true;
+  auto dataset = MappedDataset::Open(path, options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset.value().features()(0, 0),
+            dataset.value().features()(0, 0));
+}
+
+}  // namespace
+}  // namespace m3

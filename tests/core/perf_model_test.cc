@@ -1,0 +1,112 @@
+#include "core/perf_model.h"
+
+#include <gtest/gtest.h>
+
+namespace m3 {
+namespace {
+
+PerfModelParams PaperLikeParams() {
+  PerfModelParams params;
+  params.cpu_seconds_per_byte = 1e-10;      // fast CPU work
+  params.disk_read_bytes_per_sec = 1e9;     // ~RevoDrive 350
+  params.ram_bytes = 32ull << 30;           // 32 GB like the paper
+  return params;
+}
+
+TEST(PerfModelTest, InRamPassIsCpuBoundWithNoMisses) {
+  PerfModel model(PaperLikeParams());
+  const uint64_t bytes = 10ull << 30;  // 10 GB < 32 GB RAM
+  PassPrediction pass = model.PredictPass(bytes);
+  EXPECT_EQ(pass.miss_bytes, 0u);
+  EXPECT_FALSE(pass.io_bound);
+  EXPECT_DOUBLE_EQ(pass.io_seconds, 0.0);
+  EXPECT_GT(pass.seconds, 0.0);
+  EXPECT_NEAR(pass.cpu_utilization, 1.0, 1e-9);
+}
+
+TEST(PerfModelTest, OutOfCorePassReadsEverythingAndIsIoBound) {
+  PerfModel model(PaperLikeParams());
+  const uint64_t bytes = 190ull << 30;  // the paper's largest dataset
+  PassPrediction pass = model.PredictPass(bytes);
+  EXPECT_EQ(pass.miss_bytes, bytes);
+  EXPECT_TRUE(pass.io_bound);
+  // 190 GiB at 1 GB/s ~ 204 s per pass.
+  EXPECT_NEAR(pass.io_seconds, static_cast<double>(bytes) / 1e9, 1e-6);
+  // CPU utilization should be low when I/O-bound (paper saw ~13%).
+  EXPECT_LT(pass.cpu_utilization, 0.5);
+}
+
+TEST(PerfModelTest, LinearInSizeOnBothSidesWithSlopeBreak) {
+  // The Fig. 1a shape: runtime linear in size in-core and out-of-core,
+  // with a steeper out-of-core slope.
+  PerfModelParams params = PaperLikeParams();
+  params.cpu_seconds_per_byte = 5e-10;
+  PerfModel model(params);
+  const size_t passes = 10;
+
+  auto runtime = [&](uint64_t gb) {
+    return model.PredictRun(gb << 30, passes);
+  };
+  // In-core segment: slope between 4->8 GB equals slope between 8->16 GB.
+  const double in_slope_1 = (runtime(8) - runtime(4)) / 4.0;
+  const double in_slope_2 = (runtime(16) - runtime(8)) / 8.0;
+  EXPECT_NEAR(in_slope_1, in_slope_2, in_slope_1 * 0.01);
+  // Out-of-core segment is also linear.
+  const double out_slope_1 = (runtime(80) - runtime(40)) / 40.0;
+  const double out_slope_2 = (runtime(160) - runtime(80)) / 80.0;
+  EXPECT_NEAR(out_slope_1, out_slope_2, out_slope_1 * 0.01);
+  // And steeper than the in-core slope.
+  EXPECT_GT(out_slope_1, in_slope_1 * 1.5);
+}
+
+TEST(PerfModelTest, FirstPassIsAlwaysCold) {
+  PerfModel model(PaperLikeParams());
+  const uint64_t bytes = 1ull << 30;  // fits in RAM
+  const double one_pass = model.PredictRun(bytes, 1);
+  const double two_passes = model.PredictRun(bytes, 2);
+  // Second (warm) pass must be cheaper than the first (cold) one.
+  EXPECT_LT(two_passes - one_pass, one_pass);
+}
+
+TEST(PerfModelTest, ZeroPassesIsZero) {
+  PerfModel model(PaperLikeParams());
+  EXPECT_DOUBLE_EQ(model.PredictRun(1 << 30, 0), 0.0);
+}
+
+TEST(PerfModelTest, PassOverheadAdds) {
+  PerfModelParams params = PaperLikeParams();
+  params.pass_overhead_seconds = 2.0;
+  PerfModel with(params);
+  params.pass_overhead_seconds = 0.0;
+  PerfModel without(params);
+  EXPECT_NEAR(with.PredictRun(1 << 30, 5) - without.PredictRun(1 << 30, 5),
+              10.0, 1e-9);
+}
+
+TEST(PerfModelTest, FitRecoversConstant) {
+  // If a 2 GiB dataset took 20 s over 10 passes, cpu cost is 1e-9 s/B.
+  const double fitted =
+      PerfModel::FitCpuSecondsPerByte(20.0, 2ull << 30, 10);
+  EXPECT_NEAR(fitted, 20.0 / (10.0 * (2ull << 30)), 1e-18);
+}
+
+TEST(PerfModelTest, SweepMarksOutOfCorePoints) {
+  PerfModel model(PaperLikeParams());
+  std::vector<uint64_t> sizes = {10ull << 30, 40ull << 30, 190ull << 30};
+  auto sweep = PredictSweep(model, sizes, 10);
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_FALSE(sweep[0].out_of_core);
+  EXPECT_TRUE(sweep[1].out_of_core);
+  EXPECT_TRUE(sweep[2].out_of_core);
+  // Monotone increasing runtime with size.
+  EXPECT_LT(sweep[0].predicted_seconds, sweep[1].predicted_seconds);
+  EXPECT_LT(sweep[1].predicted_seconds, sweep[2].predicted_seconds);
+}
+
+TEST(PerfModelTest, ToStringMentionsParameters) {
+  PerfModel model(PaperLikeParams());
+  EXPECT_NE(model.ToString().find("ram=32.00 GiB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace m3

@@ -1,0 +1,74 @@
+#include "core/resource_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace m3 {
+namespace {
+
+TEST(ResourceMonitorTest, CollectsSamplesWhileRunning) {
+  ResourceMonitor monitor(0.02);
+  monitor.Start();
+  EXPECT_TRUE(monitor.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  MonitorReport report = monitor.Stop();
+  EXPECT_FALSE(monitor.running());
+  EXPECT_GT(report.num_samples, 2u);
+  EXPECT_GT(report.wall_seconds, 0.1);
+}
+
+TEST(ResourceMonitorTest, BusyLoopShowsCpuUtilization) {
+  ResourceMonitor monitor(0.02);
+  monitor.Start();
+  volatile double sink = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  while (std::chrono::steady_clock::now() < deadline) {
+    sink = sink + 1.0;
+  }
+  MonitorReport report = monitor.Stop();
+  // One busy thread out of NumCpus: utilization must be clearly nonzero.
+  EXPECT_GT(report.mean_cpu_utilization, 0.1);
+  EXPECT_GE(report.peak_cpu_utilization, report.mean_cpu_utilization * 0.5);
+}
+
+TEST(ResourceMonitorTest, IdleSleepShowsLowCpu) {
+  ResourceMonitor monitor(0.02);
+  monitor.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  MonitorReport report = monitor.Stop();
+  EXPECT_LT(report.mean_cpu_utilization, 0.5);
+}
+
+TEST(ResourceMonitorTest, RestartableAfterStop) {
+  ResourceMonitor monitor(0.02);
+  monitor.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  monitor.Stop();
+  monitor.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  MonitorReport report = monitor.Stop();
+  EXPECT_GT(report.num_samples, 0u);
+}
+
+TEST(ResourceMonitorTest, ReportToStringMentionsCpu) {
+  ResourceMonitor monitor(0.02);
+  monitor.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  MonitorReport report = monitor.Stop();
+  EXPECT_NE(report.ToString().find("cpu(mean/peak)"), std::string::npos);
+}
+
+TEST(ResourceMonitorTest, SamplesAccessorIsThreadSafeCopy) {
+  ResourceMonitor monitor(0.01);
+  monitor.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  auto snapshot = monitor.samples();  // while running
+  monitor.Stop();
+  EXPECT_LE(snapshot.size(), monitor.samples().size());
+}
+
+}  // namespace
+}  // namespace m3

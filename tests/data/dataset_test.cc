@@ -1,0 +1,191 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/infimnist.h"
+#include "io/mmap_file.h"
+
+namespace m3::data {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/m3_dataset_test_" +
+           std::to_string(::getpid());
+    ASSERT_TRUE(io::MakeDirs(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+TEST_F(DatasetTest, WriterRoundTripViaMmap) {
+  const std::string path = Path("ds.m3");
+  auto writer = DatasetWriter::Create(path, 3).ValueOrDie();
+  la::Vector row(std::vector<double>{1, 2, 3});
+  ASSERT_TRUE(writer.AppendRow(row, 1.0).ok());
+  row = la::Vector(std::vector<double>{4, 5, 6});
+  ASSERT_TRUE(writer.AppendRow(row, 0.0).ok());
+  EXPECT_EQ(writer.rows_written(), 2u);
+  ASSERT_TRUE(writer.Finalize(2).ok());
+
+  auto meta = ReadDatasetMeta(path).ValueOrDie();
+  EXPECT_EQ(meta.rows, 2u);
+  EXPECT_EQ(meta.cols, 3u);
+  EXPECT_EQ(meta.num_classes, 2u);
+  EXPECT_EQ(meta.features_offset, kDatasetHeaderBytes);
+  EXPECT_EQ(meta.labels_offset, kDatasetHeaderBytes + 2 * 3 * 8);
+
+  auto mapped = io::MemoryMappedFile::Map(path).ValueOrDie();
+  const double* features = reinterpret_cast<const double*>(
+      mapped.As<const char>() + meta.features_offset);
+  EXPECT_DOUBLE_EQ(features[0], 1.0);
+  EXPECT_DOUBLE_EQ(features[5], 6.0);
+  const double* labels = reinterpret_cast<const double*>(
+      mapped.As<const char>() + meta.labels_offset);
+  EXPECT_DOUBLE_EQ(labels[0], 1.0);
+  EXPECT_DOUBLE_EQ(labels[1], 0.0);
+}
+
+TEST_F(DatasetTest, AppendRowsBulkMatchesPerRow) {
+  const std::string bulk_path = Path("bulk.m3");
+  const std::string row_path = Path("rows.m3");
+  std::vector<double> features{1, 2, 3, 4, 5, 6};
+  std::vector<double> labels{7, 8};
+  {
+    auto writer = DatasetWriter::Create(bulk_path, 3).ValueOrDie();
+    ASSERT_TRUE(writer.AppendRows(features.data(), labels.data(), 2).ok());
+    ASSERT_TRUE(writer.Finalize(0).ok());
+  }
+  {
+    auto writer = DatasetWriter::Create(row_path, 3).ValueOrDie();
+    for (int r = 0; r < 2; ++r) {
+      la::ConstVectorView row(features.data() + 3 * r, 3);
+      ASSERT_TRUE(writer.AppendRow(row, labels[r]).ok());
+    }
+    ASSERT_TRUE(writer.Finalize(0).ok());
+  }
+  EXPECT_EQ(io::ReadFileToString(bulk_path).ValueOrDie(),
+            io::ReadFileToString(row_path).ValueOrDie());
+}
+
+TEST_F(DatasetTest, WrongColumnCountRejected) {
+  auto writer = DatasetWriter::Create(Path("bad.m3"), 3).ValueOrDie();
+  la::Vector row(std::vector<double>{1, 2});
+  EXPECT_FALSE(writer.AppendRow(row, 0.0).ok());
+}
+
+TEST_F(DatasetTest, DoubleFinalizeRejected) {
+  auto writer = DatasetWriter::Create(Path("fin.m3"), 1).ValueOrDie();
+  la::Vector row(std::vector<double>{1});
+  ASSERT_TRUE(writer.AppendRow(row, 0.0).ok());
+  ASSERT_TRUE(writer.Finalize(1).ok());
+  EXPECT_EQ(writer.Finalize(1).code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DatasetTest, ZeroColumnsRejected) {
+  EXPECT_FALSE(DatasetWriter::Create(Path("zc.m3"), 0).ok());
+}
+
+TEST_F(DatasetTest, MetaOfGarbageFileRejected) {
+  const std::string path = Path("garbage.m3");
+  ASSERT_TRUE(
+      io::WriteStringToFile(path, std::string(8192, 'z')).ok());
+  auto meta = ReadDatasetMeta(path);
+  ASSERT_FALSE(meta.ok());
+  EXPECT_EQ(meta.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatasetTest, TruncatedFileRejected) {
+  const std::string path = Path("trunc.m3");
+  {
+    auto writer = DatasetWriter::Create(path, 4).ValueOrDie();
+    la::Vector row(4, 1.0);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(writer.AppendRow(row, 0.0).ok());
+    }
+    ASSERT_TRUE(writer.Finalize(1).ok());
+  }
+  auto contents = io::ReadFileToString(path).ValueOrDie();
+  contents.resize(contents.size() - 64);
+  ASSERT_TRUE(io::WriteStringToFile(path, contents).ok());
+  EXPECT_FALSE(ReadDatasetMeta(path).ok());
+}
+
+TEST_F(DatasetTest, WriteDatasetConvenience) {
+  la::Matrix x(3, 2, std::vector<double>{1, 2, 3, 4, 5, 6});
+  std::vector<double> labels{0, 1, 0};
+  const std::string path = Path("conv.m3");
+  ASSERT_TRUE(WriteDataset(path, x, labels, 2).ok());
+  auto meta = ReadDatasetMeta(path).ValueOrDie();
+  EXPECT_EQ(meta.rows, 3u);
+  EXPECT_EQ(meta.cols, 2u);
+}
+
+TEST_F(DatasetTest, WriteDatasetLabelMismatchRejected) {
+  la::Matrix x(3, 2);
+  std::vector<double> labels{0, 1};
+  EXPECT_FALSE(WriteDataset(Path("mm.m3"), x, labels, 2).ok());
+}
+
+TEST_F(DatasetTest, GenerateInfimnistDatasetProducesValidFile) {
+  const std::string path = Path("digits.m3");
+  ASSERT_TRUE(GenerateInfimnistDataset(path, 100, 42, false).ok());
+  auto meta = ReadDatasetMeta(path).ValueOrDie();
+  EXPECT_EQ(meta.rows, 100u);
+  EXPECT_EQ(meta.cols, kImageFeatures);
+  EXPECT_EQ(meta.num_classes, 10u);
+  // Labels must be 0..9 repeating.
+  auto mapped = io::MemoryMappedFile::Map(path).ValueOrDie();
+  const double* labels = reinterpret_cast<const double*>(
+      mapped.As<const char>() + meta.labels_offset);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_DOUBLE_EQ(labels[i], static_cast<double>(i % 10));
+  }
+}
+
+TEST_F(DatasetTest, GenerateInfimnistMatchesDirectGenerator) {
+  // Dataset rows must equal direct generator output (parallel generation
+  // must not perturb determinism or ordering).
+  const std::string path = Path("digits2.m3");
+  ASSERT_TRUE(GenerateInfimnistDataset(path, 50, 7, false).ok());
+  auto meta = ReadDatasetMeta(path).ValueOrDie();
+  auto mapped = io::MemoryMappedFile::Map(path).ValueOrDie();
+  const double* features = reinterpret_cast<const double*>(
+      mapped.As<const char>() + meta.features_offset);
+  InfiMnistGenerator gen(7);
+  std::vector<double> expected(kImageFeatures);
+  for (uint64_t i : {0ull, 13ull, 49ull}) {
+    gen.GenerateDoubles(i, expected.data());
+    for (size_t p = 0; p < kImageFeatures; ++p) {
+      ASSERT_DOUBLE_EQ(features[i * kImageFeatures + p], expected[p])
+          << "image " << i << " pixel " << p;
+    }
+  }
+}
+
+TEST_F(DatasetTest, GenerateBinaryLabelsCollapseClasses) {
+  const std::string path = Path("binary.m3");
+  ASSERT_TRUE(GenerateInfimnistDataset(path, 20, 42, true).ok());
+  auto meta = ReadDatasetMeta(path).ValueOrDie();
+  EXPECT_EQ(meta.num_classes, 2u);
+  auto mapped = io::MemoryMappedFile::Map(path).ValueOrDie();
+  const double* labels = reinterpret_cast<const double*>(
+      mapped.As<const char>() + meta.labels_offset);
+  for (int i = 0; i < 20; ++i) {
+    const double expected = (i % 10) < 5 ? 0.0 : 1.0;
+    ASSERT_DOUBLE_EQ(labels[i], expected);
+  }
+}
+
+TEST_F(DatasetTest, GenerateZeroImagesRejected) {
+  EXPECT_FALSE(GenerateInfimnistDataset(Path("zero.m3"), 0, 1, false).ok());
+}
+
+}  // namespace
+}  // namespace m3::data

@@ -1,0 +1,112 @@
+#include "data/idx_format.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "io/file.h"
+
+namespace m3::data {
+namespace {
+
+class IdxFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/m3_idx_test_" + std::to_string(::getpid());
+    ASSERT_TRUE(io::MakeDirs(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+TEST_F(IdxFormatTest, ImagesRoundTrip) {
+  const uint32_t count = 3, rows = 4, cols = 5;
+  std::vector<uint8_t> pixels(count * rows * cols);
+  for (size_t i = 0; i < pixels.size(); ++i) {
+    pixels[i] = static_cast<uint8_t>(i * 7);
+  }
+  const std::string path = Path("images.idx3");
+  ASSERT_TRUE(WriteIdxImages(path, pixels, count, rows, cols).ok());
+  auto data = ReadIdx(path);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data.value().dims, (std::vector<uint32_t>{count, rows, cols}));
+  EXPECT_EQ(data.value().bytes, pixels);
+  EXPECT_EQ(data.value().NumElements(), pixels.size());
+}
+
+TEST_F(IdxFormatTest, LabelsRoundTrip) {
+  std::vector<uint8_t> labels{0, 1, 2, 9, 5};
+  const std::string path = Path("labels.idx1");
+  ASSERT_TRUE(WriteIdxLabels(path, labels).ok());
+  auto data = ReadIdx(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value().dims, std::vector<uint32_t>{5});
+  EXPECT_EQ(data.value().bytes, labels);
+}
+
+TEST_F(IdxFormatTest, MnistMagicNumbersUsed) {
+  // The first 4 bytes must match the official MNIST container values.
+  std::vector<uint8_t> labels{1};
+  const std::string lpath = Path("l.idx1");
+  ASSERT_TRUE(WriteIdxLabels(lpath, labels).ok());
+  auto raw = io::ReadFileToString(lpath).ValueOrDie();
+  EXPECT_EQ(static_cast<uint8_t>(raw[2]), 0x08);  // ubyte
+  EXPECT_EQ(static_cast<uint8_t>(raw[3]), 0x01);  // 1 dim
+
+  std::vector<uint8_t> pixels(28 * 28, 0);
+  const std::string ipath = Path("i.idx3");
+  ASSERT_TRUE(WriteIdxImages(ipath, pixels, 1, 28, 28).ok());
+  raw = io::ReadFileToString(ipath).ValueOrDie();
+  EXPECT_EQ(static_cast<uint8_t>(raw[3]), 0x03);  // 3 dims
+  // Dimension 28 in big-endian.
+  EXPECT_EQ(static_cast<uint8_t>(raw[8 + 2]), 0);
+  EXPECT_EQ(static_cast<uint8_t>(raw[8 + 3]), 28);
+}
+
+TEST_F(IdxFormatTest, PixelCountMismatchRejected) {
+  std::vector<uint8_t> pixels(10);
+  EXPECT_FALSE(WriteIdxImages(Path("bad.idx3"), pixels, 2, 3, 4).ok());
+}
+
+TEST_F(IdxFormatTest, CorruptMagicRejected) {
+  const std::string path = Path("corrupt.idx");
+  ASSERT_TRUE(io::WriteStringToFile(path, "XXXXGARBAGE").ok());
+  auto data = ReadIdx(path);
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(IdxFormatTest, TruncatedPayloadRejected) {
+  std::vector<uint8_t> labels{1, 2, 3, 4};
+  const std::string path = Path("trunc.idx1");
+  ASSERT_TRUE(WriteIdxLabels(path, labels).ok());
+  // Chop off the last byte.
+  auto contents = io::ReadFileToString(path).ValueOrDie();
+  contents.pop_back();
+  ASSERT_TRUE(io::WriteStringToFile(path, contents).ok());
+  EXPECT_FALSE(ReadIdx(path).ok());
+}
+
+TEST_F(IdxFormatTest, UnsupportedElementTypeRejected) {
+  // Type 0x0D = float, which we do not support.
+  std::string raw = {0, 0, 0x0D, 0x01, 0, 0, 0, 0};
+  const std::string path = Path("float.idx");
+  ASSERT_TRUE(io::WriteStringToFile(path, raw).ok());
+  auto data = ReadIdx(path);
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), util::StatusCode::kNotSupported);
+}
+
+TEST_F(IdxFormatTest, EmptyLabelsRoundTrip) {
+  const std::string path = Path("empty.idx1");
+  ASSERT_TRUE(WriteIdxLabels(path, {}).ok());
+  auto data = ReadIdx(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value().NumElements(), 0u);
+}
+
+}  // namespace
+}  // namespace m3::data

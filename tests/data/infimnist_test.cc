@@ -1,0 +1,129 @@
+#include "data/infimnist.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace m3::data {
+namespace {
+
+TEST(InfiMnistTest, DeterministicAcrossGeneratorInstances) {
+  InfiMnistGenerator a(42);
+  InfiMnistGenerator b(42);
+  for (uint64_t i : {0ull, 1ull, 17ull, 100003ull}) {
+    DigitImage ia = a.Generate(i);
+    DigitImage ib = b.Generate(i);
+    EXPECT_EQ(ia.label, ib.label);
+    EXPECT_EQ(ia.pixels, ib.pixels) << "index " << i;
+  }
+}
+
+TEST(InfiMnistTest, LabelIsIndexMod10) {
+  InfiMnistGenerator gen(7);
+  for (uint64_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(gen.Generate(i).label, i % 10);
+  }
+}
+
+TEST(InfiMnistTest, DifferentSeedsProduceDifferentImages) {
+  InfiMnistGenerator a(1);
+  InfiMnistGenerator b(2);
+  EXPECT_NE(a.Generate(0).pixels, b.Generate(0).pixels);
+}
+
+TEST(InfiMnistTest, SameDigitDifferentIndexIsDeformed) {
+  InfiMnistGenerator gen(42);
+  // Index 3 and 13 are both the digit "3" but deformed differently.
+  DigitImage first = gen.Generate(3);
+  DigitImage second = gen.Generate(13);
+  EXPECT_EQ(first.label, second.label);
+  EXPECT_NE(first.pixels, second.pixels);
+}
+
+TEST(InfiMnistTest, ImagesHaveInkAndBackground) {
+  InfiMnistGenerator gen(42);
+  for (uint64_t i = 0; i < 10; ++i) {
+    DigitImage image = gen.Generate(i);
+    const int ink = static_cast<int>(std::count_if(
+        image.pixels.begin(), image.pixels.end(),
+        [](uint8_t p) { return p > 128; }));
+    // A legible 28x28 digit has ink in roughly 5-40% of pixels.
+    EXPECT_GT(ink, 30) << "digit " << i << " has almost no ink";
+    EXPECT_LT(ink, 400) << "digit " << i << " is mostly ink";
+  }
+}
+
+TEST(InfiMnistTest, InkConcentratedInGlyphBoundingBox) {
+  // Deformations are bounded, so ink should stay away from the extreme
+  // corners of the frame.
+  InfiMnistGenerator gen(11);
+  for (uint64_t i = 0; i < 10; ++i) {
+    DigitImage image = gen.Generate(i);
+    int corner_ink = 0;
+    for (size_t y : {0ul, 1ul, 26ul, 27ul}) {
+      for (size_t x : {0ul, 1ul, 26ul, 27ul}) {
+        if (image.pixels[y * kImageSide + x] > 200) {
+          ++corner_ink;
+        }
+      }
+    }
+    EXPECT_LE(corner_ink, 2) << "digit " << i;
+  }
+}
+
+TEST(InfiMnistTest, DigitsAreMutuallyDistinguishable) {
+  // Mean images per class over a few samples should differ pairwise:
+  // L2 distance between class means must be clearly positive.
+  InfiMnistGenerator gen(5);
+  std::vector<std::vector<double>> means(10,
+                                         std::vector<double>(kImageFeatures));
+  constexpr int kPerClass = 8;
+  for (int digit = 0; digit < 10; ++digit) {
+    for (int rep = 0; rep < kPerClass; ++rep) {
+      DigitImage image =
+          gen.Generate(static_cast<uint64_t>(digit) + 10ull * rep);
+      for (size_t p = 0; p < kImageFeatures; ++p) {
+        means[digit][p] += image.pixels[p] / double{kPerClass};
+      }
+    }
+  }
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      double dist2 = 0;
+      for (size_t p = 0; p < kImageFeatures; ++p) {
+        const double d = means[a][p] - means[b][p];
+        dist2 += d * d;
+      }
+      EXPECT_GT(std::sqrt(dist2), 300.0)
+          << "digits " << a << " and " << b << " look identical";
+    }
+  }
+}
+
+TEST(InfiMnistTest, GenerateDoublesMatchesBytePixels) {
+  InfiMnistGenerator gen(9);
+  std::vector<double> row(kImageFeatures);
+  const uint8_t label = gen.GenerateDoubles(1234, row.data());
+  DigitImage image = gen.Generate(1234);
+  EXPECT_EQ(label, image.label);
+  for (size_t p = 0; p < kImageFeatures; ++p) {
+    ASSERT_DOUBLE_EQ(row[p], static_cast<double>(image.pixels[p]));
+  }
+}
+
+TEST(InfiMnistTest, PixelRangeIsByteRange) {
+  InfiMnistGenerator gen(3);
+  std::vector<double> row(kImageFeatures);
+  gen.GenerateDoubles(77, row.data());
+  for (double v : row) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 255.0);
+  }
+}
+
+}  // namespace
+}  // namespace m3::data

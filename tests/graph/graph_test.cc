@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <set>
+
+#include "graph/connected_components.h"
+#include "graph/edge_list.h"
+#include "graph/pagerank.h"
+#include "io/file.h"
+
+namespace m3::graph {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ =
+        ::testing::TempDir() + "/m3_graph_test_" + std::to_string(::getpid());
+    ASSERT_TRUE(io::MakeDirs(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string WriteGraph(const std::string& name, uint64_t nodes,
+                         const std::vector<Edge>& edges) {
+    const std::string path = dir_ + "/" + name;
+    EXPECT_TRUE(WriteEdgeList(path, nodes, edges).ok());
+    return path;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(GraphTest, EdgeListRoundTrip) {
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}, {3, 3}};
+  const std::string path = WriteGraph("rt.m3g", 4, edges);
+  auto graph = MappedEdgeList::Open(path);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph.value().num_nodes(), 4u);
+  EXPECT_EQ(graph.value().num_edges(), 4u);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    EXPECT_EQ(graph.value().edge(e).src, edges[e].src);
+    EXPECT_EQ(graph.value().edge(e).dst, edges[e].dst);
+  }
+}
+
+TEST_F(GraphTest, OutOfRangeEdgeRejected) {
+  EXPECT_FALSE(WriteEdgeList(dir_ + "/bad.m3g", 2, {{0, 5}}).ok());
+}
+
+TEST_F(GraphTest, CorruptFileRejected) {
+  const std::string path = dir_ + "/corrupt.m3g";
+  ASSERT_TRUE(io::WriteStringToFile(path, std::string(8192, 'x')).ok());
+  EXPECT_FALSE(MappedEdgeList::Open(path).ok());
+}
+
+TEST_F(GraphTest, TruncatedFileRejected) {
+  std::vector<Edge> edges{{0, 1}, {1, 0}};
+  const std::string path = WriteGraph("trunc.m3g", 2, edges);
+  auto contents = io::ReadFileToString(path).ValueOrDie();
+  contents.resize(contents.size() - 8);
+  ASSERT_TRUE(io::WriteStringToFile(path, contents).ok());
+  EXPECT_FALSE(MappedEdgeList::Open(path).ok());
+}
+
+TEST_F(GraphTest, RandomGraphIsDeterministicAndInRange) {
+  auto a = RandomGraph(100, 500, 42);
+  auto b = RandomGraph(100, 500, 42);
+  ASSERT_EQ(a.size(), 500u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_LT(a[i].src, 100u);
+    EXPECT_LT(a[i].dst, 100u);
+  }
+}
+
+TEST_F(GraphTest, PageRankSumsToOne) {
+  auto edges = RandomGraph(200, 1000, 7);
+  const std::string path = WriteGraph("pr.m3g", 200, edges);
+  auto graph = MappedEdgeList::Open(path).ValueOrDie();
+  auto result = PageRank(graph);
+  ASSERT_TRUE(result.ok());
+  double sum = 0;
+  for (double rank : result.value().ranks) {
+    EXPECT_GT(rank, 0.0);
+    sum += rank;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(GraphTest, PageRankUniformOnSymmetricCycle) {
+  // 0 -> 1 -> 2 -> 3 -> 0: perfect symmetry, uniform ranks.
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  const std::string path = WriteGraph("cycle.m3g", 4, edges);
+  auto graph = MappedEdgeList::Open(path).ValueOrDie();
+  auto result = PageRank(graph).ValueOrDie();
+  for (double rank : result.ranks) {
+    EXPECT_NEAR(rank, 0.25, 1e-9);
+  }
+  EXPECT_TRUE(result.converged);
+}
+
+TEST_F(GraphTest, PageRankStarCenterDominates) {
+  // Everyone links to node 0.
+  std::vector<Edge> edges{{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  const std::string path = WriteGraph("star.m3g", 5, edges);
+  auto graph = MappedEdgeList::Open(path).ValueOrDie();
+  auto result = PageRank(graph).ValueOrDie();
+  for (uint64_t v = 1; v < 5; ++v) {
+    EXPECT_GT(result.ranks[0], result.ranks[v] * 2);
+  }
+}
+
+TEST_F(GraphTest, PageRankHandlesDanglingNodes) {
+  // Node 1 has no out-edges: its mass must be redistributed, not lost.
+  std::vector<Edge> edges{{0, 1}};
+  const std::string path = WriteGraph("dangle.m3g", 3, edges);
+  auto graph = MappedEdgeList::Open(path).ValueOrDie();
+  auto result = PageRank(graph).ValueOrDie();
+  double sum = 0;
+  for (double rank : result.ranks) {
+    sum += rank;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(result.ranks[1], result.ranks[2]);  // 1 receives, 2 doesn't
+}
+
+TEST_F(GraphTest, PageRankInvalidDampingRejected) {
+  const std::string path = WriteGraph("d.m3g", 2, {{0, 1}});
+  auto graph = MappedEdgeList::Open(path).ValueOrDie();
+  PageRankOptions options;
+  options.damping = 1.0;
+  EXPECT_FALSE(PageRank(graph, options).ok());
+}
+
+TEST_F(GraphTest, ConnectedComponentsTwoIslands) {
+  // {0,1,2} connected, {3,4} connected, {5} isolated.
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {3, 4}};
+  const std::string path = WriteGraph("cc.m3g", 6, edges);
+  auto graph = MappedEdgeList::Open(path).ValueOrDie();
+  auto result = ConnectedComponents(graph).ValueOrDie();
+  EXPECT_EQ(result.num_components, 3u);
+  EXPECT_EQ(result.component[0], result.component[1]);
+  EXPECT_EQ(result.component[1], result.component[2]);
+  EXPECT_EQ(result.component[3], result.component[4]);
+  EXPECT_NE(result.component[0], result.component[3]);
+  EXPECT_NE(result.component[0], result.component[5]);
+  // Canonical labels are the minimum node ids.
+  EXPECT_EQ(result.component[0], 0u);
+  EXPECT_EQ(result.component[3], 3u);
+  EXPECT_EQ(result.component[5], 5u);
+}
+
+TEST_F(GraphTest, ConnectedComponentsDirectionIgnored) {
+  std::vector<Edge> edges{{2, 0}, {1, 2}};  // arbitrary directions
+  const std::string path = WriteGraph("dir.m3g", 3, edges);
+  auto graph = MappedEdgeList::Open(path).ValueOrDie();
+  auto result = ConnectedComponents(graph).ValueOrDie();
+  EXPECT_EQ(result.num_components, 1u);
+}
+
+TEST_F(GraphTest, ConnectedComponentsBigRandomGraphIsFullyConnected) {
+  // 500 nodes, 5000 random edges: connected with overwhelming probability.
+  auto edges = RandomGraph(500, 5000, 3);
+  const std::string path = WriteGraph("bigcc.m3g", 500, edges);
+  auto graph = MappedEdgeList::Open(path).ValueOrDie();
+  auto result = ConnectedComponents(graph).ValueOrDie();
+  EXPECT_EQ(result.num_components, 1u);
+}
+
+TEST_F(GraphTest, EmptyGraphRejectedByAlgorithms) {
+  const std::string path = WriteGraph("empty.m3g", 0, {});
+  // Zero nodes: header-only file.
+  auto graph = MappedEdgeList::Open(path);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(PageRank(graph.value()).ok());
+  EXPECT_FALSE(ConnectedComponents(graph.value()).ok());
+}
+
+}  // namespace
+}  // namespace m3::graph

@@ -1,0 +1,34 @@
+#include "io/disk_probe.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "io/file.h"
+
+namespace m3::io {
+namespace {
+
+TEST(DiskProbeTest, ProbeProducesPositiveBandwidths) {
+  const std::string dir = ::testing::TempDir() + "/m3_probe_test";
+  ASSERT_TRUE(MakeDirs(dir).ok());
+  auto result = ProbeDisk(dir, 8 << 20);  // small probe to keep tests fast
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().sequential_read_bytes_per_sec, 0.0);
+  EXPECT_GT(result.value().sequential_write_bytes_per_sec, 0.0);
+  EXPECT_GT(result.value().random_read_latency_sec, 0.0);
+  // Scratch file must be cleaned up.
+  EXPECT_FALSE(FileExists(dir + "/.m3_disk_probe.tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskProbeTest, TinyProbeRejected) {
+  EXPECT_FALSE(ProbeDisk("/tmp", 1024).ok());
+}
+
+TEST(DiskProbeTest, MissingDirectoryFails) {
+  EXPECT_FALSE(ProbeDisk("/nonexistent_dir_m3", 8 << 20).ok());
+}
+
+}  // namespace
+}  // namespace m3::io

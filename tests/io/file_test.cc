@@ -1,0 +1,133 @@
+#include "io/file.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+namespace m3::io {
+namespace {
+
+class FileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/m3_file_test_" +
+           std::to_string(::getpid());
+    ASSERT_TRUE(MakeDirs(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+TEST_F(FileTest, CreateWriteReadRoundTrip) {
+  const std::string path = Path("rt.bin");
+  auto file = File::CreateTruncate(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  const std::string payload = "hello mmap world";
+  ASSERT_TRUE(file.value().WriteExactAt(0, payload.data(), payload.size()).ok());
+  std::string readback(payload.size(), '\0');
+  ASSERT_TRUE(
+      file.value().ReadExactAt(0, readback.data(), readback.size()).ok());
+  EXPECT_EQ(readback, payload);
+}
+
+TEST_F(FileTest, OpenMissingFileIsIoError) {
+  auto file = File::OpenReadOnly(Path("missing.bin"));
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), util::StatusCode::kIoError);
+}
+
+TEST_F(FileTest, SizeTracksWrites) {
+  auto file = File::CreateTruncate(Path("sz.bin")).ValueOrDie();
+  EXPECT_EQ(file.Size().ValueOrDie(), 0u);
+  ASSERT_TRUE(file.WriteExactAt(0, "abcd", 4).ok());
+  EXPECT_EQ(file.Size().ValueOrDie(), 4u);
+  // Positional write beyond EOF extends with a hole.
+  ASSERT_TRUE(file.WriteExactAt(100, "x", 1).ok());
+  EXPECT_EQ(file.Size().ValueOrDie(), 101u);
+}
+
+TEST_F(FileTest, ResizeGrowsAndShrinks) {
+  auto file = File::CreateTruncate(Path("resize.bin")).ValueOrDie();
+  ASSERT_TRUE(file.Resize(4096).ok());
+  EXPECT_EQ(file.Size().ValueOrDie(), 4096u);
+  ASSERT_TRUE(file.Resize(10).ok());
+  EXPECT_EQ(file.Size().ValueOrDie(), 10u);
+}
+
+TEST_F(FileTest, ShortReadBeyondEofIsError) {
+  auto file = File::CreateTruncate(Path("eof.bin")).ValueOrDie();
+  ASSERT_TRUE(file.WriteExactAt(0, "ab", 2).ok());
+  char buf[10];
+  util::Status st = file.ReadExactAt(0, buf, sizeof(buf));
+  EXPECT_EQ(st.code(), util::StatusCode::kIoError);
+}
+
+TEST_F(FileTest, OperationsOnClosedFileFail) {
+  auto file = File::CreateTruncate(Path("closed.bin")).ValueOrDie();
+  ASSERT_TRUE(file.Close().ok());
+  char c;
+  EXPECT_EQ(file.ReadExactAt(0, &c, 1).code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(file.WriteExactAt(0, &c, 1).code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(file.Size().ok());
+  EXPECT_TRUE(file.Close().ok());  // idempotent
+}
+
+TEST_F(FileTest, MoveTransfersOwnership) {
+  auto file = File::CreateTruncate(Path("move.bin")).ValueOrDie();
+  const int fd = file.fd();
+  File moved = std::move(file);
+  EXPECT_EQ(moved.fd(), fd);
+  EXPECT_FALSE(file.is_open());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(moved.is_open());
+}
+
+TEST_F(FileTest, SyncAndDropCacheSucceed) {
+  auto file = File::CreateTruncate(Path("sync.bin")).ValueOrDie();
+  ASSERT_TRUE(file.WriteExactAt(0, "data", 4).ok());
+  EXPECT_TRUE(file.Sync().ok());
+  EXPECT_TRUE(file.DropCache().ok());
+  EXPECT_TRUE(file.AdviseSequential().ok());
+  EXPECT_TRUE(file.AdviseRandom().ok());
+}
+
+TEST_F(FileTest, FileExistsAndRemove) {
+  const std::string path = Path("exists.bin");
+  EXPECT_FALSE(FileExists(path));
+  ASSERT_TRUE(WriteStringToFile(path, "x").ok());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_EQ(RemoveFile(path).code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(FileTest, FileSizeHelper) {
+  const std::string path = Path("size.bin");
+  ASSERT_TRUE(WriteStringToFile(path, "12345").ok());
+  EXPECT_EQ(FileSize(path).ValueOrDie(), 5u);
+  EXPECT_FALSE(FileSize(Path("no")).ok());
+}
+
+TEST_F(FileTest, MakeDirsCreatesNested) {
+  const std::string nested = dir_ + "/a/b/c";
+  ASSERT_TRUE(MakeDirs(nested).ok());
+  EXPECT_TRUE(std::filesystem::is_directory(nested));
+  // Idempotent.
+  EXPECT_TRUE(MakeDirs(nested).ok());
+}
+
+TEST_F(FileTest, ReadWriteStringHelpers) {
+  const std::string path = Path("str.bin");
+  ASSERT_TRUE(WriteStringToFile(path, "contents here").ok());
+  EXPECT_EQ(ReadFileToString(path).ValueOrDie(), "contents here");
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  EXPECT_EQ(ReadFileToString(path).ValueOrDie(), "");
+}
+
+}  // namespace
+}  // namespace m3::io

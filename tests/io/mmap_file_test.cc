@@ -1,0 +1,221 @@
+#include "io/mmap_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <numeric>
+#include <vector>
+
+#include "io/platform.h"
+#include "util/sys_info.h"
+
+namespace m3::io {
+namespace {
+
+class MmapFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/m3_mmap_test_" +
+           std::to_string(::getpid());
+    ASSERT_TRUE(MakeDirs(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  // Creates a file with `count` doubles 0..count-1.
+  std::string MakeDoubleFile(const std::string& name, size_t count) {
+    std::vector<double> values(count);
+    std::iota(values.begin(), values.end(), 0.0);
+    const std::string path = Path(name);
+    std::string bytes(reinterpret_cast<const char*>(values.data()),
+                      count * sizeof(double));
+    EXPECT_TRUE(WriteStringToFile(path, bytes).ok());
+    return path;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(MmapFileTest, MapReadOnlySeesFileContents) {
+  const std::string path = MakeDoubleFile("ro.bin", 1000);
+  auto mapped = MemoryMappedFile::Map(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  const double* values = mapped.value().As<const double>();
+  EXPECT_EQ(mapped.value().size(), 1000 * sizeof(double));
+  for (size_t i = 0; i < 1000; ++i) {
+    ASSERT_DOUBLE_EQ(values[i], static_cast<double>(i));
+  }
+}
+
+TEST_F(MmapFileTest, MapMissingFileFails) {
+  auto mapped = MemoryMappedFile::Map(Path("missing.bin"));
+  EXPECT_FALSE(mapped.ok());
+}
+
+TEST_F(MmapFileTest, MapEmptyFileFails) {
+  const std::string path = Path("empty.bin");
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  auto mapped = MemoryMappedFile::Map(path);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(MmapFileTest, CreateAndMapWritesReachTheFile) {
+  const std::string path = Path("rw.bin");
+  const size_t kCount = 512;
+  {
+    auto mapped = MemoryMappedFile::CreateAndMap(path, kCount * sizeof(double));
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    double* values = mapped.value().As<double>();
+    for (size_t i = 0; i < kCount; ++i) {
+      values[i] = static_cast<double>(i) * 2.0;
+    }
+    ASSERT_TRUE(mapped.value().Sync().ok());
+  }  // unmap
+  // Re-open and verify persistence.
+  auto reread = MemoryMappedFile::Map(path);
+  ASSERT_TRUE(reread.ok());
+  const double* values = reread.value().As<const double>();
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_DOUBLE_EQ(values[i], static_cast<double>(i) * 2.0);
+  }
+}
+
+TEST_F(MmapFileTest, ReadWriteModeModifiesExistingFile) {
+  const std::string path = MakeDoubleFile("mod.bin", 16);
+  {
+    MemoryMappedFile::Options options;
+    options.mode = MemoryMappedFile::Mode::kReadWrite;
+    auto mapped = MemoryMappedFile::Map(path, options);
+    ASSERT_TRUE(mapped.ok());
+    mapped.value().As<double>()[3] = 99.0;
+    ASSERT_TRUE(mapped.value().Sync().ok());
+  }
+  auto reread = MemoryMappedFile::Map(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_DOUBLE_EQ(reread.value().As<const double>()[3], 99.0);
+}
+
+TEST_F(MmapFileTest, PrivateModeDoesNotModifyFile) {
+  const std::string path = MakeDoubleFile("cow.bin", 16);
+  {
+    MemoryMappedFile::Options options;
+    options.mode = MemoryMappedFile::Mode::kPrivate;
+    auto mapped = MemoryMappedFile::Map(path, options);
+    ASSERT_TRUE(mapped.ok());
+    mapped.value().As<double>()[3] = 99.0;
+    EXPECT_DOUBLE_EQ(mapped.value().As<double>()[3], 99.0);
+  }
+  auto reread = MemoryMappedFile::Map(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_DOUBLE_EQ(reread.value().As<const double>()[3], 3.0);
+}
+
+TEST_F(MmapFileTest, MapAnonymousIsZeroed) {
+  auto mapped = MemoryMappedFile::MapAnonymous(1 << 16);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_FALSE(mapped.value().file_backed());
+  const char* bytes = mapped.value().As<const char>();
+  for (size_t i = 0; i < mapped.value().size(); i += 4096) {
+    ASSERT_EQ(bytes[i], 0);
+  }
+  mapped.value().As<char>()[0] = 'x';
+  EXPECT_EQ(bytes[0], 'x');
+}
+
+TEST_F(MmapFileTest, AdviceVariantsSucceed) {
+  const std::string path = MakeDoubleFile("adv.bin", 4096);
+  auto mapped = MemoryMappedFile::Map(path).ValueOrDie();
+  for (Advice advice : {Advice::kNormal, Advice::kRandom, Advice::kSequential,
+                        Advice::kWillNeed}) {
+    EXPECT_TRUE(mapped.Advise(advice).ok())
+        << "advice=" << AdviceToString(advice);
+  }
+  EXPECT_TRUE(mapped.Prefetch(0, 4096).ok());
+}
+
+TEST_F(MmapFileTest, AdviseRangeBeyondMappingIsOutOfRange) {
+  const std::string path = MakeDoubleFile("advr.bin", 16);
+  auto mapped = MemoryMappedFile::Map(path).ValueOrDie();
+  util::Status st = mapped.AdviseRange(Advice::kWillNeed, 1 << 20, 10);
+  EXPECT_EQ(st.code(), util::StatusCode::kOutOfRange);
+}
+
+TEST_F(MmapFileTest, ResidencyDropsAfterEvict) {
+  if (!GetPlatformCapabilities().mincore_tracks_eviction) {
+    GTEST_SKIP() << "kernel fakes mincore residency (sandbox)";
+  }
+  // 4 MiB file: touch everything, then evict and compare mincore counts.
+  const size_t kBytes = 4 << 20;
+  const std::string path = Path("evict.bin");
+  {
+    auto created = MemoryMappedFile::CreateAndMap(path, kBytes).ValueOrDie();
+    std::memset(created.mutable_data(), 0xAB, kBytes);
+    ASSERT_TRUE(created.Sync().ok());
+  }
+  auto mapped = MemoryMappedFile::Map(path).ValueOrDie();
+  mapped.TouchAllPages();
+  const uint64_t resident_before =
+      mapped.CountResidentPages(0, kBytes).ValueOrDie();
+  EXPECT_GT(resident_before, 0u);
+  ASSERT_TRUE(mapped.Evict(0, kBytes).ok());
+  const uint64_t resident_after =
+      mapped.CountResidentPages(0, kBytes).ValueOrDie();
+  EXPECT_LT(resident_after, resident_before);
+}
+
+TEST_F(MmapFileTest, TouchAllPagesChecksumStable) {
+  const std::string path = MakeDoubleFile("touch.bin", 2048);
+  auto mapped = MemoryMappedFile::Map(path).ValueOrDie();
+  EXPECT_EQ(mapped.TouchAllPages(), mapped.TouchAllPages());
+}
+
+TEST_F(MmapFileTest, ResidentFractionBetweenZeroAndOne) {
+  const std::string path = MakeDoubleFile("frac.bin", 4096);
+  auto mapped = MemoryMappedFile::Map(path).ValueOrDie();
+  mapped.TouchAllPages();
+  const double frac = mapped.ResidentFraction().ValueOrDie();
+  EXPECT_GE(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+}
+
+TEST_F(MmapFileTest, MoveTransfersMapping) {
+  const std::string path = MakeDoubleFile("move.bin", 16);
+  auto mapped = MemoryMappedFile::Map(path).ValueOrDie();
+  const void* addr = mapped.data();
+  MemoryMappedFile moved = std::move(mapped);
+  EXPECT_EQ(moved.data(), addr);
+  EXPECT_FALSE(mapped.is_mapped());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(moved.is_mapped());
+}
+
+TEST_F(MmapFileTest, UnmapIsIdempotent) {
+  const std::string path = MakeDoubleFile("unmap.bin", 16);
+  auto mapped = MemoryMappedFile::Map(path).ValueOrDie();
+  EXPECT_TRUE(mapped.Unmap().ok());
+  EXPECT_FALSE(mapped.is_mapped());
+  EXPECT_TRUE(mapped.Unmap().ok());
+  EXPECT_EQ(mapped.Advise(Advice::kNormal).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MmapFileTest, PopulateOptionPrefaults) {
+  const std::string path = MakeDoubleFile("pop.bin", 1 << 16);
+  MemoryMappedFile::Options options;
+  options.populate = true;
+  auto mapped = MemoryMappedFile::Map(path, options).ValueOrDie();
+  // With MAP_POPULATE everything should already be resident. (On kernels
+  // that fake mincore this still holds: they report all-resident.)
+  EXPECT_DOUBLE_EQ(mapped.ResidentFraction().ValueOrDie(), 1.0);
+}
+
+TEST_F(MmapFileTest, AdviceToStringNames) {
+  EXPECT_EQ(AdviceToString(Advice::kSequential), "sequential");
+  EXPECT_EQ(AdviceToString(Advice::kRandom), "random");
+  EXPECT_EQ(AdviceToString(Advice::kDontNeed), "dontneed");
+}
+
+}  // namespace
+}  // namespace m3::io

@@ -1,0 +1,228 @@
+#include "la/blas.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace m3::la {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, util::Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      m(r, c) = rng->Uniform(-1.0, 1.0);
+    }
+  }
+  return m;
+}
+
+Vector RandomVector(size_t n, util::Rng* rng) {
+  Vector v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = rng->Uniform(-1.0, 1.0);
+  }
+  return v;
+}
+
+TEST(BlasTest, DotBasic) {
+  Vector x(std::vector<double>{1, 2, 3});
+  Vector y(std::vector<double>{4, 5, 6});
+  EXPECT_DOUBLE_EQ(Dot(x, y), 32.0);
+  EXPECT_DOUBLE_EQ(Dot(x, x), 14.0);
+}
+
+TEST(BlasTest, DotEmptyIsZero) {
+  Vector empty;
+  EXPECT_DOUBLE_EQ(Dot(empty, empty), 0.0);
+}
+
+TEST(BlasTest, AxpyAccumulates) {
+  Vector x(std::vector<double>{1, 2, 3});
+  Vector y(std::vector<double>{10, 20, 30});
+  Axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  EXPECT_DOUBLE_EQ(y[2], 36.0);
+}
+
+TEST(BlasTest, ScalScales) {
+  Vector x(std::vector<double>{1, -2, 3});
+  Scal(-2.0, x);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+  EXPECT_DOUBLE_EQ(x[2], -6.0);
+}
+
+TEST(BlasTest, Nrm2AndSumAndAbsMax) {
+  Vector x(std::vector<double>{3, -4});
+  EXPECT_DOUBLE_EQ(Nrm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(Sum(x), -1.0);
+  EXPECT_DOUBLE_EQ(AbsMax(x), 4.0);
+  Vector empty;
+  EXPECT_DOUBLE_EQ(AbsMax(empty), 0.0);
+}
+
+TEST(BlasTest, SquaredDistanceMatchesDefinition) {
+  Vector x(std::vector<double>{1, 2, 3});
+  Vector y(std::vector<double>{2, 0, 3});
+  EXPECT_DOUBLE_EQ(SquaredDistance(x, y), 1.0 + 4.0 + 0.0);
+}
+
+TEST(BlasTest, CopyCopies) {
+  Vector x(std::vector<double>{1, 2});
+  Vector y(2);
+  Copy(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+TEST(BlasTest, GemvMatchesManual) {
+  Matrix a(2, 3, std::vector<double>{1, 2, 3, 4, 5, 6});
+  Vector x(std::vector<double>{1, 0, -1});
+  Vector y(std::vector<double>{10, 10});
+  Gemv(2.0, a, x, 0.5, y);
+  // A*x = {1-3, 4-6} = {-2, -2}; y = 2*(-2) + 0.5*10 = 1
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+}
+
+TEST(BlasTest, GemvTMatchesManual) {
+  Matrix a(2, 3, std::vector<double>{1, 2, 3, 4, 5, 6});
+  Vector x(std::vector<double>{1, -1});
+  Vector y(3);
+  GemvT(1.0, a, x, 0.0, y);
+  // A^T x = {1-4, 2-5, 3-6}
+  EXPECT_DOUBLE_EQ(y[0], -3.0);
+  EXPECT_DOUBLE_EQ(y[1], -3.0);
+  EXPECT_DOUBLE_EQ(y[2], -3.0);
+}
+
+TEST(BlasTest, GemvTransposeConsistency) {
+  // Property: x^T (A y) == (A^T x)^T y for random A, x, y.
+  util::Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix a = RandomMatrix(17, 9, &rng);
+    Vector x = RandomVector(17, &rng);
+    Vector y = RandomVector(9, &rng);
+    Vector ay(17);
+    Gemv(1.0, a, y, 0.0, ay);
+    Vector atx(9);
+    GemvT(1.0, a, x, 0.0, atx);
+    EXPECT_NEAR(Dot(x, ay), Dot(atx, y), 1e-10);
+  }
+}
+
+TEST(BlasTest, GemmMatchesNaive) {
+  util::Rng rng(31);
+  Matrix a = RandomMatrix(7, 5, &rng);
+  Matrix b = RandomMatrix(5, 9, &rng);
+  Matrix c(7, 9);
+  Gemm(1.0, a, b, 0.0, c);
+  for (size_t i = 0; i < 7; ++i) {
+    for (size_t j = 0; j < 9; ++j) {
+      double expected = 0;
+      for (size_t k = 0; k < 5; ++k) {
+        expected += a(i, k) * b(k, j);
+      }
+      ASSERT_NEAR(c(i, j), expected, 1e-12);
+    }
+  }
+}
+
+TEST(BlasTest, GemmAlphaBetaComposition) {
+  util::Rng rng(41);
+  Matrix a = RandomMatrix(4, 4, &rng);
+  Matrix b = RandomMatrix(4, 4, &rng);
+  Matrix c = RandomMatrix(4, 4, &rng);
+  Matrix expected = c;
+  // expected = 2*A*B + 3*C computed naively.
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      double acc = 0;
+      for (size_t k = 0; k < 4; ++k) {
+        acc += a(i, k) * b(k, j);
+      }
+      expected(i, j) = 2.0 * acc + 3.0 * c(i, j);
+    }
+  }
+  Gemm(2.0, a, b, 3.0, c);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      ASSERT_NEAR(c(i, j), expected(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(BlasTest, GemmBlockingCrossesBlockBoundary) {
+  // k = 130 exceeds the 64-wide block: checks block loop seams.
+  util::Rng rng(51);
+  Matrix a = RandomMatrix(3, 130, &rng);
+  Matrix b = RandomMatrix(130, 2, &rng);
+  Matrix c(3, 2);
+  Gemm(1.0, a, b, 0.0, c);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      double expected = 0;
+      for (size_t k = 0; k < 130; ++k) {
+        expected += a(i, k) * b(k, j);
+      }
+      ASSERT_NEAR(c(i, j), expected, 1e-10);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized property sweep: parallel kernels must agree with their
+// sequential counterparts for a range of shapes that straddle the grain.
+// ---------------------------------------------------------------------------
+
+struct ShapeParam {
+  size_t rows;
+  size_t cols;
+};
+
+class ParallelKernelTest : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(ParallelKernelTest, ParallelGemvMatchesSequential) {
+  const ShapeParam p = GetParam();
+  util::Rng rng(61 + p.rows);
+  Matrix a = RandomMatrix(p.rows, p.cols, &rng);
+  Vector x = RandomVector(p.cols, &rng);
+  Vector y_seq = RandomVector(p.rows, &rng);
+  Vector y_par = y_seq;
+  Gemv(1.7, a, x, 0.3, y_seq);
+  ParallelGemv(1.7, a, x, 0.3, y_par);
+  for (size_t i = 0; i < p.rows; ++i) {
+    ASSERT_NEAR(y_seq[i], y_par[i], 1e-10) << "row " << i;
+  }
+}
+
+TEST_P(ParallelKernelTest, ParallelGemvTMatchesSequential) {
+  const ShapeParam p = GetParam();
+  util::Rng rng(71 + p.cols);
+  Matrix a = RandomMatrix(p.rows, p.cols, &rng);
+  Vector x = RandomVector(p.rows, &rng);
+  Vector y_seq = RandomVector(p.cols, &rng);
+  Vector y_par = y_seq;
+  GemvT(0.9, a, x, 1.1, y_seq);
+  ParallelGemvT(0.9, a, x, 1.1, y_par);
+  for (size_t i = 0; i < p.cols; ++i) {
+    ASSERT_NEAR(y_seq[i], y_par[i], 1e-9) << "col " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ParallelKernelTest,
+    ::testing::Values(ShapeParam{1, 1}, ShapeParam{3, 7}, ShapeParam{255, 16},
+                      ShapeParam{256, 16}, ShapeParam{257, 16},
+                      ShapeParam{1024, 8}, ShapeParam{2000, 3}),
+    [](const ::testing::TestParamInfo<ShapeParam>& info) {
+      return std::to_string(info.param.rows) + "x" +
+             std::to_string(info.param.cols);
+    });
+
+}  // namespace
+}  // namespace m3::la

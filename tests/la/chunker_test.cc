@@ -1,0 +1,57 @@
+#include "la/chunker.h"
+
+#include <gtest/gtest.h>
+
+namespace m3::la {
+namespace {
+
+TEST(RowChunkerTest, ExactDivision) {
+  RowChunker chunker(100, 25);
+  EXPECT_EQ(chunker.NumChunks(), 4u);
+  EXPECT_EQ(chunker.Chunk(0).begin, 0u);
+  EXPECT_EQ(chunker.Chunk(0).end, 25u);
+  EXPECT_EQ(chunker.Chunk(3).begin, 75u);
+  EXPECT_EQ(chunker.Chunk(3).end, 100u);
+}
+
+TEST(RowChunkerTest, RaggedTail) {
+  RowChunker chunker(10, 4);
+  EXPECT_EQ(chunker.NumChunks(), 3u);
+  EXPECT_EQ(chunker.Chunk(2).begin, 8u);
+  EXPECT_EQ(chunker.Chunk(2).end, 10u);
+  EXPECT_EQ(chunker.Chunk(2).size(), 2u);
+}
+
+TEST(RowChunkerTest, SingleChunkWhenLarger) {
+  RowChunker chunker(5, 100);
+  EXPECT_EQ(chunker.NumChunks(), 1u);
+  EXPECT_EQ(chunker.Chunk(0).size(), 5u);
+}
+
+TEST(RowChunkerTest, ZeroRows) {
+  RowChunker chunker(0, 8);
+  EXPECT_EQ(chunker.NumChunks(), 0u);
+}
+
+TEST(RowChunkerTest, ZeroChunkSizeClampedToOne) {
+  RowChunker chunker(3, 0);
+  EXPECT_EQ(chunker.chunk_rows(), 1u);
+  EXPECT_EQ(chunker.NumChunks(), 3u);
+}
+
+TEST(RowChunkerTest, ChunksPartitionRange) {
+  RowChunker chunker(1237, 64);
+  size_t covered = 0;
+  size_t expected_begin = 0;
+  for (size_t i = 0; i < chunker.NumChunks(); ++i) {
+    auto range = chunker.Chunk(i);
+    EXPECT_EQ(range.begin, expected_begin);
+    EXPECT_GT(range.end, range.begin);
+    covered += range.size();
+    expected_begin = range.end;
+  }
+  EXPECT_EQ(covered, 1237u);
+}
+
+}  // namespace
+}  // namespace m3::la

@@ -1,0 +1,150 @@
+#include "la/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace m3::la {
+namespace {
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector v(5);
+  EXPECT_EQ(v.size(), 5u);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_DOUBLE_EQ(v[i], 0.0);
+  }
+  v[2] = 7.5;
+  EXPECT_DOUBLE_EQ(v[2], 7.5);
+}
+
+TEST(VectorTest, FillConstructorAndFromStdVector) {
+  Vector filled(3, 1.5);
+  EXPECT_DOUBLE_EQ(filled[0], 1.5);
+  EXPECT_DOUBLE_EQ(filled[2], 1.5);
+  Vector from(std::vector<double>{1, 2, 3});
+  EXPECT_EQ(from.size(), 3u);
+  EXPECT_DOUBLE_EQ(from[1], 2.0);
+}
+
+TEST(VectorTest, ViewAliasesStorage) {
+  Vector v(4);
+  VectorView view = v.View();
+  view[1] = 42.0;
+  EXPECT_DOUBLE_EQ(v[1], 42.0);
+  ConstVectorView cview = v.View();
+  EXPECT_DOUBLE_EQ(cview[1], 42.0);
+}
+
+TEST(VectorTest, ResizePreservesPrefix) {
+  Vector v(std::vector<double>{1, 2});
+  v.Resize(4);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[3], 0.0);
+}
+
+TEST(VectorViewTest, SliceAndIteration) {
+  std::vector<double> data{0, 1, 2, 3, 4, 5};
+  ConstVectorView v(data.data(), data.size());
+  ConstVectorView mid = v.Slice(2, 3);
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_DOUBLE_EQ(mid[0], 2.0);
+  double sum = std::accumulate(mid.begin(), mid.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 9.0);
+}
+
+TEST(VectorViewTest, FillAndSetZero) {
+  std::vector<double> data(4, 1.0);
+  VectorView v(data.data(), data.size());
+  v.Fill(3.0);
+  EXPECT_DOUBLE_EQ(data[2], 3.0);
+  v.SetZero();
+  EXPECT_DOUBLE_EQ(data[2], 0.0);
+}
+
+TEST(MatrixTest, RowMajorIndexing) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 3;
+  m(1, 1) = 5;
+  EXPECT_DOUBLE_EQ(m.data()[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.data()[2], 3.0);
+  EXPECT_DOUBLE_EQ(m.data()[4], 5.0);  // row 1, col 1 -> 1*3+1
+}
+
+TEST(MatrixTest, ConstructFromStorage) {
+  Matrix m(2, 2, std::vector<double>{1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, RowViewWritesThrough) {
+  Matrix m(3, 2);
+  m.Row(1).Fill(9.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 9.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(2, 1), 0.0);
+}
+
+TEST(MatrixViewTest, ViewOverExternalBuffer) {
+  // The M3 pattern: a matrix view over memory the Matrix class does not
+  // own (here a plain vector standing in for an mmap'd region).
+  std::vector<double> backing{1, 2, 3, 4, 5, 6};
+  ConstMatrixView view(backing.data(), 2, 3);
+  EXPECT_EQ(view.rows(), 2u);
+  EXPECT_EQ(view.cols(), 3u);
+  EXPECT_DOUBLE_EQ(view(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(view.Row(1)[0], 4.0);
+}
+
+TEST(MatrixViewTest, RowRangeSharesStride) {
+  Matrix m(5, 2);
+  for (size_t r = 0; r < 5; ++r) {
+    m(r, 0) = static_cast<double>(r);
+  }
+  ConstMatrixView middle = m.View().RowRange(1, 3);
+  EXPECT_EQ(middle.rows(), 3u);
+  EXPECT_DOUBLE_EQ(middle(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(middle(2, 0), 3.0);
+}
+
+TEST(MatrixViewTest, StridedViewSkipsTrailingColumns) {
+  // 3 rows of 4 doubles where only the first 3 columns are "features":
+  // models a record layout with label in the 4th slot.
+  std::vector<double> backing{1, 2, 3, 100, 4, 5, 6, 200, 7, 8, 9, 300};
+  ConstMatrixView features(backing.data(), 3, 3, 4);
+  EXPECT_DOUBLE_EQ(features(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(features(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(features(2, 2), 9.0);
+}
+
+TEST(MatrixViewTest, MutableViewWritesThrough) {
+  std::vector<double> backing(6, 0.0);
+  MatrixView view(backing.data(), 2, 3);
+  view(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(backing[5], 7.0);
+  view.SetZero();
+  EXPECT_DOUBLE_EQ(backing[5], 0.0);
+}
+
+TEST(MatrixViewTest, FillRespectsStride) {
+  std::vector<double> backing(8, -1.0);
+  MatrixView view(backing.data(), 2, 3, 4);  // 4th column untouched
+  view.Fill(5.0);
+  EXPECT_DOUBLE_EQ(backing[0], 5.0);
+  EXPECT_DOUBLE_EQ(backing[2], 5.0);
+  EXPECT_DOUBLE_EQ(backing[3], -1.0);
+  EXPECT_DOUBLE_EQ(backing[7], -1.0);
+}
+
+TEST(MatrixTest, EmptyMatrixIsSafe) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  m.Fill(1.0);  // no-op, must not crash
+}
+
+}  // namespace
+}  // namespace m3::la

@@ -1,0 +1,208 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/synthetic.h"
+#include "la/blas.h"
+#include "ml/metrics.h"
+
+namespace m3::ml {
+namespace {
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  data::BlobsResult blobs = data::GaussianBlobs(1000, 4, 3, 0.4, 42);
+  KMeansOptions options;
+  options.k = 3;
+  options.max_iterations = 50;
+  options.seed = 1;
+  KMeans kmeans(options);
+  auto result = kmeans.Cluster(blobs.data.features);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Every found center must be close to exactly one true center.
+  std::set<size_t> matched;
+  for (size_t c = 0; c < 3; ++c) {
+    double best = 1e300;
+    size_t best_true = 0;
+    for (size_t t = 0; t < 3; ++t) {
+      const double dist = std::sqrt(la::SquaredDistance(
+          result.value().centers.Row(c), blobs.centers.Row(t)));
+      if (dist < best) {
+        best = dist;
+        best_true = t;
+      }
+    }
+    EXPECT_LT(best, 1.0) << "center " << c << " far from any true center";
+    matched.insert(best_true);
+  }
+  EXPECT_EQ(matched.size(), 3u) << "two centers matched the same blob";
+}
+
+TEST(KMeansTest, HighPurityOnSeparatedBlobs) {
+  data::BlobsResult blobs = data::GaussianBlobs(2000, 6, 4, 0.5, 9);
+  KMeansOptions options;
+  options.k = 4;
+  options.max_iterations = 30;
+  KMeans kmeans(options);
+  auto result = kmeans.Cluster(blobs.data.features).ValueOrDie();
+  auto assignment = KMeans::Assign(blobs.data.features, result.centers);
+  EXPECT_GT(ClusterPurity(assignment, blobs.data.labels, 4, 4), 0.97);
+}
+
+TEST(KMeansTest, InertiaIsMonotoneNonIncreasing) {
+  data::BlobsResult blobs = data::GaussianBlobs(800, 5, 3, 1.5, 3);
+  KMeansOptions options;
+  options.k = 3;
+  options.max_iterations = 20;
+  KMeans kmeans(options);
+  auto result = kmeans.Cluster(blobs.data.features).ValueOrDie();
+  for (size_t i = 1; i < result.inertia_history.size(); ++i) {
+    EXPECT_LE(result.inertia_history[i],
+              result.inertia_history[i - 1] * (1 + 1e-12))
+        << "iteration " << i;
+  }
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  data::BlobsResult blobs = data::GaussianBlobs(500, 4, 3, 1.0, 8);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 77;
+  auto a = KMeans(options).Cluster(blobs.data.features).ValueOrDie();
+  auto b = KMeans(options).Cluster(blobs.data.features).ValueOrDie();
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t d = 0; d < 4; ++d) {
+      ASSERT_DOUBLE_EQ(a.centers(c, d), b.centers(c, d));
+    }
+  }
+  ASSERT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, RandomInitWorksAcrossRestarts) {
+  // Random seeding can land in a local optimum (two centers in one blob);
+  // the correct property is that restarts find the global structure.
+  data::BlobsResult blobs = data::GaussianBlobs(600, 3, 3, 0.4, 12);
+  KMeansOptions options;
+  options.k = 3;
+  options.kmeanspp_init = false;
+  options.max_iterations = 100;
+  double best_purity = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    options.seed = seed;
+    auto result = KMeans(options).Cluster(blobs.data.features);
+    ASSERT_TRUE(result.ok());
+    auto assignment =
+        KMeans::Assign(blobs.data.features, result.value().centers);
+    best_purity = std::max(
+        best_purity, ClusterPurity(assignment, blobs.data.labels, 3, 3));
+  }
+  EXPECT_GT(best_purity, 0.9);
+}
+
+TEST(KMeansTest, KppBeatsOrMatchesRandomInitOnAverage) {
+  // kmeans++ should rarely be worse after 1 iteration on clusterable data.
+  data::BlobsResult blobs = data::GaussianBlobs(800, 4, 5, 0.6, 20);
+  KMeansOptions kpp, rnd;
+  kpp.k = rnd.k = 5;
+  kpp.max_iterations = rnd.max_iterations = 1;
+  kpp.kmeanspp_init = true;
+  rnd.kmeanspp_init = false;
+  double kpp_total = 0, rnd_total = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    kpp.seed = rnd.seed = seed;
+    kpp_total += KMeans(kpp).Cluster(blobs.data.features).ValueOrDie().inertia;
+    rnd_total += KMeans(rnd).Cluster(blobs.data.features).ValueOrDie().inertia;
+  }
+  EXPECT_LE(kpp_total, rnd_total * 1.05);
+}
+
+TEST(KMeansTest, AssignMapsPointsToNearestCenter) {
+  la::Matrix centers(2, 1, std::vector<double>{0.0, 10.0});
+  la::Matrix points(4, 1, std::vector<double>{-1, 1, 9, 12});
+  auto assignment = KMeans::Assign(points, centers);
+  EXPECT_EQ(assignment, (std::vector<uint32_t>{0, 0, 1, 1}));
+}
+
+TEST(KMeansTest, KEqualsOneYieldsCentroid) {
+  la::Matrix points(4, 2, std::vector<double>{0, 0, 2, 0, 0, 2, 2, 2});
+  KMeansOptions options;
+  options.k = 1;
+  options.max_iterations = 5;
+  auto result = KMeans(options).Cluster(points).ValueOrDie();
+  EXPECT_NEAR(result.centers(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(result.centers(0, 1), 1.0, 1e-12);
+}
+
+TEST(KMeansTest, KLargerThanRowsRejected) {
+  la::Matrix points(3, 2);
+  KMeansOptions options;
+  options.k = 4;
+  EXPECT_FALSE(KMeans(options).Cluster(points).ok());
+}
+
+TEST(KMeansTest, EmptyDataRejected) {
+  la::Matrix empty;
+  EXPECT_FALSE(KMeans().Cluster(empty).ok());
+}
+
+TEST(KMeansTest, HooksObserveChunkedPasses) {
+  data::BlobsResult blobs = data::GaussianBlobs(100, 3, 2, 1.0, 4);
+  size_t passes = 0;
+  size_t chunk_calls = 0;
+  KMeansOptions options;
+  options.k = 2;
+  options.max_iterations = 3;
+  options.tolerance = 0;  // run all 3 iterations
+  options.chunk_rows = 40;
+  options.hooks.before_pass = [&passes](size_t) { ++passes; };
+  options.hooks.after_chunk = [&chunk_calls](size_t, size_t) {
+    ++chunk_calls;
+  };
+  auto result = KMeans(options).Cluster(blobs.data.features).ValueOrDie();
+  EXPECT_EQ(passes, result.iterations);
+  // ceil(100/40) = 3 chunks per pass.
+  EXPECT_EQ(chunk_calls, result.iterations * 3);
+}
+
+TEST(KMeansTest, IterationCallbackSeesInertia) {
+  data::BlobsResult blobs = data::GaussianBlobs(200, 3, 2, 1.0, 5);
+  std::vector<double> observed;
+  KMeansOptions options;
+  options.k = 2;
+  options.max_iterations = 5;
+  options.iteration_callback = [&observed](size_t, double inertia) {
+    observed.push_back(inertia);
+  };
+  auto result = KMeans(options).Cluster(blobs.data.features).ValueOrDie();
+  EXPECT_EQ(observed, result.inertia_history);
+}
+
+// Paper configuration: k=5, 10 iterations, parameterized across chunk
+// sizes — chunking must not change the math at all.
+class KMeansChunkInvarianceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KMeansChunkInvarianceTest, ChunkSizeDoesNotChangeResult) {
+  data::BlobsResult blobs = data::GaussianBlobs(500, 8, 5, 1.0, 60);
+  KMeansOptions options;
+  options.k = 5;
+  options.max_iterations = 10;
+  options.seed = 123;
+  options.chunk_rows = GetParam();
+  auto result = KMeans(options).Cluster(blobs.data.features).ValueOrDie();
+
+  KMeansOptions reference = options;
+  reference.chunk_rows = 500;  // single chunk
+  auto expected =
+      KMeans(reference).Cluster(blobs.data.features).ValueOrDie();
+  EXPECT_NEAR(result.inertia, expected.inertia,
+              1e-9 * std::max(1.0, expected.inertia));
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, KMeansChunkInvarianceTest,
+                         ::testing::Values(1, 7, 64, 499, 500, 1000));
+
+}  // namespace
+}  // namespace m3::ml

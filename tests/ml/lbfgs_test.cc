@@ -1,0 +1,218 @@
+#include "ml/lbfgs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.h"
+#include "ml/gradient_descent.h"
+
+namespace m3::ml {
+namespace {
+
+/// f(w) = 0.5 * sum_i c_i (w_i - t_i)^2 — convex quadratic with known
+/// minimum at t.
+class Quadratic final : public DifferentiableFunction {
+ public:
+  Quadratic(std::vector<double> curvature, std::vector<double> target)
+      : curvature_(std::move(curvature)), target_(std::move(target)) {}
+
+  size_t Dimension() const override { return curvature_.size(); }
+
+  double EvaluateWithGradient(la::ConstVectorView w,
+                              la::VectorView grad) override {
+    double f = 0;
+    for (size_t i = 0; i < curvature_.size(); ++i) {
+      const double diff = w[i] - target_[i];
+      f += 0.5 * curvature_[i] * diff * diff;
+      grad[i] = curvature_[i] * diff;
+    }
+    return f;
+  }
+
+ private:
+  std::vector<double> curvature_;
+  std::vector<double> target_;
+};
+
+/// The 2-D Rosenbrock banana: nonconvex valley, minimum at (1, 1).
+class Rosenbrock final : public DifferentiableFunction {
+ public:
+  size_t Dimension() const override { return 2; }
+
+  double EvaluateWithGradient(la::ConstVectorView w,
+                              la::VectorView grad) override {
+    const double x = w[0], y = w[1];
+    const double a = 1.0 - x;
+    const double b = y - x * x;
+    grad[0] = -2.0 * a - 400.0 * x * b;
+    grad[1] = 200.0 * b;
+    return a * a + 100.0 * b * b;
+  }
+};
+
+TEST(LbfgsTest, MinimizesWellConditionedQuadratic) {
+  Quadratic f({1, 1, 1}, {3, -2, 7});
+  la::Vector w(3);
+  Lbfgs optimizer;
+  auto result = optimizer.Minimize(&f, w);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().converged);
+  EXPECT_NEAR(w[0], 3.0, 1e-5);
+  EXPECT_NEAR(w[1], -2.0, 1e-5);
+  EXPECT_NEAR(w[2], 7.0, 1e-5);
+  EXPECT_NEAR(result.value().objective, 0.0, 1e-9);
+}
+
+TEST(LbfgsTest, MinimizesIllConditionedQuadratic) {
+  // Condition number 1e4: gradient descent would crawl, L-BFGS should not.
+  Quadratic f({1e-2, 1e2}, {1, 1});
+  la::Vector w(2);
+  LbfgsOptions options;
+  options.max_iterations = 100;
+  Lbfgs optimizer(options);
+  auto result = optimizer.Minimize(&f, w);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(w[0], 1.0, 1e-3);
+  EXPECT_NEAR(w[1], 1.0, 1e-6);
+}
+
+TEST(LbfgsTest, SolvesRosenbrock) {
+  Rosenbrock f;
+  la::Vector w(2);
+  w[0] = -1.2;
+  w[1] = 1.0;  // classic hard start
+  LbfgsOptions options;
+  options.max_iterations = 200;
+  Lbfgs optimizer(options);
+  auto result = optimizer.Minimize(&f, w);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(w[0], 1.0, 1e-4);
+  EXPECT_NEAR(w[1], 1.0, 1e-4);
+}
+
+TEST(LbfgsTest, ObjectiveHistoryIsMonotoneNonIncreasing) {
+  Rosenbrock f;
+  la::Vector w(2);
+  w[0] = -1.2;
+  w[1] = 1.0;
+  Lbfgs optimizer;
+  auto result = optimizer.Minimize(&f, w).ValueOrDie();
+  for (size_t i = 1; i < result.objective_history.size(); ++i) {
+    // Wolfe line search guarantees decrease at every accepted step.
+    EXPECT_LE(result.objective_history[i],
+              result.objective_history[i - 1] + 1e-12)
+        << "iteration " << i;
+  }
+}
+
+TEST(LbfgsTest, RespectsMaxIterations) {
+  Rosenbrock f;
+  la::Vector w(2);
+  w[0] = -1.2;
+  w[1] = 1.0;
+  LbfgsOptions options;
+  options.max_iterations = 3;
+  options.gradient_tolerance = 0;  // never converge on tolerance
+  Lbfgs optimizer(options);
+  auto result = optimizer.Minimize(&f, w).ValueOrDie();
+  EXPECT_LE(result.iterations, 3u);
+}
+
+TEST(LbfgsTest, IterationCallbackFires) {
+  Quadratic f({1, 1}, {1, 1});
+  la::Vector w(2);
+  size_t calls = 0;
+  LbfgsOptions options;
+  options.iteration_callback = [&calls](size_t, double, double) { ++calls; };
+  Lbfgs optimizer(options);
+  ASSERT_TRUE(optimizer.Minimize(&f, w).ok());
+  EXPECT_GT(calls, 0u);
+}
+
+TEST(LbfgsTest, StartingAtOptimumConvergesImmediately) {
+  Quadratic f({2, 2}, {0, 0});
+  la::Vector w(2);  // exactly the optimum
+  Lbfgs optimizer;
+  auto result = optimizer.Minimize(&f, w).ValueOrDie();
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(LbfgsTest, NullFunctionRejected) {
+  la::Vector w(2);
+  Lbfgs optimizer;
+  EXPECT_FALSE(optimizer.Minimize(nullptr, w).ok());
+}
+
+TEST(LbfgsTest, DimensionMismatchRejected) {
+  Quadratic f({1}, {0});
+  la::Vector w(3);
+  Lbfgs optimizer;
+  EXPECT_FALSE(optimizer.Minimize(&f, w).ok());
+}
+
+TEST(LbfgsTest, ZeroHistoryRejected) {
+  Quadratic f({1}, {0});
+  la::Vector w(1);
+  LbfgsOptions options;
+  options.history = 0;
+  Lbfgs optimizer(options);
+  EXPECT_FALSE(optimizer.Minimize(&f, w).ok());
+}
+
+TEST(LbfgsTest, FunctionEvaluationsCounted) {
+  Rosenbrock f;
+  la::Vector w(2);
+  w[0] = -1.2;
+  w[1] = 1.0;
+  Lbfgs optimizer;
+  auto result = optimizer.Minimize(&f, w).ValueOrDie();
+  // At least one evaluation per iteration plus the initial one.
+  EXPECT_GE(result.function_evaluations, result.iterations + 1);
+}
+
+TEST(GradientDescentTest, MinimizesQuadratic) {
+  Quadratic f({1, 4}, {2, -1});
+  la::Vector w(2);
+  GradientDescentOptions options;
+  options.max_iterations = 1000;
+  GradientDescent optimizer(options);
+  auto result = optimizer.Minimize(&f, w);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(w[0], 2.0, 1e-4);
+  EXPECT_NEAR(w[1], -1.0, 1e-4);
+}
+
+TEST(GradientDescentTest, BacktrackingHandlesHugeInitialStep) {
+  Quadratic f({100, 100}, {0, 0});
+  la::Vector w(2);
+  w[0] = w[1] = 10;
+  GradientDescentOptions options;
+  options.initial_step = 1e6;  // would explode without backtracking
+  options.max_iterations = 500;
+  GradientDescent optimizer(options);
+  auto result = optimizer.Minimize(&f, w);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(w[0], 0.0, 1e-3);
+}
+
+TEST(GradientDescentTest, LbfgsNeedsFewerPassesOnIllConditioned) {
+  // The ablation behind using L-BFGS in the paper: far fewer data passes
+  // than first-order descent on an ill-conditioned objective.
+  Quadratic f_gd({1e-2, 1e2}, {1, 1});
+  Quadratic f_lb({1e-2, 1e2}, {1, 1});
+  la::Vector w_gd(2), w_lb(2);
+  GradientDescentOptions gd_options;
+  gd_options.max_iterations = 100000;
+  gd_options.gradient_tolerance = 1e-6;
+  auto gd = GradientDescent(gd_options).Minimize(&f_gd, w_gd).ValueOrDie();
+  LbfgsOptions lb_options;
+  lb_options.gradient_tolerance = 1e-6;
+  auto lb = Lbfgs(lb_options).Minimize(&f_lb, w_lb).ValueOrDie();
+  EXPECT_TRUE(lb.converged);
+  EXPECT_LT(lb.function_evaluations, gd.function_evaluations / 10);
+}
+
+}  // namespace
+}  // namespace m3::ml

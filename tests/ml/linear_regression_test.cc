@@ -1,0 +1,134 @@
+#include "ml/linear_regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "la/blas.h"
+#include "la/solve.h"
+#include "ml/metrics.h"
+
+namespace m3::ml {
+namespace {
+
+TEST(CholeskyTest, FactorsAndSolvesSpdSystem) {
+  // A = L L^T with known L.
+  la::Matrix a(3, 3, std::vector<double>{4, 2, 2,
+                                         2, 5, 3,
+                                         2, 3, 6});
+  la::Vector b(std::vector<double>{1, 2, 3});
+  auto x = la::SolveSpd(a, b);
+  ASSERT_TRUE(x.ok()) << x.status().ToString();
+  // Verify A x == b.
+  la::Vector ax(3);
+  la::Gemv(1.0, a, x.value(), 0.0, ax);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(ax[i], b[i], 1e-10);
+  }
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  la::Matrix a(2, 2, std::vector<double>{1, 2, 2, 1});  // eigenvalues 3, -1
+  la::Vector b(std::vector<double>{1, 1});
+  EXPECT_FALSE(la::SolveSpd(a, b).ok());
+}
+
+TEST(LinearRegressionTest, RecoversExactWeightsWithoutNoise) {
+  data::RegressionResult reg = data::LinearRegressionData(500, 6, 0.0, 42);
+  la::ConstVectorView y(reg.data.labels.data(), reg.data.labels.size());
+  LinearRegression trainer;
+  auto model = trainer.Train(reg.data.features, y);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  for (size_t d = 0; d < 6; ++d) {
+    EXPECT_NEAR(model.value().weights[d], reg.true_weights[d], 1e-6);
+  }
+  EXPECT_NEAR(model.value().intercept, reg.true_bias, 1e-6);
+}
+
+TEST(LinearRegressionTest, NoisyRecoveryWithinStatisticalError) {
+  data::RegressionResult reg = data::LinearRegressionData(20000, 4, 0.5, 7);
+  la::ConstVectorView y(reg.data.labels.data(), reg.data.labels.size());
+  auto model = LinearRegression().Train(reg.data.features, y).ValueOrDie();
+  for (size_t d = 0; d < 4; ++d) {
+    // Standard error ~ sigma / sqrt(n) = 0.5/141 ~ 0.0035; use 5 sigma.
+    EXPECT_NEAR(model.weights[d], reg.true_weights[d], 0.02);
+  }
+}
+
+TEST(LinearRegressionTest, RidgeShrinksWeights) {
+  data::RegressionResult reg = data::LinearRegressionData(200, 5, 0.1, 3);
+  la::ConstVectorView y(reg.data.labels.data(), reg.data.labels.size());
+  auto plain = LinearRegression().Train(reg.data.features, y).ValueOrDie();
+  LinearRegressionOptions heavy;
+  heavy.l2 = 1000.0;
+  auto ridge =
+      LinearRegression(heavy).Train(reg.data.features, y).ValueOrDie();
+  EXPECT_LT(la::Nrm2(ridge.weights), la::Nrm2(plain.weights) * 0.5);
+}
+
+TEST(LinearRegressionTest, PredictUsesInterceptAndWeights) {
+  LinearRegressionModel model;
+  model.weights = la::Vector(std::vector<double>{2.0, -1.0});
+  model.intercept = 0.5;
+  la::Vector x(std::vector<double>{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(model.Predict(x), 2.0 * 3 - 1.0 * 4 + 0.5);
+}
+
+TEST(LinearRegressionTest, ChunkingDoesNotChangeSolution) {
+  data::RegressionResult reg = data::LinearRegressionData(777, 4, 0.2, 13);
+  la::ConstVectorView y(reg.data.labels.data(), reg.data.labels.size());
+  LinearRegressionOptions small;
+  small.chunk_rows = 31;
+  auto a = LinearRegression(small).Train(reg.data.features, y).ValueOrDie();
+  LinearRegressionOptions big;
+  big.chunk_rows = 777;
+  auto b = LinearRegression(big).Train(reg.data.features, y).ValueOrDie();
+  for (size_t d = 0; d < 4; ++d) {
+    ASSERT_NEAR(a.weights[d], b.weights[d], 1e-8);
+  }
+}
+
+TEST(LinearRegressionTest, RejectsEmptyAndMismatched) {
+  la::Matrix empty;
+  la::Vector none;
+  EXPECT_FALSE(LinearRegression().Train(empty, none).ok());
+  la::Matrix x(3, 2);
+  la::Vector two(2);
+  EXPECT_FALSE(LinearRegression().Train(x, two).ok());
+}
+
+TEST(MetricsTest, AccuracyAndMse) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1}, {1, 1, 1}), 2.0 / 3);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1, 2}, {0, 0}), 2.5);
+}
+
+TEST(MetricsTest, LogLossOfPerfectAndUncertain) {
+  EXPECT_NEAR(LogLoss({1.0, 0.0}, {1, 0}), 0.0, 1e-6);
+  EXPECT_NEAR(LogLoss({0.5, 0.5}, {1, 0}), std::log(2.0), 1e-12);
+}
+
+TEST(MetricsTest, ConfusionMatrixCounts) {
+  la::Matrix confusion =
+      ConfusionMatrix({0, 1, 1, 0, 1}, {0, 1, 0, 0, 1}, 2);
+  EXPECT_DOUBLE_EQ(confusion(0, 0), 2.0);  // truth 0 predicted 0
+  EXPECT_DOUBLE_EQ(confusion(0, 1), 1.0);  // truth 0 predicted 1
+  EXPECT_DOUBLE_EQ(confusion(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(confusion(1, 0), 0.0);
+}
+
+TEST(MetricsTest, InertiaMatchesManual) {
+  la::Matrix x(2, 1, std::vector<double>{0.0, 4.0});
+  la::Matrix centers(2, 1, std::vector<double>{1.0, 3.0});
+  // 0 -> center 1 (dist2 1), 4 -> center 3 (dist2 1).
+  EXPECT_DOUBLE_EQ(Inertia(x, centers), 2.0);
+}
+
+TEST(MetricsTest, ClusterPurityPerfectAndMixed) {
+  EXPECT_DOUBLE_EQ(ClusterPurity({0, 0, 1, 1}, {5, 5, 3, 3}, 2, 6), 1.0);
+  EXPECT_DOUBLE_EQ(ClusterPurity({0, 0, 0, 0}, {1, 1, 2, 2}, 1, 3), 0.5);
+}
+
+}  // namespace
+}  // namespace m3::ml

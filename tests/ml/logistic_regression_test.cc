@@ -1,0 +1,247 @@
+#include "ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "la/blas.h"
+#include "ml/metrics.h"
+
+namespace m3::ml {
+namespace {
+
+std::vector<double> PredictAll(const LogisticRegressionModel& model,
+                               la::ConstMatrixView x) {
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    out[i] = model.Predict(x.Row(i));
+  }
+  return out;
+}
+
+TEST(LogisticRegressionObjectiveTest, GradientMatchesFiniteDifferences) {
+  data::SeparableResult sep = data::LinearlySeparable(60, 4, 0.1, 3);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  LogisticRegressionObjective objective(sep.data.features, y, 0.01);
+  la::Vector w(5);
+  for (size_t i = 0; i < w.size(); ++i) {
+    w[i] = 0.1 * static_cast<double>(i) - 0.2;
+  }
+  la::Vector grad(5);
+  const double f0 = objective.EvaluateWithGradient(w, grad);
+  const double eps = 1e-6;
+  for (size_t i = 0; i < w.size(); ++i) {
+    la::Vector wp = w;
+    wp[i] += eps;
+    la::Vector scratch(5);
+    const double fp = objective.EvaluateWithGradient(wp, scratch);
+    const double numeric = (fp - f0) / eps;
+    EXPECT_NEAR(grad[i], numeric, 1e-4) << "coordinate " << i;
+  }
+}
+
+TEST(LogisticRegressionObjectiveTest, ChunkSumEqualsFullEvaluation) {
+  data::SeparableResult sep = data::LinearlySeparable(100, 3, 0.0, 9);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  // No regularization so the data term is the whole objective.
+  LogisticRegressionObjective objective(sep.data.features, y, 0.0, 17);
+  la::Vector w(4);
+  w[0] = 0.5;
+  w[3] = -0.25;
+  la::Vector grad_full(4), grad_chunks(4);
+  const double f_full = objective.EvaluateWithGradient(w, grad_full);
+  double f_chunks = 0;
+  for (size_t begin = 0; begin < 100; begin += 17) {
+    const size_t end = std::min<size_t>(100, begin + 17);
+    f_chunks += objective.EvaluateChunk(begin, end, w, grad_chunks);
+  }
+  EXPECT_NEAR(f_full, f_chunks, 1e-12);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(grad_full[i], grad_chunks[i], 1e-12);
+  }
+}
+
+TEST(LogisticRegressionObjectiveTest, HooksObservePassStructure) {
+  data::SeparableResult sep = data::LinearlySeparable(100, 3, 0.0, 5);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  std::vector<std::pair<size_t, size_t>> chunks;
+  size_t passes = 0;
+  ScanHooks hooks;
+  hooks.before_pass = [&passes](size_t) { ++passes; };
+  hooks.after_chunk = [&chunks](size_t b, size_t e) {
+    chunks.emplace_back(b, e);
+  };
+  LogisticRegressionObjective objective(sep.data.features, y, 0.0, 30, hooks);
+  la::Vector w(4), grad(4);
+  objective.EvaluateWithGradient(w, grad);
+  EXPECT_EQ(passes, 1u);
+  ASSERT_EQ(chunks.size(), 4u);  // ceil(100/30)
+  EXPECT_EQ(chunks.front().first, 0u);
+  EXPECT_EQ(chunks.back().second, 100u);
+  // Chunks tile the row range in order.
+  for (size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+  }
+}
+
+TEST(LogisticRegressionTest, SeparatesCleanData) {
+  data::SeparableResult sep = data::LinearlySeparable(2000, 10, 0.0, 42);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  LogisticRegression trainer;
+  auto model = trainer.Train(sep.data.features, y);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const double accuracy =
+      Accuracy(PredictAll(model.value(), sep.data.features), sep.data.labels);
+  EXPECT_GT(accuracy, 0.99);
+}
+
+TEST(LogisticRegressionTest, HandlesLabelNoise) {
+  data::SeparableResult sep = data::LinearlySeparable(3000, 8, 0.1, 7);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  LogisticRegressionOptions options;
+  options.l2 = 1e-3;
+  LogisticRegression trainer(options);
+  auto model = trainer.Train(sep.data.features, y);
+  ASSERT_TRUE(model.ok());
+  const double accuracy =
+      Accuracy(PredictAll(model.value(), sep.data.features), sep.data.labels);
+  // 10% labels are flipped; Bayes-optimal is ~90%.
+  EXPECT_GT(accuracy, 0.85);
+}
+
+TEST(LogisticRegressionTest, RecoversWeightDirection) {
+  data::SeparableResult sep = data::LinearlySeparable(5000, 5, 0.05, 11);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  LogisticRegressionOptions options;
+  options.l2 = 1e-2;
+  LogisticRegression trainer(options);
+  auto model = trainer.Train(sep.data.features, y).ValueOrDie();
+  // Learned weights should align with the generating direction.
+  const double cosine =
+      la::Dot(model.weights, sep.true_weights) /
+      (la::Nrm2(model.weights) * la::Nrm2(sep.true_weights));
+  EXPECT_GT(cosine, 0.95);
+}
+
+TEST(LogisticRegressionTest, StatsReportPassesAndConvergence) {
+  data::SeparableResult sep = data::LinearlySeparable(500, 4, 0.0, 13);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  OptimizationResult stats;
+  LogisticRegression trainer;
+  ASSERT_TRUE(trainer.Train(sep.data.features, y, &stats).ok());
+  EXPECT_GT(stats.function_evaluations, 0u);
+  EXPECT_GT(stats.iterations, 0u);
+}
+
+TEST(LogisticRegressionTest, TenIterationBudgetMatchesPaperSetup) {
+  // The paper's benchmark: exactly 10 L-BFGS iterations, no early stop.
+  data::SeparableResult sep = data::LinearlySeparable(2000, 20, 0.05, 17);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  LogisticRegressionOptions options;
+  options.lbfgs.max_iterations = 10;
+  options.lbfgs.gradient_tolerance = 0;
+  options.lbfgs.objective_tolerance = 0;
+  OptimizationResult stats;
+  LogisticRegression trainer(options);
+  auto model = trainer.Train(sep.data.features, y, &stats);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(stats.iterations, 10u);
+  const double accuracy =
+      Accuracy(PredictAll(model.value(), sep.data.features), sep.data.labels);
+  EXPECT_GT(accuracy, 0.9);
+}
+
+TEST(LogisticRegressionTest, RejectsNonBinaryLabels) {
+  la::Matrix x(4, 2);
+  std::vector<double> labels{0, 1, 2, 1};
+  la::ConstVectorView y(labels.data(), labels.size());
+  LogisticRegression trainer;
+  EXPECT_FALSE(trainer.Train(x, y).ok());
+}
+
+TEST(LogisticRegressionTest, RejectsEmptyAndMismatched) {
+  LogisticRegression trainer;
+  la::Matrix empty;
+  la::Vector no_labels;
+  EXPECT_FALSE(trainer.Train(empty, no_labels).ok());
+  la::Matrix x(3, 2);
+  la::Vector two(2);
+  EXPECT_FALSE(trainer.Train(x, two).ok());
+}
+
+TEST(AutoChunkRowsTest, TargetsEightMiB) {
+  EXPECT_EQ(AutoChunkRows(784, 0), (8ull << 20) / (784 * 8));
+  EXPECT_EQ(AutoChunkRows(784, 1000), 1000u);   // explicit wins
+  EXPECT_EQ(AutoChunkRows(1 << 24, 0), 256u);   // floor for huge rows
+}
+
+// ---------------------------------------------------------------------------
+// Softmax
+// ---------------------------------------------------------------------------
+
+TEST(SoftmaxRegressionObjectiveTest, GradientMatchesFiniteDifferences) {
+  data::BlobsResult blobs = data::GaussianBlobs(60, 3, 3, 1.0, 21);
+  la::ConstVectorView y(blobs.data.labels.data(), blobs.data.labels.size());
+  SoftmaxRegressionObjective objective(blobs.data.features, y, 3, 0.01);
+  la::Vector w(objective.Dimension());
+  for (size_t i = 0; i < w.size(); ++i) {
+    w[i] = 0.05 * std::sin(static_cast<double>(i));
+  }
+  la::Vector grad(w.size());
+  const double f0 = objective.EvaluateWithGradient(w, grad);
+  const double eps = 1e-6;
+  for (size_t i = 0; i < w.size(); i += 3) {  // spot-check every 3rd coord
+    la::Vector wp = w;
+    wp[i] += eps;
+    la::Vector scratch(w.size());
+    const double fp = objective.EvaluateWithGradient(wp, scratch);
+    EXPECT_NEAR(grad[i], (fp - f0) / eps, 1e-4) << "coordinate " << i;
+  }
+}
+
+TEST(SoftmaxRegressionTest, ClassifiesGaussianBlobs) {
+  data::BlobsResult blobs = data::GaussianBlobs(1500, 6, 4, 1.0, 33);
+  la::ConstVectorView y(blobs.data.labels.data(), blobs.data.labels.size());
+  SoftmaxRegression trainer;
+  auto model = trainer.Train(blobs.data.features, y, 4);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  std::vector<double> predictions(blobs.data.labels.size());
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    predictions[i] = static_cast<double>(
+        model.value().Predict(blobs.data.features.Row(i)));
+  }
+  EXPECT_GT(Accuracy(predictions, blobs.data.labels), 0.97);
+}
+
+TEST(SoftmaxRegressionTest, RejectsBadLabels) {
+  la::Matrix x(4, 2);
+  std::vector<double> labels{0, 1, 5, 1};  // 5 out of range for k=3
+  la::ConstVectorView y(labels.data(), labels.size());
+  SoftmaxRegression trainer;
+  EXPECT_FALSE(trainer.Train(x, y, 3).ok());
+  std::vector<double> fractional{0, 1, 0.5, 1};
+  la::ConstVectorView yf(fractional.data(), fractional.size());
+  EXPECT_FALSE(trainer.Train(x, yf, 3).ok());
+}
+
+TEST(SoftmaxRegressionTest, TwoClassAgreesWithBinaryLr) {
+  data::SeparableResult sep = data::LinearlySeparable(1000, 5, 0.0, 29);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  auto softmax =
+      SoftmaxRegression().Train(sep.data.features, y, 2).ValueOrDie();
+  auto binary = LogisticRegression().Train(sep.data.features, y).ValueOrDie();
+  size_t agreements = 0;
+  for (size_t i = 0; i < 1000; ++i) {
+    const double b = binary.Predict(sep.data.features.Row(i));
+    const double s =
+        static_cast<double>(softmax.Predict(sep.data.features.Row(i)));
+    if (b == s) {
+      ++agreements;
+    }
+  }
+  EXPECT_GT(agreements, 990u);
+}
+
+}  // namespace
+}  // namespace m3::ml

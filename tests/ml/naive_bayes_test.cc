@@ -1,0 +1,100 @@
+#include "ml/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+
+namespace m3::ml {
+namespace {
+
+TEST(NaiveBayesTest, ClassifiesWellSeparatedBlobs) {
+  data::BlobsResult blobs = data::GaussianBlobs(2000, 5, 3, 0.8, 42);
+  la::ConstVectorView y(blobs.data.labels.data(), blobs.data.labels.size());
+  NaiveBayes trainer;
+  auto model = trainer.Train(blobs.data.features, y, 3);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  std::vector<double> predictions(2000);
+  for (size_t i = 0; i < 2000; ++i) {
+    predictions[i] = static_cast<double>(
+        model.value().Predict(blobs.data.features.Row(i)));
+  }
+  EXPECT_GT(Accuracy(predictions, blobs.data.labels), 0.97);
+}
+
+TEST(NaiveBayesTest, LearnsClassMeans) {
+  data::BlobsResult blobs = data::GaussianBlobs(5000, 3, 2, 0.5, 11);
+  la::ConstVectorView y(blobs.data.labels.data(), blobs.data.labels.size());
+  auto model = NaiveBayes().Train(blobs.data.features, y, 2).ValueOrDie();
+  // Model means should approximate the generating centers (order matches
+  // labels by construction).
+  for (size_t c = 0; c < 2; ++c) {
+    for (size_t d = 0; d < 3; ++d) {
+      EXPECT_NEAR(model.means(c, d), blobs.centers(c, d), 0.1)
+          << "class " << c << " dim " << d;
+    }
+  }
+}
+
+TEST(NaiveBayesTest, LearnsVariances) {
+  data::BlobsResult blobs = data::GaussianBlobs(20000, 2, 2, 1.5, 13);
+  la::ConstVectorView y(blobs.data.labels.data(), blobs.data.labels.size());
+  auto model = NaiveBayes().Train(blobs.data.features, y, 2).ValueOrDie();
+  for (size_t c = 0; c < 2; ++c) {
+    for (size_t d = 0; d < 2; ++d) {
+      EXPECT_NEAR(model.variances(c, d), 1.5 * 1.5, 0.2);
+    }
+  }
+}
+
+TEST(NaiveBayesTest, PriorsReflectClassBalance) {
+  data::BlobsResult blobs = data::GaussianBlobs(4000, 3, 4, 1.0, 29);
+  la::ConstVectorView y(blobs.data.labels.data(), blobs.data.labels.size());
+  auto model = NaiveBayes().Train(blobs.data.features, y, 4).ValueOrDie();
+  // Uniform cluster assignment -> priors near log(1/4).
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(model.log_priors[c], std::log(0.25), 0.15);
+  }
+}
+
+TEST(NaiveBayesTest, ChunkingDoesNotChangeModel) {
+  data::BlobsResult blobs = data::GaussianBlobs(1000, 4, 3, 1.0, 5);
+  la::ConstVectorView y(blobs.data.labels.data(), blobs.data.labels.size());
+  NaiveBayesOptions small_chunks;
+  small_chunks.chunk_rows = 37;
+  auto a = NaiveBayes(small_chunks).Train(blobs.data.features, y, 3)
+               .ValueOrDie();
+  NaiveBayesOptions one_chunk;
+  one_chunk.chunk_rows = 1000;
+  auto b = NaiveBayes(one_chunk).Train(blobs.data.features, y, 3)
+               .ValueOrDie();
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t d = 0; d < 4; ++d) {
+      ASSERT_NEAR(a.means(c, d), b.means(c, d), 1e-9);
+      ASSERT_NEAR(a.variances(c, d), b.variances(c, d), 1e-9);
+    }
+  }
+}
+
+TEST(NaiveBayesTest, BadLabelsRejected) {
+  la::Matrix x(4, 2);
+  std::vector<double> labels{0, 1, 7, 0};
+  la::ConstVectorView y(labels.data(), labels.size());
+  EXPECT_FALSE(NaiveBayes().Train(x, y, 2).ok());
+}
+
+TEST(NaiveBayesTest, EmptyAndMismatchedRejected) {
+  la::Matrix empty;
+  la::Vector none;
+  EXPECT_FALSE(NaiveBayes().Train(empty, none, 2).ok());
+  la::Matrix x(3, 2);
+  la::Vector two(2);
+  EXPECT_FALSE(NaiveBayes().Train(x, two, 2).ok());
+  la::Vector three(3);
+  EXPECT_FALSE(NaiveBayes().Train(x, three, 1).ok());
+}
+
+}  // namespace
+}  // namespace m3::ml

@@ -1,0 +1,101 @@
+#include "ml/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace m3::ml {
+namespace {
+
+TEST(StandardScalerTest, FitRecoversMomentsExactly) {
+  la::Matrix x(4, 2, std::vector<double>{1, 10,
+                                         2, 20,
+                                         3, 30,
+                                         4, 40});
+  auto params = StandardScaler::Fit(x).ValueOrDie();
+  EXPECT_DOUBLE_EQ(params.mean[0], 2.5);
+  EXPECT_DOUBLE_EQ(params.mean[1], 25.0);
+  // Population stddev of {1,2,3,4} = sqrt(1.25).
+  EXPECT_NEAR(params.scale[0], std::sqrt(1.25), 1e-12);
+  EXPECT_NEAR(params.scale[1], std::sqrt(125.0), 1e-12);
+}
+
+TEST(StandardScalerTest, TransformedDataIsStandardized) {
+  util::Rng rng(42);
+  la::Matrix x(5000, 3);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    x(r, 0) = rng.Gaussian(100.0, 5.0);
+    x(r, 1) = rng.Gaussian(-3.0, 0.01);
+    x(r, 2) = rng.Uniform(0, 255);
+  }
+  auto params = StandardScaler::Fit(x).ValueOrDie();
+  StandardScaler::TransformInPlace(params, x);
+  for (size_t j = 0; j < 3; ++j) {
+    double sum = 0, sum_sq = 0;
+    for (size_t r = 0; r < x.rows(); ++r) {
+      sum += x(r, j);
+      sum_sq += x(r, j) * x(r, j);
+    }
+    const double mean = sum / static_cast<double>(x.rows());
+    const double var =
+        sum_sq / static_cast<double>(x.rows()) - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-9) << "feature " << j;
+    EXPECT_NEAR(var, 1.0, 1e-6) << "feature " << j;
+  }
+}
+
+TEST(StandardScalerTest, ChunkingDoesNotChangeFit) {
+  data::BlobsResult blobs = data::GaussianBlobs(1000, 4, 3, 2.0, 7);
+  auto small = StandardScaler::Fit(blobs.data.features, 17).ValueOrDie();
+  auto big = StandardScaler::Fit(blobs.data.features, 1000).ValueOrDie();
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(small.mean[j], big.mean[j], 1e-10);
+    EXPECT_NEAR(small.scale[j], big.scale[j], 1e-10);
+  }
+}
+
+TEST(StandardScalerTest, ConstantFeatureGetsEpsilonScale) {
+  la::Matrix x(10, 1);
+  x.Fill(7.0);
+  auto params = StandardScaler::Fit(x).ValueOrDie();
+  EXPECT_DOUBLE_EQ(params.mean[0], 7.0);
+  EXPECT_GT(params.scale[0], 0.0);  // epsilon, not zero
+  la::Vector out(1);
+  StandardScaler::TransformRow(params, x.Row(0), out);
+  EXPECT_TRUE(std::isfinite(out[0]));
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(StandardScalerTest, TransformRowMatchesFormula) {
+  StandardScaler::Params params;
+  params.mean = la::Vector(std::vector<double>{10.0, -5.0});
+  params.scale = la::Vector(std::vector<double>{2.0, 0.5});
+  la::Vector row(std::vector<double>{14.0, -4.0});
+  la::Vector out(2);
+  StandardScaler::TransformRow(params, row, out);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+}
+
+TEST(StandardScalerTest, HooksObserveSinglePass) {
+  data::BlobsResult blobs = data::GaussianBlobs(200, 2, 2, 1.0, 3);
+  size_t passes = 0, chunks = 0;
+  ScanHooks hooks;
+  hooks.before_pass = [&passes](size_t) { ++passes; };
+  hooks.after_chunk = [&chunks](size_t, size_t) { ++chunks; };
+  ASSERT_TRUE(
+      StandardScaler::Fit(blobs.data.features, 50, hooks).ok());
+  EXPECT_EQ(passes, 1u);  // single-scan preprocessing
+  EXPECT_EQ(chunks, 4u);
+}
+
+TEST(StandardScalerTest, EmptyDataRejected) {
+  la::Matrix empty;
+  EXPECT_FALSE(StandardScaler::Fit(empty).ok());
+}
+
+}  // namespace
+}  // namespace m3::ml

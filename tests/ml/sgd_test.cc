@@ -1,0 +1,123 @@
+#include "ml/sgd.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "la/blas.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+
+namespace m3::ml {
+namespace {
+
+TEST(SgdTest, TrainsLogisticRegressionToHighAccuracy) {
+  data::SeparableResult sep = data::LinearlySeparable(4000, 8, 0.0, 42);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  LogisticRegressionObjective objective(sep.data.features, y, 1e-4);
+  la::Vector w(objective.Dimension());
+  SgdOptions options;
+  options.epochs = 10;
+  options.batch_rows = 128;
+  options.learning_rate = 0.5;
+  Sgd sgd(options);
+  auto result = sgd.Minimize(&objective, w);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  LogisticRegressionModel model;
+  model.weights = la::Vector(8);
+  la::Copy(w.View().Slice(0, 8), model.weights);
+  model.intercept = w[8];
+  std::vector<double> predictions(4000);
+  for (size_t i = 0; i < 4000; ++i) {
+    predictions[i] = model.Predict(sep.data.features.Row(i));
+  }
+  EXPECT_GT(Accuracy(predictions, sep.data.labels), 0.97);
+}
+
+TEST(SgdTest, EpochLossDecreasesOverall) {
+  data::SeparableResult sep = data::LinearlySeparable(2000, 6, 0.05, 7);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  LogisticRegressionObjective objective(sep.data.features, y, 1e-4);
+  la::Vector w(objective.Dimension());
+  SgdOptions options;
+  options.epochs = 8;
+  options.learning_rate = 0.3;
+  auto result = Sgd(options).Minimize(&objective, w).ValueOrDie();
+  ASSERT_EQ(result.objective_history.size(), 8u);
+  // First epoch loss (near ln 2 at w=0) should clearly exceed the last.
+  EXPECT_LT(result.objective_history.back(),
+            result.objective_history.front() * 0.8);
+}
+
+TEST(SgdTest, DeterministicForFixedSeed) {
+  data::SeparableResult sep = data::LinearlySeparable(500, 4, 0.0, 3);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  la::Vector w1(5), w2(5);
+  SgdOptions options;
+  options.epochs = 3;
+  options.seed = 99;
+  {
+    LogisticRegressionObjective objective(sep.data.features, y, 0.0);
+    ASSERT_TRUE(Sgd(options).Minimize(&objective, w1).ok());
+  }
+  {
+    LogisticRegressionObjective objective(sep.data.features, y, 0.0);
+    ASSERT_TRUE(Sgd(options).Minimize(&objective, w2).ok());
+  }
+  for (size_t i = 0; i < 5; ++i) {
+    ASSERT_DOUBLE_EQ(w1[i], w2[i]);
+  }
+}
+
+TEST(SgdTest, EpochCallbackFires) {
+  data::SeparableResult sep = data::LinearlySeparable(300, 3, 0.0, 1);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  LogisticRegressionObjective objective(sep.data.features, y, 0.0);
+  la::Vector w(4);
+  size_t calls = 0;
+  SgdOptions options;
+  options.epochs = 4;
+  options.epoch_callback = [&calls](size_t, double) { ++calls; };
+  ASSERT_TRUE(Sgd(options).Minimize(&objective, w).ok());
+  EXPECT_EQ(calls, 4u);
+}
+
+TEST(SgdTest, BatchCountIndependentOfBatchSizeCorrectness) {
+  // Tiny batches and huge batches should both learn the same separator
+  // direction (possibly at different rates).
+  data::SeparableResult sep = data::LinearlySeparable(1000, 4, 0.0, 17);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  for (size_t batch : {16ul, 1000ul}) {
+    LogisticRegressionObjective objective(sep.data.features, y, 1e-4);
+    la::Vector w(5);
+    SgdOptions options;
+    options.epochs = 20;
+    options.batch_rows = batch;
+    options.learning_rate = 0.2;
+    ASSERT_TRUE(Sgd(options).Minimize(&objective, w).ok());
+    la::Vector weights(4);
+    la::Copy(w.View().Slice(0, 4), weights);
+    const double cosine = la::Dot(weights, sep.true_weights) /
+                          (la::Nrm2(weights) * la::Nrm2(sep.true_weights));
+    EXPECT_GT(cosine, 0.9) << "batch_rows=" << batch;
+  }
+}
+
+TEST(SgdTest, InvalidOptionsRejected) {
+  data::SeparableResult sep = data::LinearlySeparable(100, 3, 0.0, 2);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  LogisticRegressionObjective objective(sep.data.features, y, 0.0);
+  la::Vector w(4);
+  SgdOptions zero_epochs;
+  zero_epochs.epochs = 0;
+  EXPECT_FALSE(Sgd(zero_epochs).Minimize(&objective, w).ok());
+  SgdOptions zero_batch;
+  zero_batch.batch_rows = 0;
+  EXPECT_FALSE(Sgd(zero_batch).Minimize(&objective, w).ok());
+  EXPECT_FALSE(Sgd().Minimize(nullptr, w).ok());
+  la::Vector wrong(2);
+  EXPECT_FALSE(Sgd().Minimize(&objective, wrong).ok());
+}
+
+}  // namespace
+}  // namespace m3::ml

@@ -1,0 +1,125 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace m3::util {
+namespace {
+
+// Builds a mutable argv from string literals.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    for (auto& s : storage_) {
+      ptrs_.push_back(s.data());
+    }
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(FlagParserTest, ParsesAllTypesWithEqualsSyntax) {
+  int64_t n = 1;
+  double x = 0.0;
+  std::string s = "default";
+  bool b = false;
+  uint64_t size = 0;
+  FlagParser parser("test");
+  parser.AddInt64("n", &n, "an int");
+  parser.AddDouble("x", &x, "a double");
+  parser.AddString("s", &s, "a string");
+  parser.AddBool("b", &b, "a bool");
+  parser.AddSize("size", &size, "a size");
+  ArgvBuilder args({"prog", "--n=42", "--x=2.5", "--s=hello", "--b=true",
+                    "--size=8m"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(b);
+  EXPECT_EQ(size, 8ULL << 20);
+}
+
+TEST(FlagParserTest, SpaceSeparatedValues) {
+  int64_t n = 0;
+  FlagParser parser("test");
+  parser.AddInt64("n", &n, "an int");
+  ArgvBuilder args({"prog", "--n", "7"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 7);
+}
+
+TEST(FlagParserTest, BareBoolSetsTrue) {
+  bool verbose = false;
+  FlagParser parser("test");
+  parser.AddBool("verbose", &verbose, "verbosity");
+  ArgvBuilder args({"prog", "--verbose"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagParserTest, UnknownFlagIsError) {
+  FlagParser parser("test");
+  ArgvBuilder args({"prog", "--nope=1"});
+  Status st = parser.Parse(args.argc(), args.argv());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, MissingValueIsError) {
+  int64_t n = 0;
+  FlagParser parser("test");
+  parser.AddInt64("n", &n, "an int");
+  ArgvBuilder args({"prog", "--n"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagParserTest, BadValueIsError) {
+  int64_t n = 0;
+  FlagParser parser("test");
+  parser.AddInt64("n", &n, "an int");
+  ArgvBuilder args({"prog", "--n=abc"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagParserTest, CollectsPositionalArguments) {
+  FlagParser parser("test");
+  ArgvBuilder args({"prog", "input.bin", "output.bin"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"input.bin", "output.bin"}));
+}
+
+TEST(FlagParserTest, DefaultsSurviveWhenNotPassed) {
+  int64_t n = 99;
+  FlagParser parser("test");
+  parser.AddInt64("n", &n, "an int");
+  ArgvBuilder args({"prog"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 99);
+}
+
+TEST(FlagParserTest, HelpSetsFlagAndSucceeds) {
+  FlagParser parser("test");
+  ArgvBuilder args({"prog", "--help"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(parser.help_requested());
+}
+
+TEST(FlagParserTest, UsageListsFlagsAndDefaults) {
+  int64_t iters = 10;
+  FlagParser parser("my bench");
+  parser.AddInt64("iterations", &iters, "number of iterations");
+  std::string usage = parser.Usage("prog");
+  EXPECT_NE(usage.find("my bench"), std::string::npos);
+  EXPECT_NE(usage.find("iterations"), std::string::npos);
+  EXPECT_NE(usage.find("default: 10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace m3::util

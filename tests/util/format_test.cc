@@ -1,0 +1,95 @@
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+namespace m3::util {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f s=%s", 3, 1.5, "hi"), "x=3 y=1.50 s=hi");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutputsAreNotTruncated) {
+  std::string long_arg(5000, 'a');
+  std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 5002u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST(HumanBytesTest, Units) {
+  EXPECT_EQ(HumanBytes(0), "0 B");
+  EXPECT_EQ(HumanBytes(17), "17 B");
+  EXPECT_EQ(HumanBytes(1024), "1.00 KiB");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KiB");
+  EXPECT_EQ(HumanBytes(1ULL << 20), "1.00 MiB");
+  EXPECT_EQ(HumanBytes(1ULL << 30), "1.00 GiB");
+  EXPECT_EQ(HumanBytes(190ULL << 30), "190.00 GiB");
+}
+
+TEST(HumanDurationTest, Units) {
+  EXPECT_EQ(HumanDuration(5e-7), "0.5 us");
+  EXPECT_EQ(HumanDuration(0.0035), "3.5 ms");
+  EXPECT_EQ(HumanDuration(2.5), "2.50 s");
+  EXPECT_EQ(HumanDuration(252.0), "4m12s");
+}
+
+TEST(StrSplitTest, SplitsAndKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StrTrimTest, TrimsWhitespace) {
+  EXPECT_EQ(StrTrim("  hi  "), "hi");
+  EXPECT_EQ(StrTrim("\t\nx\r "), "x");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+}
+
+TEST(ParseInt64Test, ValidAndInvalid) {
+  EXPECT_EQ(ParseInt64("42").ValueOrDie(), 42);
+  EXPECT_EQ(ParseInt64("-17").ValueOrDie(), -17);
+  EXPECT_EQ(ParseInt64(" 7 ").ValueOrDie(), 7);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("4.5").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").ValueOrDie(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").ValueOrDie(), -1000.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(ParseBoolTest, AcceptedSpellings) {
+  EXPECT_TRUE(ParseBool("true").ValueOrDie());
+  EXPECT_TRUE(ParseBool("YES").ValueOrDie());
+  EXPECT_TRUE(ParseBool("1").ValueOrDie());
+  EXPECT_FALSE(ParseBool("false").ValueOrDie());
+  EXPECT_FALSE(ParseBool("off").ValueOrDie());
+  EXPECT_FALSE(ParseBool("maybe").ok());
+}
+
+TEST(ParseSizeBytesTest, Suffixes) {
+  EXPECT_EQ(ParseSizeBytes("64").ValueOrDie(), 64u);
+  EXPECT_EQ(ParseSizeBytes("4k").ValueOrDie(), 4096u);
+  EXPECT_EQ(ParseSizeBytes("8M").ValueOrDie(), 8ULL << 20);
+  EXPECT_EQ(ParseSizeBytes("2g").ValueOrDie(), 2ULL << 30);
+  EXPECT_EQ(ParseSizeBytes("1T").ValueOrDie(), 1ULL << 40);
+  EXPECT_FALSE(ParseSizeBytes("-5m").ok());
+  EXPECT_FALSE(ParseSizeBytes("k").ok());
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+}  // namespace
+}  // namespace m3::util

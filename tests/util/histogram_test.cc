@@ -1,0 +1,125 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace m3::util {
+namespace {
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 1.25);  // population variance
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombinedStream) {
+  Rng rng(4);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(0, 10);
+    all.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.Variance(), all.Variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(5.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(HistogramTest, CountMeanMinMax) {
+  Histogram h;
+  for (double v : {0.001, 0.002, 0.003}) {
+    h.Add(v);
+  }
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.mean(), 0.002, 1e-12);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 0.003);
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  Histogram h;
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    h.Add(rng.Uniform(0.0, 1.0));
+  }
+  double prev = 0.0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    double value = h.Percentile(p);
+    EXPECT_GE(value, prev);
+    prev = value;
+  }
+  // Median of uniform(0,1) should be near 0.5 (bucket resolution is coarse).
+  EXPECT_NEAR(h.Median(), 0.5, 0.15);
+}
+
+TEST(HistogramTest, PercentileBounds) {
+  Histogram h;
+  h.Add(2.0);
+  h.Add(4.0);
+  EXPECT_GE(h.Percentile(0), h.min());
+  EXPECT_LE(h.Percentile(100), h.max());
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(1.0);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Add(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a, b;
+  a.Add(0.5);
+  b.Add(1.5);
+  b.Add(2.5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.max(), 2.5);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Add(1.0);
+  EXPECT_NE(h.ToString().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace m3::util

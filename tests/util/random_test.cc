@@ -1,0 +1,137 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace m3::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeWithoutBias) {
+  Rng rng(42);
+  std::vector<int> counts(10, 0);
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.UniformInt(uint64_t{10})];
+  }
+  // Each bucket should be within 10% of expected.
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / 10, kSamples / 100);
+  }
+}
+
+TEST(RngTest, UniformIntSignedRangeInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(int64_t{-2}, int64_t{2});
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values appear in 1000 draws
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(99);
+  const int kSamples = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(3);
+  const int kSamples = 100000;
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.Gaussian(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.05);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(13);
+  auto perm = rng.Permutation(100);
+  ASSERT_EQ(perm.size(), 100u);
+  std::vector<size_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(sorted[i], i);
+  }
+  // Overwhelmingly likely not identity.
+  EXPECT_NE(perm, sorted);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(1);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(55);
+  Rng child = parent.Fork();
+  // The child stream differs from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace m3::util

@@ -1,0 +1,50 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace m3::util {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  std::string text = t.ToText();
+  // Header present, separator line present, rows present.
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  // All lines (except possibly last) share the column start of "value".
+  const size_t header_col = text.find("value");
+  const size_t row_col = text.find("22222");
+  ASSERT_NE(header_col, std::string::npos);
+  ASSERT_NE(row_col, std::string::npos);
+  const size_t header_offset = header_col - text.rfind('\n', header_col) - 1;
+  const size_t row_offset = row_col - text.rfind('\n', row_col) - 1;
+  EXPECT_EQ(header_offset, row_offset);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"x,y", "q\"z"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n\"x,y\",\"q\"\"z\"\n");
+}
+
+TEST(TablePrinterTest, NumRows) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter t({"col1", "col2"});
+  std::string text = t.ToText();
+  EXPECT_NE(text.find("col1"), std::string::npos);
+  EXPECT_EQ(t.ToCsv(), "col1,col2\n");
+}
+
+}  // namespace
+}  // namespace m3::util

@@ -1,0 +1,119 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace m3::util {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedWork) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  auto f = pool.Submit([] {});
+  f.get();
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++done;
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&done] { ++done; });
+    }
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ParallelForTest, CoversEntireRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(
+      0, hits.size(), 1,
+      [&hits](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          ++hits[i];
+        }
+      },
+      &pool);
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(5, 5, 1, [&called](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, RespectsGrainByRunningInline) {
+  ThreadPool pool(4);
+  // Range smaller than grain -> single inline chunk.
+  std::atomic<int> chunks{0};
+  ParallelFor(
+      0, 10, 100, [&chunks](size_t, size_t) { ++chunks; }, &pool);
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ParallelForTest, SumMatchesSequential) {
+  std::vector<int64_t> values(100000);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<int64_t> parallel_sum{0};
+  ParallelFor(0, values.size(), 1024, [&](size_t lo, size_t hi) {
+    int64_t local = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      local += values[i];
+    }
+    parallel_sum += local;
+  });
+  const int64_t expected =
+      std::accumulate(values.begin(), values.end(), int64_t{0});
+  EXPECT_EQ(parallel_sum.load(), expected);
+}
+
+TEST(ParallelForTest, UsesGlobalPoolWhenNullptr) {
+  std::atomic<int> count{0};
+  ParallelFor(0, 64, 1, [&count](size_t lo, size_t hi) {
+    count += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(GlobalThreadPoolTest, SingletonAndSized) {
+  ThreadPool& a = GlobalThreadPool();
+  ThreadPool& b = GlobalThreadPool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace m3::util
