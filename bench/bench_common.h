@@ -8,6 +8,7 @@
 #include "data/dataset.h"
 #include "data/infimnist.h"
 #include "io/disk_probe.h"
+#include "io/io_stats.h"
 #include "io/platform.h"
 #include "util/format.h"
 #include "util/stopwatch.h"
@@ -53,6 +54,12 @@ inline util::Status EnsureDataset(const std::string& path, uint64_t images,
 /// \brief Number of images whose dense double matrix occupies `mb` MiB.
 inline uint64_t ImagesForMb(uint64_t mb) {
   return (mb << 20) / (data::kImageFeatures * sizeof(double));
+}
+
+/// \brief Prints the process-wide execution-engine counters (prefetch,
+/// evict, pipeline-stall) accumulated since start / the last reset.
+inline void PrintExecCounters() {
+  std::printf("exec: %s\n", io::GlobalExecCounters().ToString().c_str());
 }
 
 /// \brief Probes the disk under `dir` once and prints the result.

@@ -18,6 +18,9 @@ Result<ml::LogisticRegressionModel> TrainLogisticRegression(
   if (options.chunk_rows == 0) {
     options.chunk_rows = dataset.chunk_rows();
   }
+  if (options.pipeline == nullptr) {
+    options.pipeline = &dataset.pipeline();
+  }
   ml::LogisticRegression trainer(options);
   return trainer.Train(dataset.features(), dataset.labels(), stats);
 }
@@ -29,6 +32,9 @@ Result<ml::KMeansResult> TrainKMeans(MappedDataset& dataset,
   }
   if (options.chunk_rows == 0) {
     options.chunk_rows = dataset.chunk_rows();
+  }
+  if (options.pipeline == nullptr) {
+    options.pipeline = &dataset.pipeline();
   }
   ml::KMeans kmeans(options);
   return kmeans.Cluster(dataset.features());

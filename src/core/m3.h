@@ -17,6 +17,31 @@
 ///
 ///   auto ds = m3::MappedDataset::Open("digits.m3").ValueOrDie();
 ///   auto model = m3::TrainLogisticRegression(ds).ValueOrDie();
+///
+/// Pipelined out-of-core execution (src/exec/): every dataset scan runs on
+/// an exec::ChunkPipeline that overlaps MADV_WILLNEED prefetch of chunk
+/// i+1 with compute on chunk i and evicts consumed pages behind the scan
+/// when a RAM budget is set — the disk streams while the CPU computes.
+/// Tune it with M3Options::readahead_chunks / pipeline_workers, or drive
+/// custom scans directly:
+///
+///   M3Options options;
+///   options.ram_budget_bytes = 1ull << 30;   // out-of-core at 1 GiB
+///   options.pipeline_workers = 4;            // parallel chunk map-reduce
+///   auto ds = m3::MappedDataset::Open("big.m3", options).ValueOrDie();
+///
+///   ds.ForEachChunk([&](size_t chunk, size_t row_begin, size_t row_end) {
+///     Consume(ds.features().RowRange(row_begin, row_end - row_begin));
+///   });
+///
+///   double loss = 0;
+///   ds.MapReduceChunks<double>(
+///       [&](size_t, size_t lo, size_t hi) { return PartialLoss(lo, hi); },
+///       [&](size_t, double&& partial) { loss += partial; });
+///
+/// Partials always merge in chunk order, so results are bitwise identical
+/// at any worker count. Engine counters (prefetch/evict/stall) land in
+/// io::GlobalExecCounters().
 
 #include <string>
 

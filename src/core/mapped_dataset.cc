@@ -1,5 +1,6 @@
 #include "core/mapped_dataset.h"
 
+
 namespace m3 {
 
 using util::Result;
@@ -52,6 +53,42 @@ ml::ScanHooks MappedDataset::MakeScanHooks() {
     return budget_->MakeHooks();
   }
   return ml::ScanHooks();
+}
+
+uint64_t MappedDataset::ScanChunkRows() const {
+  return la::AutoChunkRows(meta_.cols, options_.chunk_rows);
+}
+
+exec::ChunkPipeline& MappedDataset::pipeline() {
+  if (pipeline_ == nullptr) {
+    exec::MappedRegion region;
+    region.mapping = mapping_.get();
+    region.base_offset = meta_.features_offset;
+    region.row_bytes = meta_.cols * sizeof(double);
+    exec::PipelineOptions options;
+    options.readahead_chunks = options_.readahead_chunks;
+    options.num_workers = options_.pipeline_workers;
+    options.advice = options_.advice;
+    // Budget eviction stays with the RamBudgetEmulator via ScanHooks so
+    // its counters keep accounting for all eviction work.
+    options.ram_budget_bytes = 0;
+    pipeline_ = std::make_unique<exec::ChunkPipeline>(region, options);
+  }
+  return *pipeline_;
+}
+
+void MappedDataset::ForEachChunk(const exec::ChunkFn& fn) {
+  ml::ScanHooks hooks = MakeScanHooks();
+  if (hooks.before_pass) {
+    hooks.before_pass(scan_passes_);
+  }
+  ++scan_passes_;
+  const la::RowChunker chunker(rows(), ScanChunkRows());
+  pipeline().Run(chunker, fn, [&](size_t, size_t row_begin, size_t row_end) {
+    if (hooks.after_chunk) {
+      hooks.after_chunk(row_begin, row_end);
+    }
+  });
 }
 
 Status MappedDataset::Advise(io::Advice advice) {

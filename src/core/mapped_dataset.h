@@ -7,7 +7,10 @@
 #include "core/options.h"
 #include "core/ram_budget.h"
 #include "data/dataset.h"
+#include "exec/chunk_map_reduce.h"
+#include "exec/chunk_pipeline.h"
 #include "io/mmap_file.h"
+#include "la/chunker.h"
 #include "la/matrix.h"
 #include "ml/objective.h"
 #include "util/result.h"
@@ -62,8 +65,49 @@ class MappedDataset {
   /// The emulator, or nullptr when no budget is configured.
   RamBudgetEmulator* ram_budget() { return budget_.get(); }
 
+  /// The pipelined execution engine bound to the feature region, created
+  /// lazily from the open options (readahead_chunks, pipeline_workers,
+  /// advice). Eviction under a RAM budget stays with the emulator hooks,
+  /// so budget accounting is identical with and without the engine.
+  exec::ChunkPipeline& pipeline();
+
+  /// \name Pipelined chunk scans over the feature rows.
+  ///
+  /// ForEachChunk drives `fn(chunk_index, row_begin, row_end)` over the
+  /// whole feature matrix in sequential chunks (`chunk_rows()` rows each)
+  /// with prefetch ahead of the scan and budget eviction behind it.
+  /// MapReduceChunks additionally collects one `T` partial per chunk and
+  /// folds them in ascending chunk order — deterministic at any engine
+  /// worker count. Both perform exactly one full pass.
+  /// @{
+  void ForEachChunk(const exec::ChunkFn& fn);
+
+  template <typename T, typename MapFn, typename ReduceFn>
+  void MapReduceChunks(MapFn&& map, ReduceFn&& reduce) {
+    ml::ScanHooks hooks = MakeScanHooks();
+    if (hooks.before_pass) {
+      hooks.before_pass(scan_passes_);
+    }
+    ++scan_passes_;
+    const la::RowChunker chunker(rows(), ScanChunkRows());
+    exec::MapReduceChunks<T>(
+        &pipeline(), chunker, std::forward<MapFn>(map),
+        [&](size_t chunk, T&& partial) {
+          reduce(chunk, std::move(partial));
+          if (hooks.after_chunk) {
+            const la::RowChunker::Range range = chunker.Chunk(chunk);
+            hooks.after_chunk(range.begin, range.end);
+          }
+        });
+  }
+  /// @}
+
   /// Chunk size (rows) the options request for training scans.
   uint64_t chunk_rows() const { return options_.chunk_rows; }
+
+  /// Effective rows per chunk for dataset-driven scans (auto when the
+  /// options leave chunk_rows at 0).
+  uint64_t ScanChunkRows() const;
 
   /// Re-applies an madvise hint to the feature region.
   util::Status Advise(io::Advice advice);
@@ -82,6 +126,8 @@ class MappedDataset {
   data::DatasetMeta meta_;
   M3Options options_;
   std::unique_ptr<RamBudgetEmulator> budget_;
+  std::unique_ptr<exec::ChunkPipeline> pipeline_;
+  size_t scan_passes_ = 0;  ///< ForEachChunk/MapReduceChunks passes
 };
 
 }  // namespace m3

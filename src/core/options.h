@@ -29,6 +29,18 @@ struct M3Options {
 
   /// Rows per sequential scan chunk for training algorithms (0 = auto).
   uint64_t chunk_rows = 0;
+
+  /// Chunks of MADV_WILLNEED readahead the execution engine
+  /// (exec::ChunkPipeline) keeps ahead of training scans. 0 disables the
+  /// prefetch stage; the default overlaps the next chunk's disk reads
+  /// with the current chunk's compute.
+  uint64_t readahead_chunks = 2;
+
+  /// Compute-stage fan-out of the execution engine: 0 or 1 runs chunk
+  /// functors serially on the scanning thread; >= 2 map-reduces chunks
+  /// across that many engine workers (results stay bitwise identical —
+  /// partials merge in chunk order).
+  uint64_t pipeline_workers = 0;
 };
 
 }  // namespace m3

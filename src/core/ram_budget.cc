@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "io/io_stats.h"
 #include "util/logging.h"
 
 namespace m3 {
@@ -57,6 +58,10 @@ void RamBudgetEmulator::OnChunk(size_t row_begin, size_t row_end) {
   if (status.ok()) {
     ++evictions_;
     bytes_evicted_ += length;
+    io::ExecCounters delta;
+    delta.evictions = 1;
+    delta.bytes_evicted = length;
+    io::AddExecCounters(delta);
   }
   evict_cursor_ = evict_end;
 }

@@ -1,0 +1,236 @@
+#include "exec/chunk_pipeline.h"
+
+#include <algorithm>
+#include <deque>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "io/io_stats.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace m3::exec {
+
+ChunkPipeline::ChunkPipeline(PipelineOptions options)
+    : ChunkPipeline(MappedRegion(), std::move(options)) {}
+
+ChunkPipeline::ChunkPipeline(MappedRegion region, PipelineOptions options)
+    : region_(region), options_(options) {
+  if (region_.mapping != nullptr) {
+    M3_CHECK(region_.row_bytes > 0, "row_bytes must be positive");
+    // One thread keeps prefetches completing in issue order, which makes
+    // prefetched_through_ a plain high-water mark.
+    io_pool_ = std::make_unique<util::ThreadPool>(1);
+  }
+  if (options_.num_workers >= 2) {
+    compute_pool_ = std::make_unique<util::ThreadPool>(options_.num_workers);
+  }
+}
+
+ChunkPipeline::~ChunkPipeline() = default;
+
+size_t ChunkPipeline::max_in_flight() const {
+  if (compute_pool_ == nullptr) {
+    return 1;
+  }
+  return 2 * compute_pool_->num_threads();
+}
+
+PipelineStats ChunkPipeline::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+PipelineStats ChunkPipeline::ConsumeStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  PipelineStats out = stats_;
+  stats_ = PipelineStats();
+  return out;
+}
+
+void ChunkPipeline::RequestPrefetchThrough(const la::RowChunker& chunker,
+                                           size_t goal) {
+  if (io_pool_ == nullptr || options_.readahead_chunks == 0) {
+    return;
+  }
+  goal = std::min(goal, chunker.NumChunks());
+  for (size_t c = prefetch_goal_; c < goal; ++c) {
+    const la::RowChunker::Range range = chunker.Chunk(c);
+    const uint64_t offset = region_.base_offset + range.begin * region_.row_bytes;
+    const uint64_t length = range.size() * region_.row_bytes;
+    const io::MemoryMappedFile* mapping = region_.mapping;
+    io_pool_->Submit([this, mapping, offset, length, c] {
+      util::Stopwatch watch;
+      // Best effort: a failed WILLNEED only loses overlap, never data.
+      mapping->Prefetch(offset, length).IgnoreError();
+      const double elapsed = watch.ElapsedSeconds();
+      prefetched_through_.store(c + 1, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.prefetches;
+      stats_.prefetch_bytes += length;
+      stats_.prefetch_seconds += elapsed;
+    });
+  }
+  prefetch_goal_ = std::max(prefetch_goal_, goal);
+}
+
+void ChunkPipeline::RunMapStage(const ChunkFn& map, size_t chunk,
+                                size_t row_begin, size_t row_end) {
+  // Warm-up chunks are dispatched right after their prefetch is issued, so
+  // losing that race says nothing about the disk; skip classifying them.
+  const bool racing = bound() && options_.readahead_chunks > 0 &&
+                      chunk >= stall_classify_from_;
+  bool hit = false;
+  if (racing) {
+    hit = prefetched_through_.load(std::memory_order_acquire) > chunk;
+  }
+  util::Stopwatch watch;
+  map(chunk, row_begin, row_end);
+  const double elapsed = watch.ElapsedSeconds();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.compute_seconds += elapsed;
+  if (racing) {
+    if (hit) {
+      ++stats_.prefetch_hits;
+    } else {
+      ++stats_.stalls;
+    }
+  }
+}
+
+void ChunkPipeline::EvictBehind(size_t row_end) {
+  if (!bound() || options_.ram_budget_bytes == 0) {
+    return;
+  }
+  const uint64_t cursor = row_end * region_.row_bytes;
+  if (cursor <= options_.ram_budget_bytes) {
+    return;
+  }
+  const uint64_t evict_end = cursor - options_.ram_budget_bytes;
+  if (evict_end <= evict_cursor_) {
+    return;
+  }
+  const uint64_t offset = region_.base_offset + evict_cursor_;
+  const uint64_t length = evict_end - evict_cursor_;
+  evict_cursor_ = evict_end;
+  const io::MemoryMappedFile* mapping = region_.mapping;
+  auto evict = [this, mapping, offset, length] {
+    util::Stopwatch watch;
+    util::Status status = mapping->Evict(offset, length);
+    const double elapsed = watch.ElapsedSeconds();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.evict_seconds += elapsed;
+    if (status.ok()) {
+      ++stats_.evictions;
+      stats_.bytes_evicted += length;
+    }
+  };
+  if (options_.synchronous_eviction) {
+    evict();
+  } else {
+    io_pool_->Submit(std::move(evict));
+  }
+}
+
+void ChunkPipeline::RunSerial(const la::RowChunker& chunker, const ChunkFn& map,
+                              const ChunkFn& retire) {
+  const size_t n = chunker.NumChunks();
+  for (size_t c = 0; c < n; ++c) {
+    // Keep the prefetch stage `readahead_chunks` ahead of compute.
+    RequestPrefetchThrough(chunker, c + 1 + options_.readahead_chunks);
+    const la::RowChunker::Range range = chunker.Chunk(c);
+    RunMapStage(map, c, range.begin, range.end);
+    if (retire) {
+      retire(c, range.begin, range.end);
+    }
+    EvictBehind(range.end);
+  }
+}
+
+void ChunkPipeline::RunParallel(const la::RowChunker& chunker,
+                                const ChunkFn& map, const ChunkFn& retire) {
+  const size_t n = chunker.NumChunks();
+  const size_t window = max_in_flight();
+  std::deque<std::pair<size_t, std::future<void>>> in_flight;
+  size_t next = 0;
+  for (size_t retiring = 0; retiring < n; ++retiring) {
+    while (next < n && next - retiring < window) {
+      RequestPrefetchThrough(chunker, next + 1 + options_.readahead_chunks);
+      const la::RowChunker::Range range = chunker.Chunk(next);
+      in_flight.emplace_back(
+          next, compute_pool_->Submit([this, &map, c = next, range] {
+            RunMapStage(map, c, range.begin, range.end);
+          }));
+      ++next;
+    }
+    in_flight.front().second.get();  // in-order retirement barrier
+    const la::RowChunker::Range range = chunker.Chunk(retiring);
+    if (retire) {
+      retire(retiring, range.begin, range.end);
+    }
+    EvictBehind(range.end);
+    in_flight.pop_front();
+  }
+}
+
+void ChunkPipeline::Run(const la::RowChunker& chunker, const ChunkFn& map,
+                        const ChunkFn& retire) {
+  M3_CHECK(map != nullptr, "null chunk functor");
+  util::Stopwatch watch;
+  PipelineStats before;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    before = stats_;
+  }
+  prefetch_goal_ = 0;
+  prefetched_through_.store(0, std::memory_order_release);
+  evict_cursor_ = 0;
+  stall_classify_from_ =
+      compute_pool_ != nullptr
+          ? std::max(options_.readahead_chunks, max_in_flight())
+          : options_.readahead_chunks;
+  if (bound()) {
+    region_.mapping
+        ->AdviseRange(options_.advice, region_.base_offset,
+                      chunker.total_rows() * region_.row_bytes)
+        .IgnoreError();
+    // Warm the pipe before compute starts.
+    RequestPrefetchThrough(chunker, options_.readahead_chunks);
+  }
+  if (compute_pool_ != nullptr) {
+    RunParallel(chunker, map, retire);
+  } else {
+    RunSerial(chunker, map, retire);
+  }
+  if (io_pool_ != nullptr) {
+    io_pool_->Wait();  // settle outstanding prefetches/evictions
+  }
+  // Report this pass's increments to the process-wide counters.
+  io::ExecCounters delta;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.passes;
+    stats_.chunks += chunker.NumChunks();
+    stats_.drive_seconds += watch.ElapsedSeconds();
+    delta = stats_.counters() - before.counters();
+  }
+  io::AddExecCounters(delta);
+}
+
+void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
+             const ChunkFn& map, const ChunkFn& retire) {
+  if (pipeline != nullptr) {
+    pipeline->Run(chunker, map, retire);
+    return;
+  }
+  for (size_t c = 0; c < chunker.NumChunks(); ++c) {
+    const la::RowChunker::Range range = chunker.Chunk(c);
+    map(c, range.begin, range.end);
+    if (retire) {
+      retire(c, range.begin, range.end);
+    }
+  }
+}
+
+}  // namespace m3::exec

@@ -1,0 +1,164 @@
+#ifndef M3_EXEC_CHUNK_PIPELINE_H_
+#define M3_EXEC_CHUNK_PIPELINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "exec/pipeline_stats.h"
+#include "io/mmap_file.h"
+#include "la/chunker.h"
+#include "util/thread_pool.h"
+
+namespace m3::exec {
+
+/// \brief A row-wise window of a memory mapping that a pipeline scans.
+///
+/// Row r of the scanned region lives at byte offset
+/// `base_offset + r * row_bytes` inside `mapping`. An unbound region
+/// (`mapping == nullptr`) disables the prefetch and evict stages — the
+/// pipeline then only orchestrates compute.
+struct MappedRegion {
+  const io::MemoryMappedFile* mapping = nullptr;
+  uint64_t base_offset = 0;
+  uint64_t row_bytes = 0;
+};
+
+/// \brief Knobs for the three pipeline stages.
+struct PipelineOptions {
+  PipelineOptions() {}  // NOLINT: explicit ctor so `= PipelineOptions()` works
+
+  /// How many chunks ahead of the compute cursor the prefetch stage keeps
+  /// MADV_WILLNEED issued. 0 disables prefetching.
+  size_t readahead_chunks = 2;
+
+  /// Compute-stage fan-out. 0 or 1 runs chunk functors on the driving
+  /// thread in chunk order; >= 2 runs them on an internal worker pool with
+  /// up to `2 * num_workers` chunks in flight (retirement stays in order).
+  size_t num_workers = 0;
+
+  /// When positive, the evict stage drops pages more than this many bytes
+  /// behind the retire cursor (the same trailing-window policy as
+  /// core::RamBudgetEmulator). 0 disables engine-side eviction — callers
+  /// that already evict via ScanHooks keep doing so in `retire`.
+  uint64_t ram_budget_bytes = 0;
+
+  /// madvise hint applied to the scanned region at the start of each pass
+  /// (honors the dataset's core AccessPattern/M3Options setting).
+  io::Advice advice = io::Advice::kSequential;
+
+  /// Run evictions inline at retire instead of on the background stage.
+  /// Deterministic residency for tests; slightly less overlap.
+  bool synchronous_eviction = false;
+};
+
+/// Chunk functor: (chunk_index, row_begin, row_end).
+using ChunkFn = std::function<void(size_t, size_t, size_t)>;
+
+/// \brief Pipelined out-of-core scan driver: prefetch -> compute -> evict.
+///
+/// M3's thesis is that sequential chunked scans let the OS hide disk
+/// latency; this engine makes the overlap explicit. While the compute
+/// stage runs the functor on chunk i, a background thread has already
+/// issued MADV_WILLNEED for chunks (i, i + readahead], and pages more
+/// than the RAM budget behind the retire cursor are dropped with Evict.
+/// The result: the disk streams continuously instead of idling while we
+/// compute, and resident bytes stay bounded.
+///
+///   exec::ChunkPipeline pipeline({&mapped, offset, row_bytes}, options);
+///   pipeline.Run(la::RowChunker(rows, chunk_rows),
+///                [&](size_t c, size_t lo, size_t hi) { Consume(lo, hi); });
+///
+/// Thread model: Run() is driven from the calling thread. `map` may run
+/// concurrently on internal workers when `num_workers >= 2`; `retire`
+/// always runs on the calling thread in ascending chunk order (so
+/// ScanHooks-style eviction and reductions stay sequential). Run() is not
+/// itself thread-safe: one pass at a time per pipeline.
+class ChunkPipeline {
+ public:
+  explicit ChunkPipeline(PipelineOptions options = PipelineOptions());
+  ChunkPipeline(MappedRegion region, PipelineOptions options);
+  ~ChunkPipeline();
+
+  ChunkPipeline(const ChunkPipeline&) = delete;
+  ChunkPipeline& operator=(const ChunkPipeline&) = delete;
+
+  /// Drives one full pass over `chunker`'s schedule. `map` is invoked
+  /// exactly once per chunk (possibly concurrently, any order); `retire`
+  /// is invoked once per chunk on the calling thread, in ascending chunk
+  /// order, after that chunk's `map` has returned. Blocks until every
+  /// chunk has retired and background evictions for the pass have settled.
+  void Run(const la::RowChunker& chunker, const ChunkFn& map,
+           const ChunkFn& retire = ChunkFn());
+
+  /// Upper bound on chunks simultaneously in flight inside Run(). Callers
+  /// keeping per-chunk state (e.g. ChunkMapReduce slots) can size arrays
+  /// with it; slot `chunk_index % max_in_flight()` is free by the time a
+  /// chunk is dispatched.
+  size_t max_in_flight() const;
+
+  bool bound() const { return region_.mapping != nullptr; }
+  const PipelineOptions& options() const { return options_; }
+  const MappedRegion& region() const { return region_; }
+
+  /// Counters accumulated since construction / the last ConsumeStats().
+  PipelineStats stats() const;
+
+  /// Returns the accumulated stats and resets them.
+  PipelineStats ConsumeStats();
+
+ private:
+  void RunSerial(const la::RowChunker& chunker, const ChunkFn& map,
+                 const ChunkFn& retire);
+  void RunParallel(const la::RowChunker& chunker, const ChunkFn& map,
+                   const ChunkFn& retire);
+
+  /// Issues background MADV_WILLNEED so chunks [prefetch_goal_, goal) are
+  /// in flight; updates prefetch_goal_.
+  void RequestPrefetchThrough(const la::RowChunker& chunker, size_t goal);
+
+  /// Checks the prefetch race for `chunk` and runs `map` timed.
+  void RunMapStage(const ChunkFn& map, size_t chunk, size_t row_begin,
+                   size_t row_end);
+
+  /// Trailing-window eviction after the chunk ending at `row_end` retired.
+  void EvictBehind(size_t row_end);
+
+  MappedRegion region_;
+  PipelineOptions options_;
+  /// One background thread shared by the prefetch and evict stages; FIFO
+  /// order means prefetches complete in issue order.
+  std::unique_ptr<util::ThreadPool> io_pool_;
+  /// Compute fan-out pool (only when num_workers >= 2). Deliberately
+  /// separate from util::GlobalThreadPool so chunk functors that
+  /// internally ParallelFor do not deadlock against the engine.
+  std::unique_ptr<util::ThreadPool> compute_pool_;
+
+  // Per-pass cursors (driver thread only, except prefetched_through_).
+  size_t prefetch_goal_ = 0;  ///< chunks [0, goal) have prefetch issued
+  std::atomic<size_t> prefetched_through_{0};  ///< completed prefix
+  uint64_t evict_cursor_ = 0;  ///< bytes [0, cursor) of the region evicted
+  /// Chunks below this index raced their prefetch with no compute lead
+  /// time (pass warm-up) and are excluded from hit/stall classification.
+  size_t stall_classify_from_ = 0;
+
+  mutable std::mutex stats_mu_;
+  PipelineStats stats_;
+};
+
+/// \brief Drives one pass with an optional pipeline.
+///
+/// The single code path the trainers share: with `pipeline == nullptr`
+/// every chunk runs `map` then `retire` inline, in chunk order — the
+/// serial reference semantics. With a pipeline, identical calls are made
+/// but prefetch/evict overlap and `map` may fan out. Either way `retire`
+/// observes chunks in ascending order, so reductions merged at retire are
+/// bitwise identical across both modes and any worker count.
+void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
+             const ChunkFn& map, const ChunkFn& retire = ChunkFn());
+
+}  // namespace m3::exec
+
+#endif  // M3_EXEC_CHUNK_PIPELINE_H_

@@ -1,0 +1,64 @@
+#include "exec/pipeline_stats.h"
+
+#include "util/format.h"
+
+namespace m3::exec {
+
+PipelineStats& PipelineStats::operator+=(const PipelineStats& rhs) {
+  passes += rhs.passes;
+  chunks += rhs.chunks;
+  prefetches += rhs.prefetches;
+  prefetch_bytes += rhs.prefetch_bytes;
+  prefetch_hits += rhs.prefetch_hits;
+  stalls += rhs.stalls;
+  evictions += rhs.evictions;
+  bytes_evicted += rhs.bytes_evicted;
+  prefetch_seconds += rhs.prefetch_seconds;
+  compute_seconds += rhs.compute_seconds;
+  evict_seconds += rhs.evict_seconds;
+  drive_seconds += rhs.drive_seconds;
+  return *this;
+}
+
+PipelineStats PipelineStats::operator+(const PipelineStats& rhs) const {
+  PipelineStats out = *this;
+  out += rhs;
+  return out;
+}
+
+io::ExecCounters PipelineStats::counters() const {
+  io::ExecCounters out;
+  out.passes = passes;
+  out.chunks = chunks;
+  out.prefetches = prefetches;
+  out.prefetch_bytes = prefetch_bytes;
+  out.evictions = evictions;
+  out.bytes_evicted = bytes_evicted;
+  out.stalls = stalls;
+  return out;
+}
+
+double PipelineStats::PrefetchHitRate() const {
+  const uint64_t raced = prefetch_hits + stalls;
+  if (raced == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(prefetch_hits) / static_cast<double>(raced);
+}
+
+std::string PipelineStats::ToString() const {
+  return util::StrFormat(
+      "passes=%llu chunks=%llu prefetch=%llu (%s, hit %.0f%%) stalls=%llu "
+      "evict=%llu (%s) stage s: drive=%.3f compute=%.3f prefetch=%.3f "
+      "evict=%.3f",
+      static_cast<unsigned long long>(passes),
+      static_cast<unsigned long long>(chunks),
+      static_cast<unsigned long long>(prefetches),
+      util::HumanBytes(prefetch_bytes).c_str(), PrefetchHitRate() * 100.0,
+      static_cast<unsigned long long>(stalls),
+      static_cast<unsigned long long>(evictions),
+      util::HumanBytes(bytes_evicted).c_str(), drive_seconds, compute_seconds,
+      prefetch_seconds, evict_seconds);
+}
+
+}  // namespace m3::exec

@@ -1,0 +1,55 @@
+#ifndef M3_EXEC_PIPELINE_STATS_H_
+#define M3_EXEC_PIPELINE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/io_stats.h"
+
+namespace m3::exec {
+
+/// \brief Per-stage counters and timings for a ChunkPipeline.
+///
+/// One Run() is one pass; counters accumulate across passes until the
+/// pipeline is destroyed or ConsumeStats() is called. The per-stage
+/// second totals let the perf model (`core/perf_model`) be fit against
+/// measured overlap: with perfect pipelining,
+/// drive_seconds ~ max(compute_seconds, prefetch_seconds) rather than
+/// their sum.
+struct PipelineStats {
+  uint64_t passes = 0;          ///< Run() invocations
+  uint64_t chunks = 0;          ///< chunks driven through the compute stage
+  uint64_t prefetches = 0;      ///< MADV_WILLNEED ranges issued
+  uint64_t prefetch_bytes = 0;  ///< bytes covered by issued prefetches
+  /// Chunks whose prefetch had completed before compute began (overlap
+  /// succeeded). Only counted when a mapping is bound and readahead > 0.
+  uint64_t prefetch_hits = 0;
+  /// Chunks that entered the compute stage before their prefetch landed —
+  /// the pipeline-stall signal (disk not keeping up with compute).
+  uint64_t stalls = 0;
+  uint64_t evictions = 0;       ///< Evict (DONTNEED) ranges issued
+  uint64_t bytes_evicted = 0;   ///< bytes covered by issued evictions
+
+  double prefetch_seconds = 0;  ///< background time inside Prefetch calls
+  double compute_seconds = 0;   ///< wall time inside chunk functors
+  double evict_seconds = 0;     ///< background time inside Evict calls
+  double drive_seconds = 0;     ///< wall time of whole passes (end to end)
+
+  PipelineStats& operator+=(const PipelineStats& rhs);
+  PipelineStats operator+(const PipelineStats& rhs) const;
+
+  /// The counter subset as the process-wide io::ExecCounters shape — the
+  /// single conversion point between the two structs, so the engine can
+  /// report per-pass deltas without field-by-field copies.
+  io::ExecCounters counters() const;
+
+  /// Fraction of prefetch-enabled chunks whose prefetch won the race,
+  /// in [0, 1]; 1.0 when the prefetch stage fully hides the disk.
+  double PrefetchHitRate() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace m3::exec
+
+#endif  // M3_EXEC_PIPELINE_STATS_H_

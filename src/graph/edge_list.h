@@ -44,6 +44,7 @@ class MappedEdgeList {
   const Edge* edges() const { return edges_; }
 
   io::MemoryMappedFile& mapping() { return mapping_; }
+  const io::MemoryMappedFile& mapping() const { return mapping_; }
 
  private:
   MappedEdgeList(io::MemoryMappedFile mapping, uint64_t num_nodes,

@@ -2,10 +2,25 @@
 
 #include <cmath>
 
+#include "exec/chunk_pipeline.h"
+#include "la/chunker.h"
+
 namespace m3::graph {
 
 using util::Result;
 using util::Status;
+
+namespace {
+
+/// Edges per chunk so one chunk covers ~8 MiB of packed edge records.
+size_t AutoChunkEdges(size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  return (8ull << 20) / sizeof(Edge);
+}
+
+}  // namespace
 
 Result<PageRankResult> PageRank(const MappedEdgeList& graph,
                                 PageRankOptions options) {
@@ -17,12 +32,31 @@ Result<PageRankResult> PageRank(const MappedEdgeList& graph,
     return Status::InvalidArgument("damping must be in [0, 1)");
   }
 
+  // Pipeline bound to the packed edge region: prefetch runs ahead of the
+  // sequential edge scans, eviction trails them under the RAM budget. The
+  // scatter writes to shared rank arrays, so compute stays on the driving
+  // thread (no worker fan-out).
+  const Edge* edges = graph.edges();
+  exec::MappedRegion region;
+  region.mapping = &graph.mapping();
+  region.base_offset = static_cast<uint64_t>(
+      reinterpret_cast<const char*>(edges) -
+      graph.mapping().As<const char>());
+  region.row_bytes = sizeof(Edge);
+  exec::PipelineOptions pipeline_options;
+  pipeline_options.readahead_chunks = options.readahead_chunks;
+  pipeline_options.ram_budget_bytes = options.ram_budget_bytes;
+  exec::ChunkPipeline pipeline(region, pipeline_options);
+  const la::RowChunker chunker(graph.num_edges(),
+                               AutoChunkEdges(options.chunk_edges));
+
   // Prologue scan: out-degrees.
   std::vector<uint64_t> out_degree(n, 0);
-  const Edge* edges = graph.edges();
-  for (uint64_t e = 0; e < graph.num_edges(); ++e) {
-    ++out_degree[edges[e].src];
-  }
+  pipeline.Run(chunker, [&](size_t, size_t begin, size_t end) {
+    for (size_t e = begin; e < end; ++e) {
+      ++out_degree[edges[e].src];
+    }
+  });
 
   PageRankResult result;
   result.ranks.assign(n, 1.0 / static_cast<double>(n));
@@ -30,12 +64,14 @@ Result<PageRankResult> PageRank(const MappedEdgeList& graph,
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     std::fill(next.begin(), next.end(), 0.0);
-    // Scatter pass: sequential scan of the mapped edge array.
-    for (uint64_t e = 0; e < graph.num_edges(); ++e) {
-      const Edge& edge = edges[e];
-      next[edge.dst] +=
-          result.ranks[edge.src] / static_cast<double>(out_degree[edge.src]);
-    }
+    // Scatter pass: pipelined sequential scan of the mapped edge array.
+    pipeline.Run(chunker, [&](size_t, size_t begin, size_t end) {
+      for (size_t e = begin; e < end; ++e) {
+        const Edge& edge = edges[e];
+        next[edge.dst] += result.ranks[edge.src] /
+                          static_cast<double>(out_degree[edge.src]);
+      }
+    });
     // Dangling mass (nodes with no out-edges) is spread uniformly.
     double dangling = 0.0;
     for (uint64_t v = 0; v < n; ++v) {

@@ -14,6 +14,15 @@ struct PageRankOptions {
   size_t max_iterations = 20;
   /// Stop when the L1 change between iterations falls below this.
   double tolerance = 1e-9;
+  /// Edges per pipelined scan chunk (0 = auto, ~8 MiB of edge records).
+  size_t chunk_edges = 0;
+  /// Chunks of readahead the execution engine keeps ahead of the scatter
+  /// scan (0 disables the prefetch stage).
+  size_t readahead_chunks = 2;
+  /// When positive, edge pages more than this many bytes behind the scan
+  /// are evicted — bounded-RAM graph mining on arbitrarily large edge
+  /// files.
+  uint64_t ram_budget_bytes = 0;
 };
 
 /// \brief PageRank result.
@@ -29,6 +38,10 @@ struct PageRankResult {
 /// (degree-weighted scatter, then dangling/teleport fixup) — the graph
 /// workload of the MMap prior work [3], included here to connect M3 back
 /// to its inspiration. Out-degrees are computed once in a prologue scan.
+///
+/// The prologue and scatter scans run on an exec::ChunkPipeline bound to
+/// the edge region: MADV_WILLNEED readahead overlaps the scatter compute,
+/// and the optional RAM budget evicts consumed edge pages behind the scan.
 util::Result<PageRankResult> PageRank(const MappedEdgeList& graph,
                                       PageRankOptions options =
                                           PageRankOptions());

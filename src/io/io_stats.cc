@@ -4,6 +4,7 @@
 #include <sys/time.h>
 
 #include <chrono>
+#include <mutex>
 
 #include "io/file.h"
 #include "util/format.h"
@@ -62,6 +63,67 @@ Result<IoCounters> ReadIoCounters() {
     }
   }
   return counters;
+}
+
+ExecCounters ExecCounters::operator-(const ExecCounters& rhs) const {
+  ExecCounters out;
+  out.passes = passes - rhs.passes;
+  out.chunks = chunks - rhs.chunks;
+  out.prefetches = prefetches - rhs.prefetches;
+  out.prefetch_bytes = prefetch_bytes - rhs.prefetch_bytes;
+  out.evictions = evictions - rhs.evictions;
+  out.bytes_evicted = bytes_evicted - rhs.bytes_evicted;
+  out.stalls = stalls - rhs.stalls;
+  return out;
+}
+
+std::string ExecCounters::ToString() const {
+  return util::StrFormat(
+      "passes=%llu chunks=%llu prefetches=%llu (%s) evictions=%llu (%s) "
+      "stalls=%llu",
+      static_cast<unsigned long long>(passes),
+      static_cast<unsigned long long>(chunks),
+      static_cast<unsigned long long>(prefetches),
+      util::HumanBytes(prefetch_bytes).c_str(),
+      static_cast<unsigned long long>(evictions),
+      util::HumanBytes(bytes_evicted).c_str(),
+      static_cast<unsigned long long>(stalls));
+}
+
+namespace {
+
+std::mutex& ExecCountersMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+ExecCounters& ExecCountersStorage() {
+  static ExecCounters* counters = new ExecCounters;
+  return *counters;
+}
+
+}  // namespace
+
+void AddExecCounters(const ExecCounters& delta) {
+  std::lock_guard<std::mutex> lock(ExecCountersMutex());
+  ExecCounters& total = ExecCountersStorage();
+  total.passes += delta.passes;
+  total.chunks += delta.chunks;
+  total.prefetches += delta.prefetches;
+  total.prefetch_bytes += delta.prefetch_bytes;
+  total.evictions += delta.evictions;
+  total.bytes_evicted += delta.bytes_evicted;
+  total.stalls += delta.stalls;
+}
+
+ExecCounters GlobalExecCounters() {
+  std::lock_guard<std::mutex> lock(ExecCountersMutex());
+  return ExecCountersStorage();
+}
+
+void ResetExecCounters() {
+  std::lock_guard<std::mutex> lock(ExecCountersMutex());
+  ExecCountersStorage() = ExecCounters();
 }
 
 FaultCounters FaultCounters::operator-(const FaultCounters& rhs) const {

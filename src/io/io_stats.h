@@ -27,6 +27,37 @@ struct IoCounters {
 /// \brief Reads the current /proc/self/io counters.
 util::Result<IoCounters> ReadIoCounters();
 
+/// \brief Process-wide counters for the pipelined execution engine
+/// (`exec::ChunkPipeline`) and the RAM-budget emulator.
+///
+/// `prefetches`/`prefetch_bytes` count MADV_WILLNEED ranges issued by the
+/// prefetch stage; `evictions`/`bytes_evicted` count DONTNEED drops (from
+/// the engine's evict stage and from core::RamBudgetEmulator hooks);
+/// `stalls` counts chunks that entered compute before their prefetch
+/// landed — nonzero stalls mean the disk, not the CPU, is the bottleneck.
+struct ExecCounters {
+  uint64_t passes = 0;
+  uint64_t chunks = 0;
+  uint64_t prefetches = 0;
+  uint64_t prefetch_bytes = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes_evicted = 0;
+  uint64_t stalls = 0;
+
+  ExecCounters operator-(const ExecCounters& rhs) const;
+  std::string ToString() const;
+};
+
+/// \brief Accumulates `delta` into the process-wide exec counters
+/// (thread-safe; called by the engine at the end of every pass).
+void AddExecCounters(const ExecCounters& delta);
+
+/// \brief Snapshot of the process-wide exec counters.
+ExecCounters GlobalExecCounters();
+
+/// \brief Resets the process-wide exec counters (bench preambles).
+void ResetExecCounters();
+
 /// \brief Page-fault counters from getrusage(2).
 ///
 /// Major faults required real I/O (the out-of-core signal); minor faults

@@ -141,12 +141,12 @@ MemoryMappedFile& MemoryMappedFile::operator=(
   return *this;
 }
 
-Status MemoryMappedFile::Advise(Advice advice) {
+Status MemoryMappedFile::Advise(Advice advice) const {
   return AdviseRange(advice, 0, size_);
 }
 
 Status MemoryMappedFile::AdviseRange(Advice advice, uint64_t offset,
-                                     uint64_t length) {
+                                     uint64_t length) const {
   if (!is_mapped()) {
     return Status::FailedPrecondition("advise on unmapped region");
   }
@@ -165,11 +165,11 @@ Status MemoryMappedFile::AdviseRange(Advice advice, uint64_t offset,
   return Status::OK();
 }
 
-Status MemoryMappedFile::Prefetch(uint64_t offset, uint64_t length) {
+Status MemoryMappedFile::Prefetch(uint64_t offset, uint64_t length) const {
   return AdviseRange(Advice::kWillNeed, offset, length);
 }
 
-Status MemoryMappedFile::Evict(uint64_t offset, uint64_t length) {
+Status MemoryMappedFile::Evict(uint64_t offset, uint64_t length) const {
   // Drop the pages from this mapping...
   M3_RETURN_IF_ERROR(AdviseRange(Advice::kDontNeed, offset, length));
   // ...and evict the backing file's page-cache copy so the next fault does

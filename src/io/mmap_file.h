@@ -89,20 +89,22 @@ class MemoryMappedFile {
     return static_cast<const T*>(addr_);
   }
 
-  /// Applies an madvise hint to the whole mapping.
-  util::Status Advise(Advice advice);
+  /// Applies an madvise hint to the whole mapping. Cache-control calls
+  /// are `const`: they steer the kernel's paging, not the mapping object.
+  util::Status Advise(Advice advice) const;
 
   /// Applies an madvise hint to `[offset, offset + length)` (page-aligned
   /// internally; `length` is clamped to the mapping).
-  util::Status AdviseRange(Advice advice, uint64_t offset, uint64_t length);
+  util::Status AdviseRange(Advice advice, uint64_t offset,
+                           uint64_t length) const;
 
   /// Asks the kernel to prefetch a range (MADV_WILLNEED).
-  util::Status Prefetch(uint64_t offset, uint64_t length);
+  util::Status Prefetch(uint64_t offset, uint64_t length) const;
 
   /// Drops a range from this mapping *and* from the backing file's page
   /// cache, so the next access re-reads from storage. This is how the
   /// RAM-budget emulator forces out-of-core behaviour at laptop scale.
-  util::Status Evict(uint64_t offset, uint64_t length);
+  util::Status Evict(uint64_t offset, uint64_t length) const;
 
   /// Touches every page so it is resident (sequential read fault).
   /// Returns a checksum so the compiler cannot elide the reads.

@@ -1,11 +1,26 @@
 #ifndef M3_LA_CHUNKER_H_
 #define M3_LA_CHUNKER_H_
 
+#include <algorithm>
 #include <cstddef>
 
 #include "util/logging.h"
 
 namespace m3::la {
+
+/// \brief Picks a chunk size targeting ~8 MiB per chunk (min 256 rows)
+/// for rows of `cols` doubles. A positive `requested` wins outright.
+///
+/// The shared chunk-size policy for every sequential scan consumer
+/// (trainers, MappedDataset, the execution engine).
+inline size_t AutoChunkRows(size_t cols, size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const size_t row_bytes = std::max<size_t>(1, cols * sizeof(double));
+  const size_t target = 8ull << 20;  // ~8 MiB per chunk
+  return std::max<size_t>(256, target / row_bytes);
+}
 
 /// \brief Partitions `total` rows into contiguous chunks of at most
 /// `chunk_rows`.

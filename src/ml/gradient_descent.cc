@@ -24,6 +24,9 @@ Result<OptimizationResult> GradientDescent::Minimize(
 
   OptimizationResult result;
   la::Vector grad(n), w_trial(n), grad_trial(n);
+  const auto* chunked_before = dynamic_cast<ChunkedObjective*>(function);
+  const size_t passes_before =
+      chunked_before != nullptr ? chunked_before->passes() : 0;
   double f = function->EvaluateWithGradient(w, grad);
   ++result.function_evaluations;
 
@@ -75,6 +78,11 @@ Result<OptimizationResult> GradientDescent::Minimize(
   result.gradient_norm = la::AbsMax(grad);
   if (result.gradient_norm <= options_.gradient_tolerance) {
     result.converged = true;
+  }
+  // Chunked objectives scan the data once per evaluation through the
+  // execution engine; report the pass count (the paper's I/O unit).
+  if (auto* chunked = dynamic_cast<ChunkedObjective*>(function)) {
+    result.data_passes = chunked->passes() - passes_before;
   }
   return result;
 }

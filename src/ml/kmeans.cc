@@ -4,9 +4,9 @@
 #include <cmath>
 #include <mutex>
 
+#include "exec/chunk_map_reduce.h"
 #include "la/blas.h"
 #include "la/chunker.h"
-#include "ml/logistic_regression.h"  // AutoChunkRows
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -73,6 +73,13 @@ la::Matrix KMeansPlusPlus(la::ConstMatrixView x,
   }
   return centers;
 }
+
+/// One chunk's assignment partial: per-cluster sums/counts + inertia.
+struct AssignPartial {
+  la::Matrix sums;
+  std::vector<uint64_t> counts;
+  double inertia = 0;
+};
 
 }  // namespace
 
@@ -154,7 +161,7 @@ Result<KMeansResult> KMeans::Cluster(la::ConstMatrixView x) const {
   KMeansResult result;
   M3_ASSIGN_OR_RETURN(result.centers, SeedCenters(x, options_));
 
-  const size_t chunk_rows = AutoChunkRows(d, options_.chunk_rows);
+  const size_t chunk_rows = la::AutoChunkRows(d, options_.chunk_rows);
   la::RowChunker chunker(n, chunk_rows);
   la::Matrix sums(k, d);
   std::vector<uint64_t> counts(k);
@@ -170,38 +177,56 @@ Result<KMeansResult> KMeans::Cluster(la::ConstMatrixView x) const {
     std::fill(counts.begin(), counts.end(), 0);
     double inertia = 0;
 
-    for (size_t ci = 0; ci < chunker.NumChunks(); ++ci) {
-      const la::RowChunker::Range range = chunker.Chunk(ci);
-      // Per-sub-chunk partials merged in fixed order (deterministic FP).
-      const auto ranges = util::PartitionRange(
-          range.begin, range.end, 512, util::GlobalThreadPool().num_threads());
-      std::vector<la::Matrix> local_sums(ranges.size(), la::Matrix(k, d));
-      std::vector<std::vector<uint64_t>> local_counts(
-          ranges.size(), std::vector<uint64_t>(k, 0));
-      std::vector<double> local_inertia(ranges.size(), 0.0);
-      util::ParallelForIndexed(range.begin, range.end, 512,
-                               [&](size_t chunk, size_t lo, size_t hi) {
-        for (size_t r = lo; r < hi; ++r) {
-          double dist2 = 0;
-          const size_t c = NearestCenter(x.Row(r), result.centers, &dist2);
-          local_inertia[chunk] += dist2;
-          la::Axpy(1.0, x.Row(r), local_sums[chunk].Row(c));
-          ++local_counts[chunk][c];
-        }
-      });
-      for (size_t s = 0; s < ranges.size(); ++s) {
-        inertia += local_inertia[s];
-        for (size_t c = 0; c < k; ++c) {
-          if (local_counts[s][c] > 0) {
-            la::Axpy(1.0, local_sums[s].Row(c), sums.Row(c));
-            counts[c] += local_counts[s][c];
+    // Assignment + accumulation pass through the execution engine: each
+    // chunk maps to per-cluster partial sums, merged in chunk order so the
+    // result is bitwise identical at any engine worker count.
+    exec::MapReduceChunks<AssignPartial>(
+        options_.pipeline, chunker,
+        [&](size_t, size_t row_begin, size_t row_end) {
+          AssignPartial partial;
+          partial.sums = la::Matrix(k, d);
+          partial.counts.assign(k, 0);
+          // Per-sub-chunk partials merged in fixed order (deterministic FP).
+          const auto ranges = util::PartitionRange(
+              row_begin, row_end, 512, util::GlobalThreadPool().num_threads());
+          std::vector<la::Matrix> local_sums(ranges.size(), la::Matrix(k, d));
+          std::vector<std::vector<uint64_t>> local_counts(
+              ranges.size(), std::vector<uint64_t>(k, 0));
+          std::vector<double> local_inertia(ranges.size(), 0.0);
+          util::ParallelForIndexed(row_begin, row_end, 512,
+                                   [&](size_t chunk, size_t lo, size_t hi) {
+            for (size_t r = lo; r < hi; ++r) {
+              double dist2 = 0;
+              const size_t c = NearestCenter(x.Row(r), result.centers, &dist2);
+              local_inertia[chunk] += dist2;
+              la::Axpy(1.0, x.Row(r), local_sums[chunk].Row(c));
+              ++local_counts[chunk][c];
+            }
+          });
+          for (size_t s = 0; s < ranges.size(); ++s) {
+            partial.inertia += local_inertia[s];
+            for (size_t c = 0; c < k; ++c) {
+              if (local_counts[s][c] > 0) {
+                la::Axpy(1.0, local_sums[s].Row(c), partial.sums.Row(c));
+                partial.counts[c] += local_counts[s][c];
+              }
+            }
           }
-        }
-      }
-      if (options_.hooks.after_chunk) {
-        options_.hooks.after_chunk(range.begin, range.end);
-      }
-    }
+          return partial;
+        },
+        [&](size_t ci, AssignPartial&& partial) {
+          inertia += partial.inertia;
+          for (size_t c = 0; c < k; ++c) {
+            if (partial.counts[c] > 0) {
+              la::Axpy(1.0, partial.sums.Row(c), sums.Row(c));
+              counts[c] += partial.counts[c];
+            }
+          }
+          if (options_.hooks.after_chunk) {
+            const la::RowChunker::Range range = chunker.Chunk(ci);
+            options_.hooks.after_chunk(range.begin, range.end);
+          }
+        });
 
     // Recompute centers; reseed any emptied cluster from the sample.
     for (size_t c = 0; c < k; ++c) {

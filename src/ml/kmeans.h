@@ -28,6 +28,9 @@ struct KMeansOptions {
   uint64_t seed = 42;
   size_t chunk_rows = 0;          ///< 0 = auto (~8 MiB chunks)
   ScanHooks hooks;
+  /// Execution engine driving the per-iteration scans (prefetch/evict
+  /// overlap + parallel chunk map-reduce). Not owned; nullptr = serial.
+  exec::ChunkPipeline* pipeline = nullptr;
   /// Optional per-iteration observer: (iteration, inertia).
   std::function<void(size_t, double)> iteration_callback;
 };

@@ -118,6 +118,10 @@ Result<OptimizationResult> Lbfgs::Minimize(DifferentiableFunction* function,
   la::Vector grad(n), grad_prev(n), direction(n);
   la::Vector w_trial(n), grad_trial(n), w_prev(n);
 
+  const auto* chunked_before = dynamic_cast<ChunkedObjective*>(function);
+  const size_t passes_before =
+      chunked_before != nullptr ? chunked_before->passes() : 0;
+
   double f = function->EvaluateWithGradient(w, grad);
   ++result.function_evaluations;
   if (!std::isfinite(f)) {
@@ -226,6 +230,11 @@ Result<OptimizationResult> Lbfgs::Minimize(DifferentiableFunction* function,
   result.gradient_norm = la::AbsMax(grad);
   if (result.gradient_norm <= options_.gradient_tolerance) {
     result.converged = true;
+  }
+  // Every evaluation of a chunked objective is one engine-driven pass over
+  // the data; report how many this run performed (the paper's I/O unit).
+  if (auto* chunked = dynamic_cast<ChunkedObjective*>(function)) {
+    result.data_passes = chunked->passes() - passes_before;
   }
   return result;
 }

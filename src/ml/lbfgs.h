@@ -16,6 +16,10 @@ struct OptimizationResult {
   double gradient_norm = 0;          ///< final ||grad||
   size_t iterations = 0;             ///< outer iterations performed
   size_t function_evaluations = 0;   ///< full data passes
+  /// Sequential data passes the objective actually performed (from
+  /// ChunkedObjective::passes(); equals function_evaluations for chunked
+  /// objectives, 0 for objectives that do not scan data).
+  size_t data_passes = 0;
   bool converged = false;            ///< gradient tolerance reached
   std::vector<double> objective_history;  ///< f after each iteration
 };

@@ -2,10 +2,10 @@
 
 #include <mutex>
 
+#include "exec/chunk_map_reduce.h"
 #include "la/blas.h"
 #include "la/chunker.h"
 #include "la/solve.h"
-#include "ml/logistic_regression.h"  // AutoChunkRows
 #include "util/thread_pool.h"
 
 namespace m3::ml {
@@ -36,52 +36,70 @@ Result<LinearRegressionModel> LinearRegression::Train(
   la::Matrix gram(m, m);
   la::Vector rhs(m);
 
-  const size_t chunk_rows = AutoChunkRows(d, options_.chunk_rows);
+  const size_t chunk_rows = la::AutoChunkRows(d, options_.chunk_rows);
   la::RowChunker chunker(n, chunk_rows);
   if (options_.hooks.before_pass) {
     options_.hooks.before_pass(0);
   }
-  for (size_t ci = 0; ci < chunker.NumChunks(); ++ci) {
-    const la::RowChunker::Range range = chunker.Chunk(ci);
-    const auto ranges = util::PartitionRange(
-        range.begin, range.end, 256, util::GlobalThreadPool().num_threads());
-    std::vector<la::Matrix> local_gram(ranges.size(), la::Matrix(m, m));
-    std::vector<la::Vector> local_rhs(ranges.size(), la::Vector(m));
-    util::ParallelForIndexed(range.begin, range.end, 256,
-                             [&](size_t chunk, size_t lo, size_t hi) {
-      la::Matrix& my_gram = local_gram[chunk];
-      la::Vector& my_rhs = local_rhs[chunk];
-      for (size_t r = lo; r < hi; ++r) {
-        la::ConstVectorView xi = x.Row(r);
-        const double yi = y[r];
-        // Lower triangle of the outer product (SPD symmetry).
-        for (size_t a = 0; a < d; ++a) {
-          const double xa = xi[a];
-          double* grow = my_gram.Row(a).data();
-          for (size_t b = 0; b <= a; ++b) {
-            grow[b] += xa * xi[b];
+  // Normal-equation accumulation through the execution engine: one
+  // (gram, rhs) partial per chunk, merged in chunk order.
+  struct GramPartial {
+    la::Matrix gram;
+    la::Vector rhs;
+  };
+  exec::MapReduceChunks<GramPartial>(
+      options_.pipeline, chunker,
+      [&](size_t, size_t row_begin, size_t row_end) {
+        GramPartial partial;
+        partial.gram = la::Matrix(m, m);
+        partial.rhs = la::Vector(m);
+        const auto ranges = util::PartitionRange(
+            row_begin, row_end, 256, util::GlobalThreadPool().num_threads());
+        std::vector<la::Matrix> local_gram(ranges.size(), la::Matrix(m, m));
+        std::vector<la::Vector> local_rhs(ranges.size(), la::Vector(m));
+        util::ParallelForIndexed(row_begin, row_end, 256,
+                                 [&](size_t chunk, size_t lo, size_t hi) {
+          la::Matrix& my_gram = local_gram[chunk];
+          la::Vector& my_rhs = local_rhs[chunk];
+          for (size_t r = lo; r < hi; ++r) {
+            la::ConstVectorView xi = x.Row(r);
+            const double yi = y[r];
+            // Lower triangle of the outer product (SPD symmetry).
+            for (size_t a = 0; a < d; ++a) {
+              const double xa = xi[a];
+              double* grow = my_gram.Row(a).data();
+              for (size_t b = 0; b <= a; ++b) {
+                grow[b] += xa * xi[b];
+              }
+              my_rhs[a] += xa * yi;
+            }
+            // Intercept column: Z[:, d] = 1.
+            double* last = my_gram.Row(d).data();
+            for (size_t b = 0; b < d; ++b) {
+              last[b] += xi[b];
+            }
+            last[d] += 1.0;
+            my_rhs[d] += yi;
           }
-          my_rhs[a] += xa * yi;
+        });
+        for (size_t s = 0; s < ranges.size(); ++s) {
+          for (size_t a = 0; a < m; ++a) {
+            la::Axpy(1.0, local_gram[s].Row(a), partial.gram.Row(a));
+          }
+          la::Axpy(1.0, local_rhs[s], partial.rhs);
         }
-        // Intercept column: Z[:, d] = 1.
-        double* last = my_gram.Row(d).data();
-        for (size_t b = 0; b < d; ++b) {
-          last[b] += xi[b];
+        return partial;
+      },
+      [&](size_t ci, GramPartial&& partial) {
+        for (size_t a = 0; a < m; ++a) {
+          la::Axpy(1.0, partial.gram.Row(a), gram.Row(a));
         }
-        last[d] += 1.0;
-        my_rhs[d] += yi;
-      }
-    });
-    for (size_t s = 0; s < ranges.size(); ++s) {
-      for (size_t a = 0; a < m; ++a) {
-        la::Axpy(1.0, local_gram[s].Row(a), gram.Row(a));
-      }
-      la::Axpy(1.0, local_rhs[s], rhs);
-    }
-    if (options_.hooks.after_chunk) {
-      options_.hooks.after_chunk(range.begin, range.end);
-    }
-  }
+        la::Axpy(1.0, partial.rhs, rhs);
+        if (options_.hooks.after_chunk) {
+          const la::RowChunker::Range range = chunker.Chunk(ci);
+          options_.hooks.after_chunk(range.begin, range.end);
+        }
+      });
 
   // Mirror the lower triangle and add the ridge term (not on intercept).
   for (size_t a = 0; a < m; ++a) {

@@ -22,6 +22,9 @@ struct LinearRegressionOptions {
   double l2 = 0.0;        ///< ridge penalty (intercept unpenalized)
   size_t chunk_rows = 0;  ///< 0 = auto
   ScanHooks hooks;
+  /// Execution engine driving the training scan. Not owned; nullptr =
+  /// inline serial scan.
+  exec::ChunkPipeline* pipeline = nullptr;
 };
 
 /// \brief Least-squares regression via the normal equations.

@@ -5,7 +5,6 @@
 #include <mutex>
 
 #include "la/blas.h"
-#include "la/chunker.h"
 #include "util/thread_pool.h"
 
 namespace m3::ml {
@@ -35,15 +34,6 @@ double Sigmoid(double z) {
 
 }  // namespace
 
-size_t AutoChunkRows(size_t cols, size_t requested) {
-  if (requested > 0) {
-    return requested;
-  }
-  const size_t row_bytes = std::max<size_t>(1, cols * sizeof(double));
-  const size_t target = 8ull << 20;  // ~8 MiB per chunk
-  return std::max<size_t>(256, target / row_bytes);
-}
-
 // ---------------------------------------------------------------------------
 // Binary logistic regression
 // ---------------------------------------------------------------------------
@@ -51,11 +41,10 @@ size_t AutoChunkRows(size_t cols, size_t requested) {
 LogisticRegressionObjective::LogisticRegressionObjective(
     la::ConstMatrixView x, la::ConstVectorView y, double l2,
     size_t chunk_rows, ScanHooks hooks)
-    : x_(x),
+    : ChunkedObjective(la::AutoChunkRows(x.cols(), chunk_rows), std::move(hooks)),
+      x_(x),
       y_(y),
-      l2_(l2),
-      chunk_rows_(AutoChunkRows(x.cols(), chunk_rows)),
-      hooks_(std::move(hooks)) {
+      l2_(l2) {
   M3_CHECK(x_.rows() == y_.size(), "labels size %zu != rows %zu", y_.size(),
            x_.rows());
 }
@@ -96,30 +85,16 @@ double LogisticRegressionObjective::EvaluateChunk(size_t begin, size_t end,
   return chunk_loss * inv_n;
 }
 
-double LogisticRegressionObjective::EvaluateWithGradient(
-    la::ConstVectorView w, la::VectorView grad) {
-  if (hooks_.before_pass) {
-    hooks_.before_pass(passes_);
-  }
-  ++passes_;
-  grad.SetZero();
-  double loss = 0;
-  la::RowChunker chunker(NumRows(), chunk_rows_);
-  for (size_t c = 0; c < chunker.NumChunks(); ++c) {
-    const la::RowChunker::Range range = chunker.Chunk(c);
-    loss += EvaluateChunk(range.begin, range.end, w, grad);
-    if (hooks_.after_chunk) {
-      hooks_.after_chunk(range.begin, range.end);
-    }
-  }
+double LogisticRegressionObjective::ApplyRegularization(la::ConstVectorView w,
+                                                        la::VectorView grad) {
   // Ridge penalty on the weights (not the intercept).
   const size_t d = x_.cols();
-  if (l2_ > 0) {
-    la::ConstVectorView weights = w.Slice(0, d);
-    loss += 0.5 * l2_ * la::Dot(weights, weights);
-    la::Axpy(l2_, weights, grad.Slice(0, d));
+  if (l2_ <= 0) {
+    return 0.0;
   }
-  return loss;
+  la::ConstVectorView weights = w.Slice(0, d);
+  la::Axpy(l2_, weights, grad.Slice(0, d));
+  return 0.5 * l2_ * la::Dot(weights, weights);
 }
 
 double LogisticRegressionModel::PredictProbability(
@@ -151,6 +126,7 @@ Result<LogisticRegressionModel> LogisticRegression::Train(
   }
   LogisticRegressionObjective objective(x, y, options_.l2,
                                         options_.chunk_rows, options_.hooks);
+  objective.set_pipeline(options_.pipeline);
   la::Vector params(x.cols() + 1);  // zero init
   Lbfgs optimizer(options_.lbfgs);
   M3_ASSIGN_OR_RETURN(OptimizationResult result,
@@ -172,12 +148,11 @@ Result<LogisticRegressionModel> LogisticRegression::Train(
 SoftmaxRegressionObjective::SoftmaxRegressionObjective(
     la::ConstMatrixView x, la::ConstVectorView y, size_t num_classes,
     double l2, size_t chunk_rows, ScanHooks hooks)
-    : x_(x),
+    : ChunkedObjective(la::AutoChunkRows(x.cols(), chunk_rows), std::move(hooks)),
+      x_(x),
       y_(y),
       num_classes_(num_classes),
-      l2_(l2),
-      chunk_rows_(AutoChunkRows(x.cols(), chunk_rows)),
-      hooks_(std::move(hooks)) {
+      l2_(l2) {
   M3_CHECK(x_.rows() == y_.size(), "labels size mismatch");
   M3_CHECK(num_classes_ >= 2, "need at least 2 classes");
 }
@@ -232,30 +207,18 @@ double SoftmaxRegressionObjective::EvaluateChunk(size_t begin, size_t end,
   return chunk_loss * inv_n;
 }
 
-double SoftmaxRegressionObjective::EvaluateWithGradient(la::ConstVectorView w,
-                                                        la::VectorView grad) {
-  if (hooks_.before_pass) {
-    hooks_.before_pass(passes_);
+double SoftmaxRegressionObjective::ApplyRegularization(la::ConstVectorView w,
+                                                       la::VectorView grad) {
+  if (l2_ <= 0) {
+    return 0.0;
   }
-  ++passes_;
-  grad.SetZero();
   double loss = 0;
-  la::RowChunker chunker(NumRows(), chunk_rows_);
-  for (size_t c = 0; c < chunker.NumChunks(); ++c) {
-    const la::RowChunker::Range range = chunker.Chunk(c);
-    loss += EvaluateChunk(range.begin, range.end, w, grad);
-    if (hooks_.after_chunk) {
-      hooks_.after_chunk(range.begin, range.end);
-    }
-  }
-  if (l2_ > 0) {
-    const size_t d = x_.cols();
-    const size_t stride = d + 1;
-    for (size_t c = 0; c < num_classes_; ++c) {
-      la::ConstVectorView wc = w.Slice(c * stride, d);
-      loss += 0.5 * l2_ * la::Dot(wc, wc);
-      la::Axpy(l2_, wc, grad.Slice(c * stride, d));
-    }
+  const size_t d = x_.cols();
+  const size_t stride = d + 1;
+  for (size_t c = 0; c < num_classes_; ++c) {
+    la::ConstVectorView wc = w.Slice(c * stride, d);
+    loss += 0.5 * l2_ * la::Dot(wc, wc);
+    la::Axpy(l2_, wc, grad.Slice(c * stride, d));
   }
   return loss;
 }
@@ -297,6 +260,7 @@ Result<SoftmaxRegressionModel> SoftmaxRegression::Train(
   }
   SoftmaxRegressionObjective objective(x, y, num_classes, options_.l2,
                                        options_.chunk_rows, options_.hooks);
+  objective.set_pipeline(options_.pipeline);
   la::Vector params(objective.Dimension());
   Lbfgs optimizer(options_.lbfgs);
   M3_ASSIGN_OR_RETURN(OptimizationResult result,

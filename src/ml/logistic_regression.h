@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "la/chunker.h"
 #include "la/matrix.h"
 #include "ml/lbfgs.h"
 #include "ml/objective.h"
@@ -16,11 +17,13 @@ namespace m3::ml {
 /// loss(w, b) = (1/n) sum_i [ log(1 + e^{z_i}) - y_i z_i ]
 ///              + (lambda/2) ||w||^2,   z_i = w . x_i + b
 ///
-/// The data is scanned in sequential row chunks; within a chunk the work is
-/// partitioned across the thread pool with per-worker partial gradients.
-/// Because `x` is a view, the same objective runs on heap data and on an
-/// mmap'd dataset — the M3 property under test. One EvaluateWithGradient
-/// call performs exactly one full pass over `x` (ScanHooks observe it).
+/// The data is scanned in sequential row chunks driven by the base-class
+/// engine pass (exec::ChunkPipeline when attached); within a chunk the
+/// work is partitioned across the thread pool with per-worker partial
+/// gradients. Because `x` is a view, the same objective runs on heap data
+/// and on an mmap'd dataset — the M3 property under test. One
+/// EvaluateWithGradient call performs exactly one full pass over `x`
+/// (ScanHooks observe it).
 class LogisticRegressionObjective final : public ChunkedObjective {
  public:
   /// \param x n-by-d feature view (rows are samples)
@@ -35,21 +38,17 @@ class LogisticRegressionObjective final : public ChunkedObjective {
   size_t Dimension() const override { return x_.cols() + 1; }
   size_t NumRows() const override { return x_.rows(); }
 
-  double EvaluateWithGradient(la::ConstVectorView w,
-                              la::VectorView grad) override;
   double EvaluateChunk(size_t begin, size_t end, la::ConstVectorView w,
                        la::VectorView grad) override;
 
-  size_t chunk_rows() const { return chunk_rows_; }
-  size_t passes() const { return passes_; }
+ protected:
+  double ApplyRegularization(la::ConstVectorView w,
+                             la::VectorView grad) override;
 
  private:
   la::ConstMatrixView x_;
   la::ConstVectorView y_;
   double l2_;
-  size_t chunk_rows_;
-  ScanHooks hooks_;
-  size_t passes_ = 0;
 };
 
 /// \brief Trained binary logistic-regression model.
@@ -69,6 +68,9 @@ struct LogisticRegressionOptions {
   size_t chunk_rows = 0;  ///< 0 = auto
   LbfgsOptions lbfgs;
   ScanHooks hooks;
+  /// Execution engine driving the training scans (prefetch/evict overlap
+  /// and parallel chunk map-reduce). Not owned; nullptr = inline serial.
+  exec::ChunkPipeline* pipeline = nullptr;
 };
 
 /// \brief L-BFGS-trained logistic regression (the paper's classifier).
@@ -102,21 +104,20 @@ class SoftmaxRegressionObjective final : public ChunkedObjective {
   }
   size_t NumRows() const override { return x_.rows(); }
 
-  double EvaluateWithGradient(la::ConstVectorView w,
-                              la::VectorView grad) override;
   double EvaluateChunk(size_t begin, size_t end, la::ConstVectorView w,
                        la::VectorView grad) override;
 
   size_t num_classes() const { return num_classes_; }
+
+ protected:
+  double ApplyRegularization(la::ConstVectorView w,
+                             la::VectorView grad) override;
 
  private:
   la::ConstMatrixView x_;
   la::ConstVectorView y_;
   size_t num_classes_;
   double l2_;
-  size_t chunk_rows_;
-  ScanHooks hooks_;
-  size_t passes_ = 0;
 };
 
 /// \brief Trained softmax model: class scores = W x + b.
@@ -135,6 +136,9 @@ struct SoftmaxRegressionOptions {
   size_t chunk_rows = 0;
   LbfgsOptions lbfgs;
   ScanHooks hooks;
+  /// Execution engine driving the training scans (see
+  /// LogisticRegressionOptions::pipeline).
+  exec::ChunkPipeline* pipeline = nullptr;
 };
 
 /// \brief L-BFGS-trained multiclass classifier (for the 10-digit example).
@@ -151,8 +155,9 @@ class SoftmaxRegression {
   SoftmaxRegressionOptions options_;
 };
 
-/// \brief Picks a chunk size targeting ~8 MiB per chunk (min 256 rows).
-size_t AutoChunkRows(size_t cols, size_t requested);
+/// The chunk-size policy lives with the chunker; re-exported here for the
+/// trainers and their callers.
+using la::AutoChunkRows;
 
 }  // namespace m3::ml
 

@@ -4,9 +4,9 @@
 #include <cmath>
 #include <mutex>
 
+#include "exec/chunk_map_reduce.h"
 #include "la/blas.h"
 #include "la/chunker.h"
-#include "ml/logistic_regression.h"  // AutoChunkRows
 #include "util/thread_pool.h"
 
 namespace m3::ml {
@@ -36,50 +36,71 @@ Result<NaiveBayesModel> NaiveBayes::Train(la::ConstMatrixView x,
   la::Matrix sq_sums(num_classes, d);
   std::vector<uint64_t> counts(num_classes, 0);
 
-  const size_t chunk_rows = AutoChunkRows(d, options_.chunk_rows);
+  const size_t chunk_rows = la::AutoChunkRows(d, options_.chunk_rows);
   la::RowChunker chunker(n, chunk_rows);
   if (options_.hooks.before_pass) {
     options_.hooks.before_pass(0);
   }
-  for (size_t ci = 0; ci < chunker.NumChunks(); ++ci) {
-    const la::RowChunker::Range range = chunker.Chunk(ci);
-    const auto ranges = util::PartitionRange(
-        range.begin, range.end, 512, util::GlobalThreadPool().num_threads());
-    std::vector<la::Matrix> local_sums(ranges.size(),
-                                       la::Matrix(num_classes, d));
-    std::vector<la::Matrix> local_sq(ranges.size(),
-                                     la::Matrix(num_classes, d));
-    std::vector<std::vector<uint64_t>> local_counts(
-        ranges.size(), std::vector<uint64_t>(num_classes, 0));
-    util::ParallelForIndexed(range.begin, range.end, 512,
-                             [&](size_t chunk, size_t lo, size_t hi) {
-      for (size_t r = lo; r < hi; ++r) {
-        const double label = y[r];
-        if (label < 0 || label >= static_cast<double>(num_classes) ||
-            label != std::floor(label)) {
-          return;  // leaves total != n; reported below
+  // Sufficient-statistics pass through the execution engine: one partial
+  // (sums, squared sums, counts) per chunk, merged in chunk order.
+  struct StatsPartial {
+    la::Matrix sums;
+    la::Matrix sq_sums;
+    std::vector<uint64_t> counts;
+  };
+  exec::MapReduceChunks<StatsPartial>(
+      options_.pipeline, chunker,
+      [&](size_t, size_t row_begin, size_t row_end) {
+        StatsPartial partial;
+        partial.sums = la::Matrix(num_classes, d);
+        partial.sq_sums = la::Matrix(num_classes, d);
+        partial.counts.assign(num_classes, 0);
+        const auto ranges = util::PartitionRange(
+            row_begin, row_end, 512, util::GlobalThreadPool().num_threads());
+        std::vector<la::Matrix> local_sums(ranges.size(),
+                                           la::Matrix(num_classes, d));
+        std::vector<la::Matrix> local_sq(ranges.size(),
+                                         la::Matrix(num_classes, d));
+        std::vector<std::vector<uint64_t>> local_counts(
+            ranges.size(), std::vector<uint64_t>(num_classes, 0));
+        util::ParallelForIndexed(row_begin, row_end, 512,
+                                 [&](size_t chunk, size_t lo, size_t hi) {
+          for (size_t r = lo; r < hi; ++r) {
+            const double label = y[r];
+            if (label < 0 || label >= static_cast<double>(num_classes) ||
+                label != std::floor(label)) {
+              return;  // leaves total != n; reported below
+            }
+            const size_t c = static_cast<size_t>(label);
+            la::ConstVectorView xi = x.Row(r);
+            la::Axpy(1.0, xi, local_sums[chunk].Row(c));
+            double* sq = local_sq[chunk].Row(c).data();
+            for (size_t j = 0; j < d; ++j) {
+              sq[j] += xi[j] * xi[j];
+            }
+            ++local_counts[chunk][c];
+          }
+        });
+        for (size_t s = 0; s < ranges.size(); ++s) {
+          for (size_t c = 0; c < num_classes; ++c) {
+            la::Axpy(1.0, local_sums[s].Row(c), partial.sums.Row(c));
+            la::Axpy(1.0, local_sq[s].Row(c), partial.sq_sums.Row(c));
+            partial.counts[c] += local_counts[s][c];
+          }
         }
-        const size_t c = static_cast<size_t>(label);
-        la::ConstVectorView xi = x.Row(r);
-        la::Axpy(1.0, xi, local_sums[chunk].Row(c));
-        double* sq = local_sq[chunk].Row(c).data();
-        for (size_t j = 0; j < d; ++j) {
-          sq[j] += xi[j] * xi[j];
+        return partial;
+      },
+      [&](size_t ci, StatsPartial&& partial) {
+        for (size_t c = 0; c < num_classes; ++c) {
+          la::Axpy(1.0, partial.sums.Row(c), sums.Row(c));
+          la::Axpy(1.0, partial.sq_sums.Row(c), sq_sums.Row(c));
+          counts[c] += partial.counts[c];
         }
-        ++local_counts[chunk][c];
-      }
-    });
-    for (size_t s = 0; s < ranges.size(); ++s) {
-      for (size_t c = 0; c < num_classes; ++c) {
-        la::Axpy(1.0, local_sums[s].Row(c), sums.Row(c));
-        la::Axpy(1.0, local_sq[s].Row(c), sq_sums.Row(c));
-        counts[c] += local_counts[s][c];
-      }
-    }
-    if (options_.hooks.after_chunk) {
-      options_.hooks.after_chunk(range.begin, range.end);
-    }
-  }
+        if (options_.hooks.after_chunk) {
+          const la::RowChunker::Range range = chunker.Chunk(ci);
+          options_.hooks.after_chunk(range.begin, range.end);
+        }
+      });
 
   // Validate labels were all integral in range (re-scan cheaply).
   uint64_t total = 0;

@@ -29,6 +29,9 @@ struct NaiveBayesOptions {
   double var_smoothing = 1e-9;
   size_t chunk_rows = 0;  ///< 0 = auto
   ScanHooks hooks;
+  /// Execution engine driving the single training scan. Not owned;
+  /// nullptr = inline serial scan.
+  exec::ChunkPipeline* pipeline = nullptr;
 };
 
 /// \brief Single-pass Gaussian naive Bayes over matrix views.

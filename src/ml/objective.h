@@ -6,6 +6,10 @@
 
 #include "la/matrix.h"
 
+namespace m3::exec {
+class ChunkPipeline;
+}  // namespace m3::exec
+
 namespace m3::ml {
 
 /// \brief A differentiable objective f: R^d -> R to be minimized.
@@ -42,6 +46,13 @@ struct ScanHooks {
 ///
 /// Extends DifferentiableFunction with per-chunk evaluation used by the
 /// mini-batch SGD trainer (the paper's §4 online-learning extension).
+///
+/// The base class owns the sequential chunked scan: EvaluateWithGradient
+/// drives EvaluateChunk over a RowChunker schedule through the pipelined
+/// execution engine (`exec::ChunkPipeline`, when one is attached) with
+/// per-chunk partial gradients merged in ascending chunk order. The merge
+/// order is independent of the engine's worker count, so a trained model
+/// is bitwise identical in serial mode, at 1 worker, and at N workers.
 class ChunkedObjective : public DifferentiableFunction {
  public:
   /// Rows in the backing dataset.
@@ -50,10 +61,41 @@ class ChunkedObjective : public DifferentiableFunction {
   /// Adds the gradient contribution of rows [begin, end) (already divided
   /// by NumRows() so that summing all chunks yields the full data term) and
   /// returns those rows' loss contribution. Regularization is NOT included;
-  /// it is applied once per full pass by EvaluateWithGradient.
+  /// it is applied once per full pass by ApplyRegularization. Must be
+  /// deterministic and safe to call concurrently on disjoint row ranges.
   virtual double EvaluateChunk(size_t begin, size_t end,
                                la::ConstVectorView w,
                                la::VectorView grad) = 0;
+
+  /// One full engine-driven pass: chunk partials via EvaluateChunk, merged
+  /// in chunk order, plus the per-pass regularization term.
+  double EvaluateWithGradient(la::ConstVectorView w,
+                              la::VectorView grad) override;
+
+  /// Rows per sequential scan chunk.
+  size_t chunk_rows() const { return chunk_rows_; }
+
+  /// Full data passes performed so far.
+  size_t passes() const { return passes_; }
+
+  /// Attaches the execution engine driving this objective's scans (not
+  /// owned; nullptr reverts to the inline serial scan).
+  void set_pipeline(exec::ChunkPipeline* pipeline) { pipeline_ = pipeline; }
+  exec::ChunkPipeline* pipeline() const { return pipeline_; }
+
+ protected:
+  ChunkedObjective(size_t chunk_rows, ScanHooks hooks)
+      : chunk_rows_(chunk_rows), hooks_(std::move(hooks)) {}
+
+  /// Adds the per-pass regularization contribution (once per full pass,
+  /// after all chunks merged) and returns its loss term. Default: none.
+  virtual double ApplyRegularization(la::ConstVectorView w,
+                                     la::VectorView grad);
+
+  size_t chunk_rows_ = 0;
+  ScanHooks hooks_;
+  exec::ChunkPipeline* pipeline_ = nullptr;
+  size_t passes_ = 0;
 };
 
 }  // namespace m3::ml

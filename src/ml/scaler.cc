@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "la/chunker.h"
-#include "ml/logistic_regression.h"  // AutoChunkRows
 #include "util/thread_pool.h"
 
 namespace m3::ml {
@@ -62,7 +61,7 @@ Result<StandardScaler::Params> StandardScaler::Fit(la::ConstMatrixView x,
     return Status::InvalidArgument("empty data");
   }
   Moments global(d);
-  la::RowChunker chunker(n, AutoChunkRows(d, chunk_rows));
+  la::RowChunker chunker(n, la::AutoChunkRows(d, chunk_rows));
   if (hooks.before_pass) {
     hooks.before_pass(0);
   }

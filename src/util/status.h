@@ -70,6 +70,9 @@ class Status {
   /// True iff the status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
 
+  /// \brief Explicitly discards the status (best-effort call sites).
+  void IgnoreError() const {}
+
   StatusCode code() const { return code_; }
 
   /// Error message; empty for OK statuses.

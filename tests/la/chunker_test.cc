@@ -39,6 +39,34 @@ TEST(RowChunkerTest, ZeroChunkSizeClampedToOne) {
   EXPECT_EQ(chunker.NumChunks(), 3u);
 }
 
+TEST(RowChunkerTest, ChunkEqualsTotalIsOneExactChunk) {
+  RowChunker chunker(64, 64);
+  EXPECT_EQ(chunker.NumChunks(), 1u);
+  EXPECT_EQ(chunker.Chunk(0).begin, 0u);
+  EXPECT_EQ(chunker.Chunk(0).end, 64u);
+}
+
+TEST(RowChunkerTest, SingleRow) {
+  RowChunker chunker(1, 1 << 20);
+  EXPECT_EQ(chunker.NumChunks(), 1u);
+  EXPECT_EQ(chunker.Chunk(0).size(), 1u);
+}
+
+TEST(RowChunkerTest, ZeroRowsWithHugeChunk) {
+  RowChunker chunker(0, size_t{1} << 40);
+  EXPECT_EQ(chunker.NumChunks(), 0u);
+  EXPECT_EQ(chunker.total_rows(), 0u);
+}
+
+TEST(RowChunkerTest, LastChunkOfChunkSizeOne) {
+  RowChunker chunker(5, 1);
+  EXPECT_EQ(chunker.NumChunks(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(chunker.Chunk(i).begin, i);
+    EXPECT_EQ(chunker.Chunk(i).size(), 1u);
+  }
+}
+
 TEST(RowChunkerTest, ChunksPartitionRange) {
   RowChunker chunker(1237, 64);
   size_t covered = 0;
