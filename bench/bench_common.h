@@ -3,11 +3,14 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/m3.h"
 #include "data/dataset.h"
 #include "data/infimnist.h"
 #include "io/disk_probe.h"
+#include "io/file.h"
 #include "io/io_stats.h"
 #include "io/platform.h"
 #include "util/format.h"
@@ -61,6 +64,63 @@ inline uint64_t ImagesForMb(uint64_t mb) {
 inline void PrintExecCounters() {
   std::printf("exec: %s\n", io::GlobalExecCounters().ToString().c_str());
 }
+
+/// \brief Machine-readable bench output: one BENCH_<name>.json per bench.
+///
+/// Every measured configuration is recorded with its wall seconds and the
+/// ExecCounters delta it produced, then written as a single JSON document
+/// so CI can track the perf trajectory across PRs without scraping tables:
+///
+///   {"bench": "sgd_overlap", "cases": [
+///     {"name": "pipelined", "seconds": 1.234,
+///      "exec": {"passes": 3, ..., "prefetch_hits": 40, "stalls": 2}}]}
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Records one measured configuration.
+  void Add(const std::string& case_name, double seconds,
+           const io::ExecCounters& exec) {
+    cases_.push_back(util::StrFormat(
+        "{\"name\": \"%s\", \"seconds\": %.6f, \"exec\": "
+        "{\"passes\": %llu, \"chunks\": %llu, \"prefetches\": %llu, "
+        "\"prefetch_bytes\": %llu, \"evictions\": %llu, "
+        "\"bytes_evicted\": %llu, \"prefetch_hits\": %llu, "
+        "\"stalls\": %llu}}",
+        case_name.c_str(), seconds,
+        static_cast<unsigned long long>(exec.passes),
+        static_cast<unsigned long long>(exec.chunks),
+        static_cast<unsigned long long>(exec.prefetches),
+        static_cast<unsigned long long>(exec.prefetch_bytes),
+        static_cast<unsigned long long>(exec.evictions),
+        static_cast<unsigned long long>(exec.bytes_evicted),
+        static_cast<unsigned long long>(exec.prefetch_hits),
+        static_cast<unsigned long long>(exec.stalls)));
+  }
+
+  /// Writes BENCH_<bench_name>.json under `dir` and prints the path.
+  util::Status Write(const std::string& dir = ".") {
+    std::string body =
+        util::StrFormat("{\"bench\": \"%s\", \"cases\": [",
+                        bench_name_.c_str());
+    for (size_t i = 0; i < cases_.size(); ++i) {
+      if (i > 0) {
+        body += ", ";
+      }
+      body += cases_[i];
+    }
+    body += "]}\n";
+    const std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+    M3_RETURN_IF_ERROR(io::WriteStringToFile(path, body));
+    std::printf("wrote %s\n", path.c_str());
+    return util::Status::OK();
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::string> cases_;  ///< rendered JSON objects, add order
+};
 
 /// \brief Probes the disk under `dir` once and prints the result.
 inline io::DiskProbeResult ProbeAndPrint(const std::string& dir,

@@ -128,6 +128,10 @@ int Run(int argc, char** argv) {
   add_row("pipelined", pipelined);
   table.Print(stdout, csv);
   PrintExecCounters();
+  JsonReporter reporter("pipeline_overlap");
+  reporter.Add("serial", serial.seconds, serial.exec);
+  reporter.Add("pipelined", pipelined.seconds, pipelined.exec);
+  (void)reporter.Write(dir);
 
   const double improvement =
       serial.seconds > 0

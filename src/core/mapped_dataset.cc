@@ -24,7 +24,11 @@ Result<MappedDataset> MappedDataset::Open(const std::string& path,
 MappedDataset::MappedDataset(std::unique_ptr<io::MemoryMappedFile> mapping,
                              data::DatasetMeta meta, M3Options options)
     : mapping_(std::move(mapping)), meta_(meta), options_(options) {
-  if (options_.ram_budget_bytes > 0) {
+  // The emulator's linear trailing cursor only models ascending scans;
+  // under a non-sequential scan order the engine's per-visited-chunk
+  // window enforces the budget instead (see pipeline()).
+  if (options_.ram_budget_bytes > 0 &&
+      options_.scan_order == exec::ScanOrder::kSequential) {
     budget_ = std::make_unique<RamBudgetEmulator>(
         mapping_.get(), options_.ram_budget_bytes,
         meta_.cols * sizeof(double), meta_.features_offset);
@@ -69,12 +73,23 @@ exec::ChunkPipeline& MappedDataset::pipeline() {
     options.readahead_chunks = options_.readahead_chunks;
     options.num_workers = options_.pipeline_workers;
     options.advice = options_.advice;
-    // Budget eviction stays with the RamBudgetEmulator via ScanHooks so
-    // its counters keep accounting for all eviction work.
-    options.ram_budget_bytes = 0;
+    // Under a sequential scan order, budget eviction stays with the
+    // RamBudgetEmulator via ScanHooks so its counters keep accounting for
+    // all eviction work. A permuted order has no linear cursor, so the
+    // engine's trailing window over visited chunks enforces the budget.
+    options.ram_budget_bytes =
+        options_.scan_order == exec::ScanOrder::kSequential
+            ? 0
+            : options_.ram_budget_bytes;
     pipeline_ = std::make_unique<exec::ChunkPipeline>(region, options);
   }
   return *pipeline_;
+}
+
+exec::ChunkSchedule MappedDataset::MakeScanSchedule(size_t num_chunks) const {
+  return exec::ChunkSchedule::Make(options_.scan_order, num_chunks,
+                                   options_.scan_seed + scan_passes_,
+                                   options_.scan_stride);
 }
 
 void MappedDataset::ForEachChunk(const exec::ChunkFn& fn) {
@@ -82,13 +97,19 @@ void MappedDataset::ForEachChunk(const exec::ChunkFn& fn) {
   if (hooks.before_pass) {
     hooks.before_pass(scan_passes_);
   }
-  ++scan_passes_;
   const la::RowChunker chunker(rows(), ScanChunkRows());
-  pipeline().Run(chunker, fn, [&](size_t, size_t row_begin, size_t row_end) {
-    if (hooks.after_chunk) {
-      hooks.after_chunk(row_begin, row_end);
-    }
-  });
+  const exec::ChunkSchedule schedule = MakeScanSchedule(chunker.NumChunks());
+  ++scan_passes_;
+  pipeline().Run(
+      chunker, schedule,
+      [&fn](size_t, size_t chunk, size_t row_begin, size_t row_end) {
+        fn(chunk, row_begin, row_end);
+      },
+      [&](size_t, size_t, size_t row_begin, size_t row_end) {
+        if (hooks.after_chunk) {
+          hooks.after_chunk(row_begin, row_end);
+        }
+      });
 }
 
 Status MappedDataset::Advise(io::Advice advice) {

@@ -74,11 +74,13 @@ class MappedDataset {
   /// \name Pipelined chunk scans over the feature rows.
   ///
   /// ForEachChunk drives `fn(chunk_index, row_begin, row_end)` over the
-  /// whole feature matrix in sequential chunks (`chunk_rows()` rows each)
-  /// with prefetch ahead of the scan and budget eviction behind it.
+  /// whole feature matrix in `M3Options::scan_order` order (`chunk_rows()`
+  /// rows per chunk) with prefetch ahead of the scan — along the
+  /// schedule's permutation — and budget eviction behind it.
   /// MapReduceChunks additionally collects one `T` partial per chunk and
-  /// folds them in ascending chunk order — deterministic at any engine
-  /// worker count. Both perform exactly one full pass.
+  /// folds them in ascending *visit* order — deterministic at any engine
+  /// worker count for a fixed schedule. Both perform exactly one full
+  /// pass; shuffled order reshuffles every pass (scan_seed + pass).
   /// @{
   void ForEachChunk(const exec::ChunkFn& fn);
 
@@ -88,10 +90,14 @@ class MappedDataset {
     if (hooks.before_pass) {
       hooks.before_pass(scan_passes_);
     }
-    ++scan_passes_;
     const la::RowChunker chunker(rows(), ScanChunkRows());
+    const exec::ChunkSchedule schedule = MakeScanSchedule(chunker.NumChunks());
+    ++scan_passes_;
     exec::MapReduceChunks<T>(
-        &pipeline(), chunker, std::forward<MapFn>(map),
+        &pipeline(), chunker, schedule,
+        [&map](size_t chunk, size_t row_begin, size_t row_end) {
+          return map(chunk, row_begin, row_end);
+        },
         [&](size_t chunk, T&& partial) {
           reduce(chunk, std::move(partial));
           if (hooks.after_chunk) {
@@ -101,6 +107,15 @@ class MappedDataset {
         });
   }
   /// @}
+
+  /// The visit order for the next dataset-driven scan: pass index
+  /// `scan_passes()` under the open options (sequential by default;
+  /// shuffled reshuffles per pass with scan_seed + pass).
+  exec::ChunkSchedule MakeScanSchedule(size_t num_chunks) const;
+
+  /// Dataset-driven scan passes performed so far (ForEachChunk /
+  /// MapReduceChunks; training objectives count their own passes).
+  size_t scan_passes() const { return scan_passes_; }
 
   /// Chunk size (rows) the options request for training scans.
   uint64_t chunk_rows() const { return options_.chunk_rows; }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "exec/chunk_schedule.h"
 #include "io/mmap_file.h"
 
 namespace m3 {
@@ -41,6 +42,28 @@ struct M3Options {
   /// across that many engine workers (results stay bitwise identical —
   /// partials merge in chunk order).
   uint64_t pipeline_workers = 0;
+
+  /// Visit order for dataset-driven chunk scans (MappedDataset::
+  /// ForEachChunk / MapReduceChunks). Non-sequential orders prefetch and
+  /// evict along the schedule's permutation. Training objectives always
+  /// scan sequentially (their in-chunk-order reductions are the bitwise
+  /// determinism reference); SGD builds its own per-epoch shuffled
+  /// schedules from SgdOptions::seed.
+  ///
+  /// With a RAM budget, sequential scans enforce it through the
+  /// RamBudgetEmulator's linear trailing cursor (exact byte window);
+  /// non-sequential orders enforce it engine-side as a trailing window
+  /// over *visited* chunks (the linear cursor is meaningless under a
+  /// permutation). Both bound residency to ram_budget_bytes.
+  exec::ScanOrder scan_order = exec::ScanOrder::kSequential;
+
+  /// Base seed for kShuffled dataset scans. Pass p reshuffles with seed
+  /// `scan_seed + p` (epoch-shuffled), so repeated scans are deterministic
+  /// but not identical pass to pass.
+  uint64_t scan_seed = 42;
+
+  /// Stride for kStrided dataset scans; 0 or 1 degenerates to sequential.
+  uint64_t scan_stride = 0;
 };
 
 }  // namespace m3

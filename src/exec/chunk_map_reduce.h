@@ -14,36 +14,53 @@ namespace m3::exec {
 ///
 /// `map(chunk_index, row_begin, row_end) -> T` computes a chunk's partial
 /// result (a partial gradient, per-cluster sums, a count sketch, ...);
-/// `reduce(chunk_index, T&&)` folds it into the caller's accumulator.
-/// With a pipeline, maps fan out across its workers while prefetch/evict
-/// overlap; without one (`pipeline == nullptr`) every chunk runs inline.
+/// `reduce(chunk_index, T&&)` folds it into the caller's accumulator in
+/// *visit* order. With a pipeline, maps fan out across its workers while
+/// prefetch/evict overlap; without one (`pipeline == nullptr`) every
+/// chunk runs inline.
 ///
 /// Determinism guarantee: `reduce` always runs on the calling thread in
-/// ascending chunk order, and each chunk's `map` sees exactly the same
-/// rows regardless of worker count. As long as `map` itself is
-/// deterministic, the folded result is therefore *bitwise identical* at 1
-/// worker, N workers, and in serial mode — floating-point reductions
-/// included — because the sequence of merge operations never changes.
+/// ascending schedule-position order, and each chunk's `map` sees exactly
+/// the same rows regardless of worker count. As long as `map` itself is
+/// deterministic, the folded result for a fixed schedule is therefore
+/// *bitwise identical* at 1 worker, N workers, and in serial mode —
+/// floating-point reductions included — because the sequence of merge
+/// operations never changes.
 ///
 /// Per-chunk partials are staged in `pipeline->max_in_flight()` slots, so
 /// memory stays bounded by the in-flight window, not the chunk count.
+/// Slots are keyed by schedule position (chunk indices in flight are not
+/// consecutive under a permuted order, so `chunk % window` would
+/// collide); positions are dense, so `position % window` is free by
+/// dispatch time.
 template <typename T, typename MapFn, typename ReduceFn>
 void MapReduceChunks(ChunkPipeline* pipeline, const la::RowChunker& chunker,
-                     MapFn&& map, ReduceFn&& reduce) {
+                     const ChunkSchedule& schedule, MapFn&& map,
+                     ReduceFn&& reduce) {
   const size_t window = pipeline != nullptr ? pipeline->max_in_flight() : 1;
-  // A chunk's slot is free by the time it is dispatched: the pipeline never
-  // has more than `window` chunks between dispatch and in-order retire.
+  // A position's slot is free by the time it is dispatched: the pipeline
+  // never has more than `window` positions between dispatch and in-order
+  // retire.
   std::vector<std::optional<T>> slots(window);
   RunPass(
-      pipeline, chunker,
-      [&](size_t chunk, size_t row_begin, size_t row_end) {
-        slots[chunk % window].emplace(map(chunk, row_begin, row_end));
+      pipeline, chunker, schedule,
+      [&](size_t position, size_t chunk, size_t row_begin, size_t row_end) {
+        slots[position % window].emplace(map(chunk, row_begin, row_end));
       },
-      [&](size_t chunk, size_t, size_t) {
-        std::optional<T>& slot = slots[chunk % window];
+      [&](size_t position, size_t chunk, size_t, size_t) {
+        std::optional<T>& slot = slots[position % window];
         reduce(chunk, std::move(*slot));
         slot.reset();
       });
+}
+
+/// \brief Sequential-order map-reduce (the trainers' reference order).
+template <typename T, typename MapFn, typename ReduceFn>
+void MapReduceChunks(ChunkPipeline* pipeline, const la::RowChunker& chunker,
+                     MapFn&& map, ReduceFn&& reduce) {
+  MapReduceChunks<T>(pipeline, chunker,
+                     ChunkSchedule::Sequential(chunker.NumChunks()),
+                     std::forward<MapFn>(map), std::forward<ReduceFn>(reduce));
 }
 
 }  // namespace m3::exec

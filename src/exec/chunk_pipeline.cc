@@ -1,7 +1,6 @@
 #include "exec/chunk_pipeline.h"
 
 #include <algorithm>
-#include <deque>
 #include <future>
 #include <utility>
 #include <vector>
@@ -50,22 +49,23 @@ PipelineStats ChunkPipeline::ConsumeStats() {
 }
 
 void ChunkPipeline::RequestPrefetchThrough(const la::RowChunker& chunker,
+                                           const ChunkSchedule& schedule,
                                            size_t goal) {
   if (io_pool_ == nullptr || options_.readahead_chunks == 0) {
     return;
   }
-  goal = std::min(goal, chunker.NumChunks());
-  for (size_t c = prefetch_goal_; c < goal; ++c) {
-    const la::RowChunker::Range range = chunker.Chunk(c);
+  goal = std::min(goal, schedule.num_chunks());
+  for (size_t pos = prefetch_goal_; pos < goal; ++pos) {
+    const la::RowChunker::Range range = chunker.Chunk(schedule.At(pos));
     const uint64_t offset = region_.base_offset + range.begin * region_.row_bytes;
     const uint64_t length = range.size() * region_.row_bytes;
     const io::MemoryMappedFile* mapping = region_.mapping;
-    io_pool_->Submit([this, mapping, offset, length, c] {
+    io_pool_->Submit([this, mapping, offset, length, pos] {
       util::Stopwatch watch;
       // Best effort: a failed WILLNEED only loses overlap, never data.
       mapping->Prefetch(offset, length).IgnoreError();
       const double elapsed = watch.ElapsedSeconds();
-      prefetched_through_.store(c + 1, std::memory_order_release);
+      prefetched_through_.store(pos + 1, std::memory_order_release);
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.prefetches;
       stats_.prefetch_bytes += length;
@@ -75,18 +75,19 @@ void ChunkPipeline::RequestPrefetchThrough(const la::RowChunker& chunker,
   prefetch_goal_ = std::max(prefetch_goal_, goal);
 }
 
-void ChunkPipeline::RunMapStage(const ChunkFn& map, size_t chunk,
-                                size_t row_begin, size_t row_end) {
-  // Warm-up chunks are dispatched right after their prefetch is issued, so
-  // losing that race says nothing about the disk; skip classifying them.
+void ChunkPipeline::RunMapStage(const ScheduledChunkFn& map, size_t position,
+                                size_t chunk, size_t row_begin,
+                                size_t row_end) {
+  // Warm-up positions are dispatched right after their prefetch is issued,
+  // so losing that race says nothing about the disk; skip classifying them.
   const bool racing = bound() && options_.readahead_chunks > 0 &&
-                      chunk >= stall_classify_from_;
+                      position >= stall_classify_from_;
   bool hit = false;
   if (racing) {
-    hit = prefetched_through_.load(std::memory_order_acquire) > chunk;
+    hit = prefetched_through_.load(std::memory_order_acquire) > position;
   }
   util::Stopwatch watch;
-  map(chunk, row_begin, row_end);
+  map(position, chunk, row_begin, row_end);
   const double elapsed = watch.ElapsedSeconds();
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.compute_seconds += elapsed;
@@ -99,109 +100,195 @@ void ChunkPipeline::RunMapStage(const ChunkFn& map, size_t chunk,
   }
 }
 
-void ChunkPipeline::EvictBehind(size_t row_end) {
+void ChunkPipeline::RunRetireStage(const ScheduledChunkFn& retire,
+                                   size_t position, size_t chunk,
+                                   size_t row_begin, size_t row_end) {
+  util::Stopwatch watch;
+  retire(position, chunk, row_begin, row_end);
+  const double elapsed = watch.ElapsedSeconds();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.retire_seconds += elapsed;
+}
+
+void ChunkPipeline::EvictRetired(const la::RowChunker::Range& range) {
   if (!bound() || options_.ram_budget_bytes == 0) {
     return;
   }
-  const uint64_t cursor = row_end * region_.row_bytes;
-  if (cursor <= options_.ram_budget_bytes) {
-    return;
-  }
-  const uint64_t evict_end = cursor - options_.ram_budget_bytes;
-  if (evict_end <= evict_cursor_) {
-    return;
-  }
-  const uint64_t offset = region_.base_offset + evict_cursor_;
-  const uint64_t length = evict_end - evict_cursor_;
-  evict_cursor_ = evict_end;
-  const io::MemoryMappedFile* mapping = region_.mapping;
-  auto evict = [this, mapping, offset, length] {
-    util::Stopwatch watch;
-    util::Status status = mapping->Evict(offset, length);
-    const double elapsed = watch.ElapsedSeconds();
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.evict_seconds += elapsed;
-    if (status.ok()) {
-      ++stats_.evictions;
-      stats_.bytes_evicted += length;
+  // The retired chunk joins the trailing residency window; the
+  // oldest-visited chunks beyond the budget leave it. Visit order — not
+  // file order — so the window is correct under any schedule.
+  const uint64_t offset = range.begin * region_.row_bytes;
+  // A revisited chunk (window carried across passes) would otherwise hold
+  // two entries: its bytes double-counted and the stale entry later
+  // evicting pages this visit just re-admitted. Keep only the newest.
+  for (auto it = resident_window_.begin(); it != resident_window_.end();
+       ++it) {
+    if (it->first == offset) {
+      resident_window_bytes_ -= it->second;
+      resident_window_.erase(it);
+      break;
     }
-  };
-  if (options_.synchronous_eviction) {
-    evict();
-  } else {
-    io_pool_->Submit(std::move(evict));
+  }
+  resident_window_.emplace_back(offset, range.size() * region_.row_bytes);
+  resident_window_bytes_ += resident_window_.back().second;
+  while (resident_window_bytes_ > options_.ram_budget_bytes &&
+         !resident_window_.empty()) {
+    const auto [rel_offset, length] = resident_window_.front();
+    resident_window_.pop_front();
+    resident_window_bytes_ -= length;
+    const uint64_t offset = region_.base_offset + rel_offset;
+    const io::MemoryMappedFile* mapping = region_.mapping;
+    auto evict = [this, mapping, offset, length] {
+      util::Stopwatch watch;
+      util::Status status = mapping->Evict(offset, length);
+      const double elapsed = watch.ElapsedSeconds();
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.evict_seconds += elapsed;
+      if (status.ok()) {
+        ++stats_.evictions;
+        stats_.bytes_evicted += length;
+      }
+    };
+    if (options_.synchronous_eviction) {
+      evict();
+    } else {
+      io_pool_->Submit(std::move(evict));
+    }
   }
 }
 
-void ChunkPipeline::RunSerial(const la::RowChunker& chunker, const ChunkFn& map,
-                              const ChunkFn& retire) {
-  const size_t n = chunker.NumChunks();
-  for (size_t c = 0; c < n; ++c) {
-    // Keep the prefetch stage `readahead_chunks` ahead of compute.
-    RequestPrefetchThrough(chunker, c + 1 + options_.readahead_chunks);
-    const la::RowChunker::Range range = chunker.Chunk(c);
-    RunMapStage(map, c, range.begin, range.end);
+void ChunkPipeline::RunSerial(const la::RowChunker& chunker,
+                              const ChunkSchedule& schedule,
+                              const ScheduledChunkFn& map,
+                              const ScheduledChunkFn& retire) {
+  const size_t n = schedule.num_chunks();
+  for (size_t pos = 0; pos < n; ++pos) {
+    // Keep the prefetch stage `readahead_chunks` positions ahead of compute.
+    RequestPrefetchThrough(chunker, schedule, pos + 1 + options_.readahead_chunks);
+    const size_t chunk = schedule.At(pos);
+    const la::RowChunker::Range range = chunker.Chunk(chunk);
+    RunMapStage(map, pos, chunk, range.begin, range.end);
     if (retire) {
-      retire(c, range.begin, range.end);
+      RunRetireStage(retire, pos, chunk, range.begin, range.end);
     }
-    EvictBehind(range.end);
+    EvictRetired(range);
   }
 }
 
 void ChunkPipeline::RunParallel(const la::RowChunker& chunker,
-                                const ChunkFn& map, const ChunkFn& retire) {
-  const size_t n = chunker.NumChunks();
+                                const ChunkSchedule& schedule,
+                                const ScheduledChunkFn& map,
+                                const ScheduledChunkFn& retire) {
+  const size_t n = schedule.num_chunks();
   const size_t window = max_in_flight();
   std::deque<std::pair<size_t, std::future<void>>> in_flight;
   size_t next = 0;
-  for (size_t retiring = 0; retiring < n; ++retiring) {
-    while (next < n && next - retiring < window) {
-      RequestPrefetchThrough(chunker, next + 1 + options_.readahead_chunks);
-      const la::RowChunker::Range range = chunker.Chunk(next);
-      in_flight.emplace_back(
-          next, compute_pool_->Submit([this, &map, c = next, range] {
-            RunMapStage(map, c, range.begin, range.end);
-          }));
-      ++next;
+  try {
+    for (size_t retiring = 0; retiring < n; ++retiring) {
+      while (next < n && next - retiring < window) {
+        RequestPrefetchThrough(chunker, schedule,
+                               next + 1 + options_.readahead_chunks);
+        const size_t chunk = schedule.At(next);
+        const la::RowChunker::Range range = chunker.Chunk(chunk);
+        in_flight.emplace_back(
+            next, compute_pool_->Submit([this, &map, p = next, chunk, range] {
+              RunMapStage(map, p, chunk, range.begin, range.end);
+            }));
+        ++next;
+      }
+      in_flight.front().second.get();  // in-order retirement barrier
+      in_flight.pop_front();
+      const size_t chunk = schedule.At(retiring);
+      const la::RowChunker::Range range = chunker.Chunk(chunk);
+      if (retire) {
+        RunRetireStage(retire, retiring, chunk, range.begin, range.end);
+      }
+      EvictRetired(range);
     }
-    in_flight.front().second.get();  // in-order retirement barrier
-    const la::RowChunker::Range range = chunker.Chunk(retiring);
-    if (retire) {
-      retire(retiring, range.begin, range.end);
+  } catch (...) {
+    // A throwing functor must not leave workers running maps that
+    // reference `map` (and the caller's stack) after this frame unwinds:
+    // wait out every in-flight chunk, then propagate the first exception.
+    // Later chunks' stored exceptions are dropped with their futures.
+    for (auto& [pos, future] : in_flight) {
+      if (future.valid()) {
+        future.wait();
+      }
     }
-    EvictBehind(range.end);
-    in_flight.pop_front();
+    throw;
   }
 }
 
 void ChunkPipeline::Run(const la::RowChunker& chunker, const ChunkFn& map,
                         const ChunkFn& retire) {
   M3_CHECK(map != nullptr, "null chunk functor");
-  util::Stopwatch watch;
+  Run(chunker, ChunkSchedule::Sequential(chunker.NumChunks()),
+      [&map](size_t, size_t chunk, size_t row_begin, size_t row_end) {
+        map(chunk, row_begin, row_end);
+      },
+      retire ? ScheduledChunkFn([&retire](size_t, size_t chunk,
+                                          size_t row_begin, size_t row_end) {
+          retire(chunk, row_begin, row_end);
+        })
+             : ScheduledChunkFn());
+}
+
+void ChunkPipeline::Run(const la::RowChunker& chunker,
+                        const ChunkSchedule& schedule,
+                        const ScheduledChunkFn& map,
+                        const ScheduledChunkFn& retire) {
+  M3_CHECK(map != nullptr, "null chunk functor");
+  M3_CHECK(schedule.num_chunks() == chunker.NumChunks(),
+           "schedule covers %zu chunks, chunker has %zu",
+           schedule.num_chunks(), chunker.NumChunks());
   PipelineStats before;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     before = stats_;
   }
+  // Started after the stats snapshot so drive time measures only the pass,
+  // not the snapshot's mutex wait.
+  util::Stopwatch watch;
   prefetch_goal_ = 0;
   prefetched_through_.store(0, std::memory_order_release);
-  evict_cursor_ = 0;
+  // resident_window_ deliberately carries over: the previous pass's
+  // trailing window is still resident, so dropping it from accounting at
+  // an epoch boundary would let peak residency reach ~2x the budget while
+  // the new pass fills a fresh window. Revisits dedupe their stale entry
+  // at retire (see EvictRetired); the residual cost is a stale entry
+  // popping while its chunk is prefetched-but-not-yet-visited early in
+  // the next pass — one wasted prefetch, never an accounting leak.
   stall_classify_from_ =
       compute_pool_ != nullptr
           ? std::max(options_.readahead_chunks, max_in_flight())
           : options_.readahead_chunks;
   if (bound()) {
+    // Kernel-side sequential readahead would race ahead in file order; on
+    // a permuted schedule that wastes RAM on chunks the pass visits much
+    // later, so downgrade to kNormal and let the explicit WILLNEED stage
+    // follow the schedule instead.
+    io::Advice advice = options_.advice;
+    if (!schedule.is_sequential() && advice == io::Advice::kSequential) {
+      advice = io::Advice::kNormal;
+    }
     region_.mapping
-        ->AdviseRange(options_.advice, region_.base_offset,
+        ->AdviseRange(advice, region_.base_offset,
                       chunker.total_rows() * region_.row_bytes)
         .IgnoreError();
     // Warm the pipe before compute starts.
-    RequestPrefetchThrough(chunker, options_.readahead_chunks);
+    RequestPrefetchThrough(chunker, schedule, options_.readahead_chunks);
   }
-  if (compute_pool_ != nullptr) {
-    RunParallel(chunker, map, retire);
-  } else {
-    RunSerial(chunker, map, retire);
+  try {
+    if (compute_pool_ != nullptr) {
+      RunParallel(chunker, schedule, map, retire);
+    } else {
+      RunSerial(chunker, schedule, map, retire);
+    }
+  } catch (...) {
+    if (io_pool_ != nullptr) {
+      io_pool_->Wait();  // outstanding prefetch/evict tasks use `this`
+    }
+    throw;
   }
   if (io_pool_ != nullptr) {
     io_pool_->Wait();  // settle outstanding prefetches/evictions
@@ -220,15 +307,34 @@ void ChunkPipeline::Run(const la::RowChunker& chunker, const ChunkFn& map,
 
 void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
              const ChunkFn& map, const ChunkFn& retire) {
+  RunPass(pipeline, chunker, ChunkSchedule::Sequential(chunker.NumChunks()),
+          [&map](size_t, size_t chunk, size_t row_begin, size_t row_end) {
+            map(chunk, row_begin, row_end);
+          },
+          retire ? ScheduledChunkFn([&retire](size_t, size_t chunk,
+                                              size_t row_begin,
+                                              size_t row_end) {
+              retire(chunk, row_begin, row_end);
+            })
+                 : ScheduledChunkFn());
+}
+
+void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
+             const ChunkSchedule& schedule, const ScheduledChunkFn& map,
+             const ScheduledChunkFn& retire) {
   if (pipeline != nullptr) {
-    pipeline->Run(chunker, map, retire);
+    pipeline->Run(chunker, schedule, map, retire);
     return;
   }
-  for (size_t c = 0; c < chunker.NumChunks(); ++c) {
-    const la::RowChunker::Range range = chunker.Chunk(c);
-    map(c, range.begin, range.end);
+  M3_CHECK(schedule.num_chunks() == chunker.NumChunks(),
+           "schedule covers %zu chunks, chunker has %zu",
+           schedule.num_chunks(), chunker.NumChunks());
+  for (size_t pos = 0; pos < schedule.num_chunks(); ++pos) {
+    const size_t chunk = schedule.At(pos);
+    const la::RowChunker::Range range = chunker.Chunk(chunk);
+    map(pos, chunk, range.begin, range.end);
     if (retire) {
-      retire(c, range.begin, range.end);
+      retire(pos, chunk, range.begin, range.end);
     }
   }
 }

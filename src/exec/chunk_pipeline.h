@@ -3,10 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <utility>
 
+#include "exec/chunk_schedule.h"
 #include "exec/pipeline_stats.h"
 #include "io/mmap_file.h"
 #include "la/chunker.h"
@@ -35,18 +38,24 @@ struct PipelineOptions {
   size_t readahead_chunks = 2;
 
   /// Compute-stage fan-out. 0 or 1 runs chunk functors on the driving
-  /// thread in chunk order; >= 2 runs them on an internal worker pool with
-  /// up to `2 * num_workers` chunks in flight (retirement stays in order).
+  /// thread in schedule order; >= 2 runs them on an internal worker pool
+  /// with up to `2 * num_workers` chunks in flight (retirement stays in
+  /// schedule order).
   size_t num_workers = 0;
 
-  /// When positive, the evict stage drops pages more than this many bytes
-  /// behind the retire cursor (the same trailing-window policy as
-  /// core::RamBudgetEmulator). 0 disables engine-side eviction — callers
+  /// When positive, the evict stage keeps at most this many bytes of
+  /// visited chunks resident: each retired chunk joins a trailing window
+  /// and the oldest-visited chunks are dropped (madvise DONTNEED) once the
+  /// window exceeds the budget. Works for any ChunkSchedule — under a
+  /// shuffled or strided order the window follows the *visit* order, not
+  /// ascending file offsets. 0 disables engine-side eviction — callers
   /// that already evict via ScanHooks keep doing so in `retire`.
   uint64_t ram_budget_bytes = 0;
 
   /// madvise hint applied to the scanned region at the start of each pass
-  /// (honors the dataset's core AccessPattern/M3Options setting).
+  /// (honors the dataset's core AccessPattern/M3Options setting). Passes
+  /// driven by a non-sequential schedule downgrade kSequential to kNormal
+  /// so kernel readahead does not race ahead of the permuted visit order.
   io::Advice advice = io::Advice::kSequential;
 
   /// Run evictions inline at retire instead of on the background stage.
@@ -57,25 +66,35 @@ struct PipelineOptions {
 /// Chunk functor: (chunk_index, row_begin, row_end).
 using ChunkFn = std::function<void(size_t, size_t, size_t)>;
 
+/// Schedule-aware chunk functor: (position, chunk_index, row_begin,
+/// row_end). `position` is the chunk's place in the pass's visit order
+/// (dense in [0, schedule.num_chunks())); `chunk_index` is the RowChunker
+/// chunk visited there. For a sequential schedule the two coincide.
+using ScheduledChunkFn =
+    std::function<void(size_t, size_t, size_t, size_t)>;
+
 /// \brief Pipelined out-of-core scan driver: prefetch -> compute -> evict.
 ///
-/// M3's thesis is that sequential chunked scans let the OS hide disk
-/// latency; this engine makes the overlap explicit. While the compute
-/// stage runs the functor on chunk i, a background thread has already
-/// issued MADV_WILLNEED for chunks (i, i + readahead], and pages more
-/// than the RAM budget behind the retire cursor are dropped with Evict.
+/// M3's thesis is that chunked scans let the OS hide disk latency; this
+/// engine makes the overlap explicit and generalizes it beyond ascending
+/// chunk order. While the compute stage runs the functor on the chunk at
+/// schedule position p, a background thread has already issued
+/// MADV_WILLNEED for the chunks at positions (p, p + readahead], and the
+/// oldest-visited chunks beyond the RAM budget are dropped with Evict.
 /// The result: the disk streams continuously instead of idling while we
-/// compute, and resident bytes stay bounded.
+/// compute — for sequential scans, shuffled SGD minibatch passes, and
+/// strided shard interleavings alike — and resident bytes stay bounded.
 ///
 ///   exec::ChunkPipeline pipeline({&mapped, offset, row_bytes}, options);
 ///   pipeline.Run(la::RowChunker(rows, chunk_rows),
-///                [&](size_t c, size_t lo, size_t hi) { Consume(lo, hi); });
+///                exec::ChunkSchedule::Shuffled(num_chunks, seed),
+///                [&](size_t p, size_t c, size_t lo, size_t hi) { ... });
 ///
 /// Thread model: Run() is driven from the calling thread. `map` may run
 /// concurrently on internal workers when `num_workers >= 2`; `retire`
-/// always runs on the calling thread in ascending chunk order (so
-/// ScanHooks-style eviction and reductions stay sequential). Run() is not
-/// itself thread-safe: one pass at a time per pipeline.
+/// always runs on the calling thread in ascending schedule-position order
+/// (so ScanHooks-style eviction and reductions stay sequential). Run() is
+/// not itself thread-safe: one pass at a time per pipeline.
 class ChunkPipeline {
  public:
   explicit ChunkPipeline(PipelineOptions options = PipelineOptions());
@@ -85,18 +104,31 @@ class ChunkPipeline {
   ChunkPipeline(const ChunkPipeline&) = delete;
   ChunkPipeline& operator=(const ChunkPipeline&) = delete;
 
-  /// Drives one full pass over `chunker`'s schedule. `map` is invoked
-  /// exactly once per chunk (possibly concurrently, any order); `retire`
-  /// is invoked once per chunk on the calling thread, in ascending chunk
-  /// order, after that chunk's `map` has returned. Blocks until every
-  /// chunk has retired and background evictions for the pass have settled.
+  /// Drives one full pass over `chunker` in ascending chunk order.
+  /// `map` is invoked exactly once per chunk (possibly concurrently, any
+  /// order); `retire` is invoked once per chunk on the calling thread, in
+  /// ascending chunk order, after that chunk's `map` has returned. Blocks
+  /// until every chunk has retired and background evictions for the pass
+  /// have settled.
   void Run(const la::RowChunker& chunker, const ChunkFn& map,
            const ChunkFn& retire = ChunkFn());
 
+  /// Drives one full pass visiting `chunker`'s chunks in `schedule` order.
+  /// Prefetch walks the schedule's permutation `readahead_chunks` positions
+  /// ahead of compute; stall/hit classification and the eviction window
+  /// follow visit positions. `retire` runs on the calling thread in
+  /// ascending *position* order — the in-order retire barrier that keeps
+  /// schedule-driven reductions (and SGD weight updates) bitwise identical
+  /// at any worker count.
+  /// \pre schedule.num_chunks() == chunker.NumChunks()
+  void Run(const la::RowChunker& chunker, const ChunkSchedule& schedule,
+           const ScheduledChunkFn& map,
+           const ScheduledChunkFn& retire = ScheduledChunkFn());
+
   /// Upper bound on chunks simultaneously in flight inside Run(). Callers
   /// keeping per-chunk state (e.g. ChunkMapReduce slots) can size arrays
-  /// with it; slot `chunk_index % max_in_flight()` is free by the time a
-  /// chunk is dispatched.
+  /// with it; the slot `position % max_in_flight()` is free by the time the
+  /// chunk at `position` is dispatched.
   size_t max_in_flight() const;
 
   bool bound() const { return region_.mapping != nullptr; }
@@ -110,21 +142,29 @@ class ChunkPipeline {
   PipelineStats ConsumeStats();
 
  private:
-  void RunSerial(const la::RowChunker& chunker, const ChunkFn& map,
-                 const ChunkFn& retire);
-  void RunParallel(const la::RowChunker& chunker, const ChunkFn& map,
-                   const ChunkFn& retire);
+  void RunSerial(const la::RowChunker& chunker, const ChunkSchedule& schedule,
+                 const ScheduledChunkFn& map, const ScheduledChunkFn& retire);
+  void RunParallel(const la::RowChunker& chunker,
+                   const ChunkSchedule& schedule, const ScheduledChunkFn& map,
+                   const ScheduledChunkFn& retire);
 
-  /// Issues background MADV_WILLNEED so chunks [prefetch_goal_, goal) are
-  /// in flight; updates prefetch_goal_.
-  void RequestPrefetchThrough(const la::RowChunker& chunker, size_t goal);
+  /// Issues background MADV_WILLNEED so the chunks at schedule positions
+  /// [prefetch_goal_, goal) are in flight; updates prefetch_goal_.
+  void RequestPrefetchThrough(const la::RowChunker& chunker,
+                              const ChunkSchedule& schedule, size_t goal);
 
-  /// Checks the prefetch race for `chunk` and runs `map` timed.
-  void RunMapStage(const ChunkFn& map, size_t chunk, size_t row_begin,
-                   size_t row_end);
+  /// Checks the prefetch race for the chunk at `position` and runs `map`
+  /// timed.
+  void RunMapStage(const ScheduledChunkFn& map, size_t position, size_t chunk,
+                   size_t row_begin, size_t row_end);
 
-  /// Trailing-window eviction after the chunk ending at `row_end` retired.
-  void EvictBehind(size_t row_end);
+  /// Runs `retire` timed (calling thread, ascending position order).
+  void RunRetireStage(const ScheduledChunkFn& retire, size_t position,
+                      size_t chunk, size_t row_begin, size_t row_end);
+
+  /// Appends the retired chunk's byte range to the trailing residency
+  /// window and evicts the oldest-visited ranges beyond the RAM budget.
+  void EvictRetired(const la::RowChunker::Range& range);
 
   MappedRegion region_;
   PipelineOptions options_;
@@ -137,11 +177,15 @@ class ChunkPipeline {
   std::unique_ptr<util::ThreadPool> compute_pool_;
 
   // Per-pass cursors (driver thread only, except prefetched_through_).
-  size_t prefetch_goal_ = 0;  ///< chunks [0, goal) have prefetch issued
+  // All are in schedule-position space, not chunk-index space.
+  size_t prefetch_goal_ = 0;  ///< positions [0, goal) have prefetch issued
   std::atomic<size_t> prefetched_through_{0};  ///< completed prefix
-  uint64_t evict_cursor_ = 0;  ///< bytes [0, cursor) of the region evicted
-  /// Chunks below this index raced their prefetch with no compute lead
-  /// time (pass warm-up) and are excluded from hit/stall classification.
+  /// Trailing residency window: byte ranges (region-relative offset,
+  /// length) of retired chunks not yet evicted, in visit order.
+  std::deque<std::pair<uint64_t, uint64_t>> resident_window_;
+  uint64_t resident_window_bytes_ = 0;
+  /// Positions below this raced their prefetch with no compute lead time
+  /// (pass warm-up) and are excluded from hit/stall classification.
   size_t stall_classify_from_ = 0;
 
   mutable std::mutex stats_mu_;
@@ -158,6 +202,17 @@ class ChunkPipeline {
 /// bitwise identical across both modes and any worker count.
 void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
              const ChunkFn& map, const ChunkFn& retire = ChunkFn());
+
+/// \brief Schedule-aware RunPass: one pass in `schedule` order.
+///
+/// Without a pipeline every position runs `map` then `retire` inline in
+/// schedule order; with one, prefetch/evict follow the schedule and
+/// `retire` keeps ascending position order. Both modes therefore visit
+/// chunks in exactly the same sequence — the serial loop is the reference
+/// semantics for the pipelined one.
+void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
+             const ChunkSchedule& schedule, const ScheduledChunkFn& map,
+             const ScheduledChunkFn& retire = ScheduledChunkFn());
 
 }  // namespace m3::exec
 

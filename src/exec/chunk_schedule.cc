@@ -1,0 +1,64 @@
+#include "exec/chunk_schedule.h"
+
+#include <numeric>
+#include <utility>
+
+#include "util/random.h"
+
+namespace m3::exec {
+
+std::string ToString(ScanOrder order) {
+  switch (order) {
+    case ScanOrder::kSequential:
+      return "sequential";
+    case ScanOrder::kShuffled:
+      return "shuffled";
+    case ScanOrder::kStrided:
+      return "strided";
+  }
+  return "unknown";
+}
+
+ChunkSchedule ChunkSchedule::Sequential(size_t num_chunks) {
+  return ChunkSchedule(num_chunks, {});
+}
+
+ChunkSchedule ChunkSchedule::Shuffled(size_t num_chunks, uint64_t seed) {
+  std::vector<size_t> order(num_chunks);
+  std::iota(order.begin(), order.end(), size_t{0});
+  util::Rng rng(seed);
+  rng.Shuffle(&order);
+  return ChunkSchedule(num_chunks, std::move(order));
+}
+
+ChunkSchedule ChunkSchedule::Strided(size_t num_chunks, size_t stride) {
+  // stride >= num_chunks puts every chunk in its own lane — the identity
+  // order — so keep the sequential fast paths (madvise, byte-exact budget
+  // emulation) instead of storing a pointless permutation.
+  if (stride <= 1 || num_chunks == 0 || stride >= num_chunks) {
+    return Sequential(num_chunks);
+  }
+  std::vector<size_t> order;
+  order.reserve(num_chunks);
+  for (size_t lane = 0; lane < stride && lane < num_chunks; ++lane) {
+    for (size_t c = lane; c < num_chunks; c += stride) {
+      order.push_back(c);
+    }
+  }
+  return ChunkSchedule(num_chunks, std::move(order));
+}
+
+ChunkSchedule ChunkSchedule::Make(ScanOrder order, size_t num_chunks,
+                                  uint64_t seed, size_t stride) {
+  switch (order) {
+    case ScanOrder::kShuffled:
+      return Shuffled(num_chunks, seed);
+    case ScanOrder::kStrided:
+      return Strided(num_chunks, stride);
+    case ScanOrder::kSequential:
+      break;
+  }
+  return Sequential(num_chunks);
+}
+
+}  // namespace m3::exec

@@ -1,0 +1,76 @@
+#ifndef M3_EXEC_CHUNK_SCHEDULE_H_
+#define M3_EXEC_CHUNK_SCHEDULE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace m3::exec {
+
+/// \brief Which order a chunked scan visits a RowChunker's chunks in.
+///
+/// Exposed through core::M3Options so dataset-level scans can pick an
+/// order without constructing schedules by hand.
+enum class ScanOrder {
+  kSequential,  ///< ascending chunk index (the readahead-friendly default)
+  kShuffled,    ///< a seeded per-pass permutation (SGD minibatch order)
+  kStrided,     ///< 0, s, 2s, ..., 1, 1+s, ... (interleaved shard order)
+};
+
+std::string ToString(ScanOrder order);
+
+/// \brief The visit order of one pipeline pass over a chunker's chunks.
+///
+/// A schedule is a permutation of [0, num_chunks): position p of the pass
+/// visits chunk At(p). The pipeline prefetches, classifies stalls, and
+/// evicts along *positions*, so shuffled SGD minibatches and strided shard
+/// scans get exactly the same readahead overlap and bounded residency as a
+/// sequential scan — randomized access order becomes a first-class
+/// scheduling concern instead of a caller-side loop.
+///
+///   auto schedule = exec::ChunkSchedule::Shuffled(chunker.NumChunks(), seed);
+///   pipeline.Run(chunker, schedule, map, retire);
+///
+/// Sequential schedules carry no permutation vector (identity fast path).
+class ChunkSchedule {
+ public:
+  /// Identity order: position p visits chunk p.
+  static ChunkSchedule Sequential(size_t num_chunks);
+
+  /// A Fisher-Yates permutation drawn from util::Rng(seed). The same
+  /// (num_chunks, seed) always yields the same order, on every platform.
+  static ChunkSchedule Shuffled(size_t num_chunks, uint64_t seed);
+
+  /// Visits chunks 0, stride, 2*stride, ... then 1, 1+stride, ... until
+  /// every chunk is covered once. stride == 0 or 1 degenerates to
+  /// Sequential.
+  static ChunkSchedule Strided(size_t num_chunks, size_t stride);
+
+  /// Builds the order named by `order` (seed is used only for kShuffled,
+  /// stride only for kStrided).
+  static ChunkSchedule Make(ScanOrder order, size_t num_chunks,
+                            uint64_t seed = 0, size_t stride = 0);
+
+  /// Number of chunks (== positions) in the pass.
+  size_t num_chunks() const { return num_chunks_; }
+
+  /// Chunk visited at position `pos`. \pre pos < num_chunks().
+  size_t At(size_t pos) const {
+    return order_.empty() ? pos : order_[pos];
+  }
+
+  /// True for the identity order (no permutation vector is stored).
+  bool is_sequential() const { return order_.empty(); }
+
+ private:
+  ChunkSchedule(size_t num_chunks, std::vector<size_t> order)
+      : num_chunks_(num_chunks), order_(std::move(order)) {}
+
+  size_t num_chunks_ = 0;
+  std::vector<size_t> order_;  ///< empty = identity
+};
+
+}  // namespace m3::exec
+
+#endif  // M3_EXEC_CHUNK_SCHEDULE_H_

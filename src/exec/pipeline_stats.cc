@@ -15,6 +15,7 @@ PipelineStats& PipelineStats::operator+=(const PipelineStats& rhs) {
   bytes_evicted += rhs.bytes_evicted;
   prefetch_seconds += rhs.prefetch_seconds;
   compute_seconds += rhs.compute_seconds;
+  retire_seconds += rhs.retire_seconds;
   evict_seconds += rhs.evict_seconds;
   drive_seconds += rhs.drive_seconds;
   return *this;
@@ -34,6 +35,7 @@ io::ExecCounters PipelineStats::counters() const {
   out.prefetch_bytes = prefetch_bytes;
   out.evictions = evictions;
   out.bytes_evicted = bytes_evicted;
+  out.prefetch_hits = prefetch_hits;
   out.stalls = stalls;
   return out;
 }
@@ -49,8 +51,8 @@ double PipelineStats::PrefetchHitRate() const {
 std::string PipelineStats::ToString() const {
   return util::StrFormat(
       "passes=%llu chunks=%llu prefetch=%llu (%s, hit %.0f%%) stalls=%llu "
-      "evict=%llu (%s) stage s: drive=%.3f compute=%.3f prefetch=%.3f "
-      "evict=%.3f",
+      "evict=%llu (%s) stage s: drive=%.3f compute=%.3f retire=%.3f "
+      "prefetch=%.3f evict=%.3f",
       static_cast<unsigned long long>(passes),
       static_cast<unsigned long long>(chunks),
       static_cast<unsigned long long>(prefetches),
@@ -58,7 +60,7 @@ std::string PipelineStats::ToString() const {
       static_cast<unsigned long long>(stalls),
       static_cast<unsigned long long>(evictions),
       util::HumanBytes(bytes_evicted).c_str(), drive_seconds, compute_seconds,
-      prefetch_seconds, evict_seconds);
+      retire_seconds, prefetch_seconds, evict_seconds);
 }
 
 }  // namespace m3::exec

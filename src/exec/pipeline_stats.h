@@ -25,13 +25,23 @@ struct PipelineStats {
   /// succeeded). Only counted when a mapping is bound and readahead > 0.
   uint64_t prefetch_hits = 0;
   /// Chunks that entered the compute stage before their prefetch landed —
-  /// the pipeline-stall signal (disk not keeping up with compute).
+  /// the pipeline-stall signal (disk not keeping up with compute). The
+  /// race is sampled when `map` is dispatched, so scans whose compute
+  /// lives in the retire stage (SGD, union-find) overcount stalls under
+  /// worker fan-out: a prefetch landing between a no-op map's dispatch
+  /// and the retire that touches the pages is a hit counted as a stall.
+  /// Judge such scans on the serial (num_workers <= 1) configuration.
   uint64_t stalls = 0;
   uint64_t evictions = 0;       ///< Evict (DONTNEED) ranges issued
   uint64_t bytes_evicted = 0;   ///< bytes covered by issued evictions
 
   double prefetch_seconds = 0;  ///< background time inside Prefetch calls
-  double compute_seconds = 0;   ///< wall time inside chunk functors
+  double compute_seconds = 0;   ///< wall time inside chunk `map` functors
+  /// Wall time inside `retire` functors (driver thread, in-order). Scans
+  /// whose sequential dependence keeps compute in retire — SGD weight
+  /// updates, union-find merges — show their compute here, not in
+  /// compute_seconds.
+  double retire_seconds = 0;
   double evict_seconds = 0;     ///< background time inside Evict calls
   double drive_seconds = 0;     ///< wall time of whole passes (end to end)
 

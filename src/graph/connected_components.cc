@@ -2,6 +2,9 @@
 
 #include <numeric>
 
+#include "exec/chunk_pipeline.h"
+#include "la/chunker.h"
+
 namespace m3::graph {
 
 using util::Result;
@@ -20,7 +23,8 @@ uint64_t Find(std::vector<uint64_t>* parent, uint64_t v) {
 
 }  // namespace
 
-Result<ComponentsResult> ConnectedComponents(const MappedEdgeList& graph) {
+Result<ComponentsResult> ConnectedComponents(const MappedEdgeList& graph,
+                                             ComponentsOptions options) {
   const uint64_t n = graph.num_nodes();
   if (n == 0) {
     return Status::InvalidArgument("graph has no nodes");
@@ -28,20 +32,31 @@ Result<ComponentsResult> ConnectedComponents(const MappedEdgeList& graph) {
   std::vector<uint64_t> parent(n);
   std::iota(parent.begin(), parent.end(), 0);
 
-  // Single sequential pass over the mapped edges.
+  // Pipelined sequential pass over the mapped edges: prefetch runs ahead
+  // of the union-find scan, eviction trails it under the RAM budget. The
+  // unions share one parent array, so compute stays on the driving thread
+  // (no worker fan-out).
   const Edge* edges = graph.edges();
-  for (uint64_t e = 0; e < graph.num_edges(); ++e) {
-    uint64_t a = Find(&parent, edges[e].src);
-    uint64_t b = Find(&parent, edges[e].dst);
-    if (a != b) {
-      // Union by minimum id: canonical labels independent of edge order.
-      if (a < b) {
-        parent[b] = a;
-      } else {
-        parent[a] = b;
+  exec::PipelineOptions pipeline_options;
+  pipeline_options.readahead_chunks = options.readahead_chunks;
+  pipeline_options.ram_budget_bytes = options.ram_budget_bytes;
+  exec::ChunkPipeline pipeline(EdgeRegion(graph), pipeline_options);
+  const la::RowChunker chunker(graph.num_edges(),
+                               AutoChunkEdges(options.chunk_edges));
+  pipeline.Run(chunker, [&](size_t, size_t begin, size_t end) {
+    for (size_t e = begin; e < end; ++e) {
+      uint64_t a = Find(&parent, edges[e].src);
+      uint64_t b = Find(&parent, edges[e].dst);
+      if (a != b) {
+        // Union by minimum id: canonical labels independent of edge order.
+        if (a < b) {
+          parent[b] = a;
+        } else {
+          parent[a] = b;
+        }
       }
     }
-  }
+  });
 
   ComponentsResult result;
   result.component.resize(n);

@@ -9,6 +9,18 @@
 
 namespace m3::graph {
 
+/// \brief Options for the engine-driven connected-components scan.
+struct ComponentsOptions {
+  /// Edges per pipelined scan chunk (0 = auto, ~8 MiB of edge records).
+  size_t chunk_edges = 0;
+  /// Chunks of readahead the execution engine keeps ahead of the
+  /// union-find scan (0 disables the prefetch stage).
+  size_t readahead_chunks = 2;
+  /// When positive, edge pages more than this many bytes behind the scan
+  /// are evicted — bounded-RAM components on arbitrarily large edge files.
+  uint64_t ram_budget_bytes = 0;
+};
+
 /// \brief Connected-components result (edges treated as undirected).
 struct ComponentsResult {
   /// Component label per node; labels are the smallest node id in the
@@ -22,8 +34,16 @@ struct ComponentsResult {
 /// The second workload of the MMap prior work [3]: a single streaming pass
 /// with O(nodes) state, rank-free union by minimum label + full path
 /// compression in a finalize pass.
+///
+/// The edge scan runs on an exec::ChunkPipeline bound to the edge region
+/// (like PageRank): MADV_WILLNEED readahead overlaps the union-find
+/// compute, and the optional RAM budget evicts consumed edge pages behind
+/// the scan. The unions mutate one shared parent array, so compute stays
+/// on the driving thread; labels are independent of chunking and identical
+/// to the plain loop's.
 util::Result<ComponentsResult> ConnectedComponents(
-    const MappedEdgeList& graph);
+    const MappedEdgeList& graph,
+    ComponentsOptions options = ComponentsOptions());
 
 }  // namespace m3::graph
 

@@ -55,6 +55,23 @@ Result<MappedEdgeList> MappedEdgeList::Open(const std::string& path) {
                         header.num_edges, edges);
 }
 
+size_t AutoChunkEdges(size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  return (8ull << 20) / sizeof(Edge);
+}
+
+exec::MappedRegion EdgeRegion(const MappedEdgeList& graph) {
+  exec::MappedRegion region;
+  region.mapping = &graph.mapping();
+  region.base_offset = static_cast<uint64_t>(
+      reinterpret_cast<const char*>(graph.edges()) -
+      graph.mapping().As<const char>());
+  region.row_bytes = sizeof(Edge);
+  return region;
+}
+
 Status WriteEdgeList(const std::string& path, uint64_t num_nodes,
                      const std::vector<Edge>& edges) {
   for (const Edge& edge : edges) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/chunk_pipeline.h"
 #include "io/mmap_file.h"
 #include "util/result.h"
 
@@ -59,6 +60,17 @@ class MappedEdgeList {
   uint64_t num_edges_ = 0;
   const Edge* edges_ = nullptr;
 };
+
+/// \brief Edges per scan chunk so one chunk covers ~8 MiB of packed edge
+/// records. A positive `requested` wins outright. The shared chunk-size
+/// policy for every engine-driven edge scan (PageRank, connected
+/// components).
+size_t AutoChunkEdges(size_t requested);
+
+/// \brief The packed edge array as an execution-engine region (one row =
+/// one 16-byte Edge record), so graph scans bind an exec::ChunkPipeline
+/// exactly like ML trainers bind the feature matrix.
+exec::MappedRegion EdgeRegion(const MappedEdgeList& graph);
 
 /// \brief Writes `edges` (validating node ids < num_nodes) as an edge file.
 util::Status WriteEdgeList(const std::string& path, uint64_t num_nodes,

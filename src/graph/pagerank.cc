@@ -10,18 +10,6 @@ namespace m3::graph {
 using util::Result;
 using util::Status;
 
-namespace {
-
-/// Edges per chunk so one chunk covers ~8 MiB of packed edge records.
-size_t AutoChunkEdges(size_t requested) {
-  if (requested > 0) {
-    return requested;
-  }
-  return (8ull << 20) / sizeof(Edge);
-}
-
-}  // namespace
-
 Result<PageRankResult> PageRank(const MappedEdgeList& graph,
                                 PageRankOptions options) {
   const uint64_t n = graph.num_nodes();
@@ -37,16 +25,10 @@ Result<PageRankResult> PageRank(const MappedEdgeList& graph,
   // scatter writes to shared rank arrays, so compute stays on the driving
   // thread (no worker fan-out).
   const Edge* edges = graph.edges();
-  exec::MappedRegion region;
-  region.mapping = &graph.mapping();
-  region.base_offset = static_cast<uint64_t>(
-      reinterpret_cast<const char*>(edges) -
-      graph.mapping().As<const char>());
-  region.row_bytes = sizeof(Edge);
   exec::PipelineOptions pipeline_options;
   pipeline_options.readahead_chunks = options.readahead_chunks;
   pipeline_options.ram_budget_bytes = options.ram_budget_bytes;
-  exec::ChunkPipeline pipeline(region, pipeline_options);
+  exec::ChunkPipeline pipeline(EdgeRegion(graph), pipeline_options);
   const la::RowChunker chunker(graph.num_edges(),
                                AutoChunkEdges(options.chunk_edges));
 

@@ -73,6 +73,7 @@ ExecCounters ExecCounters::operator-(const ExecCounters& rhs) const {
   out.prefetch_bytes = prefetch_bytes - rhs.prefetch_bytes;
   out.evictions = evictions - rhs.evictions;
   out.bytes_evicted = bytes_evicted - rhs.bytes_evicted;
+  out.prefetch_hits = prefetch_hits - rhs.prefetch_hits;
   out.stalls = stalls - rhs.stalls;
   return out;
 }
@@ -80,13 +81,14 @@ ExecCounters ExecCounters::operator-(const ExecCounters& rhs) const {
 std::string ExecCounters::ToString() const {
   return util::StrFormat(
       "passes=%llu chunks=%llu prefetches=%llu (%s) evictions=%llu (%s) "
-      "stalls=%llu",
+      "hits=%llu stalls=%llu",
       static_cast<unsigned long long>(passes),
       static_cast<unsigned long long>(chunks),
       static_cast<unsigned long long>(prefetches),
       util::HumanBytes(prefetch_bytes).c_str(),
       static_cast<unsigned long long>(evictions),
       util::HumanBytes(bytes_evicted).c_str(),
+      static_cast<unsigned long long>(prefetch_hits),
       static_cast<unsigned long long>(stalls));
 }
 
@@ -113,6 +115,7 @@ void AddExecCounters(const ExecCounters& delta) {
   total.prefetch_bytes += delta.prefetch_bytes;
   total.evictions += delta.evictions;
   total.bytes_evicted += delta.bytes_evicted;
+  total.prefetch_hits += delta.prefetch_hits;
   total.stalls += delta.stalls;
 }
 

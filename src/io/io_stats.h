@@ -33,8 +33,10 @@ util::Result<IoCounters> ReadIoCounters();
 /// `prefetches`/`prefetch_bytes` count MADV_WILLNEED ranges issued by the
 /// prefetch stage; `evictions`/`bytes_evicted` count DONTNEED drops (from
 /// the engine's evict stage and from core::RamBudgetEmulator hooks);
-/// `stalls` counts chunks that entered compute before their prefetch
-/// landed — nonzero stalls mean the disk, not the CPU, is the bottleneck.
+/// `prefetch_hits` counts chunks whose prefetch completed before compute
+/// reached them (overlap succeeded), `stalls` counts chunks that entered
+/// compute before their prefetch landed — hits below stalls mean the
+/// disk, not the CPU, is the bottleneck.
 struct ExecCounters {
   uint64_t passes = 0;
   uint64_t chunks = 0;
@@ -42,6 +44,7 @@ struct ExecCounters {
   uint64_t prefetch_bytes = 0;
   uint64_t evictions = 0;
   uint64_t bytes_evicted = 0;
+  uint64_t prefetch_hits = 0;
   uint64_t stalls = 0;
 
   ExecCounters operator-(const ExecCounters& rhs) const;

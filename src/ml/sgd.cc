@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/chunk_pipeline.h"
+#include "exec/chunk_schedule.h"
 #include "la/blas.h"
 #include "la/chunker.h"
 #include "util/random.h"
@@ -33,34 +35,43 @@ Result<OptimizationResult> Sgd::Minimize(ChunkedObjective* objective,
   util::Rng rng(options_.seed);
   la::RowChunker chunker(n, options_.batch_rows);
   const size_t num_batches = chunker.NumChunks();
-  std::vector<size_t> order(num_batches);
-  for (size_t i = 0; i < num_batches; ++i) {
-    order[i] = i;
-  }
+  exec::ChunkPipeline* pipeline = objective->pipeline();
 
   OptimizationResult result;
   la::Vector grad(w.size());
   size_t step_index = 0;
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    rng.Shuffle(&order);
+    // One shuffle per epoch, drawn from the seed's stream: the visit order
+    // depends only on (seed, epoch), never on the engine configuration.
+    const exec::ChunkSchedule schedule =
+        exec::ChunkSchedule::Shuffled(num_batches, rng.Next());
     double epoch_loss = 0;
-    for (size_t batch : order) {
-      const la::RowChunker::Range range = chunker.Chunk(batch);
-      grad.SetZero();
-      // EvaluateChunk returns loss/n and gradient/n contributions; rescale
-      // to the batch mean so the step size is batch-size independent.
-      const double scale =
-          static_cast<double>(n) / static_cast<double>(range.size());
-      const double batch_loss =
-          objective->EvaluateChunk(range.begin, range.end, w, grad) * scale;
-      ++result.function_evaluations;
-      const double lr =
-          options_.learning_rate /
-          (1.0 + options_.decay * static_cast<double>(step_index));
-      la::Axpy(-lr * scale, grad, w);
-      epoch_loss += batch_loss;
-      ++step_index;
-    }
+    exec::RunPass(
+        pipeline, chunker, schedule,
+        // Each step reads the weights the previous step wrote, so gradient
+        // work cannot fan out across map workers; the engine's value here
+        // is prefetch running ahead along the shuffled schedule (and
+        // budget eviction trailing it) while retire does the math. Retire
+        // order is the schedule order at any worker count, which keeps the
+        // trained weights bitwise identical across engine configurations.
+        [](size_t, size_t, size_t, size_t) {},
+        [&](size_t, size_t, size_t row_begin, size_t row_end) {
+          grad.SetZero();
+          // EvaluateChunk returns loss/n and gradient/n contributions;
+          // rescale to the batch mean so the step size is batch-size
+          // independent.
+          const double scale = static_cast<double>(n) /
+                               static_cast<double>(row_end - row_begin);
+          const double batch_loss =
+              objective->EvaluateChunk(row_begin, row_end, w, grad) * scale;
+          ++result.function_evaluations;
+          const double lr =
+              options_.learning_rate /
+              (1.0 + options_.decay * static_cast<double>(step_index));
+          la::Axpy(-lr * scale, grad, w);
+          epoch_loss += batch_loss;
+          ++step_index;
+        });
     epoch_loss /= static_cast<double>(num_batches);
     result.objective_history.push_back(epoch_loss);
     ++result.iterations;
@@ -68,8 +79,9 @@ Result<OptimizationResult> Sgd::Minimize(ChunkedObjective* objective,
       options_.epoch_callback(epoch, epoch_loss);
     }
   }
-  result.objective = result.objective_history.back();
-  // Final full gradient for reporting.
+  // Final full-data evaluation for reporting. `objective` carries only
+  // this value; the per-epoch mean batch losses stay in objective_history
+  // so the two are never conflated.
   grad.SetZero();
   result.objective = objective->EvaluateWithGradient(w, grad);
   ++result.function_evaluations;

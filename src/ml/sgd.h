@@ -14,12 +14,15 @@ namespace m3::ml {
 struct SgdOptions {
   size_t epochs = 5;
   /// Rows per mini-batch. Batches are *contiguous* row blocks whose visit
-  /// order is shuffled per epoch: randomness for convergence, sequential
-  /// in-batch access for mmap locality (the §4 access-pattern tradeoff).
+  /// order is an epoch-shuffled exec::ChunkSchedule: randomness for
+  /// convergence, sequential in-batch access for mmap locality (the §4
+  /// access-pattern tradeoff).
   size_t batch_rows = 256;
   double learning_rate = 0.1;
   /// Step decay: lr_t = learning_rate / (1 + decay * t), t = batch counter.
   double decay = 1e-3;
+  /// Seeds both the per-epoch batch shuffles and nothing else: results are
+  /// a pure function of (data, options) at any engine worker count.
   uint64_t seed = 42;
   /// Optional per-epoch observer: (epoch, mean-loss-over-batches).
   std::function<void(size_t, double)> epoch_callback;
@@ -30,13 +33,22 @@ struct SgdOptions {
 /// The paper's §4 names online learning as the first extension target for
 /// M3; this trainer is that extension. It reuses the same chunk-evaluation
 /// path as the batch optimizers, so it runs identically on mmap'd data.
+///
+/// Epochs run through the execution engine when the objective has an
+/// exec::ChunkPipeline attached (ChunkedObjective::set_pipeline): prefetch
+/// walks the epoch's shuffled schedule ahead of the weight updates and
+/// eviction trails the visited batches under the engine's RAM budget. The
+/// updates themselves run in the engine's in-order retire stage, so the
+/// trained weights are bitwise identical with no engine, a serial engine,
+/// and any `num_workers` count, for a fixed seed.
 class Sgd {
  public:
   explicit Sgd(SgdOptions options = SgdOptions());
 
   /// Runs `epochs` passes, updating `w` in place. The returned
-  /// OptimizationResult reports per-epoch mean batch loss in
-  /// objective_history (data term only; regularization is excluded).
+  /// OptimizationResult reports the final full-data loss in `objective`
+  /// and the per-epoch mean batch losses in objective_history (data term
+  /// only; regularization is excluded) — the two are distinct values.
   util::Result<OptimizationResult> Minimize(ChunkedObjective* objective,
                                             la::VectorView w) const;
 

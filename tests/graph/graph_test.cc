@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <set>
+#include <vector>
 
 #include "graph/connected_components.h"
 #include "graph/edge_list.h"
@@ -166,6 +168,54 @@ TEST_F(GraphTest, ConnectedComponentsBigRandomGraphIsFullyConnected) {
   auto graph = MappedEdgeList::Open(path).ValueOrDie();
   auto result = ConnectedComponents(graph).ValueOrDie();
   EXPECT_EQ(result.num_components, 1u);
+}
+
+TEST_F(GraphTest, ConnectedComponentsEngineMatchesReference) {
+  // Engine-vs-reference equivalence: the pipelined chunked scan (small
+  // chunks, prefetch ahead, eviction behind) must produce exactly the
+  // labels of a plain in-memory union-find over the same edges.
+  const uint64_t kNodes = 300;
+  auto edges = RandomGraph(kNodes, 700, 11);
+  const std::string path = WriteGraph("ccref.m3g", kNodes, edges);
+  auto graph = MappedEdgeList::Open(path).ValueOrDie();
+
+  // Reference: minimum-label union-find, no engine, no chunking.
+  std::vector<uint64_t> parent(kNodes);
+  for (uint64_t v = 0; v < kNodes; ++v) {
+    parent[v] = v;
+  }
+  auto find = [&](uint64_t v) {
+    while (parent[v] != v) {
+      v = parent[v] = parent[parent[v]];
+    }
+    return v;
+  };
+  for (const Edge& edge : edges) {
+    const uint64_t a = find(edge.src), b = find(edge.dst);
+    if (a != b) {
+      parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+
+  ComponentsOptions options;
+  options.chunk_edges = 64;       // many chunks
+  options.readahead_chunks = 3;   // prefetch stage active
+  options.ram_budget_bytes = 64 * sizeof(Edge) * 2;  // evict behind scan
+  auto result = ConnectedComponents(graph, options).ValueOrDie();
+  uint64_t reference_components = 0;
+  for (uint64_t v = 0; v < kNodes; ++v) {
+    EXPECT_EQ(result.component[v], find(v)) << "node " << v;
+    if (find(v) == v) {
+      ++reference_components;
+    }
+  }
+  EXPECT_EQ(result.num_components, reference_components);
+
+  // Chunking must not matter: one chunk == many chunks.
+  ComponentsOptions one_chunk;
+  one_chunk.chunk_edges = edges.size();
+  auto whole = ConnectedComponents(graph, one_chunk).ValueOrDie();
+  EXPECT_EQ(whole.component, result.component);
 }
 
 TEST_F(GraphTest, EmptyGraphRejectedByAlgorithms) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "data/synthetic.h"
+#include "exec/chunk_pipeline.h"
 #include "la/blas.h"
 #include "ml/logistic_regression.h"
 #include "ml/metrics.h"
@@ -67,6 +70,62 @@ TEST(SgdTest, DeterministicForFixedSeed) {
   for (size_t i = 0; i < 5; ++i) {
     ASSERT_DOUBLE_EQ(w1[i], w2[i]);
   }
+}
+
+TEST(SgdTest, BitIdenticalAcrossEngineWorkerCounts) {
+  // The engine port's acceptance criterion: for a fixed seed the trained
+  // weights are a pure function of the data — bitwise identical with no
+  // engine and at any pipeline worker count, because the weight updates
+  // run in the in-order retire stage along the same shuffled schedule.
+  data::SeparableResult sep = data::LinearlySeparable(800, 6, 0.02, 21);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  SgdOptions options;
+  options.epochs = 4;
+  options.batch_rows = 64;
+  options.seed = 1234;
+
+  auto run = [&](exec::ChunkPipeline* pipeline) {
+    LogisticRegressionObjective objective(sep.data.features, y, 1e-4);
+    objective.set_pipeline(pipeline);
+    la::Vector w(objective.Dimension());
+    EXPECT_TRUE(Sgd(options).Minimize(&objective, w).ok());
+    return w;
+  };
+
+  const la::Vector reference = run(nullptr);
+  for (size_t workers : {0u, 2u, 4u}) {
+    exec::PipelineOptions pipeline_options;
+    pipeline_options.num_workers = workers;
+    exec::ChunkPipeline pipeline(pipeline_options);
+    const la::Vector w = run(&pipeline);
+    ASSERT_EQ(w.size(), reference.size());
+    EXPECT_EQ(std::memcmp(w.data(), reference.data(),
+                          reference.size() * sizeof(double)),
+              0)
+        << "workers=" << workers;
+  }
+}
+
+TEST(SgdTest, ObjectiveReportsFullDataLossNotEpochAverage) {
+  // `objective` must be the final full-data evaluation, while
+  // objective_history keeps the per-epoch mean batch losses: the mean over
+  // a moving-weights epoch is almost surely different from the loss at the
+  // final weights.
+  data::SeparableResult sep = data::LinearlySeparable(1000, 5, 0.1, 9);
+  la::ConstVectorView y(sep.data.labels.data(), sep.data.labels.size());
+  LogisticRegressionObjective objective(sep.data.features, y, 1e-4);
+  la::Vector w(objective.Dimension());
+  SgdOptions options;
+  options.epochs = 3;
+  options.learning_rate = 0.3;
+  auto result = Sgd(options).Minimize(&objective, w).ValueOrDie();
+
+  // Recompute the full-data loss at the returned weights independently.
+  la::Vector grad(w.size());
+  LogisticRegressionObjective check(sep.data.features, y, 1e-4);
+  const double full_loss = check.EvaluateWithGradient(w.View(), grad);
+  EXPECT_DOUBLE_EQ(result.objective, full_loss);
+  EXPECT_NE(result.objective, result.objective_history.back());
 }
 
 TEST(SgdTest, EpochCallbackFires) {
