@@ -14,6 +14,7 @@
 #include "io/io_stats.h"
 #include "io/platform.h"
 #include "util/format.h"
+#include "util/json.h"
 #include "util/stopwatch.h"
 #include "util/sys_info.h"
 
@@ -79,16 +80,28 @@ class JsonReporter {
   explicit JsonReporter(std::string bench_name)
       : bench_name_(std::move(bench_name)) {}
 
-  /// Records one measured configuration.
+  /// Records one measured configuration. Case names are escaped, so any
+  /// string is safe; `extra` appends bench-specific integer fields to the
+  /// case object. A non-finite `seconds` poisons the reporter: Write()
+  /// refuses to emit an unparseable file and returns the error instead.
   void Add(const std::string& case_name, double seconds,
-           const io::ExecCounters& exec) {
-    cases_.push_back(util::StrFormat(
-        "{\"name\": \"%s\", \"seconds\": %.6f, \"exec\": "
+           const io::ExecCounters& exec,
+           const std::vector<std::pair<std::string, uint64_t>>& extra = {}) {
+    auto number = util::JsonNumber(seconds);
+    if (!number.ok()) {
+      if (first_error_.ok()) {
+        first_error_ =
+            number.status().WithContext("case '" + case_name + "'");
+      }
+      return;
+    }
+    std::string body = util::StrFormat(
+        "{\"name\": \"%s\", \"seconds\": %s, \"exec\": "
         "{\"passes\": %llu, \"chunks\": %llu, \"prefetches\": %llu, "
         "\"prefetch_bytes\": %llu, \"evictions\": %llu, "
         "\"bytes_evicted\": %llu, \"prefetch_hits\": %llu, "
-        "\"stalls\": %llu}}",
-        case_name.c_str(), seconds,
+        "\"stalls\": %llu, \"prefetch_unclassified\": %llu}",
+        util::JsonEscape(case_name).c_str(), number.value().c_str(),
         static_cast<unsigned long long>(exec.passes),
         static_cast<unsigned long long>(exec.chunks),
         static_cast<unsigned long long>(exec.prefetches),
@@ -96,14 +109,24 @@ class JsonReporter {
         static_cast<unsigned long long>(exec.evictions),
         static_cast<unsigned long long>(exec.bytes_evicted),
         static_cast<unsigned long long>(exec.prefetch_hits),
-        static_cast<unsigned long long>(exec.stalls)));
+        static_cast<unsigned long long>(exec.stalls),
+        static_cast<unsigned long long>(exec.prefetch_unclassified));
+    for (const auto& [key, value] : extra) {
+      body += util::StrFormat(", \"%s\": %llu",
+                              util::JsonEscape(key).c_str(),
+                              static_cast<unsigned long long>(value));
+    }
+    body += "}";
+    cases_.push_back(std::move(body));
   }
 
   /// Writes BENCH_<bench_name>.json under `dir` and prints the path.
+  /// Fails without writing if any recorded case was invalid.
   util::Status Write(const std::string& dir = ".") {
+    M3_RETURN_IF_ERROR(first_error_);
     std::string body =
         util::StrFormat("{\"bench\": \"%s\", \"cases\": [",
-                        bench_name_.c_str());
+                        util::JsonEscape(bench_name_).c_str());
     for (size_t i = 0; i < cases_.size(); ++i) {
       if (i > 0) {
         body += ", ";
@@ -120,6 +143,7 @@ class JsonReporter {
  private:
   std::string bench_name_;
   std::vector<std::string> cases_;  ///< rendered JSON objects, add order
+  util::Status first_error_ = util::Status::OK();
 };
 
 /// \brief Probes the disk under `dir` once and prints the result.

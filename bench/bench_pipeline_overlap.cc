@@ -131,7 +131,10 @@ int Run(int argc, char** argv) {
   JsonReporter reporter("pipeline_overlap");
   reporter.Add("serial", serial.seconds, serial.exec);
   reporter.Add("pipelined", pipelined.seconds, pipelined.exec);
-  (void)reporter.Write(dir);
+  if (util::Status json = reporter.Write(dir); !json.ok()) {
+    std::fprintf(stderr, "bench JSON not written: %s\n",
+                 json.ToString().c_str());
+  }
 
   const double improvement =
       serial.seconds > 0

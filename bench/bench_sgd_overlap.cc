@@ -259,7 +259,10 @@ int Run(int argc, char** argv) {
   }
   table.Print(stdout, csv);
   PrintExecCounters();
-  (void)reporter.Write(dir);
+  if (util::Status json = reporter.Write(dir); !json.ok()) {
+    std::fprintf(stderr, "bench JSON not written: %s\n",
+                 json.ToString().c_str());
+  }
 
   // Same schedule, same arithmetic: every config must train the exact
   // same model bits regardless of engine or worker count.

@@ -45,6 +45,26 @@ std::string ClusterConfig::ToString() const {
       util::HumanBytes(static_cast<uint64_t>(network_bandwidth)).c_str());
 }
 
+void InstanceExecStats::Accumulate(const InstanceExecStats& other) {
+  cached += other.cached;
+  spilled += other.spilled;
+  spill_refaults += other.spill_refaults;
+  spill_refault_bytes += other.spill_refault_bytes;
+}
+
+std::string InstanceExecStats::ToString() const {
+  return util::StrFormat(
+      "cached[hits=%llu stalls=%llu evict=%s] spilled[hits=%llu stalls=%llu "
+      "refaults=%llu (%s)]",
+      static_cast<unsigned long long>(cached.prefetch_hits),
+      static_cast<unsigned long long>(cached.stalls),
+      util::HumanBytes(cached.bytes_evicted).c_str(),
+      static_cast<unsigned long long>(spilled.prefetch_hits),
+      static_cast<unsigned long long>(spilled.stalls),
+      static_cast<unsigned long long>(spill_refaults),
+      util::HumanBytes(spill_refault_bytes).c_str());
+}
+
 void JobStats::Accumulate(const JobStats& other) {
   simulated_seconds += other.simulated_seconds;
   compute_seconds += other.compute_seconds;
@@ -55,10 +75,16 @@ void JobStats::Accumulate(const JobStats& other) {
   tasks += other.tasks;
   bytes_read_from_disk += other.bytes_read_from_disk;
   bytes_over_network += other.bytes_over_network;
+  if (instance_exec.size() < other.instance_exec.size()) {
+    instance_exec.resize(other.instance_exec.size());
+  }
+  for (size_t i = 0; i < other.instance_exec.size(); ++i) {
+    instance_exec[i].Accumulate(other.instance_exec[i]);
+  }
 }
 
 std::string JobStats::ToString() const {
-  return util::StrFormat(
+  std::string out = util::StrFormat(
       "simulated=%s (compute=%s io=%s net=%s ovh=%s) jobs=%zu tasks=%zu "
       "disk=%s net_bytes=%s",
       util::HumanDuration(simulated_seconds).c_str(),
@@ -68,6 +94,11 @@ std::string JobStats::ToString() const {
       util::HumanDuration(overhead_seconds).c_str(), jobs, tasks,
       util::HumanBytes(bytes_read_from_disk).c_str(),
       util::HumanBytes(bytes_over_network).c_str());
+  for (size_t i = 0; i < instance_exec.size(); ++i) {
+    out += util::StrFormat("\n  measured instance %zu: %s", i,
+                           instance_exec[i].ToString().c_str());
+  }
+  return out;
 }
 
 }  // namespace m3::cluster

@@ -4,10 +4,51 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "exec/pipeline_stats.h"
 #include "util/status.h"
 
 namespace m3::cluster {
+
+/// \brief Measured-execution knobs for the simulated cluster.
+///
+/// With `use_pipelines` set, every simulated partition task runs through a
+/// real per-partition `exec::ChunkPipeline` bound to the dataset mapping
+/// (when one is provided): cached partitions scan with MADV_WILLNEED
+/// readahead and trailing eviction under the instance's RAM budget, and
+/// spilled partitions are force-evicted before every job so each use
+/// re-faults from storage — the measured analogue of Spark re-reading
+/// spilled RDD blocks. Results are bitwise identical with pipelines off,
+/// on, and at any `pipeline_workers` count: chunk partials always merge on
+/// the driving thread in the same schedule order.
+struct ClusterExecOptions {
+  ClusterExecOptions() {}  // NOLINT: allows `= ClusterExecOptions()` defaults
+
+  /// Drive partition tasks through per-partition ChunkPipelines. Off runs
+  /// the identical chunk loop inline (the serial reference semantics).
+  bool use_pipelines = false;
+
+  /// MADV_WILLNEED readahead chunks each partition pipeline keeps ahead of
+  /// compute. 0 disables the prefetch stage.
+  size_t readahead_chunks = 2;
+
+  /// Compute-stage fan-out per partition pipeline (0 or 1 = serial).
+  size_t pipeline_workers = 0;
+
+  /// Rows per pipeline chunk inside a partition (0 = the whole partition
+  /// as a single chunk). Both the pipelined and the non-pipelined path use
+  /// the same chunking, so results stay bitwise comparable.
+  uint64_t chunk_rows = 0;
+
+  /// Measured RAM budget per instance, bytes. The instance's cached
+  /// partitions split it pro rata by rows (the pinned RDD cache — their
+  /// pages survive between jobs); spilled scans get whatever the cached
+  /// set leaves over. 0 derives the budget from the simulated cache
+  /// (`instance_ram_bytes * cache_fraction`), which keeps the measured
+  /// residency regime consistent with the cached/spilled flags.
+  uint64_t instance_ram_budget_bytes = 0;
+};
 
 /// \brief Parameters of the simulated Spark cluster.
 ///
@@ -77,6 +118,9 @@ struct ClusterConfig {
   /// instances and the local M3 run share one compute scale.
   double local_cpu_seconds_per_byte = 1e-10;
 
+  /// Measured-execution engine knobs (see ClusterExecOptions).
+  ClusterExecOptions exec;
+
   /// Total partitions in a stage.
   size_t TotalPartitions() const {
     return num_instances * cores_per_instance * partitions_per_core;
@@ -89,13 +133,51 @@ struct ClusterConfig {
         cache_fraction);
   }
 
+  /// RDD cache capacity of one instance, bytes — also the default measured
+  /// RAM budget of its partition pipelines.
+  uint64_t InstanceCacheBytes() const {
+    return static_cast<uint64_t>(static_cast<double>(instance_ram_bytes) *
+                                 cache_fraction);
+  }
+
   /// Validates ranges; returns InvalidArgument on nonsense.
   util::Status Validate() const;
 
   std::string ToString() const;
 };
 
+/// \brief Measured execution counters of one simulated instance.
+///
+/// Populated only when `ClusterExecOptions::use_pipelines` is on: the
+/// instance's partition pipelines report real `exec::PipelineStats` —
+/// prefetch hits/stalls, evictions, per-stage seconds — split by the
+/// partition's cache state, plus the forced re-faults of its spilled
+/// partitions. These are *measured on this machine*, not simulated: they
+/// sit alongside the cost-model seconds so overlap behavior (does
+/// readahead hide the re-read?) can be observed instead of assumed.
+struct InstanceExecStats {
+  exec::PipelineStats cached;   ///< passes over cached partitions
+  exec::PipelineStats spilled;  ///< passes over spilled partitions
+  /// Forced pre-pass evictions of spilled partitions (one per spilled
+  /// partition per job, counted only when the page-clamped range was
+  /// non-empty): every use re-faults from storage.
+  uint64_t spill_refaults = 0;
+  uint64_t spill_refault_bytes = 0;  ///< bytes covered by forced evictions
+
+  void Accumulate(const InstanceExecStats& other);
+  std::string ToString() const;
+};
+
 /// \brief Simulated-time breakdown of a distributed job or run.
+///
+/// Two kinds of numbers live here, deliberately side by side:
+///   - the *cost model* fields (`simulated_seconds` and its components)
+///     charge modeled EC2/Spark wall time from ClusterConfig, and
+///   - `instance_exec` holds the *measured* per-instance pipeline counters
+///     when partition tasks run through real ChunkPipelines.
+/// The simulated seconds answer "what would the paper's cluster bill";
+/// the measured counters answer "did the simulated instances actually
+/// overlap paging with compute on this machine".
 struct JobStats {
   double simulated_seconds = 0;   ///< modeled cluster wall time
   double compute_seconds = 0;     ///< simulated busy CPU component
@@ -106,6 +188,9 @@ struct JobStats {
   size_t tasks = 0;               ///< tasks executed
   uint64_t bytes_read_from_disk = 0;
   uint64_t bytes_over_network = 0;
+  /// Measured per-instance pipeline stats, indexed by instance id. Empty
+  /// unless the run drove partition tasks through ChunkPipelines.
+  std::vector<InstanceExecStats> instance_exec;
 
   void Accumulate(const JobStats& other);
   std::string ToString() const;

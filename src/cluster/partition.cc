@@ -37,4 +37,26 @@ std::vector<Partition> MakePartitions(size_t total_rows,
   return partitions;
 }
 
+size_t InstanceRows(const std::vector<Partition>& partitions,
+                    size_t instance, bool cached_only) {
+  size_t rows = 0;
+  for (const Partition& partition : partitions) {
+    if (partition.instance == instance &&
+        (!cached_only || partition.cached)) {
+      rows += partition.rows();
+    }
+  }
+  return rows;
+}
+
+size_t CountSpilled(const std::vector<Partition>& partitions) {
+  size_t spilled = 0;
+  for (const Partition& partition : partitions) {
+    if (!partition.cached) {
+      ++spilled;
+    }
+  }
+  return spilled;
+}
+
 }  // namespace m3::cluster

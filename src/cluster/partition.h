@@ -16,6 +16,17 @@ struct Partition {
   bool cached = true;    ///< false = spilled; re-read from disk every use
 
   size_t rows() const { return row_end - row_begin; }
+
+  /// Byte offset of the partition's first row within the feature block,
+  /// for rows of `row_bytes` bytes.
+  uint64_t byte_begin(uint64_t row_bytes) const {
+    return static_cast<uint64_t>(row_begin) * row_bytes;
+  }
+
+  /// Size of the partition in bytes for rows of `row_bytes` bytes.
+  uint64_t byte_size(uint64_t row_bytes) const {
+    return static_cast<uint64_t>(rows()) * row_bytes;
+  }
 };
 
 /// \brief Splits `total_rows` into `num_partitions` near-equal contiguous
@@ -26,6 +37,15 @@ std::vector<Partition> MakePartitions(size_t total_rows,
                                       size_t num_partitions,
                                       size_t num_instances,
                                       size_t cache_capacity_rows);
+
+/// \brief Total rows assigned to `instance` across `partitions`;
+/// `cached_only` restricts the sum to cached partitions (the denominator
+/// for prorating an instance's RAM budget over its resident set).
+size_t InstanceRows(const std::vector<Partition>& partitions,
+                    size_t instance, bool cached_only = false);
+
+/// \brief Partitions of `partitions` that are marked spilled.
+size_t CountSpilled(const std::vector<Partition>& partitions);
 
 }  // namespace m3::cluster
 

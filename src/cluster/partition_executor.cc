@@ -1,0 +1,142 @@
+#include "cluster/partition_executor.h"
+
+#include <algorithm>
+
+#include "util/sys_info.h"
+
+namespace m3::cluster {
+
+PartitionExecutor::PartitionExecutor(std::vector<Partition> partitions,
+                                     const ClusterConfig& config,
+                                     const exec::MappedRegion& data)
+    : partitions_(std::move(partitions)),
+      config_(config),
+      data_(data),
+      task_order_(exec::ChunkSchedule::Strided(partitions_.size(),
+                                               config.num_instances)),
+      pipelines_(partitions_.size()) {
+  instance_cached_rows_.reserve(config_.num_instances);
+  for (size_t i = 0; i < config_.num_instances; ++i) {
+    instance_cached_rows_.push_back(
+        InstanceRows(partitions_, i, /*cached_only=*/true));
+  }
+  if (pipelined()) {
+    if (bound()) {
+      io_pool_ = std::make_unique<util::ThreadPool>(1);
+    }
+    if (config_.exec.pipeline_workers >= 2) {
+      compute_pool_ =
+          std::make_unique<util::ThreadPool>(config_.exec.pipeline_workers);
+    }
+  }
+}
+
+size_t PartitionExecutor::ChunkRowsFor(const Partition& partition) const {
+  const uint64_t requested = config_.exec.chunk_rows;
+  if (requested == 0) {
+    return partition.rows();
+  }
+  return static_cast<size_t>(
+      std::min<uint64_t>(requested, std::max<size_t>(1, partition.rows())));
+}
+
+uint64_t PartitionExecutor::BudgetFor(const Partition& partition) const {
+  uint64_t instance_budget = config_.exec.instance_ram_budget_bytes;
+  if (instance_budget == 0) {
+    instance_budget = config_.InstanceCacheBytes();
+  }
+  const size_t cached_rows = partition.instance < instance_cached_rows_.size()
+                                 ? instance_cached_rows_[partition.instance]
+                                 : 0;
+  // The RDD cache pins the cached partitions: they split the budget among
+  // themselves (pro rata by rows), so a partition the simulated cache says
+  // is resident really keeps its pages between jobs. Spilled scans are
+  // transient and only get whatever the cached set leaves over.
+  uint64_t share;
+  if (partition.cached) {
+    share = cached_rows == 0
+                ? instance_budget
+                : static_cast<uint64_t>(
+                      static_cast<double>(instance_budget) *
+                      (static_cast<double>(partition.rows()) /
+                       static_cast<double>(cached_rows)));
+  } else {
+    const uint64_t cached_bytes = cached_rows * data_.row_bytes;
+    share = instance_budget > cached_bytes ? instance_budget - cached_bytes
+                                           : 0;
+  }
+  // A zero share would disable engine eviction entirely (the opposite of a
+  // tight budget); keep at least one byte so the trailing window evicts.
+  return std::max<uint64_t>(1, share);
+}
+
+exec::ChunkPipeline* PartitionExecutor::PreparePartition(size_t index,
+                                                         JobStats* job) {
+  if (!pipelined()) {
+    return nullptr;
+  }
+  const Partition& partition = partitions_[index];
+  std::unique_ptr<exec::ChunkPipeline>& slot = pipelines_[index];
+  if (slot == nullptr) {
+    exec::MappedRegion region;  // unbound unless the run is mmap-backed
+    if (bound()) {
+      region.mapping = data_.mapping;
+      region.base_offset =
+          data_.base_offset + partition.byte_begin(data_.row_bytes);
+      region.row_bytes = data_.row_bytes;
+    }
+    exec::PipelineOptions options;
+    options.readahead_chunks = config_.exec.readahead_chunks;
+    options.num_workers = config_.exec.pipeline_workers;
+    options.shared_io_pool = io_pool_.get();
+    options.shared_compute_pool = compute_pool_.get();
+    options.ram_budget_bytes = bound() ? BudgetFor(partition) : 0;
+    // The instance interleaves many small partition scans; kernel-level
+    // sequential readahead would race past the partition boundary, so let
+    // the explicit WILLNEED stage own the readahead.
+    options.advice = io::Advice::kNormal;
+    slot = std::make_unique<exec::ChunkPipeline>(region, options);
+  }
+  if (bound() && !partition.cached) {
+    // Spark does not admit spilled blocks to the RDD cache: drop the
+    // partition's pages so this job's pass re-faults from storage. The
+    // range is clamped *inward* to page boundaries — partitions are
+    // row-aligned, not page-aligned, and an outward-rounding DONTNEED
+    // would also drop the neighboring cached partition's edge page every
+    // job, perturbing the cached-pages-survive-between-jobs measurement.
+    // The sub-page edges that stay resident are noise, not signal.
+    const uint64_t page = util::PageSize();
+    const uint64_t begin =
+        data_.base_offset + partition.byte_begin(data_.row_bytes);
+    const uint64_t end = begin + partition.byte_size(data_.row_bytes);
+    const uint64_t evict_begin = (begin + page - 1) / page * page;
+    const uint64_t evict_end = end / page * page;
+    if (evict_end > evict_begin) {
+      data_.mapping->Evict(evict_begin, evict_end - evict_begin)
+          .IgnoreError();
+      if (job != nullptr && partition.instance < job->instance_exec.size()) {
+        InstanceExecStats& instance = job->instance_exec[partition.instance];
+        ++instance.spill_refaults;
+        instance.spill_refault_bytes += evict_end - evict_begin;
+      }
+    }
+  }
+  return slot.get();
+}
+
+void PartitionExecutor::CollectStats(size_t index,
+                                     exec::ChunkPipeline* pipeline,
+                                     JobStats* job) {
+  if (pipeline == nullptr) {
+    return;
+  }
+  const exec::PipelineStats stats = pipeline->ConsumeStats();
+  const Partition& partition = partitions_[index];
+  if (job == nullptr || partition.instance >= job->instance_exec.size()) {
+    return;
+  }
+  InstanceExecStats& instance = job->instance_exec[partition.instance];
+  (partition.cached ? instance.cached : instance.spilled) += stats;
+}
+
+}  // namespace m3::cluster

@@ -1,0 +1,132 @@
+#ifndef M3_CLUSTER_PARTITION_EXECUTOR_H_
+#define M3_CLUSTER_PARTITION_EXECUTOR_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/partition.h"
+#include "exec/chunk_map_reduce.h"
+#include "exec/chunk_pipeline.h"
+#include "exec/chunk_schedule.h"
+#include "la/chunker.h"
+#include "util/thread_pool.h"
+
+namespace m3::cluster {
+
+/// \brief Runs simulated partition tasks through real per-partition
+/// execution pipelines.
+///
+/// One executor lives for one distributed run (all of its jobs). Tasks are
+/// visited in a `ChunkSchedule::Strided(partitions, num_instances)`
+/// interleaving of the partition indices: with the round-robin assignment
+/// of MakePartitions, lane k is exactly instance k's partition list, so a
+/// job walks instance 0's partitions, then instance 1's, ... — each
+/// instance scanning its own shard starting at its own offset (stride =
+/// instance count, offset = instance id).
+///
+/// With `ClusterExecOptions::use_pipelines` on, each partition owns an
+/// `exec::ChunkPipeline` (created lazily, persisting across jobs):
+///   - bound to the partition's byte range of the dataset mapping when the
+///     run is mmap-backed, so prefetch readahead and trailing eviction are
+///     real madvise calls on real pages;
+///   - cached partitions keep their trailing residency window across jobs
+///     under a pro-rata share of the instance's RAM budget — later jobs
+///     find their pages resident (prefetch hits);
+///   - spilled partitions are force-evicted before every pass, so every
+///     job re-faults them from storage (Spark's per-iteration spill
+///     re-read, measured instead of only modeled).
+///
+/// Determinism: `map` computes one partial per chunk (possibly on pipeline
+/// workers, in any order); `reduce` folds partials on the calling thread
+/// in ascending chunk order within each partition, partitions in the fixed
+/// strided task order. The fold sequence is therefore identical with
+/// pipelines off, on, and at any worker count — results are bitwise
+/// reproducible across all engine configurations.
+class PartitionExecutor {
+ public:
+  /// `data.mapping == nullptr` means in-memory execution (pipelines, when
+  /// enabled, only orchestrate compute). When bound, `data.base_offset` is
+  /// the byte offset of feature row 0 and `data.row_bytes` the stride of
+  /// one row.
+  PartitionExecutor(std::vector<Partition> partitions,
+                    const ClusterConfig& config,
+                    const exec::MappedRegion& data);
+
+  PartitionExecutor(const PartitionExecutor&) = delete;
+  PartitionExecutor& operator=(const PartitionExecutor&) = delete;
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+
+  /// The strided task visit order shared by every job of this run.
+  const exec::ChunkSchedule& task_order() const { return task_order_; }
+
+  bool pipelined() const { return config_.exec.use_pipelines; }
+  bool bound() const { return data_.mapping != nullptr; }
+
+  /// Runs one distributed job: every partition task, in task_order().
+  /// `map(partition, row_begin, row_end) -> T` computes a chunk partial
+  /// over global row coordinates; `reduce(partition, T&&)` folds it on the
+  /// calling thread in deterministic order. When `job` is non-null and
+  /// pipelines are on, the job's measured per-instance stats are recorded
+  /// into `job->instance_exec`.
+  template <typename T, typename MapFn, typename ReduceFn>
+  void RunJob(MapFn&& map, ReduceFn&& reduce, JobStats* job) {
+    if (job != nullptr && pipelined()) {
+      job->instance_exec.resize(config_.num_instances);
+    }
+    for (size_t pos = 0; pos < task_order_.num_chunks(); ++pos) {
+      const size_t index = task_order_.At(pos);
+      const Partition& partition = partitions_[index];
+      exec::ChunkPipeline* pipeline = PreparePartition(index, job);
+      const la::RowChunker chunker(partition.rows(), ChunkRowsFor(partition));
+      exec::MapReduceChunks<T>(
+          pipeline, chunker,
+          exec::ChunkSchedule::Sequential(chunker.NumChunks()),
+          [&](size_t, size_t row_begin, size_t row_end) {
+            return map(partition, partition.row_begin + row_begin,
+                       partition.row_begin + row_end);
+          },
+          [&](size_t, T&& partial) { reduce(partition, std::move(partial)); });
+      CollectStats(index, pipeline, job);
+    }
+  }
+
+ private:
+  /// Returns the partition's pipeline (lazily created) or nullptr when
+  /// pipelines are off. For bound spilled partitions, force-evicts the
+  /// partition's pages first and counts the re-fault into `job`.
+  exec::ChunkPipeline* PreparePartition(size_t index, JobStats* job);
+
+  /// Moves the pipeline's per-pass stats into the owning instance's slot.
+  void CollectStats(size_t index, exec::ChunkPipeline* pipeline,
+                    JobStats* job);
+
+  /// Rows per pipeline chunk for `partition` (config override or the whole
+  /// partition as one chunk).
+  size_t ChunkRowsFor(const Partition& partition) const;
+
+  /// The partition's share of its instance's measured RAM budget: cached
+  /// partitions split the budget pro rata by rows (the pinned RDD cache);
+  /// spilled partitions get whatever the cached set leaves over (transient
+  /// scan working memory). Only meaningful when the run is mmap-backed.
+  uint64_t BudgetFor(const Partition& partition) const;
+
+  std::vector<Partition> partitions_;
+  ClusterConfig config_;  ///< by value: the executor may outlive callers' copies
+  exec::MappedRegion data_;
+  exec::ChunkSchedule task_order_;
+  /// Cached rows per instance (budget proration denominator).
+  std::vector<size_t> instance_cached_rows_;
+  /// Pools shared by every partition pipeline: RunJob drives one partition
+  /// at a time, so per-partition pools would only multiply idle threads
+  /// (partitions x workers of them) without adding parallelism.
+  std::unique_ptr<util::ThreadPool> io_pool_;
+  std::unique_ptr<util::ThreadPool> compute_pool_;
+  std::vector<std::unique_ptr<exec::ChunkPipeline>> pipelines_;
+};
+
+}  // namespace m3::cluster
+
+#endif  // M3_CLUSTER_PARTITION_EXECUTOR_H_

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "cluster/partition_executor.h"
 #include "cluster/sim_clock.h"
 #include "la/blas.h"
 #include "util/random.h"
-#include "util/thread_pool.h"
 
 namespace m3::cluster {
 
@@ -16,16 +17,17 @@ using util::Status;
 namespace {
 
 /// Driver-side objective that evaluates the data term partition by
-/// partition (real math) and charges simulated cluster time per job.
+/// partition (real math through the partition executor's pipelines) and
+/// charges simulated cluster time per job.
 class DistributedLrObjective final : public ml::DifferentiableFunction {
  public:
   DistributedLrObjective(la::ConstMatrixView x, la::ConstVectorView y,
-                         double l2, std::vector<Partition> partitions,
+                         double l2, PartitionExecutor* executor,
                          const ClusterConfig& config, JobStats* stats)
       : data_objective_(x, y, /*l2=*/0.0),
         x_(x),
         l2_(l2),
-        partitions_(std::move(partitions)),
+        executor_(executor),
         config_(config),
         model_(config),
         stats_(stats) {}
@@ -35,14 +37,30 @@ class DistributedLrObjective final : public ml::DifferentiableFunction {
   double EvaluateWithGradient(la::ConstVectorView w,
                               la::VectorView grad) override {
     grad.SetZero();
-    // Real per-partition gradient tasks. Partition order is the reduce
-    // order (deterministic). The local thread pool only accelerates the
-    // simulation's execution; simulated time comes from the cost model.
+    // Real per-partition gradient tasks: chunk partials computed (possibly
+    // on pipeline workers), folded on this thread in the executor's fixed
+    // strided task order — the deterministic reduce order. The pipelines
+    // only accelerate/measure the simulation's execution; simulated time
+    // still comes from the cost model.
+    struct Partial {
+      double loss = 0;
+      la::Vector grad;
+    };
     double loss = 0;
-    for (const Partition& partition : partitions_) {
-      loss += data_objective_.EvaluateChunk(partition.row_begin,
-                                            partition.row_end, w, grad);
-    }
+    JobStats job;
+    executor_->RunJob<Partial>(
+        [&](const Partition&, size_t row_begin, size_t row_end) {
+          Partial partial;
+          partial.grad = la::Vector(w.size());
+          partial.loss = data_objective_.EvaluateChunk(row_begin, row_end, w,
+                                                       partial.grad.View());
+          return partial;
+        },
+        [&](const Partition&, Partial&& partial) {
+          loss += partial.loss;
+          la::Axpy(1.0, partial.grad, grad);
+        },
+        &job);
     // Driver adds the ridge term (as MLlib's updater does).
     const size_t d = x_.cols();
     if (l2_ > 0) {
@@ -55,9 +73,9 @@ class DistributedLrObjective final : public ml::DifferentiableFunction {
     // the (d+1)-gradient + loss.
     const uint64_t row_bytes = x_.cols() * sizeof(double);
     const uint64_t result_bytes = (Dimension() + 1) * sizeof(double);
-    JobStats job;
     job.Accumulate(model_.Broadcast(result_bytes));
-    job.Accumulate(model_.StageCost(partitions_, row_bytes, first_pass_));
+    job.Accumulate(model_.StageCost(executor_->partitions(), row_bytes,
+                                    first_pass_));
     job.Accumulate(model_.TreeAggregate(result_bytes));
     // Accumulate() sums `jobs` from parts; a gradient evaluation is one job.
     job.jobs = 1;
@@ -70,12 +88,32 @@ class DistributedLrObjective final : public ml::DifferentiableFunction {
   ml::LogisticRegressionObjective data_objective_;
   la::ConstMatrixView x_;
   double l2_;
-  std::vector<Partition> partitions_;
+  PartitionExecutor* executor_;
   const ClusterConfig& config_;
   StageCostModel model_;
   JobStats* stats_;
   bool first_pass_ = true;
 };
+
+/// A bound region must describe the same rows the matrix view exposes —
+/// otherwise the measured path silently prefetches and evicts the wrong
+/// pages while the (view-driven) math still comes out right.
+Status ValidateRegion(const exec::MappedRegion& data, size_t rows,
+                      size_t cols) {
+  if (data.mapping == nullptr) {
+    return Status::OK();
+  }
+  if (data.row_bytes != cols * sizeof(double)) {
+    return Status::InvalidArgument(
+        "mapped region row_bytes does not match the feature matrix");
+  }
+  if (data.base_offset + rows * data.row_bytes > data.mapping->size()) {
+    return Status::InvalidArgument(
+        "mapped region does not cover the feature rows (offset + rows * "
+        "row_bytes exceeds the mapping)");
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -93,7 +131,8 @@ std::vector<Partition> SparkCluster::PlanPartitions(size_t rows,
 
 Result<DistributedLrResult> SparkCluster::RunLogisticRegression(
     la::ConstMatrixView x, la::ConstVectorView y, double l2,
-    ml::LbfgsOptions optimizer_options) const {
+    ml::LbfgsOptions optimizer_options,
+    const exec::MappedRegion& data) const {
   M3_RETURN_IF_ERROR(config_.Validate());
   if (x.rows() == 0 || x.cols() == 0) {
     return Status::InvalidArgument("empty training data");
@@ -101,11 +140,13 @@ Result<DistributedLrResult> SparkCluster::RunLogisticRegression(
   if (x.rows() != y.size()) {
     return Status::InvalidArgument("labels size does not match rows");
   }
+  M3_RETURN_IF_ERROR(ValidateRegion(data, x.rows(), x.cols()));
 
   DistributedLrResult result;
   const uint64_t row_bytes = x.cols() * sizeof(double);
-  std::vector<Partition> partitions = PlanPartitions(x.rows(), row_bytes);
-  DistributedLrObjective objective(x, y, l2, partitions, config_,
+  PartitionExecutor executor(PlanPartitions(x.rows(), row_bytes), config_,
+                             data);
+  DistributedLrObjective objective(x, y, l2, &executor, config_,
                                    &result.stats);
   la::Vector params(x.cols() + 1);
   ml::Lbfgs optimizer(optimizer_options);
@@ -118,7 +159,8 @@ Result<DistributedLrResult> SparkCluster::RunLogisticRegression(
 }
 
 Result<DistributedKMeansResult> SparkCluster::RunKMeans(
-    la::ConstMatrixView x, ml::KMeansOptions options) const {
+    la::ConstMatrixView x, ml::KMeansOptions options,
+    const exec::MappedRegion& data) const {
   M3_RETURN_IF_ERROR(config_.Validate());
   const size_t n = x.rows();
   const size_t d = x.cols();
@@ -129,10 +171,11 @@ Result<DistributedKMeansResult> SparkCluster::RunKMeans(
   if (k == 0 || k > n) {
     return Status::InvalidArgument("k must be in [1, rows]");
   }
+  M3_RETURN_IF_ERROR(ValidateRegion(data, n, d));
 
   DistributedKMeansResult result;
   const uint64_t row_bytes = d * sizeof(double);
-  std::vector<Partition> partitions = PlanPartitions(n, row_bytes);
+  PartitionExecutor executor(PlanPartitions(n, row_bytes), config_, data);
   StageCostModel model(config_);
 
   // Initialization: reuse the single-machine seeding (it touches a bounded
@@ -150,27 +193,52 @@ Result<DistributedKMeansResult> SparkCluster::RunKMeans(
   util::Rng rng(options.seed);
   double previous_inertia = std::numeric_limits<double>::max();
 
+  // Per-chunk assignment + accumulation partial (the task result a real
+  // executor would send back to the driver for its rows).
+  struct Partial {
+    la::Matrix sums;
+    std::vector<uint64_t> counts;
+    double inertia = 0;
+  };
+
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     sums.SetZero();
     std::fill(counts.begin(), counts.end(), 0);
     double inertia = 0;
-    // Real per-partition assignment + accumulation tasks.
-    for (const Partition& partition : partitions) {
-      for (size_t r = partition.row_begin; r < partition.row_end; ++r) {
-        size_t best = 0;
-        double best_dist2 = la::SquaredDistance(x.Row(r), centers.Row(0));
-        for (size_t c = 1; c < k; ++c) {
-          const double dist2 = la::SquaredDistance(x.Row(r), centers.Row(c));
-          if (dist2 < best_dist2) {
-            best_dist2 = dist2;
-            best = c;
+    JobStats job;
+    // Real per-partition assignment + accumulation tasks; centers are
+    // read-only for the whole job, partials fold in task order.
+    executor.RunJob<Partial>(
+        [&](const Partition&, size_t row_begin, size_t row_end) {
+          Partial partial;
+          partial.sums = la::Matrix(k, d);
+          partial.counts.assign(k, 0);
+          for (size_t r = row_begin; r < row_end; ++r) {
+            size_t best = 0;
+            double best_dist2 =
+                la::SquaredDistance(x.Row(r), centers.Row(0));
+            for (size_t c = 1; c < k; ++c) {
+              const double dist2 =
+                  la::SquaredDistance(x.Row(r), centers.Row(c));
+              if (dist2 < best_dist2) {
+                best_dist2 = dist2;
+                best = c;
+              }
+            }
+            partial.inertia += best_dist2;
+            la::Axpy(1.0, x.Row(r), partial.sums.Row(best));
+            ++partial.counts[best];
           }
-        }
-        inertia += best_dist2;
-        la::Axpy(1.0, x.Row(r), sums.Row(best));
-        ++counts[best];
-      }
-    }
+          return partial;
+        },
+        [&](const Partition&, Partial&& partial) {
+          inertia += partial.inertia;
+          for (size_t c = 0; c < k; ++c) {
+            la::Axpy(1.0, partial.sums.Row(c), sums.Row(c));
+            counts[c] += partial.counts[c];
+          }
+        },
+        &job);
     for (size_t c = 0; c < k; ++c) {
       if (counts[c] > 0) {
         la::Copy(sums.Row(c), centers.Row(c));
@@ -182,9 +250,9 @@ Result<DistributedKMeansResult> SparkCluster::RunKMeans(
     }
 
     // Simulated time: broadcast centers, stage, aggregate partials.
-    JobStats job;
     job.Accumulate(model.Broadcast(centers_bytes));
-    job.Accumulate(model.StageCost(partitions, row_bytes, iter == 0));
+    job.Accumulate(model.StageCost(executor.partitions(), row_bytes,
+                                   iter == 0));
     job.Accumulate(model.TreeAggregate(result_bytes));
     job.jobs = 1;
     result.stats.Accumulate(job);

@@ -5,6 +5,7 @@
 
 #include "cluster/cluster_config.h"
 #include "cluster/partition.h"
+#include "exec/chunk_pipeline.h"
 #include "la/matrix.h"
 #include "ml/kmeans.h"
 #include "ml/lbfgs.h"
@@ -35,21 +36,51 @@ struct DistributedKMeansResult {
 /// DESIGN.md §3). Numerical results therefore agree with the
 /// single-machine implementations, and `stats.simulated_seconds` plays the
 /// role of the paper's measured Spark runtimes.
+///
+/// TIME IN JobStats COMES FROM TWO PLACES — read them differently:
+///
+///   - `simulated_seconds` (and compute/io/network/overhead components) is
+///     *modeled*: the StageCostModel's estimate of what the paper's EMR
+///     cluster would have billed for the same jobs. It is unaffected by
+///     how fast this machine executes the simulation.
+///   - `instance_exec[k]` is *measured*: when `ClusterConfig::exec` turns
+///     pipelines on, instance k's partition tasks run through real
+///     `exec::ChunkPipeline`s (per-partition, persisting across jobs), and
+///     their PipelineStats land here. `cached` counters come from passes
+///     over cached partitions — with an mmap-backed run, prefetch hits
+///     mean the partition's pages were still resident from earlier jobs
+///     (the RDD cache working); `spilled` counters come from passes over
+///     spilled partitions, which are force-evicted before every job, so
+///     their `spill_refaults` grow each job and their stalls/hit-rate show
+///     whether WILLNEED readahead hides the re-read. The invariant
+///     `prefetches == prefetch_hits + stalls + prefetch_unclassified`
+///     holds per instance and per cache class after every run.
+///
+/// Passing a bound `exec::MappedRegion` (e.g. built from a MappedDataset)
+/// makes the measured path page real memory; with in-memory matrices the
+/// pipelines only orchestrate compute. Either way results are bitwise
+/// identical with pipelines off, on, and at any worker count — partials
+/// merge on the driving thread in a fixed strided task order (stride =
+/// instance count, offset = instance id).
 class SparkCluster {
  public:
   explicit SparkCluster(ClusterConfig config);
 
   /// MLlib-style logistic regression: L-BFGS on the driver, one gradient
   /// job per function evaluation, tree-aggregated (d+1)-vector results.
-  /// A cold HDFS load precedes the first evaluation.
+  /// A cold HDFS load precedes the first evaluation. `data` optionally
+  /// binds the feature rows' mapping for measured pipelined execution
+  /// (`data.base_offset` = byte offset of row 0 of `x`).
   util::Result<DistributedLrResult> RunLogisticRegression(
       la::ConstMatrixView x, la::ConstVectorView y, double l2,
-      ml::LbfgsOptions optimizer_options) const;
+      ml::LbfgsOptions optimizer_options,
+      const exec::MappedRegion& data = exec::MappedRegion()) const;
 
   /// MLlib-style k-means: one assignment/accumulation job per iteration,
   /// centers broadcast before each job.
   util::Result<DistributedKMeansResult> RunKMeans(
-      la::ConstMatrixView x, ml::KMeansOptions options) const;
+      la::ConstMatrixView x, ml::KMeansOptions options,
+      const exec::MappedRegion& data = exec::MappedRegion()) const;
 
   /// The partitioning the cluster would use for an n-row dataset of
   /// `row_bytes`-byte rows (exposed for tests and benches).

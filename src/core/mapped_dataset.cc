@@ -89,7 +89,8 @@ exec::ChunkPipeline& MappedDataset::pipeline() {
 exec::ChunkSchedule MappedDataset::MakeScanSchedule(size_t num_chunks) const {
   return exec::ChunkSchedule::Make(options_.scan_order, num_chunks,
                                    options_.scan_seed + scan_passes_,
-                                   options_.scan_stride);
+                                   options_.scan_stride,
+                                   options_.scan_stride_offset);
 }
 
 void MappedDataset::ForEachChunk(const exec::ChunkFn& fn) {

@@ -64,6 +64,11 @@ struct M3Options {
 
   /// Stride for kStrided dataset scans; 0 or 1 degenerates to sequential.
   uint64_t scan_stride = 0;
+
+  /// Lane a kStrided scan starts at (offset % scan_stride): shard id when
+  /// interleaved consumers each scan their own residue class first — the
+  /// cluster simulator uses stride = instance count, offset = instance id.
+  uint64_t scan_stride_offset = 0;
 };
 
 }  // namespace m3

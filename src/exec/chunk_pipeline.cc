@@ -18,12 +18,25 @@ ChunkPipeline::ChunkPipeline(MappedRegion region, PipelineOptions options)
     : region_(region), options_(options) {
   if (region_.mapping != nullptr) {
     M3_CHECK(region_.row_bytes > 0, "row_bytes must be positive");
-    // One thread keeps prefetches completing in issue order, which makes
-    // prefetched_through_ a plain high-water mark.
-    io_pool_ = std::make_unique<util::ThreadPool>(1);
+    if (options_.shared_io_pool != nullptr) {
+      M3_CHECK(options_.shared_io_pool->num_threads() == 1,
+               "shared_io_pool must be single-threaded (prefetch FIFO)");
+      io_pool_ = options_.shared_io_pool;
+    } else {
+      // One thread keeps prefetches completing in issue order, which makes
+      // prefetched_through_ a plain high-water mark.
+      owned_io_pool_ = std::make_unique<util::ThreadPool>(1);
+      io_pool_ = owned_io_pool_.get();
+    }
   }
   if (options_.num_workers >= 2) {
-    compute_pool_ = std::make_unique<util::ThreadPool>(options_.num_workers);
+    if (options_.shared_compute_pool != nullptr) {
+      compute_pool_ = options_.shared_compute_pool;
+    } else {
+      owned_compute_pool_ =
+          std::make_unique<util::ThreadPool>(options_.num_workers);
+      compute_pool_ = owned_compute_pool_.get();
+    }
   }
 }
 
@@ -79,9 +92,11 @@ void ChunkPipeline::RunMapStage(const ScheduledChunkFn& map, size_t position,
                                 size_t chunk, size_t row_begin,
                                 size_t row_end) {
   // Warm-up positions are dispatched right after their prefetch is issued,
-  // so losing that race says nothing about the disk; skip classifying them.
-  const bool racing = bound() && options_.readahead_chunks > 0 &&
-                      position >= stall_classify_from_;
+  // so losing that race says nothing about the disk; count them as
+  // unclassified instead so every prefetched chunk is accounted once:
+  // prefetches == prefetch_hits + stalls + prefetch_unclassified.
+  const bool prefetching = bound() && options_.readahead_chunks > 0;
+  const bool racing = prefetching && position >= stall_classify_from_;
   bool hit = false;
   if (racing) {
     hit = prefetched_through_.load(std::memory_order_acquire) > position;
@@ -97,6 +112,8 @@ void ChunkPipeline::RunMapStage(const ScheduledChunkFn& map, size_t position,
     } else {
       ++stats_.stalls;
     }
+  } else if (prefetching) {
+    ++stats_.prefetch_unclassified;
   }
 }
 

@@ -61,6 +61,15 @@ struct PipelineOptions {
   /// Run evictions inline at retire instead of on the background stage.
   /// Deterministic residency for tests; slightly less overlap.
   bool synchronous_eviction = false;
+
+  /// Not-owned pools shared between pipelines that never run passes
+  /// concurrently (e.g. the cluster simulator's per-partition pipelines,
+  /// which a job drives one at a time): instead of every pipeline spawning
+  /// its own threads, they borrow these. `shared_io_pool` must be
+  /// single-threaded (prefetch completion order must match issue order).
+  /// Null means the pipeline creates and owns its pools as needed.
+  util::ThreadPool* shared_io_pool = nullptr;
+  util::ThreadPool* shared_compute_pool = nullptr;
 };
 
 /// Chunk functor: (chunk_index, row_begin, row_end).
@@ -168,13 +177,16 @@ class ChunkPipeline {
 
   MappedRegion region_;
   PipelineOptions options_;
+  /// Pools owned by this pipeline (empty when the options share pools).
+  std::unique_ptr<util::ThreadPool> owned_io_pool_;
+  std::unique_ptr<util::ThreadPool> owned_compute_pool_;
   /// One background thread shared by the prefetch and evict stages; FIFO
   /// order means prefetches complete in issue order.
-  std::unique_ptr<util::ThreadPool> io_pool_;
+  util::ThreadPool* io_pool_ = nullptr;
   /// Compute fan-out pool (only when num_workers >= 2). Deliberately
   /// separate from util::GlobalThreadPool so chunk functors that
   /// internally ParallelFor do not deadlock against the engine.
-  std::unique_ptr<util::ThreadPool> compute_pool_;
+  util::ThreadPool* compute_pool_ = nullptr;
 
   // Per-pass cursors (driver thread only, except prefetched_through_).
   // All are in schedule-position space, not chunk-index space.

@@ -42,15 +42,21 @@ class ChunkSchedule {
   /// (num_chunks, seed) always yields the same order, on every platform.
   static ChunkSchedule Shuffled(size_t num_chunks, uint64_t seed);
 
-  /// Visits chunks 0, stride, 2*stride, ... then 1, 1+stride, ... until
-  /// every chunk is covered once. stride == 0 or 1 degenerates to
-  /// Sequential.
-  static ChunkSchedule Strided(size_t num_chunks, size_t stride);
+  /// Visits the lane starting at `offset % stride` first — offset,
+  /// offset+stride, ... — then the following lanes in wrapping order until
+  /// every chunk is covered once. With offset == 0 this is the classic
+  /// interleaving 0, stride, 2*stride, ..., 1, 1+stride, ...; a nonzero
+  /// offset rotates the lane order, which is how the cluster simulator
+  /// starts instance k's scan at its own shard (stride = instance count,
+  /// offset = instance id). stride == 0 or 1 degenerates to Sequential.
+  static ChunkSchedule Strided(size_t num_chunks, size_t stride,
+                               size_t offset = 0);
 
   /// Builds the order named by `order` (seed is used only for kShuffled,
-  /// stride only for kStrided).
+  /// stride/offset only for kStrided).
   static ChunkSchedule Make(ScanOrder order, size_t num_chunks,
-                            uint64_t seed = 0, size_t stride = 0);
+                            uint64_t seed = 0, size_t stride = 0,
+                            size_t offset = 0);
 
   /// Number of chunks (== positions) in the pass.
   size_t num_chunks() const { return num_chunks_; }

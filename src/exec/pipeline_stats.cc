@@ -11,6 +11,7 @@ PipelineStats& PipelineStats::operator+=(const PipelineStats& rhs) {
   prefetch_bytes += rhs.prefetch_bytes;
   prefetch_hits += rhs.prefetch_hits;
   stalls += rhs.stalls;
+  prefetch_unclassified += rhs.prefetch_unclassified;
   evictions += rhs.evictions;
   bytes_evicted += rhs.bytes_evicted;
   prefetch_seconds += rhs.prefetch_seconds;
@@ -37,6 +38,7 @@ io::ExecCounters PipelineStats::counters() const {
   out.bytes_evicted = bytes_evicted;
   out.prefetch_hits = prefetch_hits;
   out.stalls = stalls;
+  out.prefetch_unclassified = prefetch_unclassified;
   return out;
 }
 
@@ -51,13 +53,14 @@ double PipelineStats::PrefetchHitRate() const {
 std::string PipelineStats::ToString() const {
   return util::StrFormat(
       "passes=%llu chunks=%llu prefetch=%llu (%s, hit %.0f%%) stalls=%llu "
-      "evict=%llu (%s) stage s: drive=%.3f compute=%.3f retire=%.3f "
-      "prefetch=%.3f evict=%.3f",
+      "warmup=%llu evict=%llu (%s) stage s: drive=%.3f compute=%.3f "
+      "retire=%.3f prefetch=%.3f evict=%.3f",
       static_cast<unsigned long long>(passes),
       static_cast<unsigned long long>(chunks),
       static_cast<unsigned long long>(prefetches),
       util::HumanBytes(prefetch_bytes).c_str(), PrefetchHitRate() * 100.0,
       static_cast<unsigned long long>(stalls),
+      static_cast<unsigned long long>(prefetch_unclassified),
       static_cast<unsigned long long>(evictions),
       util::HumanBytes(bytes_evicted).c_str(), drive_seconds, compute_seconds,
       retire_seconds, prefetch_seconds, evict_seconds);

@@ -32,6 +32,13 @@ struct PipelineStats {
   /// and the retire that touches the pages is a hit counted as a stall.
   /// Judge such scans on the serial (num_workers <= 1) configuration.
   uint64_t stalls = 0;
+  /// Chunks excluded from the hit/stall race because their prefetch was
+  /// issued with no compute lead time (pass warm-up: the first
+  /// readahead_chunks positions, widened to the in-flight window under
+  /// worker fan-out). After any complete pass of a bound pipeline with
+  /// readahead enabled, every prefetched chunk is accounted exactly once:
+  ///   prefetches == prefetch_hits + stalls + prefetch_unclassified.
+  uint64_t prefetch_unclassified = 0;
   uint64_t evictions = 0;       ///< Evict (DONTNEED) ranges issued
   uint64_t bytes_evicted = 0;   ///< bytes covered by issued evictions
 

@@ -75,13 +75,14 @@ ExecCounters ExecCounters::operator-(const ExecCounters& rhs) const {
   out.bytes_evicted = bytes_evicted - rhs.bytes_evicted;
   out.prefetch_hits = prefetch_hits - rhs.prefetch_hits;
   out.stalls = stalls - rhs.stalls;
+  out.prefetch_unclassified = prefetch_unclassified - rhs.prefetch_unclassified;
   return out;
 }
 
 std::string ExecCounters::ToString() const {
   return util::StrFormat(
       "passes=%llu chunks=%llu prefetches=%llu (%s) evictions=%llu (%s) "
-      "hits=%llu stalls=%llu",
+      "hits=%llu stalls=%llu warmup=%llu",
       static_cast<unsigned long long>(passes),
       static_cast<unsigned long long>(chunks),
       static_cast<unsigned long long>(prefetches),
@@ -89,7 +90,8 @@ std::string ExecCounters::ToString() const {
       static_cast<unsigned long long>(evictions),
       util::HumanBytes(bytes_evicted).c_str(),
       static_cast<unsigned long long>(prefetch_hits),
-      static_cast<unsigned long long>(stalls));
+      static_cast<unsigned long long>(stalls),
+      static_cast<unsigned long long>(prefetch_unclassified));
 }
 
 namespace {
@@ -117,6 +119,7 @@ void AddExecCounters(const ExecCounters& delta) {
   total.bytes_evicted += delta.bytes_evicted;
   total.prefetch_hits += delta.prefetch_hits;
   total.stalls += delta.stalls;
+  total.prefetch_unclassified += delta.prefetch_unclassified;
 }
 
 ExecCounters GlobalExecCounters() {

@@ -46,6 +46,10 @@ struct ExecCounters {
   uint64_t bytes_evicted = 0;
   uint64_t prefetch_hits = 0;
   uint64_t stalls = 0;
+  /// Chunks whose prefetch race was not classified (pass warm-up). For any
+  /// complete pass, prefetches == prefetch_hits + stalls +
+  /// prefetch_unclassified.
+  uint64_t prefetch_unclassified = 0;
 
   ExecCounters operator-(const ExecCounters& rhs) const;
   std::string ToString() const;

@@ -1,0 +1,56 @@
+#include "util/json.h"
+
+#include <cmath>
+
+#include "util/format.h"
+#include "util/status.h"
+
+namespace m3::util {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(
+                                          static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Result<std::string> JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument(
+        StrFormat("non-finite value %f is not representable in JSON", value));
+  }
+  return StrFormat("%.6f", value);
+}
+
+}  // namespace m3::util

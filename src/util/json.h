@@ -1,0 +1,27 @@
+#ifndef M3_UTIL_JSON_H_
+#define M3_UTIL_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace m3::util {
+
+/// \brief Escapes `s` as the contents of a JSON string literal.
+///
+/// Quotes, backslashes, and control characters (U+0000..U+001F) become
+/// escape sequences; everything else (including multi-byte UTF-8) passes
+/// through unchanged. The result does NOT include the surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
+/// \brief Renders a finite double as a JSON number.
+///
+/// JSON has no NaN or Infinity; a reporter that interpolates them silently
+/// produces a file no parser accepts, so they are rejected here with
+/// InvalidArgument instead of discovered later in CI.
+Result<std::string> JsonNumber(double value);
+
+}  // namespace m3::util
+
+#endif  // M3_UTIL_JSON_H_

@@ -233,6 +233,40 @@ TEST(SparkClusterTest, RejectsInvalidInputs) {
       SparkCluster(broken).RunLogisticRegression(x, y, 0.0, lbfgs).ok());
 }
 
+TEST(JobStatsTest, AccumulateMergesMeasuredInstanceStats) {
+  JobStats total, job;
+  job.instance_exec.resize(2);
+  job.instance_exec[0].cached.prefetch_hits = 5;
+  job.instance_exec[1].spilled.stalls = 2;
+  job.instance_exec[1].spill_refaults = 3;
+  job.instance_exec[1].spill_refault_bytes = 4096;
+  total.Accumulate(job);
+  total.Accumulate(job);
+  ASSERT_EQ(total.instance_exec.size(), 2u);
+  EXPECT_EQ(total.instance_exec[0].cached.prefetch_hits, 10u);
+  EXPECT_EQ(total.instance_exec[1].spilled.stalls, 4u);
+  EXPECT_EQ(total.instance_exec[1].spill_refaults, 6u);
+  EXPECT_EQ(total.instance_exec[1].spill_refault_bytes, 8192u);
+  // Jobs without measured stats merge in without disturbing them.
+  JobStats plain;
+  plain.jobs = 1;
+  total.Accumulate(plain);
+  EXPECT_EQ(total.instance_exec.size(), 2u);
+  EXPECT_NE(total.ToString().find("refaults=6"), std::string::npos);
+}
+
+TEST(PartitionHelpersTest, InstanceRowsAndSpillCounts) {
+  auto partitions = MakePartitions(100, 10, 2, 50);
+  EXPECT_EQ(InstanceRows(partitions, 0) + InstanceRows(partitions, 1), 100u);
+  EXPECT_EQ(CountSpilled(partitions), 5u);
+  // Partitions 0..4 are cached (10 rows each), alternating instances.
+  EXPECT_EQ(InstanceRows(partitions, 0, /*cached_only=*/true), 30u);
+  EXPECT_EQ(InstanceRows(partitions, 1, /*cached_only=*/true), 20u);
+  const Partition& p = partitions[3];
+  EXPECT_EQ(p.byte_begin(8), p.row_begin * 8u);
+  EXPECT_EQ(p.byte_size(8), p.rows() * 8u);
+}
+
 TEST(JobStatsTest, AccumulateSums) {
   JobStats a, b;
   a.simulated_seconds = 1;

@@ -175,6 +175,26 @@ TEST_F(MappedDatasetTest, ShuffledScanOrderVisitsEveryChunkOnce) {
   }
 }
 
+TEST_F(MappedDatasetTest, StridedScanHonorsStrideAndOffset) {
+  const std::string path = MakeDataset("strided.m3", 1024, 8);
+  M3Options options;
+  options.chunk_rows = 64;  // 16 chunks
+  options.scan_order = exec::ScanOrder::kStrided;
+  options.scan_stride = 4;
+  options.scan_stride_offset = 2;  // shard 2 of 4 scans its lane first
+  auto dataset = MappedDataset::Open(path, options).ValueOrDie();
+
+  std::vector<size_t> chunks;
+  dataset.ForEachChunk(
+      [&](size_t chunk, size_t, size_t) { chunks.push_back(chunk); });
+  ASSERT_EQ(chunks.size(), 16u);
+  const exec::ChunkSchedule expected = exec::ChunkSchedule::Strided(16, 4, 2);
+  for (size_t p = 0; p < 16; ++p) {
+    EXPECT_EQ(chunks[p], expected.At(p)) << "position " << p;
+  }
+  EXPECT_EQ(chunks[0], 2u);  // the offset lane leads
+}
+
 TEST_F(MappedDatasetTest, ShuffledScanWithBudgetEvictsEngineSide) {
   const std::string path = MakeDataset("shufbudget.m3", 1024, 8);
   const uint64_t row_bytes = 8 * sizeof(double);

@@ -1,0 +1,239 @@
+// The prefetch accounting invariant: every chunk a bound pipeline
+// prefetches is classified exactly once — as a hit (prefetch landed before
+// compute), a stall (compute got there first), or unclassified (pass
+// warm-up, where the race has no meaning). So after any complete pass,
+// regardless of schedule kind or worker fan-out:
+//
+//   prefetches == prefetch_hits + stalls + prefetch_unclassified
+//
+// This is what lets the cluster simulator (and benches) treat the three
+// counters as a partition of the prefetched chunks instead of a sample.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "exec/chunk_pipeline.h"
+#include "exec/chunk_schedule.h"
+#include "io/file.h"
+#include "io/io_stats.h"
+#include "la/chunker.h"
+
+namespace m3::exec {
+namespace {
+
+class CounterInvariantTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/m3_counter_test_" +
+           std::to_string(::getpid());
+    ASSERT_TRUE(io::MakeDirs(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  io::MemoryMappedFile MakeMapped(size_t rows, size_t row_doubles) {
+    const std::string path = dir_ + "/data.bin";
+    std::vector<double> values(rows * row_doubles);
+    std::iota(values.begin(), values.end(), 0.0);
+    std::string bytes(reinterpret_cast<const char*>(values.data()),
+                      values.size() * sizeof(double));
+    EXPECT_TRUE(io::WriteStringToFile(path, bytes).ok());
+    return io::MemoryMappedFile::Map(path).ValueOrDie();
+  }
+
+  std::string dir_;
+};
+
+void ExpectInvariant(const PipelineStats& stats) {
+  EXPECT_EQ(stats.prefetches,
+            stats.prefetch_hits + stats.stalls + stats.prefetch_unclassified)
+      << "hits=" << stats.prefetch_hits << " stalls=" << stats.stalls
+      << " unclassified=" << stats.prefetch_unclassified;
+}
+
+ChunkSchedule MakeKind(ScanOrder order, size_t num_chunks) {
+  switch (order) {
+    case ScanOrder::kShuffled:
+      return ChunkSchedule::Shuffled(num_chunks, 17);
+    case ScanOrder::kStrided:
+      return ChunkSchedule::Strided(num_chunks, 3, /*offset=*/1);
+    case ScanOrder::kSequential:
+      break;
+  }
+  return ChunkSchedule::Sequential(num_chunks);
+}
+
+TEST_F(CounterInvariantTest, HoldsPerScheduleKindSerial) {
+  const size_t kRows = 2048, kCols = 32;
+  io::MemoryMappedFile mapped = MakeMapped(kRows, kCols);
+  for (const ScanOrder order : {ScanOrder::kSequential, ScanOrder::kShuffled,
+                                ScanOrder::kStrided}) {
+    PipelineOptions options;
+    options.readahead_chunks = 2;
+    ChunkPipeline pipeline({&mapped, 0, kCols * sizeof(double)}, options);
+    la::RowChunker chunker(kRows, 128);
+    volatile double sink = 0;
+    pipeline.Run(chunker, MakeKind(order, chunker.NumChunks()),
+                 [&](size_t, size_t, size_t begin, size_t end) {
+                   const double* data = mapped.As<const double>();
+                   double sum = 0;
+                   for (size_t r = begin; r < end; ++r) {
+                     sum += data[r * kCols];
+                   }
+                   sink = sink + sum;
+                 });
+    const PipelineStats stats = pipeline.stats();
+    EXPECT_EQ(stats.prefetches, chunker.NumChunks()) << ToString(order);
+    ExpectInvariant(stats);
+  }
+}
+
+TEST_F(CounterInvariantTest, HoldsUnderWorkerFanOutAndAcrossPasses) {
+  const size_t kRows = 2048, kCols = 32;
+  io::MemoryMappedFile mapped = MakeMapped(kRows, kCols);
+  for (const size_t workers : {size_t{0}, size_t{2}, size_t{4}}) {
+    PipelineOptions options;
+    options.readahead_chunks = 3;
+    options.num_workers = workers;
+    options.ram_budget_bytes = kRows * kCols * sizeof(double) / 4;
+    ChunkPipeline pipeline({&mapped, 0, kCols * sizeof(double)}, options);
+    la::RowChunker chunker(kRows, 64);
+    for (size_t pass = 0; pass < 3; ++pass) {
+      pipeline.Run(chunker,
+                   ChunkSchedule::Shuffled(chunker.NumChunks(), 100 + pass),
+                   [](size_t, size_t, size_t, size_t) {});
+    }
+    const PipelineStats stats = pipeline.stats();
+    EXPECT_EQ(stats.prefetches, 3 * chunker.NumChunks());
+    ExpectInvariant(stats);
+  }
+}
+
+TEST_F(CounterInvariantTest, TinyPassIsAllWarmup) {
+  // Fewer chunks than the readahead window: every position is dispatched
+  // with no compute lead time, so nothing is classified — but nothing is
+  // lost either.
+  const size_t kRows = 64, kCols = 8;
+  io::MemoryMappedFile mapped = MakeMapped(kRows, kCols);
+  PipelineOptions options;
+  options.readahead_chunks = 8;
+  ChunkPipeline pipeline({&mapped, 0, kCols * sizeof(double)}, options);
+  la::RowChunker chunker(kRows, 32);  // 2 chunks < 8 readahead
+  pipeline.Run(chunker, [](size_t, size_t, size_t) {});
+  const PipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.prefetches, chunker.NumChunks());
+  EXPECT_EQ(stats.prefetch_hits + stats.stalls, 0u);
+  EXPECT_EQ(stats.prefetch_unclassified, chunker.NumChunks());
+  ExpectInvariant(stats);
+}
+
+TEST_F(CounterInvariantTest, UnboundOrNoReadaheadCountsNothing) {
+  ChunkPipeline unbound;
+  la::RowChunker chunker(100, 10);
+  unbound.Run(chunker, [](size_t, size_t, size_t) {});
+  EXPECT_EQ(unbound.stats().prefetches, 0u);
+  EXPECT_EQ(unbound.stats().prefetch_unclassified, 0u);
+
+  const size_t kCols = 8;
+  io::MemoryMappedFile mapped = MakeMapped(100, kCols);
+  PipelineOptions options;
+  options.readahead_chunks = 0;
+  ChunkPipeline pipeline({&mapped, 0, kCols * sizeof(double)}, options);
+  pipeline.Run(chunker, [](size_t, size_t, size_t) {});
+  const PipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.prefetches, 0u);
+  EXPECT_EQ(stats.prefetch_hits + stats.stalls + stats.prefetch_unclassified,
+            0u);
+}
+
+TEST(ExecCounterArithmeticTest, UnclassifiedFlowsThroughConversions) {
+  PipelineStats a;
+  a.prefetches = 10;
+  a.prefetch_hits = 6;
+  a.stalls = 1;
+  a.prefetch_unclassified = 3;
+  PipelineStats b = a + a;
+  EXPECT_EQ(b.prefetch_unclassified, 6u);
+  const io::ExecCounters counters = b.counters();
+  EXPECT_EQ(counters.prefetch_unclassified, 6u);
+  const io::ExecCounters delta = counters - a.counters();
+  EXPECT_EQ(delta.prefetch_unclassified, 3u);
+  EXPECT_NE(counters.ToString().find("warmup=6"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Strided schedules with a lane offset (the cluster's shard order)
+// ---------------------------------------------------------------------------
+
+TEST(StridedOffsetTest, OffsetRotatesLaneOrder) {
+  // 7 chunks, stride 3: lanes are {0,3,6}, {1,4}, {2,5}. Offset 1 starts
+  // at lane 1, then continues through lane 2 and wraps to lane 0.
+  const ChunkSchedule schedule = ChunkSchedule::Strided(7, 3, 1);
+  const std::vector<size_t> expected = {1, 4, 2, 5, 0, 3, 6};
+  ASSERT_EQ(schedule.num_chunks(), 7u);
+  for (size_t p = 0; p < expected.size(); ++p) {
+    EXPECT_EQ(schedule.At(p), expected[p]) << "position " << p;
+  }
+}
+
+TEST(StridedOffsetTest, OffsetIsAPermutationAndModuloStride) {
+  const ChunkSchedule a = ChunkSchedule::Strided(10, 4, 2);
+  const ChunkSchedule b = ChunkSchedule::Strided(10, 4, 6);  // 6 % 4 == 2
+  std::set<size_t> seen;
+  for (size_t p = 0; p < 10; ++p) {
+    EXPECT_TRUE(seen.insert(a.At(p)).second);
+    EXPECT_EQ(a.At(p), b.At(p)) << "position " << p;
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(StridedOffsetTest, ZeroOffsetMatchesLegacyOrder) {
+  const ChunkSchedule legacy = ChunkSchedule::Strided(9, 4);
+  const ChunkSchedule explicit_zero = ChunkSchedule::Strided(9, 4, 0);
+  for (size_t p = 0; p < 9; ++p) {
+    EXPECT_EQ(legacy.At(p), explicit_zero.At(p));
+  }
+  // Wide stride with offset 0 keeps the sequential fast path; a nonzero
+  // offset is a genuine rotation and must not collapse.
+  EXPECT_TRUE(ChunkSchedule::Strided(4, 100, 0).is_sequential());
+  const ChunkSchedule rotated = ChunkSchedule::Strided(4, 100, 2);
+  EXPECT_FALSE(rotated.is_sequential());
+  EXPECT_EQ(rotated.At(0), 2u);
+  EXPECT_EQ(rotated.At(1), 3u);
+  EXPECT_EQ(rotated.At(2), 0u);
+  EXPECT_EQ(rotated.At(3), 1u);
+}
+
+TEST(StridedOffsetTest, HugeStrideIsCheapAndRotates) {
+  // The lane walk is bounded by the chunk count, not the stride — a
+  // pathological stride must neither hang nor allocate per lane.
+  const ChunkSchedule rotated =
+      ChunkSchedule::Strided(4, size_t{1} << 40, 1);
+  ASSERT_EQ(rotated.num_chunks(), 4u);
+  EXPECT_EQ(rotated.At(0), 1u);
+  EXPECT_EQ(rotated.At(1), 2u);
+  EXPECT_EQ(rotated.At(2), 3u);
+  EXPECT_EQ(rotated.At(3), 0u);
+  // An offset landing beyond the populated lanes wraps through the empty
+  // ones straight to lane 0 — the identity, kept on the fast path.
+  EXPECT_TRUE(ChunkSchedule::Strided(4, size_t{1} << 40, 10).is_sequential());
+}
+
+TEST(StridedOffsetTest, MakeForwardsOffset) {
+  const ChunkSchedule made =
+      ChunkSchedule::Make(ScanOrder::kStrided, 7, /*seed=*/0, /*stride=*/3,
+                          /*offset=*/1);
+  const ChunkSchedule direct = ChunkSchedule::Strided(7, 3, 1);
+  for (size_t p = 0; p < 7; ++p) {
+    EXPECT_EQ(made.At(p), direct.At(p));
+  }
+}
+
+}  // namespace
+}  // namespace m3::exec
