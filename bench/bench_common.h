@@ -100,7 +100,9 @@ class JsonReporter {
         "{\"passes\": %llu, \"chunks\": %llu, \"prefetches\": %llu, "
         "\"prefetch_bytes\": %llu, \"evictions\": %llu, "
         "\"bytes_evicted\": %llu, \"prefetch_hits\": %llu, "
-        "\"stalls\": %llu, \"prefetch_unclassified\": %llu}",
+        "\"stalls\": %llu, \"prefetch_unclassified\": %llu, "
+        "\"backend_submits\": %llu, \"backend_completions\": %llu, "
+        "\"backend_fallbacks\": %llu}",
         util::JsonEscape(case_name).c_str(), number.value().c_str(),
         static_cast<unsigned long long>(exec.passes),
         static_cast<unsigned long long>(exec.chunks),
@@ -110,7 +112,10 @@ class JsonReporter {
         static_cast<unsigned long long>(exec.bytes_evicted),
         static_cast<unsigned long long>(exec.prefetch_hits),
         static_cast<unsigned long long>(exec.stalls),
-        static_cast<unsigned long long>(exec.prefetch_unclassified));
+        static_cast<unsigned long long>(exec.prefetch_unclassified),
+        static_cast<unsigned long long>(exec.backend_submits),
+        static_cast<unsigned long long>(exec.backend_completions),
+        static_cast<unsigned long long>(exec.backend_fallbacks));
     for (const auto& [key, value] : extra) {
       body += util::StrFormat(", \"%s\": %llu",
                               util::JsonEscape(key).c_str(),

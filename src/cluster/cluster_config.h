@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exec/pipeline_stats.h"
+#include "io/prefetch_backend.h"
 #include "util/status.h"
 
 namespace m3::cluster {
@@ -48,6 +49,12 @@ struct ClusterExecOptions {
   /// (`instance_ram_bytes * cache_fraction`), which keeps the measured
   /// residency regime consistent with the cached/spilled flags.
   uint64_t instance_ram_budget_bytes = 0;
+
+  /// Prefetch backend every partition pipeline drives (one shared
+  /// io::PrefetchBackend per run — partitions scan one at a time, so a
+  /// shared backend only pools descriptors/buffers, like the shared
+  /// thread pools). Results stay bitwise identical under every backend.
+  io::PrefetchBackendKind prefetch_backend = io::PrefetchBackendKind::kMadvise;
 };
 
 /// \brief Parameters of the simulated Spark cluster.

@@ -23,6 +23,11 @@ PartitionExecutor::PartitionExecutor(std::vector<Partition> partitions,
   if (pipelined()) {
     if (bound()) {
       io_pool_ = std::make_unique<util::ThreadPool>(1);
+      // kAuto probes against the dataset mapping the partitions will
+      // actually fault from; the verdict is cached process-wide.
+      prefetch_backend_ = io::MakePrefetchBackend(
+          config_.exec.prefetch_backend, io::PrefetchBackendOptions(),
+          data_.mapping);
     }
     if (config_.exec.pipeline_workers >= 2) {
       compute_pool_ =
@@ -90,6 +95,7 @@ exec::ChunkPipeline* PartitionExecutor::PreparePartition(size_t index,
     options.num_workers = config_.exec.pipeline_workers;
     options.shared_io_pool = io_pool_.get();
     options.shared_compute_pool = compute_pool_.get();
+    options.shared_prefetch_backend = prefetch_backend_.get();
     options.ram_budget_bytes = bound() ? BudgetFor(partition) : 0;
     // The instance interleaves many small partition scans; kernel-level
     // sequential readahead would race past the partition boundary, so let

@@ -10,6 +10,7 @@
 #include "exec/chunk_map_reduce.h"
 #include "exec/chunk_pipeline.h"
 #include "exec/chunk_schedule.h"
+#include "io/prefetch_backend.h"
 #include "la/chunker.h"
 #include "util/thread_pool.h"
 
@@ -124,6 +125,9 @@ class PartitionExecutor {
   /// (partitions x workers of them) without adding parallelism.
   std::unique_ptr<util::ThreadPool> io_pool_;
   std::unique_ptr<util::ThreadPool> compute_pool_;
+  /// One prefetch backend shared by every partition pipeline, for the same
+  /// reason (ClusterExecOptions::prefetch_backend picks the kind).
+  std::unique_ptr<io::PrefetchBackend> prefetch_backend_;
   std::vector<std::unique_ptr<exec::ChunkPipeline>> pipelines_;
 };
 

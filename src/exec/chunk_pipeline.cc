@@ -18,6 +18,14 @@ ChunkPipeline::ChunkPipeline(MappedRegion region, PipelineOptions options)
     : region_(region), options_(options) {
   if (region_.mapping != nullptr) {
     M3_CHECK(region_.row_bytes > 0, "row_bytes must be positive");
+    if (options_.shared_prefetch_backend != nullptr) {
+      backend_ = options_.shared_prefetch_backend;
+    } else {
+      owned_backend_ = io::MakePrefetchBackend(
+          options_.prefetch_backend, options_.prefetch_backend_options,
+          region_.mapping);
+      backend_ = owned_backend_.get();
+    }
     if (options_.shared_io_pool != nullptr) {
       M3_CHECK(options_.shared_io_pool->num_threads() == 1,
                "shared_io_pool must be single-threaded (prefetch FIFO)");
@@ -75,14 +83,21 @@ void ChunkPipeline::RequestPrefetchThrough(const la::RowChunker& chunker,
     const io::MemoryMappedFile* mapping = region_.mapping;
     io_pool_->Submit([this, mapping, offset, length, pos] {
       util::Stopwatch watch;
-      // Best effort: a failed WILLNEED only loses overlap, never data.
-      mapping->Prefetch(offset, length).IgnoreError();
+      // Best effort: a failed prefetch only loses overlap, never data.
+      io::PrefetchOutcome outcome;
+      if (auto result = backend_->Prefetch(*mapping, offset, length);
+          result.ok()) {
+        outcome = result.value();
+      }
       const double elapsed = watch.ElapsedSeconds();
       prefetched_through_.store(pos + 1, std::memory_order_release);
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.prefetches;
       stats_.prefetch_bytes += length;
       stats_.prefetch_seconds += elapsed;
+      stats_.backend_submits += outcome.submits;
+      stats_.backend_completions += outcome.completions;
+      stats_.backend_fallbacks += outcome.fallbacks;
     });
   }
   prefetch_goal_ = std::max(prefetch_goal_, goal);

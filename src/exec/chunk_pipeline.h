@@ -1,6 +1,32 @@
 #ifndef M3_EXEC_CHUNK_PIPELINE_H_
 #define M3_EXEC_CHUNK_PIPELINE_H_
 
+/// \file
+/// \brief The engine's pass driver: prefetch -> compute -> retire -> evict.
+///
+/// Stage lifecycle of one Run() pass over a RowChunker + ChunkSchedule:
+///   1. prefetch — a single background I/O thread walks the schedule
+///      `readahead_chunks` positions ahead of compute and hands each
+///      chunk's byte range to the configured io::PrefetchBackend
+///      (madvise/pread/io_uring; see io/prefetch_backend.h).
+///   2. map — the chunk functor. Runs on the driving thread
+///      (num_workers <= 1) or on an internal worker pool with up to
+///      2*num_workers chunks in flight, in any order.
+///   3. retire — always the driving thread, in ascending schedule-position
+///      order. The in-order barrier that makes reductions (and SGD weight
+///      updates) bitwise identical at any worker count and any backend.
+///   4. evict — retired chunks join a trailing residency window; the
+///      oldest-visited ranges beyond `ram_budget_bytes` are dropped
+///      (madvise DONTNEED + fadvise) on the I/O thread (or inline with
+///      `synchronous_eviction`).
+///
+/// Thread-safety: Run() is not reentrant — one pass at a time per
+/// pipeline. `map` must be thread-safe across chunks iff num_workers >= 2;
+/// `retire` never needs to be. stats()/ConsumeStats() are safe from any
+/// thread. The prefetch backend is only ever driven from the (single) I/O
+/// thread; pipelines sharing pools/backends (cluster simulator) must not
+/// run passes concurrently.
+
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -12,6 +38,7 @@
 #include "exec/chunk_schedule.h"
 #include "exec/pipeline_stats.h"
 #include "io/mmap_file.h"
+#include "io/prefetch_backend.h"
 #include "la/chunker.h"
 #include "util/thread_pool.h"
 
@@ -61,6 +88,23 @@ struct PipelineOptions {
   /// Run evictions inline at retire instead of on the background stage.
   /// Deterministic residency for tests; slightly less overlap.
   bool synchronous_eviction = false;
+
+  /// Which io::PrefetchBackend the prefetch stage drives: kMadvise issues
+  /// MADV_WILLNEED (the default), kPread warms the page cache with
+  /// pread(2) reads, kUring batches io_uring READs (falling back to pread
+  /// when unavailable), kAuto probes WILLNEED efficacy on the bound
+  /// mapping once per process and picks the fastest working path. Results
+  /// are bitwise identical under every backend — only overlap changes.
+  io::PrefetchBackendKind prefetch_backend = io::PrefetchBackendKind::kMadvise;
+
+  /// Knobs for the created backend (block size, pread fan-out, uring
+  /// queue depth). Ignored when `shared_prefetch_backend` is set.
+  io::PrefetchBackendOptions prefetch_backend_options;
+
+  /// Not-owned backend shared between pipelines that never run passes
+  /// concurrently (cluster simulator), like the shared pools below. Null
+  /// means the pipeline creates and owns one from `prefetch_backend`.
+  io::PrefetchBackend* shared_prefetch_backend = nullptr;
 
   /// Not-owned pools shared between pipelines that never run passes
   /// concurrently (e.g. the cluster simulator's per-partition pipelines,
@@ -144,6 +188,9 @@ class ChunkPipeline {
   const PipelineOptions& options() const { return options_; }
   const MappedRegion& region() const { return region_; }
 
+  /// The prefetch backend this pipeline drives, or nullptr when unbound.
+  const io::PrefetchBackend* prefetch_backend() const { return backend_; }
+
   /// Counters accumulated since construction / the last ConsumeStats().
   PipelineStats stats() const;
 
@@ -177,6 +224,10 @@ class ChunkPipeline {
 
   MappedRegion region_;
   PipelineOptions options_;
+  /// Backend owned by this pipeline (null when the options share one).
+  std::unique_ptr<io::PrefetchBackend> owned_backend_;
+  /// The prefetch stage's I/O issuer (owned or shared); null when unbound.
+  io::PrefetchBackend* backend_ = nullptr;
   /// Pools owned by this pipeline (empty when the options share pools).
   std::unique_ptr<util::ThreadPool> owned_io_pool_;
   std::unique_ptr<util::ThreadPool> owned_compute_pool_;

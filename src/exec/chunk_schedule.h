@@ -1,6 +1,22 @@
 #ifndef M3_EXEC_CHUNK_SCHEDULE_H_
 #define M3_EXEC_CHUNK_SCHEDULE_H_
 
+/// \file
+/// \brief Visit orders for pipeline passes.
+///
+/// A ChunkSchedule maps pass *positions* to RowChunker *chunk indices*:
+/// position p of a pass visits chunk At(p). Everything order-sensitive in
+/// the engine — prefetch readahead, hit/stall classification, the
+/// trailing eviction window — operates in position space, so a shuffled
+/// SGD epoch or a strided shard interleaving gets the same overlap and
+/// bounded residency as a sequential scan. Schedules are immutable value
+/// objects: construction (Fisher-Yates for Shuffled) is the only work,
+/// At() is O(1), and a given (kind, num_chunks, seed/stride/offset) tuple
+/// yields the same permutation on every platform — one half of the
+/// engine's bitwise-determinism contract (the other half is the in-order
+/// retire barrier, see chunk_pipeline.h). Thread-safety: const access
+/// from any thread; typically built per pass and shared by reference.
+
 #include <cstddef>
 #include <cstdint>
 #include <string>

@@ -14,6 +14,9 @@ PipelineStats& PipelineStats::operator+=(const PipelineStats& rhs) {
   prefetch_unclassified += rhs.prefetch_unclassified;
   evictions += rhs.evictions;
   bytes_evicted += rhs.bytes_evicted;
+  backend_submits += rhs.backend_submits;
+  backend_completions += rhs.backend_completions;
+  backend_fallbacks += rhs.backend_fallbacks;
   prefetch_seconds += rhs.prefetch_seconds;
   compute_seconds += rhs.compute_seconds;
   retire_seconds += rhs.retire_seconds;
@@ -39,6 +42,9 @@ io::ExecCounters PipelineStats::counters() const {
   out.prefetch_hits = prefetch_hits;
   out.stalls = stalls;
   out.prefetch_unclassified = prefetch_unclassified;
+  out.backend_submits = backend_submits;
+  out.backend_completions = backend_completions;
+  out.backend_fallbacks = backend_fallbacks;
   return out;
 }
 
@@ -53,7 +59,8 @@ double PipelineStats::PrefetchHitRate() const {
 std::string PipelineStats::ToString() const {
   return util::StrFormat(
       "passes=%llu chunks=%llu prefetch=%llu (%s, hit %.0f%%) stalls=%llu "
-      "warmup=%llu evict=%llu (%s) stage s: drive=%.3f compute=%.3f "
+      "warmup=%llu evict=%llu (%s) backend s/c/f=%llu/%llu/%llu "
+      "stage s: drive=%.3f compute=%.3f "
       "retire=%.3f prefetch=%.3f evict=%.3f",
       static_cast<unsigned long long>(passes),
       static_cast<unsigned long long>(chunks),
@@ -62,7 +69,11 @@ std::string PipelineStats::ToString() const {
       static_cast<unsigned long long>(stalls),
       static_cast<unsigned long long>(prefetch_unclassified),
       static_cast<unsigned long long>(evictions),
-      util::HumanBytes(bytes_evicted).c_str(), drive_seconds, compute_seconds,
+      util::HumanBytes(bytes_evicted).c_str(),
+      static_cast<unsigned long long>(backend_submits),
+      static_cast<unsigned long long>(backend_completions),
+      static_cast<unsigned long long>(backend_fallbacks),
+      drive_seconds, compute_seconds,
       retire_seconds, prefetch_seconds, evict_seconds);
 }
 

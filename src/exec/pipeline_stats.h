@@ -41,6 +41,19 @@ struct PipelineStats {
   uint64_t prefetch_unclassified = 0;
   uint64_t evictions = 0;       ///< Evict (DONTNEED) ranges issued
   uint64_t bytes_evicted = 0;   ///< bytes covered by issued evictions
+  /// \name Prefetch-backend counters (io::PrefetchBackend).
+  /// One pipeline-level prefetch fans out into >= 1 backend submits (one
+  /// madvise range, one pread block, one io_uring SQE); completions count
+  /// requests the kernel confirmed, fallbacks count requests a degraded
+  /// path served (uring -> pread, pread -> page touch). These sit beside
+  /// the hit/stall race, which is untouched: for any complete pass
+  /// prefetches == prefetch_hits + stalls + prefetch_unclassified holds
+  /// under every backend.
+  /// @{
+  uint64_t backend_submits = 0;
+  uint64_t backend_completions = 0;
+  uint64_t backend_fallbacks = 0;
+  /// @}
 
   double prefetch_seconds = 0;  ///< background time inside Prefetch calls
   double compute_seconds = 0;   ///< wall time inside chunk `map` functors

@@ -76,13 +76,16 @@ ExecCounters ExecCounters::operator-(const ExecCounters& rhs) const {
   out.prefetch_hits = prefetch_hits - rhs.prefetch_hits;
   out.stalls = stalls - rhs.stalls;
   out.prefetch_unclassified = prefetch_unclassified - rhs.prefetch_unclassified;
+  out.backend_submits = backend_submits - rhs.backend_submits;
+  out.backend_completions = backend_completions - rhs.backend_completions;
+  out.backend_fallbacks = backend_fallbacks - rhs.backend_fallbacks;
   return out;
 }
 
 std::string ExecCounters::ToString() const {
   return util::StrFormat(
       "passes=%llu chunks=%llu prefetches=%llu (%s) evictions=%llu (%s) "
-      "hits=%llu stalls=%llu warmup=%llu",
+      "hits=%llu stalls=%llu warmup=%llu backend s/c/f=%llu/%llu/%llu",
       static_cast<unsigned long long>(passes),
       static_cast<unsigned long long>(chunks),
       static_cast<unsigned long long>(prefetches),
@@ -91,7 +94,10 @@ std::string ExecCounters::ToString() const {
       util::HumanBytes(bytes_evicted).c_str(),
       static_cast<unsigned long long>(prefetch_hits),
       static_cast<unsigned long long>(stalls),
-      static_cast<unsigned long long>(prefetch_unclassified));
+      static_cast<unsigned long long>(prefetch_unclassified),
+      static_cast<unsigned long long>(backend_submits),
+      static_cast<unsigned long long>(backend_completions),
+      static_cast<unsigned long long>(backend_fallbacks));
 }
 
 namespace {
@@ -120,6 +126,9 @@ void AddExecCounters(const ExecCounters& delta) {
   total.prefetch_hits += delta.prefetch_hits;
   total.stalls += delta.stalls;
   total.prefetch_unclassified += delta.prefetch_unclassified;
+  total.backend_submits += delta.backend_submits;
+  total.backend_completions += delta.backend_completions;
+  total.backend_fallbacks += delta.backend_fallbacks;
 }
 
 ExecCounters GlobalExecCounters() {
@@ -130,6 +139,11 @@ ExecCounters GlobalExecCounters() {
 void ResetExecCounters() {
   std::lock_guard<std::mutex> lock(ExecCountersMutex());
   ExecCountersStorage() = ExecCounters();
+}
+
+void SetExecCounters(const ExecCounters& value) {
+  std::lock_guard<std::mutex> lock(ExecCountersMutex());
+  ExecCountersStorage() = value;
 }
 
 FaultCounters FaultCounters::operator-(const FaultCounters& rhs) const {

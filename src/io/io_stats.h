@@ -50,6 +50,17 @@ struct ExecCounters {
   /// complete pass, prefetches == prefetch_hits + stalls +
   /// prefetch_unclassified.
   uint64_t prefetch_unclassified = 0;
+  /// I/O requests the prefetch backend handed to the kernel (one madvise
+  /// range, one pread block, one io_uring SQE — see io/prefetch_backend.h).
+  /// Orthogonal to `prefetches`, which counts pipeline-level chunk ranges:
+  /// one prefetch fans out into >= 1 backend submits.
+  uint64_t backend_submits = 0;
+  /// Backend requests confirmed complete (pread returned, CQE reaped,
+  /// madvise succeeded). submits > completions means lost overlap.
+  uint64_t backend_completions = 0;
+  /// Backend requests served by a degraded path (uring -> pread after a
+  /// failed probe/submission, pread -> page touch for anonymous regions).
+  uint64_t backend_fallbacks = 0;
 
   ExecCounters operator-(const ExecCounters& rhs) const;
   std::string ToString() const;
@@ -64,6 +75,14 @@ ExecCounters GlobalExecCounters();
 
 /// \brief Resets the process-wide exec counters (bench preambles).
 void ResetExecCounters();
+
+/// \brief Overwrites the process-wide exec counters with `value`.
+///
+/// Exists for snapshot-and-restore around measurement plumbing that must
+/// stay invisible to benchmarks — io::ProbePrefetchEfficacy() brackets its
+/// own evictions and faulting reads with GlobalExecCounters() /
+/// SetExecCounters() so bench JSON reflects only the measured pass.
+void SetExecCounters(const ExecCounters& value);
 
 /// \brief Page-fault counters from getrusage(2).
 ///

@@ -79,6 +79,11 @@ class MemoryMappedFile {
   const void* data() const { return addr_; }
   void* mutable_data() { return addr_; }
 
+  /// The backing File — prefetch backends read through its descriptor to
+  /// warm the page cache (pread/io_uring). `!is_open()` for anonymous
+  /// mappings.
+  const File& backing_file() const { return file_; }
+
   /// Typed view of the mapping. \pre size() is a multiple of sizeof(T).
   template <typename T>
   T* As() {

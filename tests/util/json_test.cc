@@ -75,6 +75,9 @@ TEST_F(JsonReporterTest, WritesParseableJsonWithHostileNames) {
   exec.prefetch_hits = 4;
   exec.stalls = 1;
   exec.prefetch_unclassified = 2;
+  exec.backend_submits = 11;
+  exec.backend_completions = 10;
+  exec.backend_fallbacks = 5;
   reporter.Add("plain", 0.25, exec);
   reporter.Add("quote\"newline\n", 1.0, exec,
                {{"spill_refaults", 3}, {"weird\"key", 9}});
@@ -88,6 +91,9 @@ TEST_F(JsonReporterTest, WritesParseableJsonWithHostileNames) {
   EXPECT_NE(body.find("quote\\\"newline\\n"), std::string::npos);
   EXPECT_NE(body.find("\"seconds\": 0.250000"), std::string::npos);
   EXPECT_NE(body.find("\"prefetch_unclassified\": 2"), std::string::npos);
+  EXPECT_NE(body.find("\"backend_submits\": 11"), std::string::npos);
+  EXPECT_NE(body.find("\"backend_completions\": 10"), std::string::npos);
+  EXPECT_NE(body.find("\"backend_fallbacks\": 5"), std::string::npos);
   EXPECT_NE(body.find("\"spill_refaults\": 3"), std::string::npos);
   EXPECT_NE(body.find("\"weird\\\"key\": 9"), std::string::npos);
   // Structural sanity: every unescaped quote is balanced (even count), and

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in README.md and docs/*.md
+# points at a file (or file#anchor) that exists in the repo. External
+# http(s)/mailto links are skipped — CI has no business depending on the
+# network. Run from anywhere; paths resolve against the repo root.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+check_file() {
+  local md="$1"
+  local dir
+  dir="$(dirname "$md")"
+  # Pull out every (target) of a [text](target) link, tolerating several
+  # links per line. Images ![alt](target) match too, which is what we want.
+  # Fenced code blocks are stripped first: `[&](size_t x)` is a lambda,
+  # not a link.
+  awk '/^```/ { fence = !fence; next } !fence' "$md" |
+  grep -oE '\]\([^)]+\)' | sed -e 's/^](//' -e 's/)$//' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    local path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$root/$path" ]; then
+      echo "BROKEN LINK: $md -> $target"
+      # Subshell from the pipe: signal via a marker file.
+      touch "$root/.doc_link_failure"
+    fi
+  done
+}
+
+rm -f "$root/.doc_link_failure"
+for md in "$root"/README.md "$root"/docs/*.md; do
+  [ -e "$md" ] || continue
+  check_file "$md"
+done
+
+if [ -e "$root/.doc_link_failure" ]; then
+  rm -f "$root/.doc_link_failure"
+  echo "doc link check FAILED"
+  exit 1
+fi
+echo "doc link check OK"
