@@ -81,12 +81,16 @@ class JsonReporter {
       : bench_name_(std::move(bench_name)) {}
 
   /// Records one measured configuration. Case names are escaped, so any
-  /// string is safe; `extra` appends bench-specific integer fields to the
-  /// case object. A non-finite `seconds` poisons the reporter: Write()
-  /// refuses to emit an unparseable file and returns the error instead.
+  /// string is safe; `extra` appends bench-specific integer fields and
+  /// `extra_doubles` real-valued ones (fit residuals, calibrated
+  /// constants) to the case object. A non-finite `seconds` or extra
+  /// double poisons the reporter: Write() refuses to emit an unparseable
+  /// file and returns the error instead.
   void Add(const std::string& case_name, double seconds,
            const io::ExecCounters& exec,
-           const std::vector<std::pair<std::string, uint64_t>>& extra = {}) {
+           const std::vector<std::pair<std::string, uint64_t>>& extra = {},
+           const std::vector<std::pair<std::string, double>>& extra_doubles =
+               {}) {
     auto number = util::JsonNumber(seconds);
     if (!number.ok()) {
       if (first_error_.ok()) {
@@ -100,7 +104,8 @@ class JsonReporter {
         "{\"passes\": %llu, \"chunks\": %llu, \"prefetches\": %llu, "
         "\"prefetch_bytes\": %llu, \"evictions\": %llu, "
         "\"bytes_evicted\": %llu, \"prefetch_hits\": %llu, "
-        "\"stalls\": %llu, \"prefetch_unclassified\": %llu, "
+        "\"stalls\": %llu, \"stall_bytes\": %llu, "
+        "\"prefetch_unclassified\": %llu, "
         "\"backend_submits\": %llu, \"backend_completions\": %llu, "
         "\"backend_fallbacks\": %llu}",
         util::JsonEscape(case_name).c_str(), number.value().c_str(),
@@ -112,6 +117,7 @@ class JsonReporter {
         static_cast<unsigned long long>(exec.bytes_evicted),
         static_cast<unsigned long long>(exec.prefetch_hits),
         static_cast<unsigned long long>(exec.stalls),
+        static_cast<unsigned long long>(exec.stall_bytes),
         static_cast<unsigned long long>(exec.prefetch_unclassified),
         static_cast<unsigned long long>(exec.backend_submits),
         static_cast<unsigned long long>(exec.backend_completions),
@@ -120,6 +126,19 @@ class JsonReporter {
       body += util::StrFormat(", \"%s\": %llu",
                               util::JsonEscape(key).c_str(),
                               static_cast<unsigned long long>(value));
+    }
+    for (const auto& [key, value] : extra_doubles) {
+      auto rendered = util::JsonNumber(value);
+      if (!rendered.ok()) {
+        if (first_error_.ok()) {
+          first_error_ = rendered.status().WithContext(
+              "case '" + case_name + "' field '" + key + "'");
+        }
+        return;
+      }
+      body += util::StrFormat(", \"%s\": %s",
+                              util::JsonEscape(key).c_str(),
+                              rendered.value().c_str());
     }
     body += "}";
     cases_.push_back(std::move(body));

@@ -57,6 +57,8 @@ struct ClusterExecOptions {
   io::PrefetchBackendKind prefetch_backend = io::PrefetchBackendKind::kMadvise;
 };
 
+struct JobStats;  // defined below (CalibrateFromMeasured consumes it)
+
 /// \brief Parameters of the simulated Spark cluster.
 ///
 /// SUBSTITUTION NOTE (see DESIGN.md §3): the paper benchmarks Amazon EMR
@@ -115,7 +117,21 @@ struct ClusterConfig {
   /// Spilled-partition re-read bandwidth per instance. Dominated by
   /// DESERIALIZATION, not the SSD: Spark stores spilled RDD blocks
   /// serialized, so re-reading them costs ~tens of MB/s per instance.
+  /// CalibrateFromMeasured replaces this analytic constant with the
+  /// re-read bandwidth the spilled partitions actually measured.
   double spill_read_bytes_per_sec = 40e6;
+
+  /// How much of the smaller of (compute, io) an instance's pipelining
+  /// hides, in [0, 1]. 1.0 is the historical perfect-overlap
+  /// max(compute, io) assumption; CalibrateFromMeasured fits it from the
+  /// measured per-instance hit/stall ratios (a hit is a chunk whose I/O
+  /// the pipeline fully hid).
+  double overlap_efficiency = 1.0;
+
+  /// True once CalibrateFromMeasured replaced the analytic spill/overlap
+  /// constants with values fitted from a measured run — the flag that
+  /// arms the predicted-vs-measured residual reporting in JobStats.
+  bool calibrated_from_measurement = false;
 
   /// Tasks per core per stage (Spark convention: 2-3x cores).
   size_t partitions_per_core = 2;
@@ -128,17 +144,18 @@ struct ClusterConfig {
   /// Measured-execution engine knobs (see ClusterExecOptions).
   ClusterExecOptions exec;
 
-  /// Total partitions in a stage.
+  /// Total partitions in a stage. Validate() rejects configs whose
+  /// product would overflow size_t, so the plain multiply here is exact.
   size_t TotalPartitions() const {
     return num_instances * cores_per_instance * partitions_per_core;
   }
 
-  /// Aggregate RDD cache capacity across the cluster, bytes.
-  uint64_t CacheCapacityBytes() const {
-    return static_cast<uint64_t>(
-        static_cast<double>(instance_ram_bytes * num_instances) *
-        cache_fraction);
-  }
+  /// Aggregate RDD cache capacity across the cluster, bytes. Each factor
+  /// is widened to double *before* multiplying — `instance_ram_bytes *
+  /// num_instances` in integer arithmetic overflows uint64_t for large
+  /// fleets — and the result saturates at uint64_t max (a double above
+  /// that range must not be narrowed back; the cast would be UB).
+  uint64_t CacheCapacityBytes() const;
 
   /// RDD cache capacity of one instance, bytes — also the default measured
   /// RAM budget of its partition pipelines.
@@ -146,6 +163,25 @@ struct ClusterConfig {
     return static_cast<uint64_t>(static_cast<double>(instance_ram_bytes) *
                                  cache_fraction);
   }
+
+  /// Replaces the analytic spill-bandwidth and overlap constants (and the
+  /// local CPU cost) with values fitted from a measured run's
+  /// per-instance pipeline stats:
+  ///
+  ///   - `local_cpu_seconds_per_byte` — measured compute + retire seconds
+  ///     over the bytes the partition pipelines scanned;
+  ///   - `spill_read_bytes_per_sec` — the re-read bandwidth the (force-
+  ///     evicted) spilled partitions measured; when the disk always won
+  ///     the prefetch race the run only bounds bandwidth from below, and
+  ///     that optimistic bound (bytes over drive time) is charged instead
+  ///     of keeping the analytic constant;
+  ///   - `overlap_efficiency` — the fraction of classified chunks whose
+  ///     prefetch fully hid the I/O (hits over hits + stalls).
+  ///
+  /// Returns InvalidArgument when `measured` carries no pipeline
+  /// execution to fit from (run with exec.use_pipelines and a bound
+  /// mapping first). On success sets `calibrated_from_measurement`.
+  util::Status CalibrateFromMeasured(const JobStats& measured);
 
   /// Validates ranges; returns InvalidArgument on nonsense.
   util::Status Validate() const;
@@ -198,6 +234,19 @@ struct JobStats {
   /// Measured per-instance pipeline stats, indexed by instance id. Empty
   /// unless the run drove partition tasks through ChunkPipelines.
   std::vector<InstanceExecStats> instance_exec;
+  /// \name Predicted-vs-measured execution residual (the calibration
+  /// loop's report card). `measured_exec_seconds` is the wall time this
+  /// job's partition pipelines actually spent driving passes on this
+  /// machine (drive seconds summed over instances and cache classes);
+  /// `predicted_exec_seconds` is what the measured-calibrated model
+  /// (ClusterConfig::CalibrateFromMeasured) predicted for the same work —
+  /// zero until a calibration is installed. Their difference per job is
+  /// the model's residual on real execution; bench_cluster_overlap emits
+  /// it into BENCH_cluster_overlap.json.
+  /// @{
+  double measured_exec_seconds = 0;
+  double predicted_exec_seconds = 0;
+  /// @}
 
   void Accumulate(const JobStats& other);
   std::string ToString() const;

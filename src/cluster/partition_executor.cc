@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/perf_model.h"
 #include "util/sys_info.h"
 
 namespace m3::cluster {
@@ -128,6 +129,31 @@ exec::ChunkPipeline* PartitionExecutor::PreparePartition(size_t index,
     }
   }
   return slot.get();
+}
+
+double PartitionExecutor::PredictJobExecSeconds(uint64_t row_bytes,
+                                                bool cold) const {
+  if (!pipelined() || !bound() || !config_.calibrated_from_measurement ||
+      config_.spill_read_bytes_per_sec <= 0) {
+    return 0;
+  }
+  uint64_t total_bytes = 0;
+  uint64_t storage_bytes = 0;
+  for (const Partition& partition : partitions_) {
+    const uint64_t bytes = partition.rows() * row_bytes;
+    total_bytes += bytes;
+    // Cached partitions keep residency between jobs; spilled ones are
+    // force-evicted before every job, so their bytes re-fault from
+    // storage each time. A cold job faults everything.
+    if (cold || !partition.cached) {
+      storage_bytes += bytes;
+    }
+  }
+  const double cpu =
+      config_.local_cpu_seconds_per_byte * static_cast<double>(total_bytes);
+  const double io = static_cast<double>(storage_bytes) /
+                    config_.spill_read_bytes_per_sec;
+  return CombineOverlap(cpu, io, config_.overlap_efficiency);
 }
 
 void PartitionExecutor::CollectStats(size_t index,

@@ -92,7 +92,26 @@ class PartitionExecutor {
           [&](size_t, T&& partial) { reduce(partition, std::move(partial)); });
       CollectStats(index, pipeline, job);
     }
+    if (job != nullptr && pipelined()) {
+      // The job's measured execution wall time: the drive seconds its
+      // partition passes just recorded (this JobStats is per job — the
+      // instance_exec entries hold exactly this job's deltas).
+      for (const InstanceExecStats& instance : job->instance_exec) {
+        job->measured_exec_seconds += instance.cached.drive_seconds +
+                                      instance.spilled.drive_seconds;
+      }
+    }
   }
+
+  /// The measured-calibrated model's prediction of one job's pipeline
+  /// execution wall seconds on THIS machine (the counterpart of
+  /// JobStats::measured_exec_seconds): fitted local CPU cost over every
+  /// partition's bytes, fitted re-read bandwidth over the bytes that come
+  /// from storage (all of them when `cold`, the spilled partitions
+  /// otherwise), combined under the fitted overlap efficiency. Returns 0
+  /// unless the run is pipelined, mmap-bound, and the config carries a
+  /// measured calibration (ClusterConfig::CalibrateFromMeasured).
+  double PredictJobExecSeconds(uint64_t row_bytes, bool cold) const;
 
  private:
   /// Returns the partition's pipeline (lazily created) or nullptr when

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/perf_model.h"
+
 namespace m3::cluster {
 
 JobStats StageCostModel::StageCost(const std::vector<Partition>& partitions,
@@ -41,8 +43,12 @@ JobStats StageCostModel::StageCost(const std::vector<Partition>& partitions,
     const double dispatch = config_.task_overhead_seconds *
                             std::ceil(static_cast<double>(task_count[i]) /
                                       cores);
-    // Disk reads overlap compute (readahead), overheads do not.
-    const double instance_time = std::max(busy, io[i]) + dispatch;
+    // Disk reads overlap compute (readahead) with the configured
+    // efficiency — 1.0 is the historical perfect max(compute, io)
+    // assumption, a measured calibration fits it lower. Overheads never
+    // overlap.
+    const double instance_time =
+        CombineOverlap(busy, io[i], config_.overlap_efficiency) + dispatch;
     slowest = std::max(slowest, instance_time);
     total_compute += compute[i];
     total_io += io[i];

@@ -15,9 +15,12 @@ namespace m3::cluster {
 /// Scheduling model: each instance runs its tasks on `cores_per_instance`
 /// parallel slots (near-equal tasks => busy time = work / cores, plus a
 /// dispatch overhead per task wave). Disk reads overlap compute within an
-/// instance (readahead), so instance time = max(compute, io). The stage
-/// finishes when the slowest instance does (driver barrier), after which
-/// results flow back through a binary aggregation tree.
+/// instance (readahead) with `ClusterConfig::overlap_efficiency`, so
+/// instance time = CombineOverlap(compute, io) — max(compute, io) at the
+/// default perfect efficiency, compute + io when a measured calibration
+/// says nothing overlapped. The stage finishes when the slowest instance
+/// does (driver barrier), after which results flow back through a binary
+/// aggregation tree.
 class StageCostModel {
  public:
   explicit StageCostModel(const ClusterConfig& config) : config_(config) {}

@@ -73,6 +73,11 @@ class DistributedLrObjective final : public ml::DifferentiableFunction {
     // the (d+1)-gradient + loss.
     const uint64_t row_bytes = x_.cols() * sizeof(double);
     const uint64_t result_bytes = (Dimension() + 1) * sizeof(double);
+    // Calibration report card: what the measured-calibrated model
+    // predicts this job's pipeline execution cost on this machine, next
+    // to what RunJob just measured (0 until a calibration is installed).
+    job.predicted_exec_seconds =
+        executor_->PredictJobExecSeconds(row_bytes, first_pass_);
     job.Accumulate(model_.Broadcast(result_bytes));
     job.Accumulate(model_.StageCost(executor_->partitions(), row_bytes,
                                     first_pass_));
@@ -249,7 +254,11 @@ Result<DistributedKMeansResult> SparkCluster::RunKMeans(
       }
     }
 
-    // Simulated time: broadcast centers, stage, aggregate partials.
+    // Simulated time: broadcast centers, stage, aggregate partials —
+    // plus the calibrated model's prediction of the job's measured
+    // pipeline execution (0 until a calibration is installed).
+    job.predicted_exec_seconds =
+        executor.PredictJobExecSeconds(row_bytes, iter == 0);
     job.Accumulate(model.Broadcast(centers_bytes));
     job.Accumulate(model.StageCost(executor.partitions(), row_bytes,
                                    iter == 0));

@@ -55,6 +55,13 @@ struct DistributedKMeansResult {
 ///     whether WILLNEED readahead hides the re-read. The invariant
 ///     `prefetches == prefetch_hits + stalls + prefetch_unclassified`
 ///     holds per instance and per cache class after every run.
+///   - `measured_exec_seconds` / `predicted_exec_seconds` close the loop
+///     between the two: once the config carries a measured calibration
+///     (`ClusterConfig::CalibrateFromMeasured` — spill bandwidth, overlap
+///     efficiency and CPU cost fitted from a previous run's
+///     instance_exec), every job records the calibrated model's
+///     prediction for its pipeline execution next to what was measured.
+///     Their difference is the cost model's residual on real execution.
 ///
 /// Passing a bound `exec::MappedRegion` (e.g. built from a MappedDataset)
 /// makes the measured path page real memory; with in-memory matrices the

@@ -1,0 +1,112 @@
+#include "core/model_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.h"
+#include "util/sys_info.h"
+
+namespace m3 {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Timings below this are indistinguishable from stopwatch noise.
+constexpr double kMinSeconds = 1e-9;
+
+}  // namespace
+
+double MeasuredReadBandwidth(const exec::PipelineStats& stats,
+                             double fallback) {
+  if (stats.stalls == 0 || stats.prefetch_bytes == 0) {
+    return fallback;  // the disk always won: bandwidth only bounded below
+  }
+  const double compute = stats.compute_seconds + stats.retire_seconds;
+  const double io_wait =
+      std::max(stats.prefetch_seconds, stats.drive_seconds - compute);
+  if (io_wait <= kMinSeconds) {
+    return fallback;
+  }
+  return static_cast<double>(stats.prefetch_bytes) / io_wait;
+}
+
+Result<ModelFitResult> FitFromStats(const exec::PipelineStats& stats,
+                                    uint64_t bytes_scanned,
+                                    const FitOptions& options) {
+  if (stats.passes == 0 || bytes_scanned == 0) {
+    return Status::InvalidArgument(
+        "fit needs at least one measured pass over nonzero bytes");
+  }
+  if (stats.drive_seconds <= kMinSeconds) {
+    return Status::InvalidArgument("stats carry no measured drive time");
+  }
+  const double cpu = stats.compute_seconds + stats.retire_seconds;
+  if (cpu <= kMinSeconds) {
+    return Status::InvalidArgument(
+        "stats carry no compute/retire time to fit the CPU term from");
+  }
+
+  ModelFitResult fit;
+  fit.bytes_scanned = bytes_scanned;
+  fit.passes = stats.passes;
+  fit.cpu_seconds = cpu;
+  fit.io_seconds = stats.prefetch_seconds + stats.evict_seconds;
+  fit.measured_seconds = stats.drive_seconds;
+  fit.stall_byte_fraction =
+      static_cast<double>(stats.stall_bytes) /
+      static_cast<double>(bytes_scanned);
+
+  fit.params.cpu_seconds_per_byte =
+      cpu / static_cast<double>(bytes_scanned);
+  fit.params.ram_bytes =
+      options.ram_bytes != 0 ? options.ram_bytes : util::TotalRamBytes();
+  const double measured_bw = MeasuredReadBandwidth(stats, /*fallback=*/0.0);
+  fit.disk_bandwidth_from_fallback = measured_bw <= 0;
+  fit.params.disk_read_bytes_per_sec =
+      measured_bw > 0 ? measured_bw : options.fallback_disk_bytes_per_sec;
+
+  // Overlap: how much of the shorter stage did the measured drive time
+  // hide? drive == max + (1 - eff) * min solved for eff. min ~ 0 means
+  // there was nothing to overlap; call that perfect.
+  const double shorter = std::min(cpu, fit.io_seconds);
+  fit.overlap_raw =
+      shorter > kMinSeconds
+          ? (cpu + fit.io_seconds - stats.drive_seconds) / shorter
+          : 1.0;
+  fit.params.overlap_efficiency = std::clamp(fit.overlap_raw, 0.0, 1.0);
+
+  if (options.fit_pass_overhead) {
+    // Only the drive time the overlap family cannot express (beyond
+    // cpu + io, i.e. overlap_raw < 0) is attributable to per-pass
+    // overhead; within the family the eff fit already matches drive.
+    const double modeled = CombineOverlap(cpu, fit.io_seconds,
+                                          fit.params.overlap_efficiency);
+    fit.params.pass_overhead_seconds =
+        std::max(0.0, stats.drive_seconds - modeled) /
+        static_cast<double>(stats.passes);
+  }
+
+  fit.predicted_seconds =
+      CombineOverlap(cpu, fit.io_seconds, fit.params.overlap_efficiency) +
+      fit.params.pass_overhead_seconds * static_cast<double>(stats.passes);
+  fit.residual_seconds = fit.predicted_seconds - fit.measured_seconds;
+  fit.relative_residual =
+      std::fabs(fit.residual_seconds) / fit.measured_seconds;
+  return fit;
+}
+
+std::string ModelFitResult::ToString() const {
+  return util::StrFormat(
+      "fit[%s] over %llu passes / %s: cpu=%.3fs io=%.3fs drive=%.3fs "
+      "overlap_raw=%.2f stall_bytes=%.0f%% residual=%+.3fs (%.1f%%)%s",
+      PerfModel(params).ToString().c_str(),
+      static_cast<unsigned long long>(passes),
+      util::HumanBytes(bytes_scanned).c_str(), cpu_seconds, io_seconds,
+      measured_seconds, overlap_raw, stall_byte_fraction * 100.0,
+      residual_seconds, relative_residual * 100.0,
+      disk_bandwidth_from_fallback ? " [disk bw from fallback]" : "");
+}
+
+}  // namespace m3

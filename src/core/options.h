@@ -35,7 +35,11 @@ struct M3Options {
   /// Chunks of MADV_WILLNEED readahead the execution engine
   /// (exec::ChunkPipeline) keeps ahead of training scans. 0 disables the
   /// prefetch stage; the default overlaps the next chunk's disk reads
-  /// with the current chunk's compute.
+  /// with the current chunk's compute. Engine-driven scans also feed the
+  /// calibration loop: their measured per-stage `exec::PipelineStats`
+  /// (via MappedDataset::pipeline()) are what `core/model_fit` fits the
+  /// performance model from — see docs/ARCHITECTURE.md, "The calibration
+  /// loop".
   uint64_t readahead_chunks = 2;
 
   /// Compute-stage fan-out of the execution engine: 0 or 1 runs chunk

@@ -7,21 +7,37 @@
 
 namespace m3 {
 
-PerfModel::PerfModel(PerfModelParams params) : params_(params) {
-  M3_CHECK(params_.disk_read_bytes_per_sec > 0, "disk bandwidth must be > 0");
+double CombineOverlap(double cpu_seconds, double io_seconds,
+                      double overlap_efficiency) {
+  const double longer = std::max(cpu_seconds, io_seconds);
+  const double shorter = std::min(cpu_seconds, io_seconds);
+  return longer + (1.0 - overlap_efficiency) * shorter;
 }
 
-PassPrediction PerfModel::PredictPass(uint64_t dataset_bytes) const {
+PerfModel::PerfModel(PerfModelParams params) : params_(params) {
+  M3_CHECK(params_.disk_read_bytes_per_sec > 0, "disk bandwidth must be > 0");
+  M3_CHECK(params_.overlap_efficiency >= 0 && params_.overlap_efficiency <= 1,
+           "overlap_efficiency must be in [0, 1]");
+}
+
+namespace {
+
+/// Prediction for a pass whose storage misses are already decided — the
+/// one place stage seconds turn into wall seconds, shared by the steady
+/// and cold predictions so their accounting cannot drift apart.
+PassPrediction PredictWithMisses(const PerfModelParams& params,
+                                 uint64_t dataset_bytes,
+                                 uint64_t miss_bytes) {
   PassPrediction prediction;
   prediction.cpu_seconds =
-      params_.cpu_seconds_per_byte * static_cast<double>(dataset_bytes);
-  const bool fits = dataset_bytes <= params_.ram_bytes;
-  prediction.miss_bytes = fits ? 0 : dataset_bytes;
+      params.cpu_seconds_per_byte * static_cast<double>(dataset_bytes);
+  prediction.miss_bytes = miss_bytes;
   prediction.io_seconds = static_cast<double>(prediction.miss_bytes) /
-                          params_.disk_read_bytes_per_sec;
+                          params.disk_read_bytes_per_sec;
   prediction.seconds =
-      std::max(prediction.cpu_seconds, prediction.io_seconds) +
-      params_.pass_overhead_seconds;
+      CombineOverlap(prediction.cpu_seconds, prediction.io_seconds,
+                     params.overlap_efficiency) +
+      params.pass_overhead_seconds;
   prediction.io_bound = prediction.io_seconds > prediction.cpu_seconds;
   prediction.cpu_utilization =
       prediction.seconds > 0 ? prediction.cpu_seconds / prediction.seconds
@@ -29,21 +45,28 @@ PassPrediction PerfModel::PredictPass(uint64_t dataset_bytes) const {
   return prediction;
 }
 
+}  // namespace
+
+PassPrediction PerfModel::PredictPass(uint64_t dataset_bytes) const {
+  const bool fits = dataset_bytes <= params_.ram_bytes;
+  return PredictWithMisses(params_, dataset_bytes,
+                           fits ? 0 : dataset_bytes);
+}
+
+PassPrediction PerfModel::PredictColdPass(uint64_t dataset_bytes) const {
+  // Cold: data comes from storage regardless of whether it will fit in
+  // RAM afterwards.
+  return PredictWithMisses(params_, dataset_bytes, dataset_bytes);
+}
+
 double PerfModel::PredictRun(uint64_t dataset_bytes,
                              size_t num_passes) const {
   if (num_passes == 0) {
     return 0.0;
   }
-  const PassPrediction steady = PredictPass(dataset_bytes);
-  // The first pass is always cold: data comes from storage regardless of
-  // whether it will fit in RAM afterwards.
-  PassPrediction cold = steady;
-  cold.miss_bytes = dataset_bytes;
-  cold.io_seconds = static_cast<double>(dataset_bytes) /
-                    params_.disk_read_bytes_per_sec;
-  cold.seconds = std::max(cold.cpu_seconds, cold.io_seconds) +
-                 params_.pass_overhead_seconds;
-  return cold.seconds + steady.seconds * static_cast<double>(num_passes - 1);
+  return PredictColdPass(dataset_bytes).seconds +
+         PredictPass(dataset_bytes).seconds *
+             static_cast<double>(num_passes - 1);
 }
 
 double PerfModel::FitCpuSecondsPerByte(double measured_seconds,
@@ -57,13 +80,13 @@ double PerfModel::FitCpuSecondsPerByte(double measured_seconds,
 
 std::string PerfModel::ToString() const {
   return util::StrFormat(
-      "cpu=%.3g s/B disk=%s/s ram=%s overhead=%.3g s/pass",
+      "cpu=%.3g s/B disk=%s/s ram=%s overhead=%.3g s/pass overlap=%.2f",
       params_.cpu_seconds_per_byte,
       util::HumanBytes(
           static_cast<uint64_t>(params_.disk_read_bytes_per_sec))
           .c_str(),
       util::HumanBytes(params_.ram_bytes).c_str(),
-      params_.pass_overhead_seconds);
+      params_.pass_overhead_seconds, params_.overlap_efficiency);
 }
 
 std::vector<SweepPoint> PredictSweep(const PerfModel& model,

@@ -8,18 +8,39 @@
 namespace m3 {
 
 /// \brief Calibrated platform parameters for the M3 performance model.
+///
+/// Two calibration paths fill these in: the analytic one (io::ProbeDisk +
+/// FitCpuSecondsPerByte from a timed run) and the measured one
+/// (core/model_fit fits every term, overlap included, from a pass's
+/// `exec::PipelineStats`).
 struct PerfModelParams {
   /// CPU cost of the algorithm per byte of the feature matrix per pass
   /// (fit from an in-RAM timed run; includes parallel speedup).
   double cpu_seconds_per_byte = 0;
-  /// Sequential storage read bandwidth, bytes/sec (from io::ProbeDisk or
-  /// the paper's hardware spec: the OCZ RevoDrive 350 reads ~1 GB/s).
+  /// Sequential storage read bandwidth, bytes/sec (from io::ProbeDisk,
+  /// a measured fit, or the paper's hardware spec: the OCZ RevoDrive 350
+  /// reads ~1 GB/s).
   double disk_read_bytes_per_sec = 1e9;
   /// RAM available for caching the dataset, bytes (the paper: 32 GB).
   uint64_t ram_bytes = 32ull << 30;
   /// Fixed per-pass overhead (dispatch, reductions), seconds.
   double pass_overhead_seconds = 0;
+  /// Fraction of the smaller of (cpu, io) that pipelining hides, in
+  /// [0, 1]: 1.0 is the classic perfect-overlap max(cpu, io) assumption,
+  /// 0.0 is fully serialized cpu + io. Measured runs fit it between the
+  /// two (core/model_fit::FitFromStats) instead of assuming 1.0.
+  double overlap_efficiency = 1.0;
 };
+
+/// \brief Wall seconds of a pass whose CPU and I/O stages overlap with the
+/// given efficiency: max(cpu, io) + (1 - efficiency) * min(cpu, io).
+///
+/// The single combination point shared by PerfModel (steady and cold
+/// passes), the cluster's StageCostModel, and the measured-residual
+/// reporting — so "how much overlap do we assume" is one number, not a
+/// max() hardcoded at every call site.
+double CombineOverlap(double cpu_seconds, double io_seconds,
+                      double overlap_efficiency);
 
 /// \brief Prediction for one full pass over a dataset.
 struct PassPrediction {
@@ -43,14 +64,21 @@ struct PassPrediction {
 /// scan under LRU has zero steady-state hit rate, so every byte is read
 /// from storage each pass (miss_bytes = dataset_bytes) — this is why the
 /// paper's Fig. 1a is linear on both sides of the RAM boundary with a
-/// steeper out-of-core slope. CPU work overlaps I/O (readahead), so
-///   pass_seconds = max(cpu, io) + overhead.
+/// steeper out-of-core slope. CPU work overlaps I/O (readahead) with the
+/// calibrated efficiency, so
+///   pass_seconds = CombineOverlap(cpu, io, overlap_efficiency) + overhead.
 class PerfModel {
  public:
   explicit PerfModel(PerfModelParams params);
 
   /// Predicts one steady-state pass over `dataset_bytes`.
   PassPrediction PredictPass(uint64_t dataset_bytes) const;
+
+  /// Predicts the cold first pass over `dataset_bytes`: every byte comes
+  /// from storage regardless of whether the dataset fits in RAM. Shares
+  /// PredictPass's overlap + overhead accounting — the two predictions
+  /// only differ in miss_bytes, never in how stage seconds combine.
+  PassPrediction PredictColdPass(uint64_t dataset_bytes) const;
 
   /// Predicts a full run of `num_passes` over the dataset, including the
   /// cold first pass (which always reads from storage).

@@ -110,7 +110,10 @@ void ChunkPipeline::RunMapStage(const ScheduledChunkFn& map, size_t position,
   // so losing that race says nothing about the disk; count them as
   // unclassified instead so every prefetched chunk is accounted once:
   // prefetches == prefetch_hits + stalls + prefetch_unclassified.
-  const bool prefetching = bound() && options_.readahead_chunks > 0;
+  // RaceStage::kRetire passes touch their pages at retire, not here, so
+  // their classification happens in ClassifyRetireRace instead.
+  const bool prefetching = bound() && options_.readahead_chunks > 0 &&
+                           race_stage_ == RaceStage::kMap;
   const bool racing = prefetching && position >= stall_classify_from_;
   bool hit = false;
   if (racing) {
@@ -126,9 +129,35 @@ void ChunkPipeline::RunMapStage(const ScheduledChunkFn& map, size_t position,
       ++stats_.prefetch_hits;
     } else {
       ++stats_.stalls;
+      stats_.stall_bytes +=
+          static_cast<uint64_t>(row_end - row_begin) * region_.row_bytes;
     }
   } else if (prefetching) {
     ++stats_.prefetch_unclassified;
+  }
+}
+
+void ChunkPipeline::ClassifyRetireRace(size_t position,
+                                       const la::RowChunker::Range& range) {
+  if (race_stage_ != RaceStage::kRetire || !bound() ||
+      options_.readahead_chunks == 0) {
+    return;
+  }
+  // Sampled on the driving thread just before the chunk's retire — the
+  // stage that touches the pages of a retire-compute scan. Retire order
+  // is position order at every worker count, so these counts do not
+  // depend on compute fan-out.
+  const bool racing = position >= stall_classify_from_;
+  const bool hit =
+      prefetched_through_.load(std::memory_order_acquire) > position;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (!racing) {
+    ++stats_.prefetch_unclassified;
+  } else if (hit) {
+    ++stats_.prefetch_hits;
+  } else {
+    ++stats_.stalls;
+    stats_.stall_bytes += range.size() * region_.row_bytes;
   }
 }
 
@@ -200,6 +229,7 @@ void ChunkPipeline::RunSerial(const la::RowChunker& chunker,
     const size_t chunk = schedule.At(pos);
     const la::RowChunker::Range range = chunker.Chunk(chunk);
     RunMapStage(map, pos, chunk, range.begin, range.end);
+    ClassifyRetireRace(pos, range);
     if (retire) {
       RunRetireStage(retire, pos, chunk, range.begin, range.end);
     }
@@ -232,6 +262,7 @@ void ChunkPipeline::RunParallel(const la::RowChunker& chunker,
       in_flight.pop_front();
       const size_t chunk = schedule.At(retiring);
       const la::RowChunker::Range range = chunker.Chunk(chunk);
+      ClassifyRetireRace(retiring, range);
       if (retire) {
         RunRetireStage(retire, retiring, chunk, range.begin, range.end);
       }
@@ -268,7 +299,8 @@ void ChunkPipeline::Run(const la::RowChunker& chunker, const ChunkFn& map,
 void ChunkPipeline::Run(const la::RowChunker& chunker,
                         const ChunkSchedule& schedule,
                         const ScheduledChunkFn& map,
-                        const ScheduledChunkFn& retire) {
+                        const ScheduledChunkFn& retire,
+                        RaceStage race_stage) {
   M3_CHECK(map != nullptr, "null chunk functor");
   M3_CHECK(schedule.num_chunks() == chunker.NumChunks(),
            "schedule covers %zu chunks, chunker has %zu",
@@ -290,8 +322,16 @@ void ChunkPipeline::Run(const la::RowChunker& chunker,
   // at retire (see EvictRetired); the residual cost is a stale entry
   // popping while its chunk is prefetched-but-not-yet-visited early in
   // the next pass — one wasted prefetch, never an accounting leak.
+  race_stage_ = race_stage;
+  // Warm-up exclusion window. At kMap the dispatch cursor runs up to the
+  // in-flight window ahead of retire, so fan-out widens the set of
+  // positions whose prefetch was issued with no compute lead time. At
+  // kRetire the sampling point is the (always serial, in-order) retire
+  // cursor, so the window is the readahead depth at every worker count —
+  // which is what keeps retire-race counts comparable across {0,2,4}
+  // workers.
   stall_classify_from_ =
-      compute_pool_ != nullptr
+      compute_pool_ != nullptr && race_stage_ == RaceStage::kMap
           ? std::max(options_.readahead_chunks, max_in_flight())
           : options_.readahead_chunks;
   if (bound()) {
@@ -353,9 +393,9 @@ void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
 
 void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
              const ChunkSchedule& schedule, const ScheduledChunkFn& map,
-             const ScheduledChunkFn& retire) {
+             const ScheduledChunkFn& retire, RaceStage race_stage) {
   if (pipeline != nullptr) {
-    pipeline->Run(chunker, schedule, map, retire);
+    pipeline->Run(chunker, schedule, map, retire, race_stage);
     return;
   }
   M3_CHECK(schedule.num_chunks() == chunker.NumChunks(),

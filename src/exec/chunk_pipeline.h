@@ -116,6 +116,22 @@ struct PipelineOptions {
   util::ThreadPool* shared_compute_pool = nullptr;
 };
 
+/// \brief Which stage's page access judges the prefetch hit/stall race
+/// for a pass.
+///
+/// The race asks "had the chunk's prefetch landed by the time compute
+/// touched its pages?", so it must be sampled at the stage that actually
+/// touches them. Map-reduce scans read rows inside `map` (the default);
+/// scans whose sequential dependence keeps compute in `retire` (SGD
+/// weight updates, union-find merges) touch pages only at retire —
+/// sampling those at map dispatch would count a prefetch that lands
+/// between the no-op map and the retire as a stall that never happened,
+/// an artifact that grew with worker fan-out.
+enum class RaceStage {
+  kMap,     ///< sample when the chunk's `map` is dispatched (default)
+  kRetire,  ///< sample when the chunk retires (retire-stage compute)
+};
+
 /// Chunk functor: (chunk_index, row_begin, row_end).
 using ChunkFn = std::function<void(size_t, size_t, size_t)>;
 
@@ -172,11 +188,15 @@ class ChunkPipeline {
   /// follow visit positions. `retire` runs on the calling thread in
   /// ascending *position* order — the in-order retire barrier that keeps
   /// schedule-driven reductions (and SGD weight updates) bitwise identical
-  /// at any worker count.
+  /// at any worker count. `race_stage` names the stage whose dispatch
+  /// samples the prefetch hit/stall race for this pass (per pass, not per
+  /// pipeline: trainers share one pipeline between map-compute
+  /// evaluations and retire-compute epochs).
   /// \pre schedule.num_chunks() == chunker.NumChunks()
   void Run(const la::RowChunker& chunker, const ChunkSchedule& schedule,
            const ScheduledChunkFn& map,
-           const ScheduledChunkFn& retire = ScheduledChunkFn());
+           const ScheduledChunkFn& retire = ScheduledChunkFn(),
+           RaceStage race_stage = RaceStage::kMap);
 
   /// Upper bound on chunks simultaneously in flight inside Run(). Callers
   /// keeping per-chunk state (e.g. ChunkMapReduce slots) can size arrays
@@ -209,10 +229,15 @@ class ChunkPipeline {
   void RequestPrefetchThrough(const la::RowChunker& chunker,
                               const ChunkSchedule& schedule, size_t goal);
 
-  /// Checks the prefetch race for the chunk at `position` and runs `map`
-  /// timed.
+  /// Checks the prefetch race for the chunk at `position` (RaceStage::kMap
+  /// passes) and runs `map` timed.
   void RunMapStage(const ScheduledChunkFn& map, size_t position, size_t chunk,
                    size_t row_begin, size_t row_end);
+
+  /// Samples the prefetch race at retire time (RaceStage::kRetire passes):
+  /// called once per position on the driving thread, in position order,
+  /// just before the chunk's retire runs.
+  void ClassifyRetireRace(size_t position, const la::RowChunker::Range& range);
 
   /// Runs `retire` timed (calling thread, ascending position order).
   void RunRetireStage(const ScheduledChunkFn& retire, size_t position,
@@ -250,6 +275,8 @@ class ChunkPipeline {
   /// Positions below this raced their prefetch with no compute lead time
   /// (pass warm-up) and are excluded from hit/stall classification.
   size_t stall_classify_from_ = 0;
+  /// The stage judging this pass's hit/stall race (set per Run()).
+  RaceStage race_stage_ = RaceStage::kMap;
 
   mutable std::mutex stats_mu_;
   PipelineStats stats_;
@@ -275,7 +302,8 @@ void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
 /// semantics for the pipelined one.
 void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
              const ChunkSchedule& schedule, const ScheduledChunkFn& map,
-             const ScheduledChunkFn& retire = ScheduledChunkFn());
+             const ScheduledChunkFn& retire = ScheduledChunkFn(),
+             RaceStage race_stage = RaceStage::kMap);
 
 }  // namespace m3::exec
 

@@ -11,6 +11,7 @@ PipelineStats& PipelineStats::operator+=(const PipelineStats& rhs) {
   prefetch_bytes += rhs.prefetch_bytes;
   prefetch_hits += rhs.prefetch_hits;
   stalls += rhs.stalls;
+  stall_bytes += rhs.stall_bytes;
   prefetch_unclassified += rhs.prefetch_unclassified;
   evictions += rhs.evictions;
   bytes_evicted += rhs.bytes_evicted;
@@ -41,6 +42,7 @@ io::ExecCounters PipelineStats::counters() const {
   out.bytes_evicted = bytes_evicted;
   out.prefetch_hits = prefetch_hits;
   out.stalls = stalls;
+  out.stall_bytes = stall_bytes;
   out.prefetch_unclassified = prefetch_unclassified;
   out.backend_submits = backend_submits;
   out.backend_completions = backend_completions;
@@ -59,7 +61,7 @@ double PipelineStats::PrefetchHitRate() const {
 std::string PipelineStats::ToString() const {
   return util::StrFormat(
       "passes=%llu chunks=%llu prefetch=%llu (%s, hit %.0f%%) stalls=%llu "
-      "warmup=%llu evict=%llu (%s) backend s/c/f=%llu/%llu/%llu "
+      "(%s) warmup=%llu evict=%llu (%s) backend s/c/f=%llu/%llu/%llu "
       "stage s: drive=%.3f compute=%.3f "
       "retire=%.3f prefetch=%.3f evict=%.3f",
       static_cast<unsigned long long>(passes),
@@ -67,6 +69,7 @@ std::string PipelineStats::ToString() const {
       static_cast<unsigned long long>(prefetches),
       util::HumanBytes(prefetch_bytes).c_str(), PrefetchHitRate() * 100.0,
       static_cast<unsigned long long>(stalls),
+      util::HumanBytes(stall_bytes).c_str(),
       static_cast<unsigned long long>(prefetch_unclassified),
       static_cast<unsigned long long>(evictions),
       util::HumanBytes(bytes_evicted).c_str(),

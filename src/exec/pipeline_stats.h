@@ -24,14 +24,19 @@ struct PipelineStats {
   /// Chunks whose prefetch had completed before compute began (overlap
   /// succeeded). Only counted when a mapping is bound and readahead > 0.
   uint64_t prefetch_hits = 0;
-  /// Chunks that entered the compute stage before their prefetch landed —
-  /// the pipeline-stall signal (disk not keeping up with compute). The
-  /// race is sampled when `map` is dispatched, so scans whose compute
-  /// lives in the retire stage (SGD, union-find) overcount stalls under
-  /// worker fan-out: a prefetch landing between a no-op map's dispatch
-  /// and the retire that touches the pages is a hit counted as a stall.
-  /// Judge such scans on the serial (num_workers <= 1) configuration.
+  /// Chunks that reached their compute stage before their prefetch landed
+  /// — the pipeline-stall signal (disk not keeping up with compute). The
+  /// race is sampled at the stage that actually touches the chunk's pages
+  /// (`exec::RaceStage`): at `map` dispatch for map-reduce scans, at
+  /// retire for scans whose compute lives in the retire stage (SGD,
+  /// union-find) — so the counts are trustworthy at every worker count.
   uint64_t stalls = 0;
+  /// Bytes of the chunks counted in `stalls` — the data volume that
+  /// actually waited on storage. core/model_fit requires this stall
+  /// evidence before trusting a fitted disk bandwidth (which it computes
+  /// as prefetch_bytes over the measured I/O wait, not from this field)
+  /// and reports it as the stall_byte_fraction diagnostic.
+  uint64_t stall_bytes = 0;
   /// Chunks excluded from the hit/stall race because their prefetch was
   /// issued with no compute lead time (pass warm-up: the first
   /// readahead_chunks positions, widened to the in-flight window under

@@ -75,6 +75,7 @@ ExecCounters ExecCounters::operator-(const ExecCounters& rhs) const {
   out.bytes_evicted = bytes_evicted - rhs.bytes_evicted;
   out.prefetch_hits = prefetch_hits - rhs.prefetch_hits;
   out.stalls = stalls - rhs.stalls;
+  out.stall_bytes = stall_bytes - rhs.stall_bytes;
   out.prefetch_unclassified = prefetch_unclassified - rhs.prefetch_unclassified;
   out.backend_submits = backend_submits - rhs.backend_submits;
   out.backend_completions = backend_completions - rhs.backend_completions;
@@ -85,7 +86,7 @@ ExecCounters ExecCounters::operator-(const ExecCounters& rhs) const {
 std::string ExecCounters::ToString() const {
   return util::StrFormat(
       "passes=%llu chunks=%llu prefetches=%llu (%s) evictions=%llu (%s) "
-      "hits=%llu stalls=%llu warmup=%llu backend s/c/f=%llu/%llu/%llu",
+      "hits=%llu stalls=%llu (%s) warmup=%llu backend s/c/f=%llu/%llu/%llu",
       static_cast<unsigned long long>(passes),
       static_cast<unsigned long long>(chunks),
       static_cast<unsigned long long>(prefetches),
@@ -94,6 +95,7 @@ std::string ExecCounters::ToString() const {
       util::HumanBytes(bytes_evicted).c_str(),
       static_cast<unsigned long long>(prefetch_hits),
       static_cast<unsigned long long>(stalls),
+      util::HumanBytes(stall_bytes).c_str(),
       static_cast<unsigned long long>(prefetch_unclassified),
       static_cast<unsigned long long>(backend_submits),
       static_cast<unsigned long long>(backend_completions),
@@ -125,6 +127,7 @@ void AddExecCounters(const ExecCounters& delta) {
   total.bytes_evicted += delta.bytes_evicted;
   total.prefetch_hits += delta.prefetch_hits;
   total.stalls += delta.stalls;
+  total.stall_bytes += delta.stall_bytes;
   total.prefetch_unclassified += delta.prefetch_unclassified;
   total.backend_submits += delta.backend_submits;
   total.backend_completions += delta.backend_completions;

@@ -46,6 +46,12 @@ struct ExecCounters {
   uint64_t bytes_evicted = 0;
   uint64_t prefetch_hits = 0;
   uint64_t stalls = 0;
+  /// Bytes of the chunks counted in `stalls` — the volume that actually
+  /// waited on storage. core/model_fit requires this stall evidence
+  /// before trusting a fitted disk bandwidth (the bandwidth itself is
+  /// prefetch_bytes over the measured I/O wait) and reports it as the
+  /// stall_byte_fraction diagnostic.
+  uint64_t stall_bytes = 0;
   /// Chunks whose prefetch race was not classified (pass warm-up). For any
   /// complete pass, prefetches == prefetch_hits + stalls +
   /// prefetch_unclassified.

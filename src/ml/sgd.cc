@@ -71,7 +71,11 @@ Result<OptimizationResult> Sgd::Minimize(ChunkedObjective* objective,
           la::Axpy(-lr * scale, grad, w);
           epoch_loss += batch_loss;
           ++step_index;
-        });
+        },
+        // Pages are touched by the retire-stage math above, so the
+        // prefetch hit/stall race is judged at retire — trustworthy at
+        // any pipeline_workers count.
+        exec::RaceStage::kRetire);
     epoch_loss /= static_cast<double>(num_batches);
     result.objective_history.push_back(epoch_loss);
     ++result.iterations;

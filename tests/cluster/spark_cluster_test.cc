@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "data/synthetic.h"
 #include "la/blas.h"
@@ -43,6 +44,103 @@ TEST(ClusterConfigTest, DerivedQuantities) {
   EXPECT_EQ(config.CacheCapacityBytes(),
             static_cast<uint64_t>(4.0 * (1ull << 30) * 0.6));
   EXPECT_NE(config.ToString().find("4 instances"), std::string::npos);
+}
+
+TEST(ClusterConfigTest, CacheCapacityDoesNotOverflowForLargeFleets) {
+  // Regression: instance_ram_bytes * num_instances used to multiply in
+  // uint64_t before the double cast — 2^34 bytes x 2^31 instances wrapped
+  // to a tiny capacity and the planner cached almost nothing.
+  ClusterConfig config = SmallCluster(4);
+  config.instance_ram_bytes = 16ull << 30;  // 2^34
+  config.num_instances = size_t{1} << 31;   // 2^65 total: wrapped to 0 pre-fix
+  config.cache_fraction = 0.25;
+  const double expected = 9223372036854775808.0;  // 2^65 * 0.25 = 2^63
+  EXPECT_NEAR(static_cast<double>(config.CacheCapacityBytes()), expected,
+              expected * 1e-12);
+  EXPECT_GT(config.CacheCapacityBytes(), config.instance_ram_bytes);
+
+  // Beyond uint64_t range the capacity saturates instead of narrowing a
+  // too-large double back (UB).
+  config.num_instances = size_t{1} << 62;
+  config.cache_fraction = 1.0;
+  EXPECT_EQ(config.CacheCapacityBytes(),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(ClusterConfigTest, ValidateRejectsPartitionCountOverflow) {
+  // TotalPartitions() multiplies three size_t counts; Validate must
+  // reject configs whose product would wrap (the audit twin of the
+  // CacheCapacityBytes fix — partition counts must stay exact integers).
+  ClusterConfig config = SmallCluster(4);
+  config.num_instances = size_t{1} << 32;
+  config.cores_per_instance = size_t{1} << 32;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallCluster(4);
+  config.num_instances = size_t{1} << 40;
+  config.cores_per_instance = size_t{1} << 20;
+  config.partitions_per_core = size_t{1} << 10;
+  EXPECT_FALSE(config.Validate().ok());
+  EXPECT_TRUE(SmallCluster(4).Validate().ok());
+}
+
+TEST(ClusterConfigTest, ValidateRejectsBadOverlapEfficiency) {
+  ClusterConfig config = SmallCluster(4);
+  config.overlap_efficiency = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config.overlap_efficiency = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+  config.overlap_efficiency = 0.0;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ClusterConfigTest, CalibrateFromMeasuredReplacesConstants) {
+  ClusterConfig config = SmallCluster(2);
+  const double analytic_spill = config.spill_read_bytes_per_sec;
+
+  JobStats measured;
+  measured.instance_exec.resize(2);
+  for (InstanceExecStats& instance : measured.instance_exec) {
+    instance.cached.passes = 10;
+    instance.cached.prefetch_bytes = 100ull << 20;
+    instance.cached.compute_seconds = 0.8;
+    instance.cached.retire_seconds = 0.2;
+    instance.cached.prefetch_hits = 90;
+    instance.cached.stalls = 10;
+    instance.cached.drive_seconds = 1.2;
+    instance.spilled.passes = 10;
+    instance.spilled.prefetch_bytes = 50ull << 20;
+    instance.spilled.compute_seconds = 0.9;  // includes fault-wait time
+    instance.spilled.prefetch_seconds = 1.0;  // real read time
+    instance.spilled.stalls = 30;
+    instance.spilled.prefetch_hits = 10;
+    instance.spilled.drive_seconds = 1.4;
+  }
+  ASSERT_TRUE(config.CalibrateFromMeasured(measured).ok());
+  EXPECT_TRUE(config.calibrated_from_measurement);
+  // No hardcoded spill constant on the calibrated path: the fitted
+  // bandwidth is the spilled partitions' measured prefetch throughput
+  // (2 instances x 50 MiB over 2 s of read time = 50 MiB/s).
+  EXPECT_NE(config.spill_read_bytes_per_sec, analytic_spill);
+  EXPECT_NEAR(config.spill_read_bytes_per_sec,
+              static_cast<double>(100ull << 20) / 2.0, 1.0);
+  // Overlap = hit fraction of classified chunks: (180+20)/(180+20+20+60).
+  EXPECT_NEAR(config.overlap_efficiency, 200.0 / 280.0, 1e-12);
+  // Local CPU cost comes from the CACHED class only (warm pages — its
+  // compute seconds carry no storage-fault wait): 2 x (0.8 + 0.2) s over
+  // 2 x 100 MiB. The spilled class's fault-inflated 0.9 s/instance must
+  // not leak into the CPU term (it is charged as spill I/O instead).
+  EXPECT_NEAR(config.local_cpu_seconds_per_byte,
+              2.0 / static_cast<double>(200ull << 20), 1e-15);
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ClusterConfigTest, CalibrateFromMeasuredRejectsUnmeasuredRuns) {
+  ClusterConfig config = SmallCluster(2);
+  JobStats empty;
+  EXPECT_FALSE(config.CalibrateFromMeasured(empty).ok());
+  EXPECT_FALSE(config.calibrated_from_measurement);
+  empty.instance_exec.resize(2);  // present but never driven
+  EXPECT_FALSE(config.CalibrateFromMeasured(empty).ok());
 }
 
 TEST(SparkClusterTest, LrGradientMatchesSingleMachine) {
@@ -272,14 +370,24 @@ TEST(JobStatsTest, AccumulateSums) {
   a.simulated_seconds = 1;
   a.jobs = 2;
   a.bytes_over_network = 100;
+  a.measured_exec_seconds = 0.5;
+  a.predicted_exec_seconds = 0.75;
   b.simulated_seconds = 2;
   b.jobs = 3;
   b.bytes_over_network = 50;
+  b.measured_exec_seconds = 1.5;
+  b.predicted_exec_seconds = 0.25;
   a.Accumulate(b);
   EXPECT_DOUBLE_EQ(a.simulated_seconds, 3.0);
   EXPECT_EQ(a.jobs, 5u);
   EXPECT_EQ(a.bytes_over_network, 150u);
+  EXPECT_DOUBLE_EQ(a.measured_exec_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(a.predicted_exec_seconds, 1.0);
   EXPECT_NE(a.ToString().find("jobs=5"), std::string::npos);
+  // The calibrated-prediction line appears once a prediction exists.
+  EXPECT_NE(a.ToString().find("calibrated prediction"), std::string::npos);
+  EXPECT_EQ(JobStats().ToString().find("calibrated prediction"),
+            std::string::npos);
 }
 
 }  // namespace

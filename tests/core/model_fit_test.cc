@@ -1,0 +1,259 @@
+// The calibration loop: measured PipelineStats -> FitFromStats ->
+// calibrated PerfModelParams -> prediction -> residual.
+//
+// The round-trip tests feed synthetic stats generated from known
+// parameters and expect the fit to recover them exactly; the end-to-end
+// test calibrates from real measured engine passes over a generated
+// dataset and expects the calibrated model to predict a second measured
+// run within a (generous — CI timers are noisy) tolerance.
+
+#include "core/model_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "exec/chunk_pipeline.h"
+#include "exec/chunk_schedule.h"
+#include "io/file.h"
+#include "io/mmap_file.h"
+#include "la/chunker.h"
+
+namespace m3 {
+namespace {
+
+// Synthetic stats internally consistent with (cpu_spb, disk_bw, eff):
+// one logical dataset of `bytes`, scanned once, with io-dominated timing.
+exec::PipelineStats SyntheticStats(uint64_t bytes, double cpu_spb,
+                                   double disk_bw, double efficiency) {
+  exec::PipelineStats stats;
+  stats.passes = 1;
+  stats.chunks = 64;
+  stats.prefetches = 64;
+  stats.prefetch_bytes = bytes;
+  stats.prefetch_hits = 40;
+  stats.stalls = 20;
+  stats.stall_bytes = bytes / 4;
+  stats.prefetch_unclassified = 4;
+  stats.compute_seconds = cpu_spb * static_cast<double>(bytes) * 0.7;
+  stats.retire_seconds = cpu_spb * static_cast<double>(bytes) * 0.3;
+  stats.prefetch_seconds = static_cast<double>(bytes) / disk_bw;
+  const double cpu = cpu_spb * static_cast<double>(bytes);
+  const double io = stats.prefetch_seconds;
+  stats.drive_seconds = CombineOverlap(cpu, io, efficiency);
+  return stats;
+}
+
+TEST(FitFromStatsTest, RoundTripRecoversKnownParameters) {
+  const uint64_t bytes = 1ull << 30;
+  const double cpu_spb = 2e-9;   // cpu ~ 2.15 s
+  const double disk_bw = 200e6;  // io ~ 5.4 s (io-bound)
+  const double efficiency = 0.75;
+  const exec::PipelineStats stats =
+      SyntheticStats(bytes, cpu_spb, disk_bw, efficiency);
+
+  FitOptions options;
+  options.ram_bytes = 4ull << 30;
+  auto fit = FitFromStats(stats, bytes, options);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  const ModelFitResult& result = fit.value();
+
+  EXPECT_NEAR(result.params.cpu_seconds_per_byte, cpu_spb, cpu_spb * 1e-9);
+  EXPECT_NEAR(result.params.disk_read_bytes_per_sec, disk_bw,
+              disk_bw * 1e-9);
+  EXPECT_FALSE(result.disk_bandwidth_from_fallback);
+  EXPECT_NEAR(result.params.overlap_efficiency, efficiency, 1e-9);
+  EXPECT_EQ(result.params.ram_bytes, options.ram_bytes);
+  EXPECT_DOUBLE_EQ(result.params.pass_overhead_seconds, 0.0);
+  // Internally consistent input => zero self-residual.
+  EXPECT_NEAR(result.residual_seconds, 0.0, 1e-9);
+  EXPECT_NEAR(result.relative_residual, 0.0, 1e-9);
+  EXPECT_NEAR(result.stall_byte_fraction, 0.25, 1e-12);
+}
+
+TEST(FitFromStatsTest, CpuBoundRunRecoversOverlapToo) {
+  const uint64_t bytes = 1ull << 28;
+  const exec::PipelineStats stats =
+      SyntheticStats(bytes, /*cpu_spb=*/4e-8, /*disk_bw=*/400e6,
+                     /*efficiency=*/0.5);
+  auto fit = FitFromStats(stats, bytes, FitOptions());
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().params.overlap_efficiency, 0.5, 1e-9);
+  EXPECT_NEAR(fit.value().params.cpu_seconds_per_byte, 4e-8, 1e-15);
+}
+
+TEST(FitFromStatsTest, NoStallsKeepsFallbackBandwidth) {
+  exec::PipelineStats stats =
+      SyntheticStats(1ull << 20, 1e-8, 100e6, 1.0);
+  stats.stalls = 0;  // the disk always won: bandwidth only bounded below
+  stats.stall_bytes = 0;
+  FitOptions options;
+  options.fallback_disk_bytes_per_sec = 123e6;
+  auto fit = FitFromStats(stats, 1ull << 20, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit.value().disk_bandwidth_from_fallback);
+  EXPECT_DOUBLE_EQ(fit.value().params.disk_read_bytes_per_sec, 123e6);
+}
+
+TEST(FitFromStatsTest, OverheadAttributionIsOptIn) {
+  // drive = cpu + io + passes * overhead: outside the overlap family.
+  exec::PipelineStats stats;
+  stats.passes = 2;
+  stats.chunks = 8;
+  stats.compute_seconds = 1.0;
+  stats.prefetch_seconds = 0.5;
+  stats.drive_seconds = 2.0;  // 1.0 + 0.5 + 2 * 0.25
+  const uint64_t bytes = 1ull << 20;
+
+  auto plain = FitFromStats(stats, bytes, FitOptions());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_DOUBLE_EQ(plain.value().params.overlap_efficiency, 0.0);
+  EXPECT_LT(plain.value().overlap_raw, 0.0);
+  EXPECT_DOUBLE_EQ(plain.value().params.pass_overhead_seconds, 0.0);
+  // Without overhead fitting the residual reports the unmodeled 0.5 s.
+  EXPECT_NEAR(plain.value().residual_seconds, -0.5, 1e-9);
+  EXPECT_NEAR(plain.value().relative_residual, 0.25, 1e-9);
+
+  FitOptions with_overhead;
+  with_overhead.fit_pass_overhead = true;
+  auto fitted = FitFromStats(stats, bytes, with_overhead);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted.value().params.pass_overhead_seconds, 0.25, 1e-9);
+  EXPECT_NEAR(fitted.value().residual_seconds, 0.0, 1e-9);
+}
+
+TEST(FitFromStatsTest, RejectsEmptyOrTimerlessStats) {
+  exec::PipelineStats stats;
+  EXPECT_FALSE(FitFromStats(stats, 1 << 20).ok());  // no passes
+  stats.passes = 1;
+  EXPECT_FALSE(FitFromStats(stats, 0).ok());  // no bytes
+  EXPECT_FALSE(FitFromStats(stats, 1 << 20).ok());  // no drive time
+  stats.drive_seconds = 1.0;
+  EXPECT_FALSE(FitFromStats(stats, 1 << 20).ok());  // no compute time
+  stats.compute_seconds = 0.5;
+  EXPECT_TRUE(FitFromStats(stats, 1 << 20).ok());
+}
+
+TEST(MeasuredReadBandwidthTest, PrefersPrefetchTimingThenDriveLeftover) {
+  exec::PipelineStats stats;
+  stats.stalls = 4;
+  stats.prefetch_bytes = 100 << 20;
+  stats.prefetch_seconds = 1.0;  // pread-style: real read time
+  stats.compute_seconds = 0.2;
+  stats.drive_seconds = 1.1;
+  EXPECT_NEAR(MeasuredReadBandwidth(stats, 1e9),
+              static_cast<double>(100 << 20), 1.0);
+
+  // madvise-style: WILLNEED returns before the I/O, so the read time
+  // shows up as drive time not covered by compute.
+  stats.prefetch_seconds = 0.001;
+  stats.drive_seconds = 2.2;  // 2.0 s of waiting beyond compute
+  EXPECT_NEAR(MeasuredReadBandwidth(stats, 1e9),
+              static_cast<double>(100 << 20) / 2.0, 1.0);
+}
+
+TEST(MeasuredReadBandwidthTest, NoStallEvidenceReturnsFallback) {
+  exec::PipelineStats stats;
+  stats.prefetch_bytes = 1 << 20;
+  stats.prefetch_seconds = 1.0;
+  EXPECT_DOUBLE_EQ(MeasuredReadBandwidth(stats, 42.0), 42.0);  // stalls=0
+  stats.stalls = 3;
+  stats.prefetch_bytes = 0;
+  EXPECT_DOUBLE_EQ(MeasuredReadBandwidth(stats, 42.0), 42.0);  // no bytes
+}
+
+// ---------------------------------------------------------------------------
+// End to end: calibrate on measured engine passes, predict a second
+// measured run.
+// ---------------------------------------------------------------------------
+
+class ModelFitE2ETest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/m3_model_fit_" +
+           std::to_string(::getpid());
+    ASSERT_TRUE(io::MakeDirs(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ModelFitE2ETest, CalibratedModelPredictsMeasuredRun) {
+  // A tier-1-sized dataset: 8 MiB of doubles, scanned warm so the
+  // measurement is CPU-bound and reproducible (the cold regime depends
+  // on the CI host's filesystem and is exercised by the slow suite).
+  const size_t kRows = 16384, kCols = 64;
+  const uint64_t kBytes = kRows * kCols * sizeof(double);
+  const std::string path = dir_ + "/data.bin";
+  {
+    std::vector<double> values(kRows * kCols);
+    std::iota(values.begin(), values.end(), 0.0);
+    std::string blob(reinterpret_cast<const char*>(values.data()),
+                     values.size() * sizeof(double));
+    ASSERT_TRUE(io::WriteStringToFile(path, blob).ok());
+  }
+  io::MemoryMappedFile mapped = io::MemoryMappedFile::Map(path).ValueOrDie();
+  mapped.TouchAllPages();
+
+  exec::PipelineOptions options;
+  options.readahead_chunks = 2;
+  exec::ChunkPipeline pipeline({&mapped, 0, kCols * sizeof(double)},
+                               options);
+  const la::RowChunker chunker(kRows, 1024);
+  const double* data = mapped.As<const double>();
+  volatile double sink = 0;
+  auto scan = [&](size_t passes) {
+    for (size_t pass = 0; pass < passes; ++pass) {
+      pipeline.Run(chunker, [&](size_t, size_t begin, size_t end) {
+        double sum = 0;
+        for (size_t r = begin; r < end; ++r) {
+          for (size_t c = 0; c < kCols; ++c) {
+            const double v = data[r * kCols + c];
+            sum += v * v;
+          }
+        }
+        sink = sink + sum;
+      });
+    }
+  };
+
+  scan(1);  // settle page tables / branch predictors before calibrating
+  pipeline.ConsumeStats();
+
+  const size_t kPasses = 3;
+  scan(kPasses);
+  const exec::PipelineStats calibration = pipeline.ConsumeStats();
+  ASSERT_EQ(calibration.passes, kPasses);
+
+  auto fit = FitFromStats(calibration, kPasses * kBytes, FitOptions());
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_GT(fit.value().params.cpu_seconds_per_byte, 0.0);
+
+  // Predict a second, identically-shaped measured run. The dataset is in
+  // RAM, so the prediction is the CPU term (+ fitted overlap of the
+  // near-zero prefetch stage); tolerate generous CI timer noise — the
+  // point is that the calibrated model lands in the right ballpark, not
+  // nanosecond agreement.
+  scan(kPasses);
+  const exec::PipelineStats measured = pipeline.ConsumeStats();
+  const PerfModel model(fit.value().params);
+  const double predicted =
+      model.PredictPass(kBytes).seconds * static_cast<double>(kPasses);
+  EXPECT_GT(predicted, measured.drive_seconds / 3.0)
+      << "calibrated prediction " << predicted << "s vs measured "
+      << measured.drive_seconds << "s";
+  EXPECT_LT(predicted, measured.drive_seconds * 3.0)
+      << "calibrated prediction " << predicted << "s vs measured "
+      << measured.drive_seconds << "s";
+}
+
+}  // namespace
+}  // namespace m3

@@ -83,6 +83,62 @@ TEST(PerfModelTest, PassOverheadAdds) {
               10.0, 1e-9);
 }
 
+TEST(PerfModelTest, OverlapEfficiencyInterpolatesMaxToSum) {
+  EXPECT_DOUBLE_EQ(CombineOverlap(3.0, 2.0, 1.0), 3.0);  // perfect: max
+  EXPECT_DOUBLE_EQ(CombineOverlap(3.0, 2.0, 0.0), 5.0);  // serial: sum
+  EXPECT_DOUBLE_EQ(CombineOverlap(3.0, 2.0, 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(CombineOverlap(2.0, 3.0, 0.5), 4.0);  // symmetric
+  EXPECT_DOUBLE_EQ(CombineOverlap(0.0, 3.0, 0.25), 3.0);  // nothing to hide
+
+  PerfModelParams params = PaperLikeParams();
+  params.overlap_efficiency = 0.5;
+  PerfModel model(params);
+  const uint64_t bytes = 190ull << 30;  // out-of-core: both terms nonzero
+  const PassPrediction pass = model.PredictPass(bytes);
+  EXPECT_NEAR(pass.seconds,
+              CombineOverlap(pass.cpu_seconds, pass.io_seconds, 0.5), 1e-9);
+  // Less overlap can only make the pass slower than the perfect-overlap
+  // default.
+  EXPECT_GT(pass.seconds, PerfModel(PaperLikeParams())
+                              .PredictPass(bytes)
+                              .seconds);
+}
+
+TEST(PerfModelTest, ColdPassSharesSteadyAccounting) {
+  // The cold-pass regression: PredictRun used to hand-roll the cold pass
+  // as max(cpu, io) + overhead, which silently disagreed with
+  // PredictPass once the fitted overlap term existed. Both predictions
+  // now run through one combine path, so for an out-of-core dataset
+  // (every pass reads everything) cold and steady must agree exactly —
+  // overlap, overhead and all.
+  PerfModelParams params = PaperLikeParams();
+  params.overlap_efficiency = 0.6;
+  params.pass_overhead_seconds = 1.5;
+  PerfModel model(params);
+  const uint64_t bytes = 190ull << 30;  // exceeds RAM
+  const PassPrediction cold = model.PredictColdPass(bytes);
+  const PassPrediction steady = model.PredictPass(bytes);
+  EXPECT_DOUBLE_EQ(cold.seconds, steady.seconds);
+  EXPECT_EQ(cold.miss_bytes, steady.miss_bytes);
+  // And a run is exactly one cold pass plus steady passes.
+  EXPECT_NEAR(model.PredictRun(bytes, 4),
+              cold.seconds + 3 * steady.seconds, 1e-9);
+
+  // In-RAM, the cold pass still reads everything — with the overlap
+  // formula, not a bare max.
+  const uint64_t small = 1ull << 30;
+  const PassPrediction cold_small = model.PredictColdPass(small);
+  EXPECT_EQ(cold_small.miss_bytes, small);
+  EXPECT_NEAR(cold_small.seconds,
+              CombineOverlap(cold_small.cpu_seconds, cold_small.io_seconds,
+                             0.6) +
+                  params.pass_overhead_seconds,
+              1e-9);
+  EXPECT_NEAR(model.PredictRun(small, 3),
+              cold_small.seconds + 2 * model.PredictPass(small).seconds,
+              1e-9);
+}
+
 TEST(PerfModelTest, FitRecoversConstant) {
   // If a 2 GiB dataset took 20 s over 10 passes, cpu cost is 1e-9 s/B.
   const double fitted =

@@ -74,13 +74,15 @@ TEST_F(JsonReporterTest, WritesParseableJsonWithHostileNames) {
   exec.prefetches = 7;
   exec.prefetch_hits = 4;
   exec.stalls = 1;
+  exec.stall_bytes = 4096;
   exec.prefetch_unclassified = 2;
   exec.backend_submits = 11;
   exec.backend_completions = 10;
   exec.backend_fallbacks = 5;
   reporter.Add("plain", 0.25, exec);
   reporter.Add("quote\"newline\n", 1.0, exec,
-               {{"spill_refaults", 3}, {"weird\"key", 9}});
+               {{"spill_refaults", 3}, {"weird\"key", 9}},
+               {{"residual_seconds", -0.125}});
   ASSERT_TRUE(reporter.Write(dir_).ok());
 
   const std::string body =
@@ -96,6 +98,8 @@ TEST_F(JsonReporterTest, WritesParseableJsonWithHostileNames) {
   EXPECT_NE(body.find("\"backend_fallbacks\": 5"), std::string::npos);
   EXPECT_NE(body.find("\"spill_refaults\": 3"), std::string::npos);
   EXPECT_NE(body.find("\"weird\\\"key\": 9"), std::string::npos);
+  EXPECT_NE(body.find("\"stall_bytes\": 4096"), std::string::npos);
+  EXPECT_NE(body.find("\"residual_seconds\": -0.125"), std::string::npos);
   // Structural sanity: every unescaped quote is balanced (even count), and
   // braces/brackets match.
   size_t quotes = 0;
@@ -123,6 +127,18 @@ TEST_F(JsonReporterTest, RefusesNonFiniteSeconds) {
   EXPECT_NE(status.message().find("poison"), std::string::npos);
   // Nothing half-written on disk.
   EXPECT_FALSE(io::FileExists(dir_ + "/BENCH_bad_bench.json"));
+}
+
+TEST_F(JsonReporterTest, RefusesNonFiniteExtraDouble) {
+  bench::JsonReporter reporter("bad_fit");
+  io::ExecCounters exec;
+  reporter.Add("fit", 1.0, exec, {},
+               {{"relative_residual",
+                 std::numeric_limits<double>::infinity()}});
+  const util::Status status = reporter.Write(dir_);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("relative_residual"), std::string::npos);
+  EXPECT_FALSE(io::FileExists(dir_ + "/BENCH_bad_fit.json"));
 }
 
 TEST_F(JsonReporterTest, EmptyReporterStillWritesValidDocument) {
