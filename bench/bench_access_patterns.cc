@@ -32,11 +32,14 @@ int Run(int argc, char** argv) {
   int64_t stride = 16;
   std::string dir = "/tmp";
   bool csv = false;
+  std::string trace;
   util::FlagParser flags("Access-pattern x madvise-policy sweep");
   flags.AddInt64("size_mb", &size_mb, "dataset size in MiB");
   flags.AddInt64("stride", &stride, "row stride for the strided pattern");
   flags.AddString("dir", &dir, "scratch directory");
   flags.AddBool("csv", &csv, "emit CSV");
+  flags.AddString("trace", &trace,
+                  "write a Chrome trace-event JSON of the run to this path");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -46,6 +49,7 @@ int Run(int argc, char** argv) {
   }
 
   PrintPreamble("Access patterns x madvise policies");
+  TraceSession trace_session(trace);
   const std::string path = dir + "/m3_patterns.m3";
   const uint64_t images = ImagesForMb(static_cast<uint64_t>(size_mb));
   if (auto st = EnsureDataset(path, images); !st.ok()) {

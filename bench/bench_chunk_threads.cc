@@ -22,10 +22,13 @@ int Run(int argc, char** argv) {
   int64_t size_mb = 48;
   std::string dir = "/tmp";
   bool csv = false;
+  std::string trace;
   util::FlagParser flags("Chunk-size and thread-count ablation");
   flags.AddInt64("size_mb", &size_mb, "dataset size in MiB");
   flags.AddString("dir", &dir, "scratch directory");
   flags.AddBool("csv", &csv, "emit CSV");
+  flags.AddString("trace", &trace,
+                  "write a Chrome trace-event JSON of the run to this path");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -35,6 +38,7 @@ int Run(int argc, char** argv) {
   }
 
   PrintPreamble("Chunk size & thread count ablation");
+  TraceSession trace_session(trace);
   const std::string path = dir + "/m3_chunks.m3";
   if (auto st =
           EnsureDataset(path, ImagesForMb(static_cast<uint64_t>(size_mb)));

@@ -82,6 +82,7 @@ int Run(int argc, char** argv) {
   int64_t workers = 0;
   std::string dir = "/tmp";
   bool csv = false;
+  std::string trace;
   util::FlagParser flags(
       "simulated-cluster partition tasks through per-partition pipelines "
       "under a per-instance RAM budget");
@@ -95,6 +96,8 @@ int Run(int argc, char** argv) {
   flags.AddInt64("workers", &workers, "pipeline workers per partition");
   flags.AddString("dir", &dir, "scratch directory");
   flags.AddBool("csv", &csv, "emit CSV");
+  flags.AddString("trace", &trace,
+                  "write a Chrome trace-event JSON of the run to this path");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -104,6 +107,7 @@ int Run(int argc, char** argv) {
   }
 
   PrintPreamble("cluster overlap: per-partition pipelines in the simulator");
+  TraceSession trace_session(trace);
   const std::string path = dir + "/m3_cluster_overlap.m3";
   if (auto st =
           EnsureDataset(path, ImagesForMb(static_cast<uint64_t>(size_mb)));
@@ -130,6 +134,7 @@ int Run(int argc, char** argv) {
   config.exec.use_pipelines = true;
   config.exec.readahead_chunks = static_cast<size_t>(readahead);
   config.exec.pipeline_workers = static_cast<size_t>(workers);
+  config.exec.trace_path = trace;
   const size_t total_partitions = config.TotalPartitions();
   config.exec.chunk_rows =
       std::max<uint64_t>(1, dataset.rows() / (total_partitions * 8));
@@ -187,10 +192,12 @@ int Run(int argc, char** argv) {
                   : util::StrFormat("%llu", static_cast<unsigned long long>(
                                                 instance.spill_refaults)),
            util::HumanBytes(stats.bytes_evicted)});
+      // Full PipelineStats (not just counters): the per-instance cases
+      // carry stage seconds and the stall/compute duration percentiles.
       reporter.Add(
           util::StrFormat("instance%zu_%s", i,
                           cached ? "cached" : "spilled"),
-          stats.drive_seconds, stats.counters(),
+          stats.drive_seconds, stats,
           {{"spill_refaults", cached ? 0 : instance.spill_refaults},
            {"spill_refault_bytes",
             cached ? 0 : instance.spill_refault_bytes}});

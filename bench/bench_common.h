@@ -9,10 +9,12 @@
 #include "core/m3.h"
 #include "data/dataset.h"
 #include "data/infimnist.h"
+#include "exec/pipeline_stats.h"
 #include "io/disk_probe.h"
 #include "io/file.h"
 #include "io/io_stats.h"
 #include "io/platform.h"
+#include "obs/trace_session.h"
 #include "util/format.h"
 #include "util/json.h"
 #include "util/stopwatch.h"
@@ -86,8 +88,24 @@ class JsonReporter {
   /// constants) to the case object. A non-finite `seconds` or extra
   /// double poisons the reporter: Write() refuses to emit an unparseable
   /// file and returns the error instead.
+  ///
+  /// Both overloads render the "exec" object through
+  /// exec::PipelineStats::ToJson() — the one serialization of pipeline
+  /// stats. The ExecCounters overload lifts the counters into a stats
+  /// value first (per-stage seconds and duration percentiles read as 0);
+  /// benches that hold a real pipeline should pass its stats() so the
+  /// stall/compute percentiles land in the JSON.
   void Add(const std::string& case_name, double seconds,
            const io::ExecCounters& exec,
+           const std::vector<std::pair<std::string, uint64_t>>& extra = {},
+           const std::vector<std::pair<std::string, double>>& extra_doubles =
+               {}) {
+    Add(case_name, seconds, exec::PipelineStats::FromCounters(exec), extra,
+        extra_doubles);
+  }
+
+  void Add(const std::string& case_name, double seconds,
+           const exec::PipelineStats& stats,
            const std::vector<std::pair<std::string, uint64_t>>& extra = {},
            const std::vector<std::pair<std::string, double>>& extra_doubles =
                {}) {
@@ -100,28 +118,9 @@ class JsonReporter {
       return;
     }
     std::string body = util::StrFormat(
-        "{\"name\": \"%s\", \"seconds\": %s, \"exec\": "
-        "{\"passes\": %llu, \"chunks\": %llu, \"prefetches\": %llu, "
-        "\"prefetch_bytes\": %llu, \"evictions\": %llu, "
-        "\"bytes_evicted\": %llu, \"prefetch_hits\": %llu, "
-        "\"stalls\": %llu, \"stall_bytes\": %llu, "
-        "\"prefetch_unclassified\": %llu, "
-        "\"backend_submits\": %llu, \"backend_completions\": %llu, "
-        "\"backend_fallbacks\": %llu}",
+        "{\"name\": \"%s\", \"seconds\": %s, \"exec\": %s",
         util::JsonEscape(case_name).c_str(), number.value().c_str(),
-        static_cast<unsigned long long>(exec.passes),
-        static_cast<unsigned long long>(exec.chunks),
-        static_cast<unsigned long long>(exec.prefetches),
-        static_cast<unsigned long long>(exec.prefetch_bytes),
-        static_cast<unsigned long long>(exec.evictions),
-        static_cast<unsigned long long>(exec.bytes_evicted),
-        static_cast<unsigned long long>(exec.prefetch_hits),
-        static_cast<unsigned long long>(exec.stalls),
-        static_cast<unsigned long long>(exec.stall_bytes),
-        static_cast<unsigned long long>(exec.prefetch_unclassified),
-        static_cast<unsigned long long>(exec.backend_submits),
-        static_cast<unsigned long long>(exec.backend_completions),
-        static_cast<unsigned long long>(exec.backend_fallbacks));
+        stats.ToJson().c_str());
     for (const auto& [key, value] : extra) {
       body += util::StrFormat(", \"%s\": %llu",
                               util::JsonEscape(key).c_str(),
@@ -168,6 +167,37 @@ class JsonReporter {
   std::string bench_name_;
   std::vector<std::string> cases_;  ///< rendered JSON objects, add order
   util::Status first_error_ = util::Status::OK();
+};
+
+/// \brief RAII wrapper for a bench's --trace flag: starts the global
+/// trace session when `path` is non-empty, writes the trace on scope
+/// exit. Construct it before the measured work; an empty path makes it a
+/// complete no-op.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) {
+      obs::StartGlobalTrace(path_);
+    }
+  }
+
+  ~TraceSession() {
+    if (path_.empty()) {
+      return;
+    }
+    const util::Status status = obs::StopGlobalTraceAndWrite();
+    if (status.ok()) {
+      std::printf("wrote trace %s\n", path_.c_str());
+    } else {
+      std::printf("trace write failed: %s\n", status.ToString().c_str());
+    }
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::string path_;
 };
 
 /// \brief Probes the disk under `dir` once and prints the result.

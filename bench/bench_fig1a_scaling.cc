@@ -39,6 +39,7 @@ int Run(int argc, char** argv) {
   int64_t iterations = 10;
   std::string dir = "/tmp";
   bool csv = false;
+  std::string trace;
   util::FlagParser flags(
       "Fig. 1a: L-BFGS logistic regression runtime vs dataset size");
   flags.AddString("sizes_mb", &sizes_csv, "comma-separated sizes in MiB");
@@ -46,6 +47,8 @@ int Run(int argc, char** argv) {
   flags.AddInt64("iterations", &iterations, "L-BFGS iterations");
   flags.AddString("dir", &dir, "scratch directory");
   flags.AddBool("csv", &csv, "emit CSV instead of aligned tables");
+  flags.AddString("trace", &trace,
+                  "write a Chrome trace-event JSON of the run to this path");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -55,6 +58,7 @@ int Run(int argc, char** argv) {
   }
 
   PrintPreamble("Figure 1a: runtime vs dataset size (L-BFGS LR)");
+  TraceSession trace_session(trace);
   const io::DiskProbeResult disk = ProbeAndPrint(dir, 32ull << 20);
 
   std::vector<uint64_t> sizes_mb;

@@ -44,11 +44,14 @@ int Run(int argc, char** argv) {
   int64_t size_mb = 64;
   std::string dir = "/tmp";
   bool csv = false;
+  std::string trace;
   util::FlagParser flags(
       "Fig. 1b: M3 (one machine) vs simulated 4/8-instance Spark");
   flags.AddInt64("size_mb", &size_mb, "dataset size in MiB (laptop scale)");
   flags.AddString("dir", &dir, "scratch directory");
   flags.AddBool("csv", &csv, "emit CSV instead of aligned tables");
+  flags.AddString("trace", &trace,
+                  "write a Chrome trace-event JSON of the run to this path");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -58,6 +61,7 @@ int Run(int argc, char** argv) {
   }
 
   PrintPreamble("Figure 1b: M3 vs Spark (4 and 8 instances)");
+  TraceSession trace_session(trace);
 
   const std::string path = dir + "/m3_fig1b.m3";
   const uint64_t images = ImagesForMb(static_cast<uint64_t>(size_mb));

@@ -34,6 +34,7 @@ int Run(int argc, char** argv) {
   std::string dir = "/tmp";
   bool csv = false;
   double max_residual = 0.75;
+  std::string trace;
   util::FlagParser flags(
       "PerfModel calibration from measured PipelineStats: fitted "
       "parameters, predicted vs measured drive time, residual gate");
@@ -43,6 +44,8 @@ int Run(int argc, char** argv) {
   flags.AddInt64("iterations", &iterations, "L-BFGS iterations");
   flags.AddString("dir", &dir, "scratch directory (JSON lands here too)");
   flags.AddBool("csv", &csv, "emit CSV");
+  flags.AddString("trace", &trace,
+                  "write a Chrome trace-event JSON of the run to this path");
   flags.AddDouble("max_residual", &max_residual,
                   "fail (exit 1) when the worst relative residual "
                   "exceeds this fraction");
@@ -55,6 +58,7 @@ int Run(int argc, char** argv) {
   }
 
   PrintPreamble("Performance model calibration (measured PipelineStats)");
+  TraceSession trace_session(trace);
   const io::DiskProbeResult disk = ProbeAndPrint(dir, 32ull << 20);
 
   std::vector<uint64_t> sizes_mb;

@@ -85,6 +85,7 @@ int Run(int argc, char** argv) {
   int64_t workers = 2;
   std::string dir = "/tmp";
   std::string backend = "all";
+  std::string trace;
   bool csv = false;
   util::FlagParser flags(
       "serial vs pipelined out-of-core logistic-regression epochs");
@@ -99,6 +100,8 @@ int Run(int argc, char** argv) {
   flags.AddString("dir", &dir, "scratch directory");
   flags.AddString("backend", &backend,
                   "prefetch backend to compare: all|madvise|pread|uring|auto");
+  flags.AddString("trace", &trace,
+                  "write a Chrome trace-event JSON of the run to this path");
   flags.AddBool("csv", &csv, "emit CSV");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -109,6 +112,10 @@ int Run(int argc, char** argv) {
   }
 
   PrintPreamble("pipeline overlap: serial vs prefetch/evict-overlapped");
+  // The trace session wraps every configuration below; each dataset also
+  // carries the path in its options so MappedDataset::Open registers its
+  // mapping with the residency sampler.
+  TraceSession trace_session(trace);
   const std::string path = dir + "/m3_pipeline_overlap.m3";
   if (auto st =
           EnsureDataset(path, ImagesForMb(static_cast<uint64_t>(size_mb)));
@@ -131,6 +138,7 @@ int Run(int argc, char** argv) {
   serial_options.readahead_chunks = 0;
   serial_options.pipeline_workers = 0;
   serial_options.advice = io::Advice::kRandom;
+  serial_options.trace_path = trace;
 
   // One pipelined configuration per prefetch backend; identical except for
   // how the readahead I/O is issued.
@@ -192,6 +200,7 @@ int Run(int argc, char** argv) {
     pipelined_options.pipeline_workers = static_cast<uint64_t>(workers);
     pipelined_options.advice = io::Advice::kSequential;
     pipelined_options.prefetch_backend = kind;
+    pipelined_options.trace_path = trace;
     const EpochResult result =
         RunConfig(path, pipelined_options, static_cast<size_t>(iterations));
     const std::string name =

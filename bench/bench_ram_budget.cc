@@ -19,11 +19,14 @@ int Run(int argc, char** argv) {
   int64_t iterations = 5;
   std::string dir = "/tmp";
   bool csv = false;
+  std::string trace;
   util::FlagParser flags("RAM-budget sweep over a fixed dataset");
   flags.AddInt64("size_mb", &size_mb, "dataset size in MiB");
   flags.AddInt64("iterations", &iterations, "L-BFGS iterations");
   flags.AddString("dir", &dir, "scratch directory");
   flags.AddBool("csv", &csv, "emit CSV");
+  flags.AddString("trace", &trace,
+                  "write a Chrome trace-event JSON of the run to this path");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -33,6 +36,7 @@ int Run(int argc, char** argv) {
   }
 
   PrintPreamble("RAM-budget sweep (Fig. 1a mechanism, other axis)");
+  TraceSession trace_session(trace);
   const std::string path = dir + "/m3_budget_sweep.m3";
   if (auto st =
           EnsureDataset(path, ImagesForMb(static_cast<uint64_t>(size_mb)));

@@ -36,6 +36,11 @@ struct SgdRun {
   double seconds = 0;
   la::Vector weights;
   io::ExecCounters exec;
+  /// Engine runs also carry the pipeline's full stats (per-stage seconds,
+  /// stall/compute duration percentiles) for the bench JSON; hand-rolled
+  /// runs have only the counters.
+  exec::PipelineStats stats;
+  bool has_stats = false;
 };
 
 struct BenchParams {
@@ -169,6 +174,8 @@ SgdRun RunEngine(MappedDataset& dataset, la::ConstVectorView y,
   auto result = ml::Sgd(sgd_options).Minimize(&objective, run.weights.View());
   run.seconds = watch.ElapsedSeconds();
   run.exec = io::GlobalExecCounters() - exec_before;
+  run.stats = pipeline.stats();
+  run.has_stats = true;
   objective.set_pipeline(nullptr);
   if (!result.ok()) {
     std::fprintf(stderr, "SGD failed: %s\n",
@@ -185,6 +192,7 @@ int Run(int argc, char** argv) {
   int64_t readahead = 4;
   std::string dir = "/tmp";
   bool csv = false;
+  std::string trace;
   util::FlagParser flags(
       "hand-rolled vs engine-driven shuffled SGD epochs under a RAM budget");
   flags.AddInt64("size_mb", &size_mb, "dataset size in MiB");
@@ -196,6 +204,8 @@ int Run(int argc, char** argv) {
                  "engine configuration readahead chunks");
   flags.AddString("dir", &dir, "scratch directory");
   flags.AddBool("csv", &csv, "emit CSV");
+  flags.AddString("trace", &trace,
+                  "write a Chrome trace-event JSON of the run to this path");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -205,6 +215,7 @@ int Run(int argc, char** argv) {
   }
 
   PrintPreamble("sgd overlap: hand-rolled loop vs schedule-aware engine");
+  TraceSession trace_session(trace);
   const std::string path = dir + "/m3_sgd_overlap.m3";
   if (auto st =
           EnsureDataset(path, ImagesForMb(static_cast<uint64_t>(size_mb)));
@@ -255,7 +266,13 @@ int Run(int argc, char** argv) {
          util::StrFormat("%llu",
                          static_cast<unsigned long long>(runs[i].exec.stalls)),
          util::HumanBytes(runs[i].exec.bytes_evicted)});
-    reporter.Add(configs[i].name, runs[i].seconds, runs[i].exec);
+    // Engine configs report the pipeline's full stats so the JSON carries
+    // stall/compute duration percentiles next to the counters.
+    if (runs[i].has_stats) {
+      reporter.Add(configs[i].name, runs[i].seconds, runs[i].stats);
+    } else {
+      reporter.Add(configs[i].name, runs[i].seconds, runs[i].exec);
+    }
   }
   table.Print(stdout, csv);
   PrintExecCounters();

@@ -44,11 +44,14 @@ int Run(int argc, char** argv) {
   double cpu_per_core = 4e-10;  // ~2.5 GB/s/core native LR gradient
   int64_t passes = 12;
   bool csv = false;
+  std::string trace;
   util::FlagParser flags("Spark-simulator sensitivity & crossover sweep");
   flags.AddDouble("cpu_per_core", &cpu_per_core,
                   "native CPU seconds per byte per core");
   flags.AddInt64("passes", &passes, "data passes (L-BFGS evaluations)");
   flags.AddBool("csv", &csv, "emit CSV");
+  flags.AddString("trace", &trace,
+                  "write a Chrome trace-event JSON of the run to this path");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -58,6 +61,7 @@ int Run(int argc, char** argv) {
   }
 
   PrintPreamble("Spark baseline sensitivity (paper-scale, analytic)");
+  TraceSession trace_session(trace);
   const uint64_t dataset = 190ull << 30;
 
   // M3 reference: IO-bound out-of-core pass on the paper machine.

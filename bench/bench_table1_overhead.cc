@@ -27,11 +27,14 @@ int Run(int argc, char** argv) {
   int64_t repeats = 3;
   std::string dir = "/tmp";
   bool csv = false;
+  std::string trace;
   util::FlagParser flags("Table 1: in-memory vs memory-mapped overhead");
   flags.AddInt64("size_mb", &size_mb, "dataset size in MiB");
   flags.AddInt64("repeats", &repeats, "timing repetitions (min is kept)");
   flags.AddString("dir", &dir, "scratch directory");
   flags.AddBool("csv", &csv, "emit CSV");
+  flags.AddString("trace", &trace,
+                  "write a Chrome trace-event JSON of the run to this path");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -41,6 +44,7 @@ int Run(int argc, char** argv) {
   }
 
   PrintPreamble("Table 1: adopting M3 — code delta and runtime overhead");
+  TraceSession trace_session(trace);
   std::printf(
       "\ncode delta (from the paper):\n"
       "  original: Mat data(rows, cols);\n"

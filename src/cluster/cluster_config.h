@@ -55,6 +55,12 @@ struct ClusterExecOptions {
   /// shared backend only pools descriptors/buffers, like the shared
   /// thread pools). Results stay bitwise identical under every backend.
   io::PrefetchBackendKind prefetch_backend = io::PrefetchBackendKind::kMadvise;
+
+  /// When non-empty, SparkCluster runs start the process-global trace
+  /// session (obs::StartGlobalTrace) and bracket jobs and partition tasks
+  /// with "cluster"-category spans alongside the per-partition pipelines'
+  /// "exec" spans. Same global-session semantics as M3Options::trace_path.
+  std::string trace_path;
 };
 
 struct JobStats;  // defined below (CalibrateFromMeasured consumes it)

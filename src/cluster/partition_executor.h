@@ -12,6 +12,7 @@
 #include "exec/chunk_schedule.h"
 #include "io/prefetch_backend.h"
 #include "la/chunker.h"
+#include "obs/trace_recorder.h"
 #include "util/thread_pool.h"
 
 namespace m3::cluster {
@@ -74,12 +75,24 @@ class PartitionExecutor {
   /// into `job->instance_exec`.
   template <typename T, typename MapFn, typename ReduceFn>
   void RunJob(MapFn&& map, ReduceFn&& reduce, JobStats* job) {
+    obs::ScopedSpan job_span("cluster", "run_job");
+    if (job_span.armed()) {
+      job_span.AddArg("tasks",
+                      static_cast<uint64_t>(task_order_.num_chunks()));
+    }
     if (job != nullptr && pipelined()) {
       job->instance_exec.resize(config_.num_instances);
     }
     for (size_t pos = 0; pos < task_order_.num_chunks(); ++pos) {
       const size_t index = task_order_.At(pos);
       const Partition& partition = partitions_[index];
+      obs::ScopedSpan task_span("cluster", "partition_task");
+      if (task_span.armed()) {
+        task_span.AddArg("partition", static_cast<uint64_t>(index));
+        task_span.AddArg("instance",
+                         static_cast<uint64_t>(partition.instance));
+        task_span.AddArg("cached", partition.cached ? "true" : "false");
+      }
       exec::ChunkPipeline* pipeline = PreparePartition(index, job);
       const la::RowChunker chunker(partition.rows(), ChunkRowsFor(partition));
       exec::MapReduceChunks<T>(

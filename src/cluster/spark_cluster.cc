@@ -7,6 +7,8 @@
 #include "cluster/partition_executor.h"
 #include "cluster/sim_clock.h"
 #include "la/blas.h"
+#include "obs/trace_recorder.h"
+#include "obs/trace_session.h"
 #include "util/random.h"
 
 namespace m3::cluster {
@@ -36,6 +38,8 @@ class DistributedLrObjective final : public ml::DifferentiableFunction {
 
   double EvaluateWithGradient(la::ConstVectorView w,
                               la::VectorView grad) override {
+    // One gradient evaluation == one driver job (stage boundary).
+    obs::ScopedSpan job_span("cluster", "lr_gradient_job");
     grad.SetZero();
     // Real per-partition gradient tasks: chunk partials computed (possibly
     // on pipeline workers), folded on this thread in the executor's fixed
@@ -147,6 +151,15 @@ Result<DistributedLrResult> SparkCluster::RunLogisticRegression(
   }
   M3_RETURN_IF_ERROR(ValidateRegion(data, x.rows(), x.cols()));
 
+  if (!config_.exec.trace_path.empty()) {
+    obs::StartGlobalTrace(config_.exec.trace_path);
+  }
+  obs::ScopedSpan run_span("cluster", "logistic_regression");
+  if (run_span.armed()) {
+    run_span.AddArg("rows", static_cast<uint64_t>(x.rows()));
+    run_span.AddArg("instances",
+                    static_cast<uint64_t>(config_.num_instances));
+  }
   DistributedLrResult result;
   const uint64_t row_bytes = x.cols() * sizeof(double);
   PartitionExecutor executor(PlanPartitions(x.rows(), row_bytes), config_,
@@ -178,6 +191,14 @@ Result<DistributedKMeansResult> SparkCluster::RunKMeans(
   }
   M3_RETURN_IF_ERROR(ValidateRegion(data, n, d));
 
+  if (!config_.exec.trace_path.empty()) {
+    obs::StartGlobalTrace(config_.exec.trace_path);
+  }
+  obs::ScopedSpan run_span("cluster", "kmeans");
+  if (run_span.armed()) {
+    run_span.AddArg("rows", static_cast<uint64_t>(n));
+    run_span.AddArg("k", static_cast<uint64_t>(k));
+  }
   DistributedKMeansResult result;
   const uint64_t row_bytes = d * sizeof(double);
   PartitionExecutor executor(PlanPartitions(n, row_bytes), config_, data);
@@ -207,6 +228,10 @@ Result<DistributedKMeansResult> SparkCluster::RunKMeans(
   };
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    obs::ScopedSpan iter_span("cluster", "kmeans_iteration");
+    if (iter_span.armed()) {
+      iter_span.AddArg("iteration", static_cast<uint64_t>(iter));
+    }
     sums.SetZero();
     std::fill(counts.begin(), counts.end(), 0);
     double inertia = 0;

@@ -1,5 +1,6 @@
 #include "core/mapped_dataset.h"
 
+#include "obs/trace_session.h"
 
 namespace m3 {
 
@@ -18,6 +19,17 @@ Result<MappedDataset> MappedDataset::Open(const std::string& path,
       std::make_unique<io::MemoryMappedFile>(std::move(mapping)), meta,
       options);
   M3_RETURN_IF_ERROR(dataset.Advise(options.advice));
+  // Tracing is process-global: the first dataset opened with a trace path
+  // starts the session; any dataset opened while a session is active joins
+  // the residency sampler so its resident-bytes show up as a counter track.
+  if (!options.trace_path.empty()) {
+    obs::StartGlobalTrace(options.trace_path);
+  }
+  if (obs::GlobalTraceActive()) {
+    dataset.trace_registration_ =
+        std::make_unique<obs::ScopedMappingRegistration>(
+            dataset.mapping_.get());
+  }
   return dataset;
 }
 

@@ -11,6 +11,7 @@
 #include "exec/chunk_pipeline.h"
 #include "io/mmap_file.h"
 #include "la/chunker.h"
+#include "obs/residency_sampler.h"
 #include "la/matrix.h"
 #include "ml/objective.h"
 #include "util/result.h"
@@ -142,6 +143,9 @@ class MappedDataset {
   M3Options options_;
   std::unique_ptr<RamBudgetEmulator> budget_;
   std::unique_ptr<exec::ChunkPipeline> pipeline_;
+  /// Set while the global trace session is active: the residency sampler
+  /// tracks this dataset's mincore-resident bytes for its lifetime.
+  std::unique_ptr<obs::ScopedMappingRegistration> trace_registration_;
   size_t scan_passes_ = 0;  ///< ForEachChunk/MapReduceChunks passes
 };
 

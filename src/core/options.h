@@ -2,6 +2,7 @@
 #define M3_CORE_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "exec/chunk_schedule.h"
 #include "io/mmap_file.h"
@@ -85,6 +86,17 @@ struct M3Options {
   /// interleaved consumers each scan their own residue class first — the
   /// cluster simulator uses stride = instance count, offset = instance id.
   uint64_t scan_stride_offset = 0;
+
+  /// When non-empty, MappedDataset::Open starts the process-global trace
+  /// session (obs::StartGlobalTrace): pipeline stage spans and residency
+  /// counter tracks are recorded and written to this path as Chrome
+  /// trace-event JSON at obs::StopGlobalTraceAndWrite (or process exit).
+  /// The dataset's mapping is registered with the residency sampler for
+  /// its lifetime. Tracing is process-global: the first non-empty path
+  /// wins; later Opens join the running session. Empty (the default)
+  /// records nothing and costs one predicted branch per span site —
+  /// see docs/OBSERVABILITY.md.
+  std::string trace_path;
 };
 
 }  // namespace m3

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "io/io_stats.h"
+#include "obs/trace_recorder.h"
 #include "util/logging.h"
 
 namespace m3 {
@@ -53,6 +54,12 @@ void RamBudgetEmulator::OnChunk(size_t row_begin, size_t row_end) {
   }
   const uint64_t offset = base_offset_ + evict_cursor_;
   const uint64_t length = evict_end - evict_cursor_;
+  // The emulator is the evict stage of trainer-driven scans, so it traces
+  // under the same span name as the pipeline's background evictor.
+  obs::ScopedSpan span("exec", "evict");
+  if (span.armed()) {
+    span.AddArg("bytes", length);
+  }
   // Best effort: an eviction failure only weakens the emulation.
   util::Status status = mapping_->Evict(offset, length);
   if (status.ok()) {

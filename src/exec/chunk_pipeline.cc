@@ -6,10 +6,35 @@
 #include <vector>
 
 #include "io/io_stats.h"
+#include "obs/trace_recorder.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace m3::exec {
+
+namespace {
+
+/// Static-storage backend name for trace args (TraceArg string values
+/// must outlive the events; PrefetchBackendKindToString's string_view is
+/// not guaranteed NUL-terminated).
+const char* BackendTraceName(const io::PrefetchBackend* backend) {
+  if (backend == nullptr) {
+    return "none";
+  }
+  switch (backend->kind()) {
+    case io::PrefetchBackendKind::kMadvise:
+      return "madvise";
+    case io::PrefetchBackendKind::kPread:
+      return "pread";
+    case io::PrefetchBackendKind::kUring:
+      return "uring";
+    case io::PrefetchBackendKind::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 ChunkPipeline::ChunkPipeline(PipelineOptions options)
     : ChunkPipeline(MappedRegion(), std::move(options)) {}
@@ -82,6 +107,13 @@ void ChunkPipeline::RequestPrefetchThrough(const la::RowChunker& chunker,
     const uint64_t length = range.size() * region_.row_bytes;
     const io::MemoryMappedFile* mapping = region_.mapping;
     io_pool_->Submit([this, mapping, offset, length, pos] {
+      obs::NameThisThread("pipeline-io");
+      obs::ScopedSpan span("exec", "prefetch");
+      if (span.armed()) {
+        span.AddArg("position", static_cast<uint64_t>(pos));
+        span.AddArg("bytes", static_cast<uint64_t>(length));
+        span.AddArg("backend", BackendTraceName(backend_));
+      }
       util::Stopwatch watch;
       // Best effort: a failed prefetch only loses overlap, never data.
       io::PrefetchOutcome outcome;
@@ -90,6 +122,9 @@ void ChunkPipeline::RequestPrefetchThrough(const la::RowChunker& chunker,
         outcome = result.value();
       }
       const double elapsed = watch.ElapsedSeconds();
+      if (span.armed()) {
+        span.AddArg("submits", static_cast<uint64_t>(outcome.submits));
+      }
       prefetched_through_.store(pos + 1, std::memory_order_release);
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.prefetches;
@@ -119,11 +154,21 @@ void ChunkPipeline::RunMapStage(const ScheduledChunkFn& map, size_t position,
   if (racing) {
     hit = prefetched_through_.load(std::memory_order_acquire) > position;
   }
+  obs::ScopedSpan span("exec", "compute");
+  if (span.armed()) {
+    span.AddArg("position", static_cast<uint64_t>(position));
+    span.AddArg("chunk", static_cast<uint64_t>(chunk));
+    span.AddArg("rows", static_cast<uint64_t>(row_end - row_begin));
+    if (prefetching) {
+      span.AddArg("race", racing ? (hit ? "hit" : "stall") : "warmup");
+    }
+  }
   util::Stopwatch watch;
   map(position, chunk, row_begin, row_end);
   const double elapsed = watch.ElapsedSeconds();
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.compute_seconds += elapsed;
+  stats_.compute_duration.Add(elapsed);
   if (racing) {
     if (hit) {
       ++stats_.prefetch_hits;
@@ -131,6 +176,9 @@ void ChunkPipeline::RunMapStage(const ScheduledChunkFn& map, size_t position,
       ++stats_.stalls;
       stats_.stall_bytes +=
           static_cast<uint64_t>(row_end - row_begin) * region_.row_bytes;
+      // The map stage touches the pages here, so its wall time carries the
+      // unhidden fault-service cost — the stall's per-chunk duration.
+      stats_.stall_duration.Add(elapsed);
     }
   } else if (prefetching) {
     ++stats_.prefetch_unclassified;
@@ -150,6 +198,7 @@ void ChunkPipeline::ClassifyRetireRace(size_t position,
   const bool racing = position >= stall_classify_from_;
   const bool hit =
       prefetched_through_.load(std::memory_order_acquire) > position;
+  last_retire_race_ = racing ? (hit ? "hit" : "stall") : "warmup";
   std::lock_guard<std::mutex> lock(stats_mu_);
   if (!racing) {
     ++stats_.prefetch_unclassified;
@@ -164,11 +213,27 @@ void ChunkPipeline::ClassifyRetireRace(size_t position,
 void ChunkPipeline::RunRetireStage(const ScheduledChunkFn& retire,
                                    size_t position, size_t chunk,
                                    size_t row_begin, size_t row_end) {
+  // For RaceStage::kRetire passes this stage touches the pages, so its
+  // wall time is the stalled chunk's duration; consume the classification
+  // ClassifyRetireRace left for this position.
+  const char* race = last_retire_race_;
+  last_retire_race_ = nullptr;
+  obs::ScopedSpan span("exec", "retire");
+  if (span.armed()) {
+    span.AddArg("position", static_cast<uint64_t>(position));
+    span.AddArg("chunk", static_cast<uint64_t>(chunk));
+    if (race != nullptr) {
+      span.AddArg("race", race);
+    }
+  }
   util::Stopwatch watch;
   retire(position, chunk, row_begin, row_end);
   const double elapsed = watch.ElapsedSeconds();
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.retire_seconds += elapsed;
+  if (race != nullptr && race[0] == 's') {  // "stall"
+    stats_.stall_duration.Add(elapsed);
+  }
 }
 
 void ChunkPipeline::EvictRetired(const la::RowChunker::Range& range) {
@@ -200,6 +265,11 @@ void ChunkPipeline::EvictRetired(const la::RowChunker::Range& range) {
     const uint64_t offset = region_.base_offset + rel_offset;
     const io::MemoryMappedFile* mapping = region_.mapping;
     auto evict = [this, mapping, offset, length] {
+      obs::NameThisThread("pipeline-io");
+      obs::ScopedSpan span("exec", "evict");
+      if (span.armed()) {
+        span.AddArg("bytes", static_cast<uint64_t>(length));
+      }
       util::Stopwatch watch;
       util::Status status = mapping->Evict(offset, length);
       const double elapsed = watch.ElapsedSeconds();
@@ -254,6 +324,7 @@ void ChunkPipeline::RunParallel(const la::RowChunker& chunker,
         const la::RowChunker::Range range = chunker.Chunk(chunk);
         in_flight.emplace_back(
             next, compute_pool_->Submit([this, &map, p = next, chunk, range] {
+              obs::NameThisThread("pipeline-worker");
               RunMapStage(map, p, chunk, range.begin, range.end);
             }));
         ++next;
@@ -305,6 +376,16 @@ void ChunkPipeline::Run(const la::RowChunker& chunker,
   M3_CHECK(schedule.num_chunks() == chunker.NumChunks(),
            "schedule covers %zu chunks, chunker has %zu",
            schedule.num_chunks(), chunker.NumChunks());
+  // Marks this pass as in flight for the ExecCounters quiescence contract
+  // (io/io_stats.h): Reset/SetExecCounters CHECK-fail while any pass holds
+  // this guard.
+  const io::ScopedExecCountersPass pass_guard;
+  obs::NameThisThread("driver");
+  obs::ScopedSpan pass_span("exec", "pass");
+  if (pass_span.armed()) {
+    pass_span.AddArg("chunks", static_cast<uint64_t>(chunker.NumChunks()));
+    pass_span.AddArg("workers", static_cast<uint64_t>(options_.num_workers));
+  }
   PipelineStats before;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -367,14 +448,20 @@ void ChunkPipeline::Run(const la::RowChunker& chunker,
   }
   // Report this pass's increments to the process-wide counters.
   io::ExecCounters delta;
+  PipelineStats snapshot;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.passes;
     stats_.chunks += chunker.NumChunks();
     stats_.drive_seconds += watch.ElapsedSeconds();
     delta = stats_.counters() - before.counters();
+    snapshot = stats_;
   }
   io::AddExecCounters(delta);
+  if (obs::TracingEnabled()) {
+    // Same serialization the bench JSON emits, so a trace is self-describing.
+    obs::TraceRecorder::Get().SetMetadata("pipeline_stats", snapshot.ToJson());
+  }
 }
 
 void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,

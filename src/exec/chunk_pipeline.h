@@ -26,6 +26,12 @@
 /// thread. The prefetch backend is only ever driven from the (single) I/O
 /// thread; pipelines sharing pools/backends (cluster simulator) must not
 /// run passes concurrently.
+///
+/// Observability: every stage is bracketed by an obs::ScopedSpan (pass,
+/// prefetch, compute, retire, evict) carrying chunk ids and the hit/stall
+/// race verdict, so a `--trace=FILE` run shows the overlap — or the
+/// bubble — on a timeline. Free when tracing is off; see
+/// docs/OBSERVABILITY.md.
 
 #include <atomic>
 #include <cstdint>
@@ -277,6 +283,11 @@ class ChunkPipeline {
   size_t stall_classify_from_ = 0;
   /// The stage judging this pass's hit/stall race (set per Run()).
   RaceStage race_stage_ = RaceStage::kMap;
+  /// RaceStage::kRetire only: the classification ClassifyRetireRace just
+  /// made for the position about to retire — lets RunRetireStage attribute
+  /// the retire duration to the stall histogram and tag its trace span.
+  /// Driver thread only; "hit"/"stall"/"warmup" or null between chunks.
+  const char* last_retire_race_ = nullptr;
 
   mutable std::mutex stats_mu_;
   PipelineStats stats_;

@@ -23,6 +23,8 @@ PipelineStats& PipelineStats::operator+=(const PipelineStats& rhs) {
   retire_seconds += rhs.retire_seconds;
   evict_seconds += rhs.evict_seconds;
   drive_seconds += rhs.drive_seconds;
+  compute_duration.Merge(rhs.compute_duration);
+  stall_duration.Merge(rhs.stall_duration);
   return *this;
 }
 
@@ -47,6 +49,24 @@ io::ExecCounters PipelineStats::counters() const {
   out.backend_submits = backend_submits;
   out.backend_completions = backend_completions;
   out.backend_fallbacks = backend_fallbacks;
+  return out;
+}
+
+PipelineStats PipelineStats::FromCounters(const io::ExecCounters& counters) {
+  PipelineStats out;
+  out.passes = counters.passes;
+  out.chunks = counters.chunks;
+  out.prefetches = counters.prefetches;
+  out.prefetch_bytes = counters.prefetch_bytes;
+  out.evictions = counters.evictions;
+  out.bytes_evicted = counters.bytes_evicted;
+  out.prefetch_hits = counters.prefetch_hits;
+  out.stalls = counters.stalls;
+  out.stall_bytes = counters.stall_bytes;
+  out.prefetch_unclassified = counters.prefetch_unclassified;
+  out.backend_submits = counters.backend_submits;
+  out.backend_completions = counters.backend_completions;
+  out.backend_fallbacks = counters.backend_fallbacks;
   return out;
 }
 
@@ -78,6 +98,43 @@ std::string PipelineStats::ToString() const {
       static_cast<unsigned long long>(backend_fallbacks),
       drive_seconds, compute_seconds,
       retire_seconds, prefetch_seconds, evict_seconds);
+}
+
+std::string PipelineStats::ToJson() const {
+  // %.9f: per-chunk percentiles sit in the tens-of-microseconds range on
+  // test datasets; the bench JSON's usual %.6f would round them to zero.
+  return util::StrFormat(
+      "{\"passes\": %llu, \"chunks\": %llu, \"prefetches\": %llu, "
+      "\"prefetch_bytes\": %llu, \"evictions\": %llu, "
+      "\"bytes_evicted\": %llu, \"prefetch_hits\": %llu, "
+      "\"stalls\": %llu, \"stall_bytes\": %llu, "
+      "\"prefetch_unclassified\": %llu, "
+      "\"backend_submits\": %llu, \"backend_completions\": %llu, "
+      "\"backend_fallbacks\": %llu, "
+      "\"prefetch_seconds\": %.9f, \"compute_seconds\": %.9f, "
+      "\"retire_seconds\": %.9f, \"evict_seconds\": %.9f, "
+      "\"drive_seconds\": %.9f, "
+      "\"compute_p50\": %.9f, \"compute_p95\": %.9f, "
+      "\"compute_p99\": %.9f, "
+      "\"stall_p50\": %.9f, \"stall_p95\": %.9f, \"stall_p99\": %.9f}",
+      static_cast<unsigned long long>(passes),
+      static_cast<unsigned long long>(chunks),
+      static_cast<unsigned long long>(prefetches),
+      static_cast<unsigned long long>(prefetch_bytes),
+      static_cast<unsigned long long>(evictions),
+      static_cast<unsigned long long>(bytes_evicted),
+      static_cast<unsigned long long>(prefetch_hits),
+      static_cast<unsigned long long>(stalls),
+      static_cast<unsigned long long>(stall_bytes),
+      static_cast<unsigned long long>(prefetch_unclassified),
+      static_cast<unsigned long long>(backend_submits),
+      static_cast<unsigned long long>(backend_completions),
+      static_cast<unsigned long long>(backend_fallbacks),
+      prefetch_seconds, compute_seconds, retire_seconds, evict_seconds,
+      drive_seconds, compute_duration.Percentile(50),
+      compute_duration.Percentile(95), compute_duration.Percentile(99),
+      stall_duration.Percentile(50), stall_duration.Percentile(95),
+      stall_duration.Percentile(99));
 }
 
 }  // namespace m3::exec

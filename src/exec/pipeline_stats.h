@@ -5,6 +5,7 @@
 #include <string>
 
 #include "io/io_stats.h"
+#include "util/histogram.h"
 
 namespace m3::exec {
 
@@ -70,6 +71,22 @@ struct PipelineStats {
   double evict_seconds = 0;     ///< background time inside Evict calls
   double drive_seconds = 0;     ///< wall time of whole passes (end to end)
 
+  /// \name Per-chunk duration distributions (tail visibility: the totals
+  /// above cannot distinguish "every chunk slightly slow" from "a few
+  /// chunks catastrophically stalled", which is exactly what the ROADMAP's
+  /// async-SGD and serving work needs to see).
+  ///
+  /// `compute_duration` samples the map-stage wall seconds of every chunk.
+  /// `stall_duration` samples the wall seconds of the page-touching stage
+  /// of chunks that LOST the prefetch race (map stage for RaceStage::kMap
+  /// scans, retire stage for retire-compute scans) — i.e. compute plus the
+  /// unhidden fault-service time, the honest per-chunk cost of a stall.
+  /// Surfaced as p50/p95/p99 by ToJson() and the bench JsonReporter.
+  /// @{
+  util::Histogram compute_duration;
+  util::Histogram stall_duration;
+  /// @}
+
   PipelineStats& operator+=(const PipelineStats& rhs);
   PipelineStats operator+(const PipelineStats& rhs) const;
 
@@ -78,11 +95,23 @@ struct PipelineStats {
   /// report per-pass deltas without field-by-field copies.
   io::ExecCounters counters() const;
 
+  /// The inverse lift: a PipelineStats carrying only the counter subset
+  /// (seconds and histograms zero). Lets ExecCounters-only callers reuse
+  /// the one JSON serialization below.
+  static PipelineStats FromCounters(const io::ExecCounters& counters);
+
   /// Fraction of prefetch-enabled chunks whose prefetch won the race,
   /// in [0, 1]; 1.0 when the prefetch stage fully hides the disk.
   double PrefetchHitRate() const;
 
   std::string ToString() const;
+
+  /// One JSON object carrying the counters, the per-stage seconds, and
+  /// the duration percentiles — THE serialization of pipeline stats:
+  /// bench JSON ("exec" objects via bench::JsonReporter) and trace
+  /// metadata (obs::TraceRecorder) both emit exactly this, so the schema
+  /// cannot fork. Keys are stable; additions are append-only.
+  std::string ToJson() const;
 };
 
 }  // namespace m3::exec

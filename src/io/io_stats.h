@@ -77,9 +77,46 @@ struct ExecCounters {
 void AddExecCounters(const ExecCounters& delta);
 
 /// \brief Snapshot of the process-wide exec counters.
+///
+/// Always safe to call: the engine publishes whole-pass deltas, so a
+/// snapshot taken while passes are running sees every *completed* pass
+/// and none of the running ones.
 ExecCounters GlobalExecCounters();
 
+/// \name Quiescence contract for Reset/SetExecCounters.
+///
+/// The process-wide counters are a single accumulator shared by every
+/// pipeline. A Reset/Set that lands between a pass's execution and its
+/// end-of-pass AddExecCounters() silently corrupts the totals: the pass's
+/// delta is added on top of the overwritten value, so "reset then
+/// measure" benches would start from a phantom baseline. The contract is
+/// therefore: **Reset/SetExecCounters may only run while no pipeline pass
+/// is in flight.**
+///
+/// The engine enforces it mechanically: every ChunkPipeline::Run()
+/// brackets itself with a ScopedExecCountersPass, and Reset/Set CHECK
+/// that the active-pass count is zero — a mid-pass snapshot-restore
+/// aborts loudly instead of producing corrupt bench JSON.
+/// @{
+
+/// RAII marker for one in-flight pipeline pass (engine-internal; exposed
+/// for any future executor that reports through AddExecCounters).
+class ScopedExecCountersPass {
+ public:
+  ScopedExecCountersPass();
+  ~ScopedExecCountersPass();
+
+  ScopedExecCountersPass(const ScopedExecCountersPass&) = delete;
+  ScopedExecCountersPass& operator=(const ScopedExecCountersPass&) = delete;
+};
+
+/// Number of passes currently in flight (0 = quiescent).
+uint64_t ActiveExecCountersPasses();
+/// @}
+
 /// \brief Resets the process-wide exec counters (bench preambles).
+/// \pre No pipeline pass in flight (CHECK-enforced; see the quiescence
+/// contract above).
 void ResetExecCounters();
 
 /// \brief Overwrites the process-wide exec counters with `value`.
@@ -88,6 +125,8 @@ void ResetExecCounters();
 /// stay invisible to benchmarks — io::ProbePrefetchEfficacy() brackets its
 /// own evictions and faulting reads with GlobalExecCounters() /
 /// SetExecCounters() so bench JSON reflects only the measured pass.
+/// \pre No pipeline pass in flight (CHECK-enforced; see the quiescence
+/// contract above).
 void SetExecCounters(const ExecCounters& value);
 
 /// \brief Page-fault counters from getrusage(2).

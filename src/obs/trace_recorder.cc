@@ -1,0 +1,253 @@
+#include "obs/trace_recorder.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "io/file.h"
+#include "util/format.h"
+#include "util/json.h"
+
+namespace m3::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+uint64_t TraceNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceRecorder& TraceRecorder::Get() {
+  static TraceRecorder* recorder = new TraceRecorder;
+  return *recorder;
+}
+
+void TraceRecorder::Start(const TraceRecorderOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  if (options_.events_per_thread == 0) {
+    options_.events_per_thread = 1;
+  }
+  epoch_ns_ = TraceNowNs();
+  metadata_.clear();
+  for (auto& buffer : buffers_) {
+    buffer->capacity = options_.events_per_thread;
+    buffer->ring.assign(buffer->capacity, TraceEvent());
+    buffer->appended = 0;
+  }
+  internal::g_tracing_enabled.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Stop() {
+  internal::g_tracing_enabled.store(false, std::memory_order_release);
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  // The registry mutex is paid once per thread; every later Append goes
+  // straight to the cached buffer (single writer, no synchronization).
+  thread_local ThreadBuffer* tls_buffer = nullptr;
+  if (tls_buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->capacity = options_.events_per_thread == 0
+                           ? TraceRecorderOptions().events_per_thread
+                           : options_.events_per_thread;
+    buffer->ring.assign(buffer->capacity, TraceEvent());
+    buffer->tid = static_cast<uint32_t>(buffers_.size() + 1);
+    tls_buffer = buffer.get();
+    buffers_.push_back(std::move(buffer));
+  }
+  return tls_buffer;
+}
+
+void TraceRecorder::Append(const TraceEvent& event) {
+  if (!TracingEnabled()) {
+    return;
+  }
+  ThreadBuffer* buffer = BufferForThisThread();
+  buffer->ring[buffer->appended % buffer->capacity] = event;
+  ++buffer->appended;
+}
+
+void TraceRecorder::SetThreadName(const char* name) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  if (buffer->name == nullptr) {
+    buffer->name = name;
+  }
+}
+
+void TraceRecorder::SetMetadata(const std::string& key, std::string json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metadata_[key] = std::move(json);
+}
+
+uint64_t TraceRecorder::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    if (buffer->appended > buffer->capacity) {
+      dropped += buffer->appended - buffer->capacity;
+    }
+  }
+  return dropped;
+}
+
+namespace {
+
+/// Microseconds (Chrome trace unit) relative to the trace epoch, with
+/// nanosecond resolution preserved in the fraction.
+double ToTraceUs(uint64_t ns, uint64_t epoch_ns) {
+  if (ns <= epoch_ns) {
+    return 0.0;
+  }
+  return static_cast<double>(ns - epoch_ns) / 1e3;
+}
+
+void AppendArgsJson(const TraceEvent& event, std::string* out) {
+  for (size_t i = 0; i < event.num_args; ++i) {
+    const TraceArg& arg = event.args[i];
+    out->append(util::StrFormat(
+        "%s\"%s\": ", i == 0 ? "" : ", ",
+        util::JsonEscape(arg.key == nullptr ? "" : arg.key).c_str()));
+    switch (arg.type) {
+      case TraceArg::Type::kUint:
+        out->append(util::StrFormat(
+            "%llu", static_cast<unsigned long long>(arg.uint_value)));
+        break;
+      case TraceArg::Type::kDouble:
+        out->append(util::StrFormat(
+            "%.9f", std::isfinite(arg.double_value) ? arg.double_value : 0.0));
+        break;
+      case TraceArg::Type::kString:
+        out->append(util::StrFormat(
+            "\"%s\"",
+            util::JsonEscape(arg.string_value == nullptr ? ""
+                                                         : arg.string_value)
+                .c_str()));
+        break;
+      case TraceArg::Type::kNone:
+        out->append("null");
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+util::Result<std::string> TraceRecorder::ToJson() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int pid = static_cast<int>(::getpid());
+  std::string out = "{\"displayTimeUnit\": \"ms\"";
+  uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    if (buffer->appended > buffer->capacity) {
+      dropped += buffer->appended - buffer->capacity;
+    }
+  }
+  out += util::StrFormat(", \"dropped_events\": %llu",
+                         static_cast<unsigned long long>(dropped));
+  for (const auto& [key, json] : metadata_) {
+    out += util::StrFormat(", \"%s\": %s", util::JsonEscape(key).c_str(),
+                           json.c_str());
+  }
+  out += ", \"traceEvents\": [";
+  bool first = true;
+  auto comma = [&first, &out] {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\n ";
+  };
+  comma();
+  out += util::StrFormat(
+      "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": %d, \"tid\": 0, "
+      "\"args\": {\"name\": \"m3\"}}",
+      pid);
+  for (const auto& buffer : buffers_) {
+    if (buffer->name == nullptr && buffer->appended == 0) {
+      continue;
+    }
+    comma();
+    out += util::StrFormat(
+        "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": %d, "
+        "\"tid\": %u, \"args\": {\"name\": \"%s\"}}",
+        pid, buffer->tid,
+        util::JsonEscape(buffer->name == nullptr
+                             ? util::StrFormat("thread-%u", buffer->tid)
+                             : buffer->name)
+            .c_str());
+  }
+  for (const auto& buffer : buffers_) {
+    const uint64_t count = std::min<uint64_t>(buffer->appended,
+                                              buffer->capacity);
+    const uint64_t begin = buffer->appended - count;
+    for (uint64_t i = begin; i < buffer->appended; ++i) {
+      const TraceEvent& event = buffer->ring[i % buffer->capacity];
+      comma();
+      if (event.kind == TraceEvent::Kind::kCounter) {
+        out += util::StrFormat(
+            "{\"ph\": \"C\", \"name\": \"%s\", \"pid\": %d, \"tid\": %u, "
+            "\"ts\": %.3f, \"args\": {\"%s\": %.3f}}",
+            util::JsonEscape(event.name == nullptr ? "" : event.name).c_str(),
+            pid, buffer->tid, ToTraceUs(event.start_ns, epoch_ns_),
+            util::JsonEscape(event.counter_series == nullptr
+                                 ? "value"
+                                 : event.counter_series)
+                .c_str(),
+            std::isfinite(event.counter_value) ? event.counter_value : 0.0);
+        continue;
+      }
+      out += util::StrFormat(
+          "{\"ph\": \"X\", \"name\": \"%s\", \"cat\": \"%s\", \"pid\": %d, "
+          "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f",
+          util::JsonEscape(event.name == nullptr ? "" : event.name).c_str(),
+          util::JsonEscape(event.category == nullptr ? "m3" : event.category)
+              .c_str(),
+          pid, buffer->tid, ToTraceUs(event.start_ns, epoch_ns_),
+          static_cast<double>(event.dur_ns) / 1e3);
+      if (event.num_args > 0) {
+        out += ", \"args\": {";
+        AppendArgsJson(event, &out);
+        out += "}";
+      }
+      out += "}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+util::Status TraceRecorder::WriteJson(const std::string& path) {
+  M3_ASSIGN_OR_RETURN(std::string body, ToJson());
+  return io::WriteStringToFile(path, body);
+}
+
+void NameThisThread(const char* name) {
+  if (!TracingEnabled()) {
+    return;
+  }
+  TraceRecorder::Get().SetThreadName(name);
+}
+
+void EmitCounter(const char* track, const char* series, double value) {
+  if (!TracingEnabled()) {
+    return;
+  }
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kCounter;
+  event.name = track;
+  event.counter_series = series;
+  event.counter_value = value;
+  event.start_ns = TraceNowNs();
+  TraceRecorder::Get().Append(event);
+}
+
+}  // namespace m3::obs

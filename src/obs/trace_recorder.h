@@ -1,0 +1,251 @@
+#ifndef M3_OBS_TRACE_RECORDER_H_
+#define M3_OBS_TRACE_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace m3::obs {
+
+/// \file
+/// Always-compiled, near-zero-cost-when-off tracing for the execution
+/// engine. Every pipeline stage (and the cluster simulator's job
+/// boundaries) is bracketed by an OBS_SPAN; with tracing disabled a span
+/// costs one relaxed atomic load and a branch. With tracing enabled,
+/// events land in lock-free per-thread ring buffers (single writer each;
+/// the registry mutex is taken once per thread, at first append) and are
+/// drained after the run into Chrome trace-event / Perfetto JSON —
+/// `{"traceEvents": [...]}` with pid/tid, thread-name metadata, duration
+/// ("ph":"X") spans and counter ("ph":"C") tracks — loadable in
+/// https://ui.perfetto.dev or chrome://tracing. See docs/OBSERVABILITY.md.
+
+namespace internal {
+/// The process-global enable flag. Read directly (relaxed) by the hot
+/// path; written only by TraceRecorder::Start/Stop.
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace internal
+
+/// \brief True while the recorder is collecting events. The only check
+/// instrumentation pays when tracing is off.
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// \brief Monotonic (steady-clock) timestamp in nanoseconds.
+uint64_t TraceNowNs();
+
+/// \brief One typed span/counter argument. Keys and string values must be
+/// string literals (static storage): events outlive the scopes that emit
+/// them, and copying strings would put allocation on the hot path.
+struct TraceArg {
+  enum class Type : uint8_t { kNone, kUint, kDouble, kString };
+
+  const char* key = nullptr;
+  Type type = Type::kNone;
+  uint64_t uint_value = 0;
+  double double_value = 0.0;
+  const char* string_value = nullptr;
+};
+
+inline constexpr size_t kMaxTraceArgs = 4;
+
+/// \brief One recorded event. POD-ish by design: events are copied into
+/// ring buffers by value, so no member may own memory.
+struct TraceEvent {
+  enum class Kind : uint8_t { kSpan, kCounter };
+
+  const char* name = nullptr;      ///< static storage ("compute", ...)
+  const char* category = nullptr;  ///< static storage ("exec", "cluster")
+  uint64_t start_ns = 0;           ///< TraceNowNs() at open
+  uint64_t dur_ns = 0;             ///< span duration (0 for counters)
+  const char* counter_series = nullptr;  ///< counters: series inside track
+  double counter_value = 0.0;            ///< counters: sampled value
+  Kind kind = Kind::kSpan;
+  uint8_t num_args = 0;
+  TraceArg args[kMaxTraceArgs];
+};
+
+/// \brief Recorder configuration (Start()).
+struct TraceRecorderOptions {
+  TraceRecorderOptions() {}  // NOLINT: allows `= TraceRecorderOptions()`
+
+  /// Ring capacity per thread, in events. When a thread overruns its ring
+  /// the oldest events are overwritten (the newest tail of the run is what
+  /// debugging wants) and the drop is counted into the trace metadata.
+  size_t events_per_thread = 1 << 15;
+};
+
+/// \brief Process-wide trace recorder: per-thread ring buffers behind one
+/// enable flag, drained to Chrome trace-event JSON.
+///
+/// Threading contract:
+///   - Append/SetThreadName: any thread, while enabled; wait-free after
+///     the thread's first event (which registers its buffer under a mutex).
+///   - Start/Stop/ToJson/WriteJson: a single controller thread. Draining
+///     while writer threads are still inside instrumented code is a data
+///     race on the rings — Stop() flips the flag, but the caller must let
+///     in-flight work settle (pipelines' Run() returns only after its
+///     pools went idle, which is exactly that quiescence) before writing.
+///     This mirrors the io::ExecCounters reset contract (io/io_stats.h).
+class TraceRecorder {
+ public:
+  /// The process-wide recorder (leaky singleton: worker threads may touch
+  /// it during process teardown, so it is never destroyed).
+  static TraceRecorder& Get();
+
+  /// Clears all thread buffers, sets the trace epoch to now, and enables
+  /// collection. Idempotent while already started (keeps collecting).
+  void Start(const TraceRecorderOptions& options = TraceRecorderOptions());
+
+  /// Disables collection. Buffered events stay available for ToJson().
+  void Stop();
+
+  bool enabled() const { return TracingEnabled(); }
+
+  /// Appends one event to the calling thread's ring buffer. No-op when
+  /// tracing is disabled (racing Stop() benignly records into the kept
+  /// buffer).
+  void Append(const TraceEvent& event);
+
+  /// Names the calling thread's lane in the trace viewer ("driver",
+  /// "pipeline-io", ...). First caller wins; `name` must be a literal.
+  void SetThreadName(const char* name);
+
+  /// Attaches `json` (a rendered JSON value) as a top-level document
+  /// member next to "traceEvents" — e.g. the final PipelineStats::ToJson()
+  /// so the trace carries the same stats schema as bench JSON. Last write
+  /// per key wins.
+  void SetMetadata(const std::string& key, std::string json);
+
+  /// Renders the Chrome trace-event document. See the threading contract.
+  util::Result<std::string> ToJson();
+
+  /// ToJson() + atomic-ish write to `path`.
+  util::Status WriteJson(const std::string& path);
+
+  /// Events overwritten by ring wrap-around since Start(), summed over
+  /// threads. Also emitted as "dropped_events" metadata.
+  uint64_t dropped_events() const;
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+ private:
+  friend class TraceRecorderPeer;  // tests
+
+  /// One thread's ring. Single-writer (the owning thread); the controller
+  /// reads it only under the drain contract above.
+  struct ThreadBuffer {
+    std::vector<TraceEvent> ring;
+    size_t capacity = 0;
+    uint64_t appended = 0;  ///< total Append calls; wrap = appended > capacity
+    uint32_t tid = 0;       ///< stable lane id, assigned at registration
+    const char* name = nullptr;  ///< viewer lane name (literal), or null
+  };
+
+  TraceRecorder() = default;
+  ThreadBuffer* BufferForThisThread();
+
+  mutable std::mutex mu_;  ///< registry + options + metadata
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  TraceRecorderOptions options_;
+  uint64_t epoch_ns_ = 0;  ///< Start() time; trace ts are relative to it
+  std::map<std::string, std::string> metadata_;
+};
+
+/// \brief Names the calling thread's trace lane (no-op when tracing is
+/// off or the thread is already named).
+void NameThisThread(const char* name);
+
+/// \brief Emits one counter sample onto `track` (viewer: one chart per
+/// track, one line per series). Both names must be string literals.
+void EmitCounter(const char* track, const char* series, double value);
+
+/// \brief RAII duration span ("ph":"X"). Construction stamps the start,
+/// destruction stamps the duration and appends the event. When tracing is
+/// off, construction is one relaxed load + branch and destruction one
+/// branch.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, const char* name) {
+    if (TracingEnabled()) {
+      armed_ = true;
+      event_.category = category;
+      event_.name = name;
+      event_.kind = TraceEvent::Kind::kSpan;
+      event_.start_ns = TraceNowNs();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (armed_) {
+      event_.dur_ns = TraceNowNs() - event_.start_ns;
+      TraceRecorder::Get().Append(event_);
+    }
+  }
+
+  /// True when this span is recording — guard AddArg argument
+  /// computation with it to keep the disabled path free.
+  bool armed() const { return armed_; }
+
+  /// \name Span arguments (shown in the viewer's selection panel). At most
+  /// kMaxTraceArgs stick; extras are dropped. Keys/string values must be
+  /// literals.
+  /// @{
+  void AddArg(const char* key, uint64_t value) {
+    TraceArg* arg = NextArg(key);
+    if (arg != nullptr) {
+      arg->type = TraceArg::Type::kUint;
+      arg->uint_value = value;
+    }
+  }
+  void AddArg(const char* key, double value) {
+    TraceArg* arg = NextArg(key);
+    if (arg != nullptr) {
+      arg->type = TraceArg::Type::kDouble;
+      arg->double_value = value;
+    }
+  }
+  void AddArg(const char* key, const char* static_string) {
+    TraceArg* arg = NextArg(key);
+    if (arg != nullptr) {
+      arg->type = TraceArg::Type::kString;
+      arg->string_value = static_string;
+    }
+  }
+  /// @}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceArg* NextArg(const char* key) {
+    if (!armed_ || event_.num_args >= kMaxTraceArgs) {
+      return nullptr;
+    }
+    TraceArg* arg = &event_.args[event_.num_args++];
+    arg->key = key;
+    return arg;
+  }
+
+  bool armed_ = false;
+  TraceEvent event_;
+};
+
+// Instrumentation macro: opens a span for the rest of the enclosing scope.
+//   OBS_SPAN("exec", "compute");
+#define OBS_INTERNAL_CAT2(a, b) a##b
+#define OBS_INTERNAL_CAT(a, b) OBS_INTERNAL_CAT2(a, b)
+#define OBS_SPAN(category, name) \
+  ::m3::obs::ScopedSpan OBS_INTERNAL_CAT(obs_span_, __LINE__)(category, name)
+
+}  // namespace m3::obs
+
+#endif  // M3_OBS_TRACE_RECORDER_H_

@@ -1,0 +1,88 @@
+#include "obs/trace_session.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "obs/residency_sampler.h"
+#include "obs/trace_recorder.h"
+
+namespace m3::obs {
+
+namespace {
+
+struct SessionState {
+  std::mutex mu;
+  bool active = false;
+  bool atexit_registered = false;
+  std::string path;
+};
+
+SessionState& State() {
+  static SessionState* state = new SessionState;
+  return *state;
+}
+
+void FinishTraceAtExit() {
+  // Last-chance flush for binaries that exit without stopping the session
+  // (examples, aborted benches). Errors are unreportable here.
+  StopGlobalTraceAndWrite().IgnoreError();
+}
+
+}  // namespace
+
+bool StartGlobalTrace(const std::string& path,
+                      const TraceSessionOptions& options) {
+  SessionState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.active) {
+    return false;
+  }
+  state.active = true;
+  state.path = path;
+  if (!state.atexit_registered) {
+    state.atexit_registered = true;
+    std::atexit(FinishTraceAtExit);
+  }
+  TraceRecorderOptions recorder_options;
+  recorder_options.events_per_thread = options.events_per_thread;
+  TraceRecorder::Get().Start(recorder_options);
+  if (options.start_sampler) {
+    ResidencySampler::Get().Start(options.sampler_period_seconds);
+  }
+  return true;
+}
+
+bool GlobalTraceActive() {
+  SessionState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.active;
+}
+
+std::string GlobalTracePath() {
+  SessionState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.active ? state.path : std::string();
+}
+
+util::Status StopGlobalTraceAndWrite() {
+  SessionState& state = State();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.active) {
+      return util::Status::OK();
+    }
+    state.active = false;
+    path = std::move(state.path);
+    state.path.clear();
+  }
+  // Final counter sample while tracing is still enabled, so even runs
+  // shorter than one sampler period carry counter tracks.
+  ResidencySampler::Get().SampleOnce();
+  ResidencySampler::Get().Stop();
+  TraceRecorder::Get().Stop();
+  return TraceRecorder::Get().WriteJson(path);
+}
+
+}  // namespace m3::obs

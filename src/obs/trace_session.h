@@ -1,0 +1,55 @@
+#ifndef M3_OBS_TRACE_SESSION_H_
+#define M3_OBS_TRACE_SESSION_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace m3::obs {
+
+/// \file
+/// The process-wide trace session: one output path, the TraceRecorder,
+/// and the ResidencySampler started and stopped together. This is what
+/// `--trace=FILE` / `M3Options::trace_path` /
+/// `ClusterExecOptions::trace_path` all funnel into, so a path arriving
+/// through any layer produces one coherent trace for the whole process.
+
+struct TraceSessionOptions {
+  TraceSessionOptions() {}  // NOLINT: allows `= TraceSessionOptions()`
+
+  /// Ring capacity per thread (TraceRecorderOptions::events_per_thread).
+  size_t events_per_thread = 1 << 15;
+
+  /// ResidencySampler period; <= 0 keeps the default (10 ms).
+  double sampler_period_seconds = 0.01;
+
+  /// Start the ResidencySampler counter tracks alongside the spans.
+  bool start_sampler = true;
+};
+
+/// \brief Starts the global session writing to `path` (idempotent: a
+/// second caller joins the already-active session and its `path` is
+/// ignored). Returns true when this call started the session.
+///
+/// An atexit finisher is registered on first start, so example binaries
+/// that never call StopGlobalTraceAndWrite still get their trace file.
+bool StartGlobalTrace(const std::string& path,
+                      const TraceSessionOptions& options =
+                          TraceSessionOptions());
+
+/// \brief True between StartGlobalTrace and StopGlobalTraceAndWrite.
+bool GlobalTraceActive();
+
+/// \brief The active session's output path ("" when inactive).
+std::string GlobalTracePath();
+
+/// \brief Stops the sampler and recorder, takes a final counter sample,
+/// and writes the trace JSON to the session path. No-op (OK) when no
+/// session is active. Call only after in-flight instrumented work has
+/// settled (see TraceRecorder's drain contract).
+util::Status StopGlobalTraceAndWrite();
+
+}  // namespace m3::obs
+
+#endif  // M3_OBS_TRACE_SESSION_H_

@@ -1,6 +1,8 @@
 #include "util/json.h"
 
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 
 #include "util/format.h"
 #include "util/status.h"
@@ -51,6 +53,354 @@ Result<std::string> JsonNumber(double value) {
         StrFormat("non-finite value %f is not representable in JSON", value));
   }
   return StrFormat("%.6f", value);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : members) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->is_number() ? value->number_value
+                                                : fallback;
+}
+
+std::string_view JsonValue::StringOr(std::string_view key,
+                                     std::string_view fallback) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->is_string()
+             ? std::string_view(value->string_value)
+             : fallback;
+}
+
+namespace {
+
+/// Recursive-descent JSON reader over a string_view.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    M3_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  // Deep enough for any document this repo emits, shallow enough that a
+  // hostile "[[[[..." cannot overflow the call stack.
+  static constexpr int kMaxDepth = 200;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at byte %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Error(StrFormat("expected '%c'", c));
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        M3_RETURN_IF_ERROR(ExpectLiteral("true"));
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = true;
+        return Status::OK();
+      case 'f':
+        M3_RETURN_IF_ERROR(ExpectLiteral("false"));
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = false;
+        return Status::OK();
+      case 'n':
+        M3_RETURN_IF_ERROR(ExpectLiteral("null"));
+        out->type = JsonValue::Type::kNull;
+        return Status::OK();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          out->type = JsonValue::Type::kNumber;
+          return ParseNumber(&out->number_value);
+        }
+        return Error(StrFormat("unexpected character '%c'", c));
+    }
+  }
+
+  Status ExpectLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error(StrFormat("expected '%.*s'",
+                             static_cast<int>(literal.size()),
+                             literal.data()));
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    M3_RETURN_IF_ERROR(Expect('{'));
+    out->type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      M3_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      M3_RETURN_IF_ERROR(Expect(':'));
+      JsonValue value;
+      M3_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) {
+        return Status::OK();
+      }
+      M3_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    M3_RETURN_IF_ERROR(Expect('['));
+    out->type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      M3_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) {
+        return Status::OK();
+      }
+      M3_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) {
+      return Error("truncated \\u escape");
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t code_point, std::string* out) {
+    if (code_point < 0x80) {
+      out->push_back(static_cast<char>(code_point));
+    } else if (code_point < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else if (code_point < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    M3_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return Error("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return Error("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t code_point = 0;
+          M3_RETURN_IF_ERROR(ParseHex4(&code_point));
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired high surrogate");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            M3_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            code_point = 0x10000 + ((code_point - 0xD800) << 10) +
+                         (low - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(code_point, out);
+          break;
+        }
+        default:
+          return Error(StrFormat("bad escape '\\%c'", esc));
+      }
+    }
+  }
+
+  Status ParseNumber(double* out) {
+    const size_t begin = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Error("malformed number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("malformed fraction");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("malformed exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    // The slice is a valid JSON number grammar-wise; strtod on a NUL-padded
+    // copy converts it (string_view data is not NUL-terminated).
+    const std::string slice(text_.substr(begin, pos_ - begin));
+    char* end = nullptr;
+    const double value = std::strtod(slice.c_str(), &end);
+    if (end != slice.c_str() + slice.size()) {
+      return Error("malformed number");
+    }
+    if (!std::isfinite(value)) {
+      return Error("number out of double range");
+    }
+    *out = value;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonParse(std::string_view text) {
+  return JsonParser(text).Parse();
 }
 
 }  // namespace m3::util

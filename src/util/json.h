@@ -3,6 +3,8 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/result.h"
 
@@ -21,6 +23,50 @@ std::string JsonEscape(std::string_view s);
 /// produces a file no parser accepts, so they are rejected here with
 /// InvalidArgument instead of discovered later in CI.
 Result<std::string> JsonNumber(double value);
+
+/// \brief A parsed JSON value (the read side of this module).
+///
+/// Deliberately a plain tagged struct rather than a variant hierarchy: the
+/// consumers (tools/trace_summarize, trace-validity tests, bench-JSON
+/// checks) walk small documents once and want direct access, not visitor
+/// machinery. Object members preserve insertion order; duplicate keys are
+/// kept as written (Find returns the first).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// The member's number when present and numeric, else `fallback`.
+  double NumberOr(std::string_view key, double fallback) const;
+
+  /// The member's string when present and a string, else `fallback`.
+  std::string_view StringOr(std::string_view key,
+                            std::string_view fallback) const;
+};
+
+/// \brief Parses one complete JSON document (RFC 8259).
+///
+/// Strict: trailing garbage, unterminated structures, bad escapes, and
+/// non-finite numbers are InvalidArgument with a byte offset in the
+/// message. `\uXXXX` escapes are decoded to UTF-8 (surrogate pairs
+/// included). Nesting is capped (shared limit for arrays and objects) so a
+/// hostile input cannot overflow the parse stack.
+Result<JsonValue> JsonParse(std::string_view text);
 
 }  // namespace m3::util
 

@@ -26,6 +26,9 @@
 #include "io/file.h"
 #include "io/io_stats.h"
 #include "la/chunker.h"
+#include "obs/trace_analysis.h"
+#include "obs/trace_recorder.h"
+#include "util/json.h"
 
 namespace m3::exec {
 namespace {
@@ -254,6 +257,60 @@ TEST_F(CounterInvariantTest, StallBytesCoverStalledChunksOnly) {
   EXPECT_EQ(stats.stall_bytes,
             stats.stalls * 128 * kCols * sizeof(double));
   ExpectInvariant(stats);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing must observe, never perturb
+// ---------------------------------------------------------------------------
+
+TEST_F(CounterInvariantTest, InvariantUnchangedWithTracingOnAcrossWorkers) {
+  // The span sites sit inside the classification paths; turning the
+  // recorder on must not change what gets counted, at any fan-out. The
+  // run doubles as the real-pipeline trace-validity check: the recorded
+  // trace must parse, nest per thread, and carry every pipeline stage —
+  // the same contract tools/trace_summarize gates CI on.
+  const size_t kRows = 2048, kCols = 32;
+  io::MemoryMappedFile mapped = MakeMapped(kRows, kCols);
+  obs::TraceRecorder::Get().Start();
+  for (const size_t workers : {size_t{0}, size_t{2}, size_t{4}}) {
+    PipelineOptions options;
+    options.readahead_chunks = 3;
+    options.num_workers = workers;
+    // A quarter-budget forces eviction behind the scan: evict spans show
+    // up and the hit/stall race actually runs.
+    options.ram_budget_bytes = kRows * kCols * sizeof(double) / 4;
+    ChunkPipeline pipeline({&mapped, 0, kCols * sizeof(double)}, options);
+    la::RowChunker chunker(kRows, 64);
+    for (size_t pass = 0; pass < 3; ++pass) {
+      // A (no-op) retire stage so all four pipeline stages hit the trace.
+      pipeline.Run(chunker,
+                   ChunkSchedule::Shuffled(chunker.NumChunks(), 100 + pass),
+                   [](size_t, size_t, size_t, size_t) {},
+                   [](size_t, size_t, size_t, size_t) {});
+    }
+    const PipelineStats stats = pipeline.stats();
+    EXPECT_EQ(stats.prefetches, 3 * chunker.NumChunks())
+        << "workers=" << workers;
+    ExpectInvariant(stats);
+  }
+  obs::TraceRecorder::Get().Stop();
+  auto json = obs::TraceRecorder::Get().ToJson();
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  auto doc = util::JsonParse(json.value());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const util::Status valid = obs::ValidateTrace(doc.value());
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  auto summary = obs::AnalyzeTrace(doc.value());
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  std::set<std::string> stage_names;
+  for (const obs::StageUtilization& stage : summary.value().stages) {
+    stage_names.insert(stage.name);
+  }
+  for (const char* required :
+       {"pass", "prefetch", "compute", "retire", "evict"}) {
+    EXPECT_EQ(stage_names.count(required), 1u)
+        << "stage '" << required << "' missing from the recorded trace";
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,283 @@
+#include "obs/trace_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/file.h"
+#include "obs/trace_session.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+
+namespace m3::obs {
+namespace {
+
+using util::JsonValue;
+
+/// Every test drives the process-global recorder, so each starts a fresh
+/// session (Start clears all rings) and stops it on the way out.
+class TraceRecorderTest : public ::testing::Test {
+ protected:
+  void TearDown() override { TraceRecorder::Get().Stop(); }
+};
+
+JsonValue ParseTrace() {
+  auto json = TraceRecorder::Get().ToJson();
+  EXPECT_TRUE(json.ok()) << json.status().ToString();
+  auto doc = util::JsonParse(json.value());
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return doc.ok() ? std::move(doc).value() : JsonValue();
+}
+
+const JsonValue* Events(const JsonValue& doc) {
+  const JsonValue* events = doc.Find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  if (events != nullptr) {
+    EXPECT_TRUE(events->is_array());
+  }
+  return events;
+}
+
+size_t CountSpansNamed(const JsonValue& doc, const std::string& name) {
+  const JsonValue* events = Events(doc);
+  size_t count = 0;
+  for (const JsonValue& event : events->array) {
+    if (event.StringOr("ph", "") == "X" && event.StringOr("name", "") == name) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST_F(TraceRecorderTest, DisabledByDefaultAndFreeOfEvents) {
+  ASSERT_FALSE(TracingEnabled());
+  {
+    ScopedSpan span("exec", "compute");
+    EXPECT_FALSE(span.armed());
+    span.AddArg("position", uint64_t{1});  // must be a safe no-op
+  }
+  EmitCounter("residency", "resident_bytes", 1.0);
+  // Nothing above may have recorded: a fresh session's document carries
+  // metadata only.
+  TraceRecorder::Get().Start();
+  TraceRecorder::Get().Stop();
+  JsonValue doc = ParseTrace();
+  EXPECT_EQ(CountSpansNamed(doc, "compute"), 0u);
+}
+
+TEST_F(TraceRecorderTest, SpanRoundTripWithArgs) {
+  TraceRecorder::Get().Start();
+  NameThisThread("test-main");
+  {
+    ScopedSpan pass("exec", "pass");
+    pass.AddArg("chunks", uint64_t{7});
+    {
+      ScopedSpan compute("exec", "compute");
+      compute.AddArg("race", "stall");
+      compute.AddArg("bytes", uint64_t{4096});
+      compute.AddArg("score", 0.5);
+    }
+  }
+  EmitCounter("residency", "resident_bytes", 12345.0);
+  TraceRecorder::Get().Stop();
+
+  JsonValue doc = ParseTrace();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.StringOr("displayTimeUnit", ""), "ms");
+  EXPECT_EQ(CountSpansNamed(doc, "pass"), 1u);
+  EXPECT_EQ(CountSpansNamed(doc, "compute"), 1u);
+
+  const JsonValue* events = Events(doc);
+  bool saw_thread_name = false, saw_counter = false, saw_args = false;
+  for (const JsonValue& event : events->array) {
+    const std::string_view ph = event.StringOr("ph", "");
+    if (ph == "M" && event.StringOr("name", "") == "thread_name") {
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      if (args->StringOr("name", "") == "test-main") {
+        saw_thread_name = true;
+      }
+    }
+    if (ph == "C" && event.StringOr("name", "") == "residency") {
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_DOUBLE_EQ(args->NumberOr("resident_bytes", 0), 12345.0);
+      saw_counter = true;
+    }
+    if (ph == "X" && event.StringOr("name", "") == "compute") {
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->StringOr("race", ""), "stall");
+      EXPECT_DOUBLE_EQ(args->NumberOr("bytes", 0), 4096.0);
+      EXPECT_DOUBLE_EQ(args->NumberOr("score", 0), 0.5);
+      saw_args = true;
+      // ts/dur are in microseconds relative to the session epoch.
+      EXPECT_GE(event.NumberOr("ts", -1), 0.0);
+      EXPECT_GE(event.NumberOr("dur", -1), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_args);
+}
+
+TEST_F(TraceRecorderTest, SpansNestPerThread) {
+  TraceRecorder::Get().Start();
+  {
+    ScopedSpan outer("exec", "outer");
+    { ScopedSpan inner("exec", "inner"); }
+    { ScopedSpan inner("exec", "inner"); }
+  }
+  std::thread other([] {
+    ScopedSpan span("exec", "other_thread");
+  });
+  other.join();
+  TraceRecorder::Get().Stop();
+
+  JsonValue doc = ParseTrace();
+  const JsonValue* events = Events(doc);
+  // The two threads get distinct tids; within the main thread the inner
+  // spans' [ts, ts+dur] lie inside the outer span's.
+  double outer_ts = -1, outer_end = -1;
+  uint64_t outer_tid = 0, other_tid = 0;
+  for (const JsonValue& event : events->array) {
+    if (event.StringOr("ph", "") != "X") {
+      continue;
+    }
+    if (event.StringOr("name", "") == "outer") {
+      outer_ts = event.NumberOr("ts", 0);
+      outer_end = outer_ts + event.NumberOr("dur", 0);
+      outer_tid = static_cast<uint64_t>(event.NumberOr("tid", 0));
+    } else if (event.StringOr("name", "") == "other_thread") {
+      other_tid = static_cast<uint64_t>(event.NumberOr("tid", 0));
+    }
+  }
+  ASSERT_GE(outer_ts, 0.0);
+  EXPECT_NE(outer_tid, other_tid);
+  for (const JsonValue& event : events->array) {
+    if (event.StringOr("ph", "") == "X" &&
+        event.StringOr("name", "") == "inner") {
+      const double ts = event.NumberOr("ts", 0);
+      const double end = ts + event.NumberOr("dur", 0);
+      EXPECT_GE(ts, outer_ts - 0.001);
+      EXPECT_LE(end, outer_end + 0.001);
+      EXPECT_EQ(static_cast<uint64_t>(event.NumberOr("tid", -1)), outer_tid);
+    }
+  }
+}
+
+TEST_F(TraceRecorderTest, RingOverflowKeepsNewestAndCountsDrops) {
+  TraceRecorderOptions options;
+  options.events_per_thread = 8;
+  TraceRecorder::Get().Start(options);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ScopedSpan span("exec", "tick");
+    span.AddArg("i", i);
+  }
+  TraceRecorder::Get().Stop();
+  EXPECT_EQ(TraceRecorder::Get().dropped_events(), 92u);
+
+  JsonValue doc = ParseTrace();
+  EXPECT_DOUBLE_EQ(doc.NumberOr("dropped_events", -1), 92.0);
+  EXPECT_EQ(CountSpansNamed(doc, "tick"), 8u);
+  // The survivors are the NEWEST events (i in [92, 100)).
+  const JsonValue* events = Events(doc);
+  for (const JsonValue& event : events->array) {
+    if (event.StringOr("ph", "") == "X") {
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_GE(args->NumberOr("i", -1), 92.0);
+    }
+  }
+}
+
+TEST_F(TraceRecorderTest, StartClearsPreviousSession) {
+  TraceRecorder::Get().Start();
+  { ScopedSpan span("exec", "stale"); }
+  TraceRecorder::Get().Stop();
+  TraceRecorder::Get().Start();
+  { ScopedSpan span("exec", "fresh"); }
+  TraceRecorder::Get().Stop();
+  JsonValue doc = ParseTrace();
+  EXPECT_EQ(CountSpansNamed(doc, "stale"), 0u);
+  EXPECT_EQ(CountSpansNamed(doc, "fresh"), 1u);
+}
+
+TEST_F(TraceRecorderTest, MetadataAppearsAsTopLevelMember) {
+  TraceRecorder::Get().Start();
+  TraceRecorder::Get().SetMetadata("pipeline_stats", "{\"stalls\": 3}");
+  TraceRecorder::Get().Stop();
+  JsonValue doc = ParseTrace();
+  const JsonValue* stats = doc.Find("pipeline_stats");
+  ASSERT_NE(stats, nullptr);
+  ASSERT_TRUE(stats->is_object());
+  EXPECT_DOUBLE_EQ(stats->NumberOr("stalls", 0), 3.0);
+}
+
+TEST_F(TraceRecorderTest, CountersFromManyThreadsAllSurvive) {
+  TraceRecorder::Get().Start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        EmitCounter("rss", "rss_bytes", 1000.0 + i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  TraceRecorder::Get().Stop();
+  JsonValue doc = ParseTrace();
+  const JsonValue* events = Events(doc);
+  size_t counters = 0;
+  for (const JsonValue& event : events->array) {
+    if (event.StringOr("ph", "") == "C") {
+      ++counters;
+    }
+  }
+  EXPECT_EQ(counters, 200u);
+}
+
+// The always-compiled contract: with tracing off, a span site is one
+// relaxed load and a branch. The bound here is deliberately loose (CI
+// machines jitter); it exists to catch a regression that puts a lock,
+// allocation, or clock read on the disabled path — any of which is >10x.
+TEST_F(TraceRecorderTest, DisabledSpanSiteIsCheap) {
+  ASSERT_FALSE(TracingEnabled());
+  constexpr int kIterations = 1'000'000;
+  util::Stopwatch watch;
+  for (int i = 0; i < kIterations; ++i) {
+    ScopedSpan span("exec", "compute");
+    // No AddArg: real call sites guard args behind armed().
+  }
+  const double seconds = watch.ElapsedSeconds();
+  EXPECT_LT(seconds / kIterations, 100e-9)
+      << "disabled span costs " << seconds / kIterations * 1e9 << " ns";
+}
+
+TEST_F(TraceRecorderTest, GlobalSessionWritesFileOnStop) {
+  const std::string path =
+      ::testing::TempDir() + "/trace_session_test.json";
+  TraceSessionOptions options;
+  options.start_sampler = false;  // deterministic: no background thread
+  ASSERT_TRUE(StartGlobalTrace(path, options));
+  EXPECT_TRUE(GlobalTraceActive());
+  EXPECT_FALSE(StartGlobalTrace(path, options));  // already active
+  { ScopedSpan span("exec", "session_work"); }
+  ASSERT_TRUE(StopGlobalTraceAndWrite().ok());
+  EXPECT_FALSE(GlobalTraceActive());
+
+  auto text = io::ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  auto doc = util::JsonParse(text.value());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(CountSpansNamed(doc.value(), "session_work"), 1u);
+  // Stopping again is a no-op, not an error.
+  EXPECT_TRUE(StopGlobalTraceAndWrite().ok());
+}
+
+}  // namespace
+}  // namespace m3::obs

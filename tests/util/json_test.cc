@@ -141,6 +141,53 @@ TEST_F(JsonReporterTest, RefusesNonFiniteExtraDouble) {
   EXPECT_FALSE(io::FileExists(dir_ + "/BENCH_bad_fit.json"));
 }
 
+TEST_F(JsonReporterTest, OutputParsesAndBothOverloadsShareOnePath) {
+  // Both Add overloads render "exec" through PipelineStats::ToJson(); the
+  // document they produce must survive the strict parser, and the
+  // stats overload must land the stall/compute percentiles in the JSON.
+  bench::JsonReporter reporter("stats_path");
+  io::ExecCounters exec;
+  exec.passes = 1;
+  exec.prefetches = 4;
+  exec.prefetch_hits = 3;
+  exec.stalls = 1;
+  reporter.Add("counters_only", 0.5, exec);
+
+  exec::PipelineStats stats = exec::PipelineStats::FromCounters(exec);
+  stats.drive_seconds = 0.5;
+  stats.compute_duration.Add(0.002);
+  stats.compute_duration.Add(0.004);
+  stats.stall_duration.Add(0.010);
+  reporter.Add("with_stats", 0.5, stats);
+  ASSERT_TRUE(reporter.Write(dir_).ok());
+
+  const std::string body =
+      io::ReadFileToString(dir_ + "/BENCH_stats_path.json").ValueOrDie();
+  auto doc = JsonParse(body);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* cases = doc.value().Find("cases");
+  ASSERT_NE(cases, nullptr);
+  ASSERT_TRUE(cases->is_array());
+  ASSERT_EQ(cases->array.size(), 2u);
+
+  // The counters-only case lifts into a stats value: same keys, zeroed
+  // durations.
+  const JsonValue* lifted = cases->array[0].Find("exec");
+  ASSERT_NE(lifted, nullptr);
+  EXPECT_EQ(lifted->NumberOr("prefetch_hits", -1), 3.0);
+  EXPECT_EQ(lifted->NumberOr("stall_p99", -1), 0.0);
+  EXPECT_EQ(lifted->NumberOr("drive_seconds", -1), 0.0);
+
+  const JsonValue* full = cases->array[1].Find("exec");
+  ASSERT_NE(full, nullptr);
+  EXPECT_EQ(full->NumberOr("stalls", -1), 1.0);
+  EXPECT_NEAR(full->NumberOr("drive_seconds", -1), 0.5, 1e-12);
+  EXPECT_NEAR(full->NumberOr("stall_p50", -1), 0.010, 1e-4);
+  EXPECT_NEAR(full->NumberOr("compute_p99", -1), 0.004, 1e-4);
+  EXPECT_GE(full->NumberOr("compute_p95", -1),
+            full->NumberOr("compute_p50", -1));
+}
+
 TEST_F(JsonReporterTest, EmptyReporterStillWritesValidDocument) {
   bench::JsonReporter reporter("empty");
   ASSERT_TRUE(reporter.Write(dir_).ok());

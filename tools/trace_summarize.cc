@@ -1,0 +1,81 @@
+/// \file
+/// \brief CLI over obs::AnalyzeTraceFile: per-stage utilization, measured
+/// overlap efficiency vs the CombineOverlap model, and the top-N longest
+/// stalls of a trace captured with --trace / M3Options::trace_path.
+///
+/// Exit status is the CI smoke-gate contract (docs/OBSERVABILITY.md):
+/// nonzero when the trace fails to parse or validate, and when any stage
+/// named in --require_stages recorded zero spans — a pipeline that traced
+/// no prefetch/compute/retire/evict work is a broken capture, not a quiet
+/// run.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/trace_analysis.h"
+#include "util/flags.h"
+#include "util/format.h"
+
+namespace {
+
+using m3::obs::StageUtilization;
+using m3::obs::TraceSummary;
+
+int Run(int argc, char** argv) {
+  int64_t top = 10;
+  std::string require_stages = "prefetch,compute,retire,evict";
+  m3::util::FlagParser parser(
+      "Summarize a pipeline trace (Chrome trace-event JSON written by "
+      "--trace): stage utilization, overlap efficiency, longest stalls.");
+  parser.AddInt64("top", &top, "stalls to list (longest first)");
+  parser.AddString("require_stages", &require_stages,
+                   "comma-separated stage names that must have >= 1 span "
+                   "(empty disables the check)");
+  m3::util::Status status = parser.Parse(argc, argv);
+  if (parser.help_requested()) {
+    return 0;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (parser.positional().size() != 1) {
+    std::fprintf(stderr, "usage: %s [flags] TRACE.json\n%s", argv[0],
+                 parser.Usage(argv[0]).c_str());
+    return 1;
+  }
+  const std::string& path = parser.positional().front();
+  auto summary = m3::obs::AnalyzeTraceFile(
+      path, top > 0 ? static_cast<size_t>(top) : 0);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 summary.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", summary.value().ToString().c_str());
+  int missing = 0;
+  for (const std::string& required :
+       m3::util::StrSplit(require_stages, ',')) {
+    if (required.empty()) {
+      continue;
+    }
+    bool found = false;
+    for (const StageUtilization& stage : summary.value().stages) {
+      if (stage.name == required && stage.spans > 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "FAIL: required stage \"%s\" has no spans\n",
+                   required.c_str());
+      ++missing;
+    }
+  }
+  return missing > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
