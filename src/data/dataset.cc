@@ -110,6 +110,18 @@ Result<DatasetMeta> ReadDatasetMeta(const std::string& path) {
   meta.num_classes = header.num_classes;
   meta.features_offset = header.features_offset;
   meta.labels_offset = header.labels_offset;
+  // MappedDataset hands these offsets to reinterpret_cast<const double*>
+  // over a page-aligned mmap base; misaligned offsets would make every
+  // later feature read UB (UBSan: misaligned load), so reject the file
+  // here, where a path and a message are still available.
+  if (meta.features_offset % alignof(double) != 0 ||
+      meta.labels_offset % alignof(double) != 0) {
+    return Status::InvalidArgument(util::StrFormat(
+        "dataset section offsets misaligned for double access "
+        "(features at %llu, labels at %llu): %s",
+        static_cast<unsigned long long>(meta.features_offset),
+        static_cast<unsigned long long>(meta.labels_offset), path.c_str()));
+  }
   M3_ASSIGN_OR_RETURN(uint64_t actual_size, file.Size());
   if (actual_size < meta.FileBytes()) {
     return Status::InvalidArgument(util::StrFormat(

@@ -1,5 +1,7 @@
 #include "data/idx_format.h"
 
+#include <cstring>
+
 #include "io/buffered_io.h"
 #include "util/format.h"
 
@@ -12,11 +14,6 @@ namespace {
 
 constexpr uint8_t kUnsignedByteType = 0x08;
 
-uint32_t ToBigEndian(uint32_t v) {
-  return ((v & 0xFF000000u) >> 24) | ((v & 0x00FF0000u) >> 8) |
-         ((v & 0x0000FF00u) << 8) | ((v & 0x000000FFu) << 24);
-}
-
 Status WriteIdx(const std::string& path, uint8_t ndims,
                 const std::vector<uint32_t>& dims,
                 const std::vector<uint8_t>& payload) {
@@ -25,14 +22,33 @@ Status WriteIdx(const std::string& path, uint8_t ndims,
   const uint8_t magic[4] = {0, 0, kUnsignedByteType, ndims};
   M3_RETURN_IF_ERROR(writer.Append(magic, sizeof(magic)));
   for (uint32_t dim : dims) {
-    const uint32_t be = ToBigEndian(dim);
-    M3_RETURN_IF_ERROR(writer.AppendValue(be));
+    uint8_t be[4];
+    StoreBigEndianU32(dim, be);
+    M3_RETURN_IF_ERROR(writer.Append(be, sizeof(be)));
   }
   M3_RETURN_IF_ERROR(writer.Append(payload.data(), payload.size()));
   return writer.Close();
 }
 
 }  // namespace
+
+// Byte-shift decode: endian-independent and alignment-free, unlike the
+// previous load-then-bswap (which was also host-endian-dependent: the
+// swap only round-tripped on little-endian machines).
+uint32_t LoadBigEndianU32(const void* bytes) {
+  uint8_t b[4];
+  std::memcpy(b, bytes, sizeof(b));
+  return (uint32_t{b[0]} << 24) | (uint32_t{b[1]} << 16) |
+         (uint32_t{b[2]} << 8) | uint32_t{b[3]};
+}
+
+void StoreBigEndianU32(uint32_t value, void* bytes) {
+  const uint8_t b[4] = {static_cast<uint8_t>(value >> 24),
+                        static_cast<uint8_t>(value >> 16),
+                        static_cast<uint8_t>(value >> 8),
+                        static_cast<uint8_t>(value)};
+  std::memcpy(bytes, b, sizeof(b));
+}
 
 uint64_t IdxData::NumElements() const {
   uint64_t n = dims.empty() ? 0 : 1;
@@ -62,8 +78,9 @@ Result<IdxData> ReadIdx(const std::string& path) {
   IdxData data;
   data.dims.resize(ndims);
   for (uint8_t i = 0; i < ndims; ++i) {
-    M3_ASSIGN_OR_RETURN(uint32_t be, reader.ReadValue<uint32_t>());
-    data.dims[i] = ToBigEndian(be);  // involution: BE <-> host
+    uint8_t be[4];
+    M3_RETURN_IF_ERROR(reader.ReadExact(be, sizeof(be)));
+    data.dims[i] = LoadBigEndianU32(be);
   }
   const uint64_t elements = data.NumElements();
   const uint64_t header = 4 + 4ull * ndims;

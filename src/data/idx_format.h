@@ -23,6 +23,24 @@ struct IdxData {
   uint64_t NumElements() const;
 };
 
+/// \name Alignment-safe big-endian accessors.
+///
+/// IDX headers pack big-endian uint32 dimensions at byte offset 4 — a
+/// position with no alignment guarantee once the header sits inside an
+/// mmap'd or pooled buffer. Dereferencing such bytes as `uint32_t*` is
+/// undefined behavior (UBSan: "load of misaligned address"); these
+/// accessors go through memcpy/byte shifts instead, which every compiler
+/// folds to a single load + bswap on x86/ARM. Use them for ANY multi-byte
+/// read from a byte buffer whose alignment the type system cannot prove.
+/// @{
+
+/// Loads a big-endian uint32 from `bytes` (any alignment).
+uint32_t LoadBigEndianU32(const void* bytes);
+
+/// Stores `value` big-endian into `bytes` (any alignment, 4 bytes).
+void StoreBigEndianU32(uint32_t value, void* bytes);
+/// @}
+
 /// \brief Reads and validates an IDX file.
 util::Result<IdxData> ReadIdx(const std::string& path);
 

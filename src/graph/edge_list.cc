@@ -49,8 +49,18 @@ Result<MappedEdgeList> MappedEdgeList::Open(const std::string& path) {
         static_cast<unsigned long long>(mapping.size()),
         static_cast<unsigned long long>(expected)));
   }
-  const Edge* edges = reinterpret_cast<const Edge*>(
-      mapping.As<const char>() + kHeaderBytes);
+  // The region cast below is only defined when the payload start satisfies
+  // Edge's alignment. mmap bases are page-aligned and kHeaderBytes is a
+  // page, so this never fires on a real mapping — the check turns a
+  // would-be UBSan trap (misaligned member access through edges()) into a
+  // diagnosable error if either guarantee is ever broken.
+  static_assert(kHeaderBytes % alignof(Edge) == 0);
+  const char* payload = mapping.As<const char>() + kHeaderBytes;
+  if (reinterpret_cast<uintptr_t>(payload) % alignof(Edge) != 0) {
+    return Status::InvalidArgument(
+        "edge payload is not aligned for Edge records: " + path);
+  }
+  const Edge* edges = reinterpret_cast<const Edge*>(payload);
   return MappedEdgeList(std::move(mapping), header.num_nodes,
                         header.num_edges, edges);
 }

@@ -125,6 +125,12 @@ std::atomic<uint64_t>& ActivePassCount() {
 
 }  // namespace
 
+// Intentionally relaxed: the pass count is a pure occupancy counter — no
+// other memory is published through it, and the data it guards against
+// (the counter totals) is already ordered by ExecCountersMutex(). Atomic
+// RMWs are coherent at every ordering, so the count itself can never tear
+// or lose increments; relaxed only forgoes ordering unrelated writes,
+// which the quiescence CHECK does not rely on.
 ScopedExecCountersPass::ScopedExecCountersPass() {
   ActivePassCount().fetch_add(1, std::memory_order_relaxed);
 }

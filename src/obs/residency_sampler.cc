@@ -38,6 +38,10 @@ ResidencySampler& ResidencySampler::Get() {
 }
 
 void ResidencySampler::Start(double period_seconds) {
+  // lifecycle_mu_ serializes whole Start/Stop transitions: a Start racing
+  // a Stop waits for the join to finish instead of observing `running_`
+  // mid-teardown and returning with no live thread.
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   std::lock_guard<std::mutex> lock(mu_);
   period_seconds_ = period_seconds > 0 ? period_seconds : 0.01;
   if (running_) {
@@ -49,6 +53,7 @@ void ResidencySampler::Start(double period_seconds) {
 }
 
 void ResidencySampler::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_) {

@@ -63,6 +63,14 @@ class ResidencySampler {
   ResidencySampler() = default;
   void Loop();
 
+  /// Serializes Start/Stop transitions end to end (held across the
+  /// Stop() join). Without it, two racing Stop()s both join `thread_`
+  /// (UB), and a Start() racing a Stop() can observe `running_` still
+  /// true and return with no thread actually left running. Lock order:
+  /// lifecycle_mu_ before mu_; Loop() only ever takes mu_, so holding
+  /// lifecycle_mu_ across the join cannot deadlock.
+  std::mutex lifecycle_mu_;
+  /// Guards the sampler state below (shared with the sampling thread).
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::thread thread_;

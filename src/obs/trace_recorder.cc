@@ -38,6 +38,10 @@ void TraceRecorder::Start(const TraceRecorderOptions& options) {
   epoch_ns_ = TraceNowNs();
   metadata_.clear();
   for (auto& buffer : buffers_) {
+    // Lock order is always registry -> ring; Append takes only its own
+    // ring mutex, so a live writer and this reset interleave per event
+    // instead of racing.
+    std::lock_guard<std::mutex> ring_lock(buffer->mu);
     buffer->capacity = options_.events_per_thread;
     buffer->ring.assign(buffer->capacity, TraceEvent());
     buffer->appended = 0;
@@ -72,12 +76,18 @@ void TraceRecorder::Append(const TraceEvent& event) {
     return;
   }
   ThreadBuffer* buffer = BufferForThisThread();
+  // Own-ring mutex: uncontended unless a drain (or Start's reset) is
+  // touching exactly this ring right now, so the hot path stays a pair of
+  // uncontended atomic ops — while a concurrent ToJson() never reads a
+  // half-written slot.
+  std::lock_guard<std::mutex> lock(buffer->mu);
   buffer->ring[buffer->appended % buffer->capacity] = event;
   ++buffer->appended;
 }
 
 void TraceRecorder::SetThreadName(const char* name) {
   ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
   if (buffer->name == nullptr) {
     buffer->name = name;
   }
@@ -92,6 +102,7 @@ uint64_t TraceRecorder::dropped_events() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t dropped = 0;
   for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> ring_lock(buffer->mu);
     if (buffer->appended > buffer->capacity) {
       dropped += buffer->appended - buffer->capacity;
     }
@@ -147,6 +158,7 @@ util::Result<std::string> TraceRecorder::ToJson() {
   std::string out = "{\"displayTimeUnit\": \"ms\"";
   uint64_t dropped = 0;
   for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> ring_lock(buffer->mu);
     if (buffer->appended > buffer->capacity) {
       dropped += buffer->appended - buffer->capacity;
     }
@@ -172,6 +184,7 @@ util::Result<std::string> TraceRecorder::ToJson() {
       "\"args\": {\"name\": \"m3\"}}",
       pid);
   for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> ring_lock(buffer->mu);
     if (buffer->name == nullptr && buffer->appended == 0) {
       continue;
     }
@@ -186,6 +199,11 @@ util::Result<std::string> TraceRecorder::ToJson() {
             .c_str());
   }
   for (const auto& buffer : buffers_) {
+    // Ring held for the duration of this lane's formatting (a leaf lock:
+    // nothing below takes another). The owning thread keeps emitting into
+    // its other lanes meanwhile; events it appends to THIS ring during the
+    // copy simply wait for the lock and land after the drained window.
+    std::lock_guard<std::mutex> ring_lock(buffer->mu);
     const uint64_t count = std::min<uint64_t>(buffer->appended,
                                               buffer->capacity);
     const uint64_t begin = buffer->appended - count;

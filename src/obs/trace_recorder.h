@@ -19,12 +19,14 @@ namespace m3::obs {
 /// engine. Every pipeline stage (and the cluster simulator's job
 /// boundaries) is bracketed by an OBS_SPAN; with tracing disabled a span
 /// costs one relaxed atomic load and a branch. With tracing enabled,
-/// events land in lock-free per-thread ring buffers (single writer each;
-/// the registry mutex is taken once per thread, at first append) and are
-/// drained after the run into Chrome trace-event / Perfetto JSON —
-/// `{"traceEvents": [...]}` with pid/tid, thread-name metadata, duration
-/// ("ph":"X") spans and counter ("ph":"C") tracks — loadable in
-/// https://ui.perfetto.dev or chrome://tracing. See docs/OBSERVABILITY.md.
+/// events land in per-thread ring buffers (single writer each; the
+/// registry mutex is taken once per thread, at first append; a per-ring
+/// mutex — uncontended except while a drain is in progress — makes
+/// drains safe against live writers) and are drained into Chrome
+/// trace-event / Perfetto JSON — `{"traceEvents": [...]}` with pid/tid,
+/// thread-name metadata, duration ("ph":"X") spans and counter ("ph":"C")
+/// tracks — loadable in https://ui.perfetto.dev or chrome://tracing. See
+/// docs/OBSERVABILITY.md.
 
 namespace internal {
 /// The process-global enable flag. Read directly (relaxed) by the hot
@@ -34,6 +36,12 @@ extern std::atomic<bool> g_tracing_enabled;
 
 /// \brief True while the recorder is collecting events. The only check
 /// instrumentation pays when tracing is off.
+///
+/// Intentionally relaxed: no data is published through this flag — a
+/// stale read only makes a writer record (or skip) one borderline event,
+/// and the ring state those writes touch is ordered by the per-ring
+/// mutex, not by this load. Start()'s release store pairs with nothing
+/// by design.
 inline bool TracingEnabled() {
   return internal::g_tracing_enabled.load(std::memory_order_relaxed);
 }
@@ -86,14 +94,17 @@ struct TraceRecorderOptions {
 /// enable flag, drained to Chrome trace-event JSON.
 ///
 /// Threading contract:
-///   - Append/SetThreadName: any thread, while enabled; wait-free after
-///     the thread's first event (which registers its buffer under a mutex).
-///   - Start/Stop/ToJson/WriteJson: a single controller thread. Draining
-///     while writer threads are still inside instrumented code is a data
-///     race on the rings — Stop() flips the flag, but the caller must let
-///     in-flight work settle (pipelines' Run() returns only after its
-///     pools went idle, which is exactly that quiescence) before writing.
-///     This mirrors the io::ExecCounters reset contract (io/io_stats.h).
+///   - Append/SetThreadName: any thread, while enabled. Each append takes
+///     the calling thread's own ring mutex — uncontended (and therefore a
+///     couple of atomic ops) except while a drain is copying that ring.
+///   - Start/Stop/ToJson/WriteJson/dropped_events: any single controller
+///     thread, at any time — including while writer threads are emitting.
+///     A drain locks each ring in turn, so it sees a consistent prefix of
+///     every thread's events; events appended while the drain runs may or
+///     may not be included, but are never torn. (Callers that want a
+///     *complete* trace should still quiesce first — pipelines' Run()
+///     returns only after its pools went idle — but that is now a
+///     completeness concern, not a data-race one.)
 class TraceRecorder {
  public:
   /// The process-wide recorder (leaky singleton: worker threads may touch
@@ -140,9 +151,14 @@ class TraceRecorder {
  private:
   friend class TraceRecorderPeer;  // tests
 
-  /// One thread's ring. Single-writer (the owning thread); the controller
-  /// reads it only under the drain contract above.
+  /// One thread's ring. Single-writer (the owning thread); `mu` arbitrates
+  /// the writer against concurrent drains (ToJson/dropped_events) and
+  /// Start()'s reset — it is uncontended on the append path whenever no
+  /// drain is in flight, which keeps enabled-path appends cheap while
+  /// making drain-while-emitting a defined interleaving instead of a data
+  /// race.
   struct ThreadBuffer {
+    std::mutex mu;  ///< guards every field below
     std::vector<TraceEvent> ring;
     size_t capacity = 0;
     uint64_t appended = 0;  ///< total Append calls; wrap = appended > capacity

@@ -247,10 +247,19 @@ TEST_F(ModelFitE2ETest, CalibratedModelPredictsMeasuredRun) {
   const PerfModel model(fit.value().params);
   const double predicted =
       model.PredictPass(kBytes).seconds * static_cast<double>(kPasses);
-  EXPECT_GT(predicted, measured.drive_seconds / 3.0)
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  // Sanitizer instrumentation is nonuniform across scans (allocator
+  // pauses, shadow-memory faults), so calibration and measurement can
+  // legitimately diverge far beyond timer noise. Keep the e2e path
+  // running for the memory/race checks, but only sanity-bound the ratio.
+  constexpr double kTolerance = 25.0;
+#else
+  constexpr double kTolerance = 3.0;
+#endif
+  EXPECT_GT(predicted, measured.drive_seconds / kTolerance)
       << "calibrated prediction " << predicted << "s vs measured "
       << measured.drive_seconds << "s";
-  EXPECT_LT(predicted, measured.drive_seconds * 3.0)
+  EXPECT_LT(predicted, measured.drive_seconds * kTolerance)
       << "calibrated prediction " << predicted << "s vs measured "
       << measured.drive_seconds << "s";
 }

@@ -97,6 +97,63 @@ TEST(IoStatsTest, UtilizationZeroCases) {
   EXPECT_DOUBLE_EQ(some.CpuUtilization(0), 0.0);
 }
 
+// The quiescence contract (io_stats.h): concurrent pipeline passes nest
+// freely — Reset/Set only CHECK against *in-flight* passes — and every
+// pass's AddExecCounters lands exactly once in the global totals no
+// matter how the pass guards interleave. Sanitizer-friendly sizes: 8
+// threads x 16 passes is enough for TSan to see the interleavings.
+TEST(IoStatsTest, ConcurrentExecCounterPassesAllLandExactlyOnce) {
+  ASSERT_EQ(ActiveExecCountersPasses(), 0u);
+  const ExecCounters baseline = GlobalExecCounters();
+  constexpr int kThreads = 8;
+  constexpr int kPassesPerThread = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int p = 0; p < kPassesPerThread; ++p) {
+        ScopedExecCountersPass guard;
+        EXPECT_GE(ActiveExecCountersPasses(), 1u);
+        ExecCounters delta;
+        delta.passes = 1;
+        delta.chunks = 3;
+        delta.prefetch_bytes = 4096;
+        AddExecCounters(delta);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(ActiveExecCountersPasses(), 0u);
+  const ExecCounters delta = GlobalExecCounters() - baseline;
+  EXPECT_EQ(delta.passes, uint64_t{kThreads * kPassesPerThread});
+  EXPECT_EQ(delta.chunks, uint64_t{3 * kThreads * kPassesPerThread});
+  EXPECT_EQ(delta.prefetch_bytes, uint64_t{4096 * kThreads * kPassesPerThread});
+  // Quiescent again: snapshot-restore is legal and restores the baseline.
+  SetExecCounters(baseline);
+  const ExecCounters restored = GlobalExecCounters() - baseline;
+  EXPECT_EQ(restored.passes, 0u);
+}
+
+// Reset/Set while a pass is in flight must abort loudly (M3_CHECK) rather
+// than silently corrupt the totals a mid-pass Add would stack on top of
+// the overwritten value.
+TEST(IoStatsDeathTest, ResetWhilePassInFlightAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ScopedExecCountersPass guard;
+        ResetExecCounters();
+      },
+      "pipeline pass\\(es\\) in flight");
+  EXPECT_DEATH(
+      {
+        ScopedExecCountersPass guard;
+        SetExecCounters(ExecCounters());
+      },
+      "pipeline pass\\(es\\) in flight");
+}
+
 TEST(IoStatsTest, ToStringsContainKeyFields) {
   IoCounters io;
   io.read_bytes = 1024;

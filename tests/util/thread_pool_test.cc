@@ -53,6 +53,40 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   EXPECT_EQ(done.load(), 50);
 }
 
+// Construct/submit/destruct churn: the shutdown handshake (shutting_down_
+// flag, drain-then-join) runs once per pool, so cycling many short-lived
+// pools is what shakes out lost-wakeup and join races. Sizes stay small —
+// this test runs under TSan in CI, where thread creation is ~10x pricier.
+TEST(ThreadPoolTest, ConstructSubmitDestructChurn) {
+  std::atomic<int> executed{0};
+  int submitted = 0;
+  for (int round = 0; round < 40; ++round) {
+    ThreadPool pool(1 + round % 4);
+    const int tasks = round % 5;  // includes submit-nothing rounds
+    for (int t = 0; t < tasks; ++t) {
+      pool.Submit([&executed] { ++executed; });
+      ++submitted;
+    }
+    // No Wait(): the destructor must drain the queue itself.
+  }
+  EXPECT_EQ(executed.load(), submitted);
+}
+
+// Submitting from inside a worker task while the destructor is already
+// draining is the nastiest legal interleaving: the self-submitted task was
+// enqueued before the pool's own task finished, so it must still run.
+TEST(ThreadPoolTest, SubmitFromWorkerDuringShutdownStillRuns) {
+  std::atomic<int> executed{0};
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(2);
+    pool.Submit([&pool, &executed] {
+      pool.Submit([&executed] { ++executed; });
+    });
+    // Destructor races the outer task's Submit.
+  }
+  EXPECT_EQ(executed.load(), 20);
+}
+
 TEST(ParallelForTest, CoversEntireRangeExactlyOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);

@@ -1,0 +1,28 @@
+// Fixture (never compiled): serialization that forgot `lost_chunks`.
+#include "exec/pipeline_stats.h"
+
+namespace m3::exec {
+
+PipelineStats& PipelineStats::operator+=(const PipelineStats& rhs) {
+  passes += rhs.passes;
+  return *this;
+}
+
+io::ExecCounters PipelineStats::counters() const {
+  io::ExecCounters out;
+  out.passes = passes;
+  return out;
+}
+
+PipelineStats PipelineStats::FromCounters(const io::ExecCounters& counters) {
+  PipelineStats out;
+  out.passes = counters.passes;
+  return out;
+}
+
+std::string PipelineStats::ToJson() const {
+  return util::StrFormat("{\"passes\": %llu}",
+                         static_cast<unsigned long long>(passes));
+}
+
+}  // namespace m3::exec

@@ -1,0 +1,19 @@
+// Fixture (never compiled): ExecCounters without the lost_chunks twin.
+#ifndef FIXTURE_IO_STATS_H_
+#define FIXTURE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace m3::io {
+
+struct ExecCounters {
+  uint64_t passes = 0;
+
+  ExecCounters operator-(const ExecCounters& rhs) const;
+};
+
+void AddExecCounters(const ExecCounters& delta);
+
+}  // namespace m3::io
+
+#endif  // FIXTURE_IO_STATS_H_

@@ -1,0 +1,320 @@
+#!/usr/bin/env python3
+"""m3_lint: project-invariant checks the C++ compiler cannot express.
+
+The counter/trace plumbing spans four files that must stay in lockstep
+(exec::PipelineStats, its serialization, io::ExecCounters, and the
+pipeline's span instrumentation). Each rule below guards one invariant
+that has historically drifted silently — a counter added to the struct
+but not to ToJson() simply vanishes from every bench report and trace.
+
+Rules (see docs/CORRECTNESS.md for the policy and how to extend):
+  counter-twin        every uint64_t counter in exec::PipelineStats has a
+                      same-named twin in io::ExecCounters, and vice versa.
+  counter-serialized  every PipelineStats field is accumulated in
+                      operator+=, emitted as a ToJson() key, and (counters
+                      only) converted in counters()/FromCounters(); every
+                      ExecCounters field is handled in operator- and
+                      AddExecCounters.
+  span-coverage       every ChunkPipeline stage (pass, prefetch, compute,
+                      retire, evict) carries an "exec" span (ScopedSpan or
+                      OBS_SPAN).
+  hot-loop-blocking   no mutex/blocking call inside the *timed window*
+                      (util::Stopwatch watch; ... watch.ElapsedSeconds())
+                      of the prefetch/compute/retire/evict stage bodies —
+                      blocking there poisons the stage seconds the perf
+                      model is fit against. The pass driver is exempt: it
+                      orchestrates, so it legitimately waits.
+  bench-trace         every bench/bench_*.cc registers a --trace flag and
+                      drives it through bench::TraceSession.
+
+Exit status: 0 clean; 1 violations (one "path:line: [rule] message" per
+finding); 2 usage/internal error. Rules whose input files are absent are
+skipped with a note — pass --strict (CI does) to turn skips into errors.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Stages of exec::ChunkPipeline. "pass" is the driver: spanned, but exempt
+# from hot-loop-blocking (it waits on workers by design).
+PIPELINE_STAGES = ("pass", "prefetch", "compute", "retire", "evict")
+HOT_STAGES = ("prefetch", "compute", "retire", "evict")
+
+# Tokens that block or syscall; none may sit inside a timed stage window.
+BLOCKING_TOKENS = (
+    "std::mutex", "lock_guard", "unique_lock", "scoped_lock", ".lock()",
+    "->lock()", "sleep_for", "sleep_until", "usleep", "std::cout",
+    "std::cerr", "printf", "fprintf", "fopen", "ifstream", "ofstream",
+    "->Wait()", "condition_variable",
+)
+
+FIELD_RE = re.compile(r"^\s*(uint64_t|double)\s+(\w+)\s*=")
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.findings = []
+        self.skips = []
+
+    def finding(self, rel, line, rule, message):
+        self.findings.append(f"{rel}:{line}: [{rule}] {message}")
+
+    def read(self, rel):
+        path = os.path.join(self.root, rel)
+        if not os.path.isfile(path):
+            return None
+        with open(path, encoding="utf-8") as f:
+            return f.read()
+
+    def skip(self, rule, rel):
+        self.skips.append(f"note: [{rule}] skipped — {rel} not found")
+
+    # ---- parsing helpers ------------------------------------------------
+
+    @staticmethod
+    def brace_block(text, start):
+        """Return (body, end_index) for the {...} block opening at/after start."""
+        open_idx = text.index("{", start)
+        depth = 0
+        for i in range(open_idx, len(text)):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    return text[open_idx + 1:i], i
+        raise ValueError("unbalanced braces")
+
+    def struct_fields(self, text, struct_name):
+        """-> {field: (type, line)} for uint64_t/double members of struct."""
+        match = re.search(r"struct\s+%s\b" % struct_name, text)
+        if match is None:
+            return None
+        body, _ = self.brace_block(text, match.end())
+        base_line = text.count("\n", 0, match.start()) + 1
+        fields = {}
+        for offset, line in enumerate(body.splitlines()):
+            m = FIELD_RE.match(line)
+            if m:
+                fields[m.group(2)] = (m.group(1), base_line + offset + 1)
+        return fields
+
+    def function_body(self, text, signature_re):
+        match = re.search(signature_re, text)
+        if match is None:
+            return None
+        body, _ = self.brace_block(text, match.end())
+        return body
+
+    # ---- rules ----------------------------------------------------------
+
+    def check_counter_plumbing(self):
+        stats_h = self.read("src/exec/pipeline_stats.h")
+        stats_cc = self.read("src/exec/pipeline_stats.cc")
+        io_h = self.read("src/io/io_stats.h")
+        io_cc = self.read("src/io/io_stats.cc")
+        if stats_h is None or io_h is None:
+            self.skip("counter-twin", "src/exec/pipeline_stats.h or "
+                      "src/io/io_stats.h")
+            return
+        pipeline = self.struct_fields(stats_h, "PipelineStats")
+        execc = self.struct_fields(io_h, "ExecCounters")
+        if pipeline is None or execc is None:
+            self.skip("counter-twin", "struct PipelineStats / ExecCounters")
+            return
+        counters = {f: loc for f, (ty, loc) in pipeline.items()
+                    if ty == "uint64_t"}
+        seconds = {f: loc for f, (ty, loc) in pipeline.items()
+                   if ty == "double"}
+
+        # Rule: counter-twin — the two counter sets must be identical.
+        for field, line in sorted(counters.items()):
+            if field not in execc:
+                self.finding(
+                    "src/exec/pipeline_stats.h", line, "counter-twin",
+                    f"PipelineStats counter '{field}' has no io::ExecCounters "
+                    "twin — add the field to src/io/io_stats.h and plumb it "
+                    "through operator-, AddExecCounters, and "
+                    "PipelineStats::counters()/FromCounters()")
+        for field, (ty, line) in sorted(execc.items()):
+            if ty == "uint64_t" and field not in counters:
+                self.finding(
+                    "src/io/io_stats.h", line, "counter-twin",
+                    f"io::ExecCounters field '{field}' has no PipelineStats "
+                    "twin — add it to src/exec/pipeline_stats.h")
+
+        # Rule: counter-serialized — every field lands in every sink.
+        if stats_cc is not None:
+            sinks = {
+                "operator+=": self.function_body(
+                    stats_cc, r"PipelineStats&\s*PipelineStats::operator\+="),
+                "counters()": self.function_body(
+                    stats_cc, r"ExecCounters\s+PipelineStats::counters"),
+                "FromCounters()": self.function_body(
+                    stats_cc, r"PipelineStats\s+PipelineStats::FromCounters"),
+                "ToJson()": self.function_body(
+                    stats_cc, r"std::string\s+PipelineStats::ToJson"),
+            }
+            for field, line in sorted(counters.items()):
+                for sink in ("operator+=", "counters()", "FromCounters()"):
+                    body = sinks[sink]
+                    if body is not None and \
+                            re.search(r"\b%s\b" % field, body) is None:
+                        self.finding(
+                            "src/exec/pipeline_stats.cc", 1,
+                            "counter-serialized",
+                            f"counter '{field}' missing from "
+                            f"PipelineStats::{sink} — it will silently "
+                            "read as zero downstream")
+            for field, line in sorted({**counters, **seconds}.items()):
+                body = sinks["ToJson()"]
+                if body is not None and f'\\"{field}\\"' not in body:
+                    self.finding(
+                        "src/exec/pipeline_stats.cc", 1, "counter-serialized",
+                        f"field '{field}' has no \"{field}\" key in "
+                        "PipelineStats::ToJson() — bench JSON and trace "
+                        "metadata will omit it")
+        else:
+            self.skip("counter-serialized", "src/exec/pipeline_stats.cc")
+
+        if io_cc is not None:
+            for fn, sig in (("operator-",
+                             r"ExecCounters\s+ExecCounters::operator-"),
+                            ("AddExecCounters",
+                             r"void\s+AddExecCounters")):
+                body = self.function_body(io_cc, sig)
+                if body is None:
+                    continue
+                for field, (ty, line) in sorted(execc.items()):
+                    if ty == "uint64_t" and \
+                            re.search(r"\b%s\b" % field, body) is None:
+                        self.finding(
+                            "src/io/io_stats.cc", 1, "counter-serialized",
+                            f"ExecCounters field '{field}' missing from "
+                            f"{fn} — deltas/accumulation will drop it")
+        else:
+            self.skip("counter-serialized", "src/io/io_stats.cc")
+
+    def check_span_coverage(self):
+        rel = "src/exec/chunk_pipeline.cc"
+        text = self.read(rel)
+        if text is None:
+            self.skip("span-coverage", rel)
+            return
+        for stage in PIPELINE_STAGES:
+            pattern = (r'(ScopedSpan\s+\w+|OBS_SPAN)\s*\(\s*"exec"\s*,\s*"'
+                       + re.escape(stage) + r'"')
+            if re.search(pattern, text) is None:
+                self.finding(
+                    rel, 1, "span-coverage",
+                    f"pipeline stage '{stage}' has no "
+                    f'obs span ("exec", "{stage}") — traces will show a '
+                    "hole where this stage ran")
+
+    def check_hot_loop_blocking(self):
+        rel = "src/exec/chunk_pipeline.cc"
+        text = self.read(rel)
+        if text is None:
+            self.skip("hot-loop-blocking", rel)
+            return
+        lines = text.splitlines()
+        for stage in HOT_STAGES:
+            span_re = re.compile(
+                r'(ScopedSpan\s+\w+|OBS_SPAN)\s*\(\s*"exec"\s*,\s*"'
+                + re.escape(stage) + r'"')
+            for i, line in enumerate(lines):
+                if span_re.search(line) is None:
+                    continue
+                # Timed window: the Stopwatch after the span to its first
+                # ElapsedSeconds() read.
+                start = end = None
+                for j in range(i + 1, min(i + 40, len(lines))):
+                    if start is None and "util::Stopwatch" in lines[j]:
+                        start = j
+                    elif start is not None and "ElapsedSeconds()" in lines[j]:
+                        end = j
+                        break
+                if start is None or end is None:
+                    continue  # untimed span sites are fine
+                for j in range(start + 1, end):
+                    for token in BLOCKING_TOKENS:
+                        if token in lines[j]:
+                            self.finding(
+                                rel, j + 1, "hot-loop-blocking",
+                                f"'{token}' inside the timed window of the "
+                                f"'{stage}' stage — blocking here is "
+                                "counted as stage time and skews the "
+                                "fitted perf model; move it past "
+                                "ElapsedSeconds()")
+
+    def check_bench_trace(self):
+        bench_dir = os.path.join(self.root, "bench")
+        if not os.path.isdir(bench_dir):
+            self.skip("bench-trace", "bench/")
+            return
+        for name in sorted(os.listdir(bench_dir)):
+            if not (name.startswith("bench_") and name.endswith(".cc")):
+                continue
+            rel = f"bench/{name}"
+            text = self.read(rel)
+            # Two accepted registration idioms: the flags helper, or a
+            # hand-parsed "--trace" (bench_kernels: google-benchmark owns
+            # argv and rejects flags it does not recognize).
+            if 'AddString("trace"' not in text and '"--trace"' not in text:
+                self.finding(
+                    rel, 1, "bench-trace",
+                    'bench binary does not register a --trace flag '
+                    '(flags.AddString("trace", ...)) — every bench must be '
+                    "traceable (see bench/bench_common.h)")
+            elif "TraceSession" not in text:
+                self.finding(
+                    rel, 1, "bench-trace",
+                    "--trace flag registered but never handed to "
+                    "bench::TraceSession — the flag is dead")
+
+    # ---- driver ---------------------------------------------------------
+
+    def run(self):
+        self.check_counter_plumbing()
+        self.check_span_coverage()
+        self.check_hot_loop_blocking()
+        self.check_bench_trace()
+        return self.findings, self.skips
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repo root (or fixture tree) to lint")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat skipped rules (missing files) as errors")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule names and exit")
+    args = parser.parse_args()
+    if args.list_rules:
+        print("counter-twin counter-serialized span-coverage "
+              "hot-loop-blocking bench-trace")
+        return 0
+    if not os.path.isdir(args.root):
+        print(f"m3_lint: no such directory: {args.root}", file=sys.stderr)
+        return 2
+    findings, skips = Linter(args.root).run()
+    for note in skips:
+        print(note, file=sys.stderr)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"m3_lint: {len(findings)} violation(s)", file=sys.stderr)
+        return 1
+    if args.strict and skips:
+        print("m3_lint: --strict and rules were skipped", file=sys.stderr)
+        return 1
+    print("m3_lint: clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
