@@ -41,11 +41,14 @@ int Run(int argc, char** argv) {
   flags.AddString("trace", &trace,
                   "write a Chrome trace-event JSON of the run to this path");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
+    return UsageError(flags, argv[0], st.ToString());
   }
   if (flags.help_requested()) {
     return 0;
+  }
+  if (!ValidateBenchFlags(flags, argv[0], {{"size_mb", size_mb}, {"stride", stride}},
+                          {}, &trace)) {
+    return 1;
   }
 
   PrintPreamble("Access patterns x madvise policies");

@@ -2,6 +2,7 @@
 #define M3_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <initializer_list>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "io/io_stats.h"
 #include "io/platform.h"
 #include "obs/trace_session.h"
+#include "util/flags.h"
 #include "util/format.h"
 #include "util/json.h"
 #include "util/stopwatch.h"
@@ -28,6 +30,56 @@ inline void PrintPreamble(const char* title) {
   std::printf("host: %s\n", util::SysInfoString().c_str());
   std::printf("platform: %s\n",
               io::GetPlatformCapabilities().ToString().c_str());
+}
+
+/// \brief Prints `message` plus the full usage text to stderr and returns
+/// the nonzero exit code, so a bench main can `return UsageError(...)` on a
+/// malformed command line instead of running a half-configured sweep.
+inline int UsageError(const util::FlagParser& flags, const char* argv0,
+                      const std::string& message) {
+  std::fprintf(stderr, "error: %s\n\n%s", message.c_str(),
+               flags.Usage(argv0).c_str());
+  return 1;
+}
+
+/// \brief Post-Parse() validation every bench main runs.
+///
+/// The value parsers already reject non-numeric text ("--workers=abc");
+/// this enforces the invariants they cannot see:
+///   - each (name, value) in `positive` parsed to > 0 — a zero-MiB
+///     dataset or zero-iteration sweep would "succeed" while measuring
+///     nothing,
+///   - each (name, value) in `non_negative` parsed to >= 0,
+///   - an explicitly passed --trace has a non-empty path (`--trace=`
+///     would silently run untraced and CI would miss the artifact).
+/// On violation prints the offending flag plus usage and returns false;
+/// the caller exits nonzero.
+inline bool ValidateBenchFlags(
+    const util::FlagParser& flags, const char* argv0,
+    std::initializer_list<std::pair<const char*, int64_t>> positive,
+    std::initializer_list<std::pair<const char*, int64_t>> non_negative = {},
+    const std::string* trace = nullptr) {
+  for (const auto& [name, value] : positive) {
+    if (value <= 0) {
+      UsageError(flags, argv0,
+                 util::StrFormat("--%s must be positive (got %lld)", name,
+                                 static_cast<long long>(value)));
+      return false;
+    }
+  }
+  for (const auto& [name, value] : non_negative) {
+    if (value < 0) {
+      UsageError(flags, argv0,
+                 util::StrFormat("--%s must be >= 0 (got %lld)", name,
+                                 static_cast<long long>(value)));
+      return false;
+    }
+  }
+  if (trace != nullptr && flags.was_set("trace") && trace->empty()) {
+    UsageError(flags, argv0, "--trace needs a non-empty path");
+    return false;
+  }
+  return true;
 }
 
 /// \brief Generates (or reuses) a binary-label InfiMNIST-style dataset of

@@ -180,7 +180,15 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace = argv[i] + 8;
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      if (trace.empty()) {
+        std::fprintf(stderr, "error: --trace needs a non-empty path\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+        std::fprintf(stderr, "error: --trace needs a non-empty path\n");
+        return 1;
+      }
       trace = argv[++i];
     } else {
       argv[kept++] = argv[i];

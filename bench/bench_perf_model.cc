@@ -50,11 +50,17 @@ int Run(int argc, char** argv) {
                   "fail (exit 1) when the worst relative residual "
                   "exceeds this fraction");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
+    return UsageError(flags, argv[0], st.ToString());
   }
   if (flags.help_requested()) {
     return 0;
+  }
+  if (!ValidateBenchFlags(flags, argv[0], {{"iterations", iterations}},
+                          {}, &trace)) {
+    return 1;
+  }
+  if (max_residual <= 0) {
+    return UsageError(flags, argv[0], "--max_residual must be positive");
   }
 
   PrintPreamble("Performance model calibration (measured PipelineStats)");

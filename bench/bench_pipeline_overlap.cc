@@ -104,11 +104,14 @@ int Run(int argc, char** argv) {
                   "write a Chrome trace-event JSON of the run to this path");
   flags.AddBool("csv", &csv, "emit CSV");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
+    return UsageError(flags, argv[0], st.ToString());
   }
   if (flags.help_requested()) {
     return 0;
+  }
+  if (!ValidateBenchFlags(flags, argv[0], {{"size_mb", size_mb}, {"budget_percent", budget_percent}, {"iterations", iterations}, {"readahead", readahead}},
+                          {{"workers", workers}}, &trace)) {
+    return 1;
   }
 
   PrintPreamble("pipeline overlap: serial vs prefetch/evict-overlapped");

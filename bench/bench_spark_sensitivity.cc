@@ -53,11 +53,17 @@ int Run(int argc, char** argv) {
   flags.AddString("trace", &trace,
                   "write a Chrome trace-event JSON of the run to this path");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
+    return UsageError(flags, argv[0], st.ToString());
   }
   if (flags.help_requested()) {
     return 0;
+  }
+  if (!ValidateBenchFlags(flags, argv[0], {{"passes", passes}},
+                          {}, &trace)) {
+    return 1;
+  }
+  if (cpu_per_core <= 0) {
+    return UsageError(flags, argv[0], "--cpu_per_core must be positive");
   }
 
   PrintPreamble("Spark baseline sensitivity (paper-scale, analytic)");

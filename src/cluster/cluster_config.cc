@@ -144,10 +144,11 @@ void InstanceExecStats::Accumulate(const InstanceExecStats& other) {
   spilled += other.spilled;
   spill_refaults += other.spill_refaults;
   spill_refault_bytes += other.spill_refault_bytes;
+  incomplete |= other.incomplete;
 }
 
 std::string InstanceExecStats::ToString() const {
-  return util::StrFormat(
+  std::string out = util::StrFormat(
       "cached[hits=%llu stalls=%llu evict=%s] spilled[hits=%llu stalls=%llu "
       "refaults=%llu (%s)]",
       static_cast<unsigned long long>(cached.prefetch_hits),
@@ -157,6 +158,10 @@ std::string InstanceExecStats::ToString() const {
       static_cast<unsigned long long>(spilled.stalls),
       static_cast<unsigned long long>(spill_refaults),
       util::HumanBytes(spill_refault_bytes).c_str());
+  if (incomplete) {
+    out += " INCOMPLETE";
+  }
+  return out;
 }
 
 void JobStats::Accumulate(const JobStats& other) {
@@ -171,6 +176,7 @@ void JobStats::Accumulate(const JobStats& other) {
   bytes_over_network += other.bytes_over_network;
   measured_exec_seconds += other.measured_exec_seconds;
   predicted_exec_seconds += other.predicted_exec_seconds;
+  incomplete |= other.incomplete;
   if (instance_exec.size() < other.instance_exec.size()) {
     instance_exec.resize(other.instance_exec.size());
   }
@@ -190,6 +196,9 @@ std::string JobStats::ToString() const {
       util::HumanDuration(overhead_seconds).c_str(), jobs, tasks,
       util::HumanBytes(bytes_read_from_disk).c_str(),
       util::HumanBytes(bytes_over_network).c_str());
+  if (incomplete) {
+    out += " INCOMPLETE";
+  }
   if (predicted_exec_seconds > 0) {
     out += util::StrFormat(
         "\n  measured exec %.3fs vs calibrated prediction %.3fs "

@@ -212,6 +212,10 @@ struct InstanceExecStats {
   /// non-empty): every use re-faults from storage.
   uint64_t spill_refaults = 0;
   uint64_t spill_refault_bytes = 0;  ///< bytes covered by forced evictions
+  /// True when the instance did not report (its fleet worker died or missed
+  /// a phase deadline) — the counters above are a partial view, not a
+  /// measurement. Sticky under Accumulate.
+  bool incomplete = false;
 
   void Accumulate(const InstanceExecStats& other);
   std::string ToString() const;
@@ -253,6 +257,11 @@ struct JobStats {
   double measured_exec_seconds = 0;
   double predicted_exec_seconds = 0;
   /// @}
+
+  /// True when any contributing instance's stats are incomplete (a
+  /// ProcessFleet worker crashed or timed out mid-job): totals and
+  /// residuals then under-count the job. Sticky under Accumulate.
+  bool incomplete = false;
 
   void Accumulate(const JobStats& other);
   std::string ToString() const;

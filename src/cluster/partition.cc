@@ -49,6 +49,14 @@ size_t InstanceRows(const std::vector<Partition>& partitions,
   return rows;
 }
 
+size_t PartitionChunkRows(const Partition& partition, uint64_t requested) {
+  if (requested == 0) {
+    return partition.rows();
+  }
+  return static_cast<size_t>(std::min<uint64_t>(
+      requested, std::max<size_t>(1, partition.rows())));
+}
+
 size_t CountSpilled(const std::vector<Partition>& partitions) {
   size_t spilled = 0;
   for (const Partition& partition : partitions) {

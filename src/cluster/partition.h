@@ -47,6 +47,16 @@ size_t InstanceRows(const std::vector<Partition>& partitions,
 /// \brief Partitions of `partitions` that are marked spilled.
 size_t CountSpilled(const std::vector<Partition>& partitions);
 
+/// \brief Rows per pipeline chunk for `partition` under a requested
+/// chunk-row override (0 = the whole partition as one chunk).
+///
+/// This is THE chunking rule of the measured engine —
+/// `PartitionExecutor` delegates here, and `cluster::ProcessFleet` uses
+/// the same function to size shm result slots and compute fold offsets,
+/// so parent and workers always agree on how many partials a partition
+/// produces.
+size_t PartitionChunkRows(const Partition& partition, uint64_t requested);
+
 }  // namespace m3::cluster
 
 #endif  // M3_CLUSTER_PARTITION_H_

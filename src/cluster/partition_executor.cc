@@ -38,12 +38,7 @@ PartitionExecutor::PartitionExecutor(std::vector<Partition> partitions,
 }
 
 size_t PartitionExecutor::ChunkRowsFor(const Partition& partition) const {
-  const uint64_t requested = config_.exec.chunk_rows;
-  if (requested == 0) {
-    return partition.rows();
-  }
-  return static_cast<size_t>(
-      std::min<uint64_t>(requested, std::max<size_t>(1, partition.rows())));
+  return PartitionChunkRows(partition, config_.exec.chunk_rows);
 }
 
 uint64_t PartitionExecutor::BudgetFor(const Partition& partition) const {
@@ -131,15 +126,16 @@ exec::ChunkPipeline* PartitionExecutor::PreparePartition(size_t index,
   return slot.get();
 }
 
-double PartitionExecutor::PredictJobExecSeconds(uint64_t row_bytes,
-                                                bool cold) const {
-  if (!pipelined() || !bound() || !config_.calibrated_from_measurement ||
-      config_.spill_read_bytes_per_sec <= 0) {
+double PredictExecSeconds(const std::vector<Partition>& partitions,
+                          const ClusterConfig& config, uint64_t row_bytes,
+                          bool cold) {
+  if (!config.calibrated_from_measurement ||
+      config.spill_read_bytes_per_sec <= 0) {
     return 0;
   }
   uint64_t total_bytes = 0;
   uint64_t storage_bytes = 0;
-  for (const Partition& partition : partitions_) {
+  for (const Partition& partition : partitions) {
     const uint64_t bytes = partition.rows() * row_bytes;
     total_bytes += bytes;
     // Cached partitions keep residency between jobs; spilled ones are
@@ -150,10 +146,18 @@ double PartitionExecutor::PredictJobExecSeconds(uint64_t row_bytes,
     }
   }
   const double cpu =
-      config_.local_cpu_seconds_per_byte * static_cast<double>(total_bytes);
-  const double io = static_cast<double>(storage_bytes) /
-                    config_.spill_read_bytes_per_sec;
-  return CombineOverlap(cpu, io, config_.overlap_efficiency);
+      config.local_cpu_seconds_per_byte * static_cast<double>(total_bytes);
+  const double io =
+      static_cast<double>(storage_bytes) / config.spill_read_bytes_per_sec;
+  return CombineOverlap(cpu, io, config.overlap_efficiency);
+}
+
+double PartitionExecutor::PredictJobExecSeconds(uint64_t row_bytes,
+                                                bool cold) const {
+  if (!pipelined() || !bound()) {
+    return 0;
+  }
+  return PredictExecSeconds(partitions_, config_, row_bytes, cold);
 }
 
 void PartitionExecutor::CollectStats(size_t index,

@@ -116,6 +116,65 @@ class PartitionExecutor {
     }
   }
 
+  /// Runs the slice of one job owned by `instance`: that instance's
+  /// partitions only, visited in the position they occupy in the global
+  /// task_order() (lane `instance` of the strided schedule — ascending
+  /// partition index). `map` is exactly RunJob's map; instead of folding,
+  /// every chunk partial is handed to
+  /// `emit(partition_index, chunk_index, T&&)` in ascending chunk order
+  /// within each partition. This is the worker half of the
+  /// cluster::ProcessFleet split: each worker emits its raw per-chunk
+  /// partials (never pre-folded — FP addition is not associative) and the
+  /// parent folds ALL instances' partials in the full task_order()
+  /// sequence, reproducing RunJob's fold bitwise at any fleet size. Stats
+  /// recording matches RunJob, but only `instance`'s slot is populated.
+  template <typename T, typename MapFn, typename EmitFn>
+  void RunInstanceJob(size_t instance, MapFn&& map, EmitFn&& emit,
+                      JobStats* job) {
+    obs::ScopedSpan job_span("cluster", "run_instance_job");
+    if (job_span.armed()) {
+      job_span.AddArg("instance", static_cast<uint64_t>(instance));
+    }
+    if (job != nullptr && pipelined()) {
+      job->instance_exec.resize(config_.num_instances);
+    }
+    for (size_t pos = 0; pos < task_order_.num_chunks(); ++pos) {
+      const size_t index = task_order_.At(pos);
+      const Partition& partition = partitions_[index];
+      if (partition.instance != instance) {
+        continue;
+      }
+      obs::ScopedSpan task_span("cluster", "partition_task");
+      if (task_span.armed()) {
+        task_span.AddArg("partition", static_cast<uint64_t>(index));
+        task_span.AddArg("instance",
+                         static_cast<uint64_t>(partition.instance));
+        task_span.AddArg("cached", partition.cached ? "true" : "false");
+      }
+      exec::ChunkPipeline* pipeline = PreparePartition(index, job);
+      const la::RowChunker chunker(partition.rows(), ChunkRowsFor(partition));
+      exec::MapReduceChunks<T>(
+          pipeline, chunker,
+          exec::ChunkSchedule::Sequential(chunker.NumChunks()),
+          [&](size_t, size_t row_begin, size_t row_end) {
+            return map(partition, partition.row_begin + row_begin,
+                       partition.row_begin + row_end);
+          },
+          [&](size_t chunk, T&& partial) {
+            emit(index, chunk, std::move(partial));
+          });
+      CollectStats(index, pipeline, job);
+    }
+    if (job != nullptr && pipelined()) {
+      // This worker's measured execution wall time (only `instance`'s
+      // entry is non-zero here).
+      for (const InstanceExecStats& stats : job->instance_exec) {
+        job->measured_exec_seconds +=
+            stats.cached.drive_seconds + stats.spilled.drive_seconds;
+      }
+    }
+  }
+
   /// The measured-calibrated model's prediction of one job's pipeline
   /// execution wall seconds on THIS machine (the counterpart of
   /// JobStats::measured_exec_seconds): fitted local CPU cost over every
@@ -162,6 +221,15 @@ class PartitionExecutor {
   std::unique_ptr<io::PrefetchBackend> prefetch_backend_;
   std::vector<std::unique_ptr<exec::ChunkPipeline>> pipelines_;
 };
+
+/// \brief The calibrated-model execution prediction behind
+/// PartitionExecutor::PredictJobExecSeconds, callable without an executor
+/// (cluster::ProcessFleet's parent predicts while the pipelines live in
+/// worker processes). Returns 0 unless `config` carries a measured
+/// calibration.
+double PredictExecSeconds(const std::vector<Partition>& partitions,
+                          const ClusterConfig& config, uint64_t row_bytes,
+                          bool cold);
 
 }  // namespace m3::cluster
 

@@ -1,0 +1,774 @@
+#include "cluster/process_fleet.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <string_view>
+#include <utility>
+
+#include "cluster/partition_executor.h"
+#include "cluster/sim_clock.h"
+#include "la/blas.h"
+#include "la/chunker.h"
+#include "ml/logistic_regression.h"
+#include "obs/trace_recorder.h"
+#include "obs/trace_session.h"
+#include "util/format.h"
+#include "util/json.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace m3::cluster {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Fixed tail of every result slot reserved for the worker's
+/// length-prefixed stats JSON (two PipelineStats::ToJson objects plus
+/// refault counters — comfortably under 4 KiB; the slack absorbs
+/// append-only schema growth).
+constexpr size_t kStatsBytes = 32 << 10;
+
+/// Worker exit codes (surface in the parent's error message via waitpid).
+constexpr int kWorkerExitDatasetFailed = 3;
+
+std::string DescribeExit(int status) {
+  if (WIFEXITED(status)) {
+    return util::StrFormat("exit code %d", WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return util::StrFormat("killed by signal %d", WTERMSIG(status));
+  }
+  return "unknown wait status";
+}
+
+}  // namespace
+
+/// The parent-side L-BFGS objective: every gradient evaluation is one
+/// fleet-wide job. ml::DifferentiableFunction cannot return a Status, so a
+/// worker failure latches into `failure_` (checked by RunLogisticRegression
+/// after Minimize) and later evaluations short-circuit to zero — the
+/// optimizer then converges immediately on the zero gradient instead of
+/// driving a dead fleet.
+class FleetLrObjective final : public ml::DifferentiableFunction {
+ public:
+  FleetLrObjective(ProcessFleet* fleet, size_t dimension, double l2,
+                   JobStats* stats)
+      : fleet_(fleet), dimension_(dimension), l2_(l2), stats_(stats) {}
+
+  size_t Dimension() const override { return dimension_; }
+
+  double EvaluateWithGradient(la::ConstVectorView w,
+                              la::VectorView grad) override {
+    obs::ScopedSpan job_span("cluster", "lr_gradient_job");
+    grad.SetZero();
+    if (!failure_.ok()) {
+      return 0;
+    }
+    double loss = 0;
+    JobStats job;
+    failure_ = fleet_->RunLrGradient(w, grad, &loss, first_pass_, &job);
+    if (!failure_.ok()) {
+      grad.SetZero();
+      return 0;
+    }
+    // Driver adds the ridge term (as MLlib's updater does) — identical to
+    // DistributedLrObjective.
+    const size_t d = dimension_ - 1;
+    if (l2_ > 0) {
+      la::ConstVectorView weights = w.Slice(0, d);
+      loss += 0.5 * l2_ * la::Dot(weights, weights);
+      la::Axpy(l2_, weights, grad.Slice(0, d));
+    }
+    job.jobs = 1;
+    stats_->Accumulate(job);
+    first_pass_ = false;
+    return loss;
+  }
+
+  const Status& failure() const { return failure_; }
+
+ private:
+  ProcessFleet* fleet_;
+  size_t dimension_;
+  double l2_;
+  JobStats* stats_;
+  Status failure_ = Status::OK();
+  bool first_pass_ = true;
+};
+
+Result<std::unique_ptr<ProcessFleet>> ProcessFleet::Spawn(
+    const std::string& dataset_path, const FleetOptions& options) {
+  M3_RETURN_IF_ERROR(options.config.Validate());
+  if (options.phase_deadline_seconds <= 0) {
+    return Status::InvalidArgument("phase_deadline_seconds must be positive");
+  }
+  if (options.max_kmeans_k == 0) {
+    return Status::InvalidArgument("max_kmeans_k must be positive");
+  }
+  M3_ASSIGN_OR_RETURN(MappedDataset dataset, MappedDataset::Open(dataset_path));
+  if (dataset.rows() == 0 || dataset.cols() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  std::unique_ptr<ProcessFleet> fleet(
+      new ProcessFleet(std::move(dataset), dataset_path, options));
+  M3_RETURN_IF_ERROR(fleet->Start());
+  return fleet;
+}
+
+ProcessFleet::ProcessFleet(MappedDataset dataset, std::string dataset_path,
+                           const FleetOptions& options)
+    : options_(options),
+      dataset_path_(std::move(dataset_path)),
+      dataset_(std::move(dataset)),
+      partitions_(SparkCluster(options.config)
+                      .PlanPartitions(dataset_.rows(),
+                                      dataset_.cols() * sizeof(double))),
+      fold_order_(exec::ChunkSchedule::Strided(partitions_.size(),
+                                               options.config.num_instances)) {
+  const size_t workers = options_.config.num_instances;
+  partition_chunks_.resize(partitions_.size());
+  partition_chunk_base_.resize(partitions_.size());
+  worker_chunks_.assign(workers, 0);
+  // Ascending partition index IS each worker's emission order (lane k of
+  // the strided schedule visits instance k's partitions in ascending
+  // index), so a running per-worker count doubles as the chunk-slot base.
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    const Partition& partition = partitions_[p];
+    const la::RowChunker chunker(
+        partition.rows(),
+        PartitionChunkRows(partition, options_.config.exec.chunk_rows));
+    partition_chunks_[p] = chunker.NumChunks();
+    partition_chunk_base_[p] = worker_chunks_[partition.instance];
+    worker_chunks_[partition.instance] += chunker.NumChunks();
+  }
+  const size_t d = dataset_.cols();
+  const size_t k = options_.max_kmeans_k;
+  // LR chunk partial: loss + (d+1)-gradient. k-means chunk partial:
+  // inertia + k*d center sums + k counts.
+  const size_t lr_partial = (d + 2) * sizeof(double);
+  const size_t km_partial =
+      sizeof(double) * (1 + k * d) + sizeof(uint64_t) * k;
+  max_partial_bytes_ = std::max(lr_partial, km_partial);
+}
+
+ProcessFleet::~ProcessFleet() { Shutdown().IgnoreError(); }
+
+Status ProcessFleet::Start() {
+  const size_t workers = options_.config.num_instances;
+  const size_t d = dataset_.cols();
+  io::ShmChannel::Options channel_options;
+  channel_options.num_workers = workers;
+  // Broadcast payloads: LR = [u64 n][n doubles]; k-means =
+  // [u64 k][u64 d][k*d doubles].
+  channel_options.broadcast_bytes =
+      std::max(sizeof(uint64_t) + (d + 1) * sizeof(double),
+               2 * sizeof(uint64_t) +
+                   options_.max_kmeans_k * d * sizeof(double));
+  channel_options.slot_bytes.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    channel_options.slot_bytes.push_back(
+        worker_chunks_[w] * max_partial_bytes_ + kStatsBytes);
+  }
+  M3_ASSIGN_OR_RETURN(io::ShmChannel channel,
+                      io::ShmChannel::Create(channel_options));
+  channel_ = std::make_unique<io::ShmChannel>(std::move(channel));
+
+  pids_.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int fork_errno = errno;
+      alive_ = true;  // KillAll() reaps the already-forked workers
+      KillAll();
+      return Status::IoErrorFromErrno("fork fleet worker", fork_errno);
+    }
+    if (pid == 0) {
+      WorkerMain(w);  // never returns
+    }
+    pids_.push_back(pid);
+    channel_->OnParentAfterFork(w);
+  }
+  alive_ = true;
+
+  // Startup barrier: every worker acks sequence 1 after opening its own
+  // mapping and building its executor — so a worker that cannot even
+  // start (bad path, mmap failure) surfaces here, not mid-run.
+  util::Stopwatch stopwatch;
+  for (size_t w = 0; w < workers; ++w) {
+    const double remaining = std::max(
+        0.01, options_.phase_deadline_seconds - stopwatch.ElapsedSeconds());
+    const io::ShmChannel::Wait wait = channel_->WaitWorker(w, 1, remaining);
+    if (wait == io::ShmChannel::Wait::kDone) {
+      continue;
+    }
+    const char* why = wait == io::ShmChannel::Wait::kDead
+                          ? "died during startup"
+                          : "missed the startup deadline";
+    const std::string what = util::StrFormat("fleet worker %zu %s", w, why);
+    const std::string detail = KillAll();
+    return Status::Internal(what + " (" + detail + ")");
+  }
+  return Status::OK();
+}
+
+std::string ProcessFleet::KillAll() {
+  std::string detail;
+  for (size_t w = 0; w < pids_.size(); ++w) {
+    if (pids_[w] < 0) {
+      continue;
+    }
+    ::kill(pids_[w], SIGKILL);
+    int status = 0;
+    pid_t reaped;
+    do {
+      reaped = ::waitpid(pids_[w], &status, 0);
+    } while (reaped < 0 && errno == EINTR);
+    // A worker that died before our SIGKILL was already a zombie: waitpid
+    // reports its ORIGINAL death cause (e.g. SIGSEGV), not our kill.
+    detail += util::StrFormat("%sworker %zu: %s", detail.empty() ? "" : ", ",
+                              w, DescribeExit(status).c_str());
+    pids_[w] = -1;
+  }
+  pids_.clear();
+  alive_ = false;
+  return detail;
+}
+
+Status ProcessFleet::ParseWorkerStats(size_t worker, JobStats* job) {
+  if (job == nullptr || !options_.config.exec.use_pipelines) {
+    return Status::OK();
+  }
+  const uint8_t* base =
+      channel_->slot(worker) + worker_chunks_[worker] * max_partial_bytes_;
+  uint64_t len = 0;
+  std::memcpy(&len, base, sizeof(len));
+  if (len == 0) {
+    return Status::OK();  // worker had nothing to report
+  }
+  if (len > kStatsBytes - sizeof(uint64_t)) {
+    return Status::Internal("fleet worker stats overran the stats region");
+  }
+  const std::string_view json(reinterpret_cast<const char*>(base + 8),
+                              static_cast<size_t>(len));
+  M3_ASSIGN_OR_RETURN(util::JsonValue value, util::JsonParse(json));
+  const util::JsonValue* cached = value.Find("cached");
+  const util::JsonValue* spilled = value.Find("spilled");
+  if (cached == nullptr || spilled == nullptr) {
+    return Status::Internal("fleet worker stats JSON missing cached/spilled");
+  }
+  if (job->instance_exec.size() < options_.config.num_instances) {
+    job->instance_exec.resize(options_.config.num_instances);
+  }
+  InstanceExecStats& instance = job->instance_exec[worker];
+  M3_ASSIGN_OR_RETURN(instance.cached, exec::PipelineStats::FromJson(*cached));
+  M3_ASSIGN_OR_RETURN(instance.spilled,
+                      exec::PipelineStats::FromJson(*spilled));
+  instance.spill_refaults =
+      static_cast<uint64_t>(value.NumberOr("spill_refaults", 0));
+  instance.spill_refault_bytes =
+      static_cast<uint64_t>(value.NumberOr("spill_refault_bytes", 0));
+  // The same measured-wall-time definition as RunJob: the drive seconds
+  // this job's partition passes recorded.
+  job->measured_exec_seconds +=
+      instance.cached.drive_seconds + instance.spilled.drive_seconds;
+  return Status::OK();
+}
+
+Status ProcessFleet::RunPhase(uint64_t kind, uint64_t payload_len,
+                              JobStats* job) {
+  if (!alive_) {
+    return Status::FailedPrecondition(
+        "process fleet is not running (crashed or shut down)");
+  }
+  const uint64_t seq = channel_->PublishJob(kind, payload_len);
+  // One shared deadline across the fleet: workers run concurrently, so
+  // waiting for worker 0 also buys workers 1..N-1 time. A dead worker is
+  // reported the moment its pipe closes; a hung worker costs at most the
+  // remaining budget.
+  util::Stopwatch stopwatch;
+  std::vector<size_t> dead;
+  std::vector<size_t> hung;
+  for (size_t w = 0; w < num_workers(); ++w) {
+    const double remaining = std::max(
+        0.01, options_.phase_deadline_seconds - stopwatch.ElapsedSeconds());
+    switch (channel_->WaitWorker(w, seq, remaining)) {
+      case io::ShmChannel::Wait::kDone:
+        break;
+      case io::ShmChannel::Wait::kDead:
+        dead.push_back(w);
+        break;
+      case io::ShmChannel::Wait::kTimeout:
+        hung.push_back(w);
+        break;
+    }
+  }
+  if (dead.empty() && hung.empty()) {
+    for (size_t w = 0; w < num_workers(); ++w) {
+      M3_RETURN_IF_ERROR(ParseWorkerStats(w, job));
+    }
+    return Status::OK();
+  }
+
+  // Failure: record what is known, then tear the whole fleet down — a
+  // half-dead fleet cannot produce a deterministic fold.
+  std::string what;
+  if (job != nullptr) {
+    job->incomplete = true;
+    if (job->instance_exec.size() < num_workers()) {
+      job->instance_exec.resize(num_workers());
+    }
+  }
+  for (const size_t w : dead) {
+    what += util::StrFormat("worker %zu died mid-job; ", w);
+    if (job != nullptr) {
+      job->instance_exec[w].incomplete = true;
+    }
+  }
+  for (const size_t w : hung) {
+    what += util::StrFormat("worker %zu missed the %.1fs phase deadline; ", w,
+                            options_.phase_deadline_seconds);
+    if (job != nullptr) {
+      job->instance_exec[w].incomplete = true;
+    }
+  }
+  if (job != nullptr) {
+    last_run_stats_ = *job;
+  }
+  const std::string detail = KillAll();
+  return Status::Internal("process fleet job failed: " + what + "(" + detail +
+                          ")");
+}
+
+Status ProcessFleet::RunLrGradient(la::ConstVectorView w, la::VectorView grad,
+                                   double* loss, bool first_pass,
+                                   JobStats* job) {
+  const uint64_t n = w.size();
+  uint8_t* broadcast = channel_->broadcast();
+  std::memcpy(broadcast, &n, sizeof(n));
+  double* payload = reinterpret_cast<double*>(broadcast + sizeof(n));
+  for (size_t i = 0; i < n; ++i) {
+    payload[i] = w[i];
+  }
+  M3_RETURN_IF_ERROR(RunPhase(io::ShmChannel::kJobLrGradient,
+                              sizeof(n) + n * sizeof(double), job));
+
+  // Fold every chunk partial in the simulator's order: partitions in the
+  // strided task order, chunks ascending within each — the byte-for-byte
+  // reduce sequence of PartitionExecutor::RunJob.
+  const size_t stride = (static_cast<size_t>(n) + 1) * sizeof(double);
+  for (size_t pos = 0; pos < fold_order_.num_chunks(); ++pos) {
+    const size_t p = fold_order_.At(pos);
+    const Partition& partition = partitions_[p];
+    const uint8_t* slot = channel_->slot(partition.instance);
+    for (size_t c = 0; c < partition_chunks_[p]; ++c) {
+      const double* partial = reinterpret_cast<const double*>(
+          slot + (partition_chunk_base_[p] + c) * stride);
+      *loss += partial[0];
+      la::Axpy(1.0, la::ConstVectorView(partial + 1, n), grad);
+    }
+  }
+
+  const uint64_t row_bytes = dataset_.cols() * sizeof(double);
+  const uint64_t result_bytes = (n + 1) * sizeof(double);
+  if (options_.config.exec.use_pipelines) {
+    job->predicted_exec_seconds =
+        PredictExecSeconds(partitions_, options_.config, row_bytes,
+                           first_pass);
+  }
+  StageCostModel model(options_.config);
+  job->Accumulate(model.Broadcast(result_bytes));
+  job->Accumulate(model.StageCost(partitions_, row_bytes, first_pass));
+  job->Accumulate(model.TreeAggregate(result_bytes));
+  return Status::OK();
+}
+
+Result<DistributedLrResult> ProcessFleet::RunLogisticRegression(
+    double l2, ml::LbfgsOptions optimizer_options) {
+  if (!alive_) {
+    return Status::FailedPrecondition(
+        "process fleet is not running (crashed or shut down)");
+  }
+  if (!options_.config.exec.trace_path.empty()) {
+    obs::StartGlobalTrace(options_.config.exec.trace_path);
+  }
+  obs::ScopedSpan run_span("cluster", "logistic_regression");
+  if (run_span.armed()) {
+    run_span.AddArg("rows", static_cast<uint64_t>(dataset_.rows()));
+    run_span.AddArg("instances",
+                    static_cast<uint64_t>(options_.config.num_instances));
+  }
+  DistributedLrResult result;
+  const size_t d = dataset_.cols();
+  FleetLrObjective objective(this, d + 1, l2, &result.stats);
+  la::Vector params(d + 1);
+  ml::Lbfgs optimizer(optimizer_options);
+  Result<ml::OptimizationResult> optimization =
+      optimizer.Minimize(&objective, params.View());
+  if (!objective.failure().ok()) {
+    return objective.failure();
+  }
+  M3_RETURN_IF_ERROR(optimization.status());
+  result.optimization = std::move(optimization).value();
+  result.model.weights = la::Vector(d);
+  la::Copy(params.View().Slice(0, d), result.model.weights);
+  result.model.intercept = params[d];
+  return result;
+}
+
+Result<DistributedKMeansResult> ProcessFleet::RunKMeans(
+    ml::KMeansOptions options) {
+  if (!alive_) {
+    return Status::FailedPrecondition(
+        "process fleet is not running (crashed or shut down)");
+  }
+  const size_t n = dataset_.rows();
+  const size_t d = dataset_.cols();
+  const size_t k = options.k;
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("k must be in [1, rows]");
+  }
+  if (k > options_.max_kmeans_k) {
+    return Status::InvalidArgument(
+        "k exceeds FleetOptions::max_kmeans_k (result slots were sized at "
+        "Spawn)");
+  }
+  if (!options_.config.exec.trace_path.empty()) {
+    obs::StartGlobalTrace(options_.config.exec.trace_path);
+  }
+  obs::ScopedSpan run_span("cluster", "kmeans");
+  if (run_span.armed()) {
+    run_span.AddArg("rows", static_cast<uint64_t>(n));
+    run_span.AddArg("k", static_cast<uint64_t>(k));
+  }
+  DistributedKMeansResult result;
+  const la::ConstMatrixView x = dataset_.features();
+  const uint64_t row_bytes = d * sizeof(double);
+  StageCostModel model(options_.config);
+
+  // Identical seeding to SparkCluster (which itself matches the
+  // single-machine implementation): the parent's mapping serves the
+  // bounded init sample.
+  M3_ASSIGN_OR_RETURN(la::Matrix centers, ml::KMeans::SeedCenters(x, options));
+
+  const uint64_t centers_bytes = k * d * sizeof(double);
+  const uint64_t result_bytes = centers_bytes + k * sizeof(uint64_t);
+  const size_t stride =
+      sizeof(double) * (1 + k * d) + sizeof(uint64_t) * k;
+
+  la::Matrix sums(k, d);
+  std::vector<uint64_t> counts(k);
+  util::Rng rng(options.seed);
+  double previous_inertia = std::numeric_limits<double>::max();
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    obs::ScopedSpan iter_span("cluster", "kmeans_iteration");
+    if (iter_span.armed()) {
+      iter_span.AddArg("iteration", static_cast<uint64_t>(iter));
+    }
+    sums.SetZero();
+    std::fill(counts.begin(), counts.end(), 0);
+    double inertia = 0;
+    JobStats job;
+
+    // Broadcast this iteration's centers: [u64 k][u64 d][k*d doubles].
+    uint8_t* broadcast = channel_->broadcast();
+    const uint64_t k64 = k;
+    const uint64_t d64 = d;
+    std::memcpy(broadcast, &k64, sizeof(k64));
+    std::memcpy(broadcast + 8, &d64, sizeof(d64));
+    double* payload = reinterpret_cast<double*>(broadcast + 16);
+    for (size_t c = 0; c < k; ++c) {
+      const la::ConstVectorView row = centers.Row(c);
+      for (size_t j = 0; j < d; ++j) {
+        payload[c * d + j] = row[j];
+      }
+    }
+    Status phase = RunPhase(io::ShmChannel::kJobKMeansIteration,
+                            16 + centers_bytes, &job);
+    if (!phase.ok()) {
+      return phase;
+    }
+
+    // Fold in simulator order (see RunLrGradient).
+    for (size_t pos = 0; pos < fold_order_.num_chunks(); ++pos) {
+      const size_t p = fold_order_.At(pos);
+      const Partition& partition = partitions_[p];
+      const uint8_t* slot = channel_->slot(partition.instance);
+      for (size_t chunk = 0; chunk < partition_chunks_[p]; ++chunk) {
+        const uint8_t* partial =
+            slot + (partition_chunk_base_[p] + chunk) * stride;
+        const double* values = reinterpret_cast<const double*>(partial);
+        const uint64_t* chunk_counts = reinterpret_cast<const uint64_t*>(
+            partial + sizeof(double) * (1 + k * d));
+        inertia += values[0];
+        for (size_t c = 0; c < k; ++c) {
+          la::Axpy(1.0, la::ConstVectorView(values + 1 + c * d, d),
+                   sums.Row(c));
+          counts[c] += chunk_counts[c];
+        }
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        la::Copy(sums.Row(c), centers.Row(c));
+        la::Scal(1.0 / static_cast<double>(counts[c]), centers.Row(c));
+      } else {
+        const size_t row = static_cast<size_t>(rng.UniformInt(uint64_t{n}));
+        la::Copy(x.Row(row), centers.Row(c));
+      }
+    }
+
+    if (options_.config.exec.use_pipelines) {
+      job.predicted_exec_seconds = PredictExecSeconds(
+          partitions_, options_.config, row_bytes, iter == 0);
+    }
+    job.Accumulate(model.Broadcast(centers_bytes));
+    job.Accumulate(model.StageCost(partitions_, row_bytes, iter == 0));
+    job.Accumulate(model.TreeAggregate(result_bytes));
+    job.jobs = 1;
+    result.stats.Accumulate(job);
+
+    result.clustering.inertia = inertia;
+    result.clustering.inertia_history.push_back(inertia);
+    ++result.clustering.iterations;
+    const double improvement =
+        (previous_inertia - inertia) / std::max(1.0, previous_inertia);
+    if (iter > 0 && improvement >= 0 && improvement < options.tolerance) {
+      result.clustering.converged = true;
+      break;
+    }
+    previous_inertia = inertia;
+  }
+  result.clustering.centers = std::move(centers);
+  return result;
+}
+
+Status ProcessFleet::Shutdown() {
+  if (!alive_) {
+    return Status::OK();
+  }
+  alive_ = false;
+  channel_->PublishJob(io::ShmChannel::kJobShutdown, 0);
+  bool forced = false;
+  util::Stopwatch stopwatch;
+  for (size_t w = 0; w < pids_.size(); ++w) {
+    if (pids_[w] < 0) {
+      continue;
+    }
+    for (;;) {
+      int status = 0;
+      pid_t reaped;
+      do {
+        reaped = ::waitpid(pids_[w], &status, WNOHANG);
+      } while (reaped < 0 && errno == EINTR);
+      if (reaped == pids_[w]) {
+        pids_[w] = -1;
+        break;
+      }
+      if (stopwatch.ElapsedSeconds() > options_.phase_deadline_seconds) {
+        ::kill(pids_[w], SIGKILL);
+        do {
+          reaped = ::waitpid(pids_[w], &status, 0);
+        } while (reaped < 0 && errno == EINTR);
+        pids_[w] = -1;
+        forced = true;
+        break;
+      }
+      ::usleep(1000);
+    }
+  }
+  pids_.clear();
+  if (forced) {
+    return Status::Internal("fleet shutdown had to SIGKILL stragglers");
+  }
+  return Status::OK();
+}
+
+void ProcessFleet::WorkerMain(size_t worker) {
+  channel_->OnWorkerAfterFork(worker);
+  bool tracing = false;
+  if (!options_.worker_trace_dir.empty()) {
+    tracing = obs::StartGlobalTrace(util::StrFormat(
+        "%s/worker_%zu.json", options_.worker_trace_dir.c_str(), worker));
+  }
+  // The worker's OWN mapping of the shard: separate virtual mappings that
+  // share the one OS page cache — the contention the fleet measures.
+  auto dataset_or = MappedDataset::Open(dataset_path_);
+  if (!dataset_or.ok()) {
+    ::_exit(kWorkerExitDatasetFailed);
+  }
+  MappedDataset dataset = std::move(dataset_or).value();
+  const std::vector<double> labels = dataset.CopyLabels();
+  exec::MappedRegion region;
+  region.mapping = &dataset.mapping();
+  region.base_offset = dataset.meta().features_offset;
+  region.row_bytes = dataset.cols() * sizeof(double);
+  PartitionExecutor executor(partitions_, options_.config, region);
+  const la::ConstMatrixView x = dataset.features();
+  const la::ConstVectorView y(labels.data(), labels.size());
+  const size_t stats_offset = worker_chunks_[worker] * max_partial_bytes_;
+
+  // Serializes this job's InstanceExecStats into the slot's stats region
+  // (length-prefixed JSON); len 0 = nothing to report (pipelines off).
+  const auto write_stats = [&](const JobStats& job) {
+    uint8_t* base = channel_->slot(worker) + stats_offset;
+    uint64_t len = 0;
+    if (worker < job.instance_exec.size()) {
+      const InstanceExecStats& stats = job.instance_exec[worker];
+      const std::string json = util::StrFormat(
+          "{\"cached\": %s, \"spilled\": %s, \"spill_refaults\": %llu, "
+          "\"spill_refault_bytes\": %llu}",
+          stats.cached.ToJson().c_str(), stats.spilled.ToJson().c_str(),
+          static_cast<unsigned long long>(stats.spill_refaults),
+          static_cast<unsigned long long>(stats.spill_refault_bytes));
+      if (json.size() <= kStatsBytes - sizeof(uint64_t)) {
+        len = json.size();
+        std::memcpy(base + sizeof(uint64_t), json.data(), json.size());
+      }
+    }
+    std::memcpy(base, &len, sizeof(len));
+  };
+
+  channel_->CompleteJob(worker, 1, 0);  // startup ack
+  uint64_t last_seen = 1;
+  for (;;) {
+    uint64_t seq = 0;
+    uint64_t kind = 0;
+    uint64_t payload_len = 0;
+    if (!channel_->AwaitJob(worker, last_seen, &seq, &kind, &payload_len)) {
+      break;  // parent died: orphan cleanup
+    }
+    last_seen = seq;
+    if (kind == io::ShmChannel::kJobShutdown) {
+      if (tracing) {
+        obs::StopGlobalTraceAndWrite().IgnoreError();
+      }
+      channel_->CompleteJob(worker, seq, 0);
+      ::_exit(0);
+    }
+    if (options_.hang_worker == static_cast<int>(worker)) {
+      for (;;) {
+        ::usleep(100000);  // fault injection: never complete
+      }
+    }
+    uint64_t used = 0;
+    const uint8_t* broadcast = channel_->broadcast();
+    uint8_t* slot = channel_->slot(worker);
+    if (kind == io::ShmChannel::kJobLrGradient) {
+      uint64_t weights = 0;
+      std::memcpy(&weights, broadcast, sizeof(weights));
+      la::Vector w(static_cast<size_t>(weights));
+      const double* payload =
+          reinterpret_cast<const double*>(broadcast + sizeof(weights));
+      for (size_t i = 0; i < weights; ++i) {
+        w[i] = payload[i];
+      }
+      ml::LogisticRegressionObjective objective(x, y, /*l2=*/0.0);
+      struct Partial {
+        double loss = 0;
+        la::Vector grad;
+      };
+      const size_t stride = (weights + 1) * sizeof(double);
+      JobStats job;
+      executor.RunInstanceJob<Partial>(
+          worker,
+          [&](const Partition&, size_t row_begin, size_t row_end) {
+            Partial partial;
+            partial.grad = la::Vector(static_cast<size_t>(weights));
+            partial.loss = objective.EvaluateChunk(row_begin, row_end, w,
+                                                   partial.grad.View());
+            return partial;
+          },
+          [&](size_t, size_t, Partial&& partial) {
+            double* out = reinterpret_cast<double*>(slot + used);
+            out[0] = partial.loss;
+            for (size_t i = 0; i < weights; ++i) {
+              out[1 + i] = partial.grad[i];
+            }
+            used += stride;
+          },
+          &job);
+      write_stats(job);
+    } else if (kind == io::ShmChannel::kJobKMeansIteration) {
+      uint64_t k = 0;
+      uint64_t dims = 0;
+      std::memcpy(&k, broadcast, sizeof(k));
+      std::memcpy(&dims, broadcast + 8, sizeof(dims));
+      la::Matrix centers(k, dims);
+      const double* payload =
+          reinterpret_cast<const double*>(broadcast + 16);
+      for (size_t c = 0; c < k; ++c) {
+        la::VectorView row = centers.Row(c);
+        for (size_t j = 0; j < dims; ++j) {
+          row[j] = payload[c * dims + j];
+        }
+      }
+      struct Partial {
+        la::Matrix sums;
+        std::vector<uint64_t> counts;
+        double inertia = 0;
+      };
+      const size_t stride =
+          sizeof(double) * (1 + k * dims) + sizeof(uint64_t) * k;
+      JobStats job;
+      executor.RunInstanceJob<Partial>(
+          worker,
+          [&](const Partition&, size_t row_begin, size_t row_end) {
+            Partial partial;
+            partial.sums = la::Matrix(k, dims);
+            partial.counts.assign(k, 0);
+            for (size_t r = row_begin; r < row_end; ++r) {
+              size_t best = 0;
+              double best_dist2 =
+                  la::SquaredDistance(x.Row(r), centers.Row(0));
+              for (size_t c = 1; c < k; ++c) {
+                const double dist2 =
+                    la::SquaredDistance(x.Row(r), centers.Row(c));
+                if (dist2 < best_dist2) {
+                  best_dist2 = dist2;
+                  best = c;
+                }
+              }
+              partial.inertia += best_dist2;
+              la::Axpy(1.0, x.Row(r), partial.sums.Row(best));
+              ++partial.counts[best];
+            }
+            return partial;
+          },
+          [&](size_t, size_t, Partial&& partial) {
+            uint8_t* out = slot + used;
+            double* values = reinterpret_cast<double*>(out);
+            values[0] = partial.inertia;
+            for (size_t c = 0; c < k; ++c) {
+              const la::ConstVectorView row = partial.sums.Row(c);
+              for (size_t j = 0; j < dims; ++j) {
+                values[1 + c * dims + j] = row[j];
+              }
+            }
+            uint64_t* out_counts = reinterpret_cast<uint64_t*>(
+                out + sizeof(double) * (1 + k * dims));
+            for (size_t c = 0; c < k; ++c) {
+              out_counts[c] = partial.counts[c];
+            }
+            used += stride;
+          },
+          &job);
+      write_stats(job);
+    }
+    channel_->CompleteJob(worker, seq, used);
+  }
+  if (tracing) {
+    obs::StopGlobalTraceAndWrite().IgnoreError();
+  }
+  ::_exit(0);
+}
+
+}  // namespace m3::cluster

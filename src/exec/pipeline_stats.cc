@@ -137,4 +137,55 @@ std::string PipelineStats::ToJson() const {
       stall_duration.Percentile(99));
 }
 
+util::Result<PipelineStats> PipelineStats::FromJson(
+    const util::JsonValue& value) {
+  if (!value.is_object()) {
+    return util::Status::InvalidArgument("PipelineStats JSON is not an object");
+  }
+  // Strict lookup: ToJson() always writes every key, so absence means the
+  // payload is not (or no longer) a PipelineStats serialization.
+  auto number = [&value](const char* key) -> util::Result<double> {
+    const util::JsonValue* field = value.Find(key);
+    if (field == nullptr || !field->is_number()) {
+      return util::Status::InvalidArgument(
+          std::string("PipelineStats JSON missing numeric key \"") + key +
+          "\"");
+    }
+    return field->number_value;
+  };
+  PipelineStats out;
+  auto counter = [&number](const char* key, uint64_t* dst) -> util::Status {
+    M3_ASSIGN_OR_RETURN(double v, number(key));
+    *dst = static_cast<uint64_t>(v);
+    return util::Status::OK();
+  };
+  auto seconds = [&number](const char* key, double* dst) -> util::Status {
+    M3_ASSIGN_OR_RETURN(double v, number(key));
+    *dst = v;
+    return util::Status::OK();
+  };
+  M3_RETURN_IF_ERROR(counter("passes", &out.passes));
+  M3_RETURN_IF_ERROR(counter("chunks", &out.chunks));
+  M3_RETURN_IF_ERROR(counter("prefetches", &out.prefetches));
+  M3_RETURN_IF_ERROR(counter("prefetch_bytes", &out.prefetch_bytes));
+  M3_RETURN_IF_ERROR(counter("evictions", &out.evictions));
+  M3_RETURN_IF_ERROR(counter("bytes_evicted", &out.bytes_evicted));
+  M3_RETURN_IF_ERROR(counter("prefetch_hits", &out.prefetch_hits));
+  M3_RETURN_IF_ERROR(counter("stalls", &out.stalls));
+  M3_RETURN_IF_ERROR(counter("stall_bytes", &out.stall_bytes));
+  M3_RETURN_IF_ERROR(
+      counter("prefetch_unclassified", &out.prefetch_unclassified));
+  M3_RETURN_IF_ERROR(counter("backend_submits", &out.backend_submits));
+  M3_RETURN_IF_ERROR(counter("backend_completions", &out.backend_completions));
+  M3_RETURN_IF_ERROR(counter("backend_fallbacks", &out.backend_fallbacks));
+  M3_RETURN_IF_ERROR(seconds("prefetch_seconds", &out.prefetch_seconds));
+  M3_RETURN_IF_ERROR(seconds("compute_seconds", &out.compute_seconds));
+  M3_RETURN_IF_ERROR(seconds("retire_seconds", &out.retire_seconds));
+  M3_RETURN_IF_ERROR(seconds("evict_seconds", &out.evict_seconds));
+  M3_RETURN_IF_ERROR(seconds("drive_seconds", &out.drive_seconds));
+  // compute_p*/stall_p* are derived from the histograms, which ToJson()
+  // does not serialize; the parsed stats carry empty histograms.
+  return out;
+}
+
 }  // namespace m3::exec

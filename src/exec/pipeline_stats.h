@@ -6,6 +6,8 @@
 
 #include "io/io_stats.h"
 #include "util/histogram.h"
+#include "util/json.h"
+#include "util/result.h"
 
 namespace m3::exec {
 
@@ -112,6 +114,16 @@ struct PipelineStats {
   /// metadata (obs::TraceRecorder) both emit exactly this, so the schema
   /// cannot fork. Keys are stable; additions are append-only.
   std::string ToJson() const;
+
+  /// The parse side of ToJson() — how stats cross process boundaries
+  /// (cluster::ProcessFleet workers serialize their per-job stats into
+  /// the shm channel as ToJson() text; the parent rebuilds them here).
+  /// Strict about the counter/seconds keys: a missing or non-numeric key
+  /// is InvalidArgument, so schema drift fails loudly instead of reading
+  /// as zero. The per-chunk duration histograms are NOT round-tripped:
+  /// ToJson() emits only their percentiles, so the parsed stats carry
+  /// empty histograms (their percentiles re-serialize as 0).
+  static util::Result<PipelineStats> FromJson(const util::JsonValue& value);
 };
 
 }  // namespace m3::exec

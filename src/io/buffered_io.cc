@@ -49,6 +49,11 @@ Status BufferedWriter::Flush() {
 }
 
 Status BufferedWriter::Close() {
+  if (!file_.is_open()) {
+    // Idempotent: a successful Close released the fd; calling again is a
+    // no-op, never a second close(2) on a possibly-reused descriptor.
+    return Status::OK();
+  }
   M3_RETURN_IF_ERROR(Flush());
   M3_RETURN_IF_ERROR(file_.Sync());
   return file_.Close();

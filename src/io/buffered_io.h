@@ -45,6 +45,8 @@ class BufferedWriter {
   util::Status Flush();
 
   /// Flush + fsync + close. The writer is unusable afterwards.
+  /// Flushes, fsyncs, and closes. Idempotent: once the file is closed a
+  /// second Close() returns OK instead of failing the flush precondition.
   util::Status Close();
 
  private:

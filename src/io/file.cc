@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <utility>
 
+#include "io/syscall_injection.h"
+
 namespace m3::io {
 
 using util::Result;
@@ -89,8 +91,8 @@ Status File::ReadExactAt(uint64_t offset, void* buffer, size_t length) const {
   char* dst = static_cast<char*>(buffer);
   size_t done = 0;
   while (done < length) {
-    const ssize_t n = ::pread(fd_, dst + done, length - done,
-                              static_cast<off_t>(offset + done));
+    const ssize_t n = internal::Pread(fd_, dst + done, length - done,
+                                      static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -113,13 +115,18 @@ Status File::WriteExactAt(uint64_t offset, const void* buffer,
   const char* src = static_cast<const char*>(buffer);
   size_t done = 0;
   while (done < length) {
-    const ssize_t n = ::pwrite(fd_, src + done, length - done,
-                               static_cast<off_t>(offset + done));
+    const ssize_t n = internal::Pwrite(fd_, src + done, length - done,
+                                       static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) {
         continue;
       }
       return Status::IoErrorFromErrno("pwrite " + path_, errno);
+    }
+    if (n == 0) {
+      // POSIX allows a zero-byte pwrite result; retrying would spin
+      // forever on the same offset.
+      return Status::IoError("pwrite wrote 0 bytes in " + path_);
     }
     done += static_cast<size_t>(n);
   }

@@ -64,7 +64,10 @@ class File {
   util::Status AdviseSequential() const;
   util::Status AdviseRandom() const;
 
-  /// Closes the descriptor early; subsequent operations fail.
+  /// Closes the descriptor early; subsequent operations fail. Idempotent:
+  /// the fd is forgotten before close(2)'s verdict is known, so a second
+  /// Close() is a no-op (never a close on a possibly-reused descriptor),
+  /// even after a failed close.
   util::Status Close();
 
  private:

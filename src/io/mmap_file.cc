@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <vector>
 
+#include "io/syscall_injection.h"
 #include "util/sys_info.h"
 
 namespace m3::io {
@@ -244,15 +245,23 @@ Result<double> MemoryMappedFile::ResidentFraction() const {
 
 Status MemoryMappedFile::Unmap() {
   if (addr_ == nullptr) {
+    // Idempotent: already unmapped (or never mapped) — the backing fd was
+    // released on the first call, so there is nothing left to do.
     return Status::OK();
   }
-  const int rc = ::munmap(addr_, size_);
+  const int rc = internal::Munmap(addr_, size_);
+  const int munmap_errno = errno;
   addr_ = nullptr;
   size_ = 0;
+  // Close the backing fd even when munmap failed: addr_/size_ are already
+  // reset (no dangling pointer survives the error path), so this is the
+  // only chance to release the descriptor. The munmap error wins — it is
+  // the first failure and the close error, if any, is secondary.
+  const Status close_status = file_.Close();
   if (rc != 0) {
-    return Status::IoErrorFromErrno("munmap", errno);
+    return Status::IoErrorFromErrno("munmap", munmap_errno);
   }
-  return file_.Close();
+  return close_status;
 }
 
 }  // namespace m3::io

@@ -125,7 +125,11 @@ class MemoryMappedFile {
   /// Fraction of the whole mapping currently resident in RAM, in [0, 1].
   util::Result<double> ResidentFraction() const;
 
-  /// Unmaps early; subsequent accesses are invalid.
+  /// Unmaps early; subsequent accesses are invalid. Idempotent, and safe
+  /// on every error path: addr_/size_ are reset before munmap's verdict
+  /// is known and the backing fd is closed even when munmap fails, so a
+  /// failed Unmap never leaves a dangling mapping pointer or a leaked
+  /// descriptor behind.
   util::Status Unmap();
 
  private:

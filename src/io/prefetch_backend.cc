@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "io/io_stats.h"
+#include "io/syscall_injection.h"
 #include "util/format.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -231,10 +232,16 @@ class PreadBackend : public PrefetchBackend {
     while (done < length) {
       const size_t want =
           static_cast<size_t>(std::min<uint64_t>(buffer_bytes, length - done));
-      const ssize_t got = ::pread(fd, buffer, want,
-                                  static_cast<off_t>(offset + done));
-      if (got <= 0) {
-        return false;  // error or EOF mid-block
+      const ssize_t got = internal::Pread(fd, buffer, want,
+                                          static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) {
+          continue;  // interrupted before transferring anything: retry
+        }
+        return false;
+      }
+      if (got == 0) {
+        return false;  // EOF mid-block
       }
       done += static_cast<uint64_t>(got);
     }
@@ -583,7 +590,9 @@ class UringBackend : public PrefetchBackend {
       ::close(direct_fd_);
       direct_fd_ = -1;
     }
-    direct_fd_ = ::open(path.c_str(), O_RDONLY | O_DIRECT | O_CLOEXEC);
+    do {
+      direct_fd_ = ::open(path.c_str(), O_RDONLY | O_DIRECT | O_CLOEXEC);
+    } while (direct_fd_ < 0 && errno == EINTR);
     direct_path_ = direct_fd_ >= 0 ? path : std::string();
     return direct_fd_;
   }

@@ -1,0 +1,309 @@
+#include "io/shm_channel.h"
+
+#include <poll.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <new>
+#include <utility>
+
+#include "util/stopwatch.h"
+#include "util/sys_info.h"
+
+namespace m3::io {
+
+using util::Result;
+using util::Status;
+
+/// The shared-page control block. Per-worker words sit on their own cache
+/// lines so one worker's completion store never false-shares with
+/// another's. A fixed worker array keeps the struct a plain (offset-stable)
+/// layout; kMaxWorkers bounds it at ~8 KiB of control pages.
+struct ShmChannel::Control {
+  static constexpr size_t kMaxWorkers = 64;
+
+  struct PerWorker {
+    alignas(64) std::atomic<uint64_t> done_seq{0};
+    std::atomic<uint64_t> result_len{0};
+  };
+
+  /// Monotonic job sequence. Starts at 1 (the startup barrier each worker
+  /// acks); the first published job is 2.
+  std::atomic<uint64_t> job_seq{1};
+  std::atomic<uint64_t> job_kind{0};
+  std::atomic<uint64_t> payload_len{0};
+  PerWorker workers[kMaxWorkers];
+};
+
+namespace {
+
+size_t AlignUpTo(size_t value, size_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
+}
+
+void CloseFd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+/// One-byte pipe write with EINTR retry. Other failures (EPIPE with
+/// SIGPIPE ignored, a full pipe) are deliberately dropped: a doorbell is a
+/// wakeup hint, never the data, and the peer's death is discovered on the
+/// wait/await side.
+void RingBell(int fd) {
+  const char bell = 1;
+  ssize_t n;
+  do {
+    n = ::write(fd, &bell, 1);
+  } while (n < 0 && errno == EINTR);
+}
+
+/// Drains buffered doorbell bytes; returns false exactly on EOF (peer
+/// gone and nothing buffered).
+bool DrainBells(int fd) {
+  char buf[64];
+  ssize_t n;
+  do {
+    n = ::read(fd, buf, sizeof(buf));
+  } while (n < 0 && errno == EINTR);
+  return n != 0;
+}
+
+}  // namespace
+
+Result<ShmChannel> ShmChannel::Create(const Options& options) {
+  if (options.num_workers == 0 ||
+      options.num_workers > Control::kMaxWorkers) {
+    return Status::InvalidArgument("shm channel needs 1..64 workers");
+  }
+  if (options.slot_bytes.size() != options.num_workers) {
+    return Status::InvalidArgument(
+        "shm channel needs one slot size per worker");
+  }
+  const size_t page = util::PageSize();
+  const size_t control_bytes = AlignUpTo(sizeof(Control), page);
+  const size_t broadcast_bytes = AlignUpTo(options.broadcast_bytes, page);
+  size_t total = control_bytes + broadcast_bytes;
+  std::vector<size_t> slot_offsets;
+  slot_offsets.reserve(options.num_workers);
+  for (size_t w = 0; w < options.num_workers; ++w) {
+    slot_offsets.push_back(total);
+    total += AlignUpTo(options.slot_bytes[w], page);
+  }
+  // MAP_SHARED is the whole point: MemoryMappedFile::MapAnonymous is
+  // MAP_PRIVATE (copy-on-write), which would silently give every forked
+  // worker its own detached copy of the control block.
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    return Status::IoErrorFromErrno("mmap shm channel", errno);
+  }
+
+  ShmChannel channel;
+  channel.base_ = base;
+  channel.mapped_bytes_ = total;
+  channel.num_workers_ = options.num_workers;
+  channel.broadcast_bytes_ = options.broadcast_bytes;
+  channel.slot_bytes_ = options.slot_bytes;
+  channel.control_ = new (base) Control();
+  if (!channel.control_->job_seq.is_lock_free()) {
+    // A locking atomic would put a process-private mutex in shared pages.
+    return Status::NotSupported("64-bit atomics are not lock-free");
+  }
+  channel.broadcast_ = static_cast<uint8_t*>(base) + control_bytes;
+  channel.slots_.reserve(options.num_workers);
+  for (size_t w = 0; w < options.num_workers; ++w) {
+    channel.slots_.push_back(static_cast<uint8_t*>(base) + slot_offsets[w]);
+  }
+
+  channel.cmd_read_.assign(options.num_workers, -1);
+  channel.cmd_write_.assign(options.num_workers, -1);
+  channel.res_read_.assign(options.num_workers, -1);
+  channel.res_write_.assign(options.num_workers, -1);
+  for (size_t w = 0; w < options.num_workers; ++w) {
+    int cmd[2];
+    int res[2];
+    if (::pipe(cmd) != 0) {
+      return Status::IoErrorFromErrno("pipe (cmd)", errno);
+    }
+    channel.cmd_read_[w] = cmd[0];
+    channel.cmd_write_[w] = cmd[1];
+    if (::pipe(res) != 0) {
+      return Status::IoErrorFromErrno("pipe (res)", errno);
+    }
+    channel.res_read_[w] = res[0];
+    channel.res_write_[w] = res[1];
+  }
+  return channel;
+}
+
+ShmChannel::ShmChannel(ShmChannel&& other) noexcept { *this = std::move(other); }
+
+ShmChannel& ShmChannel::operator=(ShmChannel&& other) noexcept {
+  if (this != &other) {
+    CloseAll();
+    control_ = std::exchange(other.control_, nullptr);
+    base_ = std::exchange(other.base_, nullptr);
+    mapped_bytes_ = std::exchange(other.mapped_bytes_, 0);
+    num_workers_ = std::exchange(other.num_workers_, 0);
+    broadcast_bytes_ = std::exchange(other.broadcast_bytes_, 0);
+    slot_bytes_ = std::move(other.slot_bytes_);
+    broadcast_ = std::exchange(other.broadcast_, nullptr);
+    slots_ = std::move(other.slots_);
+    cmd_read_ = std::move(other.cmd_read_);
+    cmd_write_ = std::move(other.cmd_write_);
+    res_read_ = std::move(other.res_read_);
+    res_write_ = std::move(other.res_write_);
+    other.slot_bytes_.clear();
+    other.slots_.clear();
+    other.cmd_read_.clear();
+    other.cmd_write_.clear();
+    other.res_read_.clear();
+    other.res_write_.clear();
+  }
+  return *this;
+}
+
+ShmChannel::~ShmChannel() { CloseAll(); }
+
+void ShmChannel::CloseAll() {
+  for (size_t w = 0; w < cmd_read_.size(); ++w) {
+    CloseFd(&cmd_read_[w]);
+    CloseFd(&cmd_write_[w]);
+    CloseFd(&res_read_[w]);
+    CloseFd(&res_write_[w]);
+  }
+  if (base_ != nullptr) {
+    ::munmap(base_, mapped_bytes_);
+    base_ = nullptr;
+    control_ = nullptr;
+    broadcast_ = nullptr;
+    mapped_bytes_ = 0;
+  }
+}
+
+uint64_t ShmChannel::PublishJob(uint64_t kind, uint64_t payload_len) {
+  control_->job_kind.store(kind, std::memory_order_relaxed);
+  control_->payload_len.store(payload_len, std::memory_order_relaxed);
+  // The release increment orders the kind/len stores (and the caller's
+  // broadcast-payload writes) before the sequence workers acquire.
+  const uint64_t seq =
+      control_->job_seq.fetch_add(1, std::memory_order_release) + 1;
+  for (size_t w = 0; w < num_workers_; ++w) {
+    if (cmd_write_[w] >= 0) {
+      RingBell(cmd_write_[w]);
+    }
+  }
+  return seq;
+}
+
+ShmChannel::Wait ShmChannel::WaitWorker(size_t worker, uint64_t seq,
+                                        double deadline_seconds) {
+  const int fd = res_read_[worker];
+  std::atomic<uint64_t>& done = control_->workers[worker].done_seq;
+  util::Stopwatch stopwatch;
+  for (;;) {
+    if (done.load(std::memory_order_acquire) >= seq) {
+      return Wait::kDone;
+    }
+    const double remaining = deadline_seconds - stopwatch.ElapsedSeconds();
+    if (remaining <= 0) {
+      return Wait::kTimeout;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int timeout_ms = static_cast<int>(remaining * 1000.0) + 1;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Wait::kDead;
+    }
+    if (rc == 0) {
+      continue;  // re-check done, then report the timeout
+    }
+    // Readable or hung up. Drain first: the worker may have written its
+    // completion byte and THEN exited (the shutdown ack), in which case
+    // POLLHUP arrives with the byte still buffered and the done word set.
+    const bool open = DrainBells(fd);
+    if (done.load(std::memory_order_acquire) >= seq) {
+      return Wait::kDone;
+    }
+    if (!open) {
+      return Wait::kDead;
+    }
+  }
+}
+
+uint64_t ShmChannel::SlotLen(size_t worker) const {
+  return control_->workers[worker].result_len.load(std::memory_order_acquire);
+}
+
+void ShmChannel::OnParentAfterFork(size_t worker) {
+  // Only the worker may hold its result-pipe write end: the kernel then
+  // turns the worker's death (any cause, SIGKILL included) into EOF. The
+  // parent keeps both command-pipe ends so PublishJob to a dead worker can
+  // never raise SIGPIPE.
+  CloseFd(&res_write_[worker]);
+}
+
+void ShmChannel::OnWorkerAfterFork(size_t worker) {
+  // The worker's CompleteJob may race a dying parent; with SIGPIPE ignored
+  // the write fails with EPIPE (dropped) instead of killing the worker
+  // before it can notice the command-pipe EOF and exit cleanly.
+  ::signal(SIGPIPE, SIG_IGN);
+  for (size_t w = 0; w < num_workers_; ++w) {
+    if (w == worker) {
+      continue;
+    }
+    CloseFd(&cmd_read_[w]);
+    CloseFd(&cmd_write_[w]);
+    CloseFd(&res_read_[w]);
+    CloseFd(&res_write_[w]);
+  }
+  CloseFd(&cmd_write_[worker]);
+  CloseFd(&res_read_[worker]);
+}
+
+bool ShmChannel::AwaitJob(size_t worker, uint64_t last_seen, uint64_t* seq,
+                          uint64_t* kind, uint64_t* payload_len) {
+  const int fd = cmd_read_[worker];
+  for (;;) {
+    const uint64_t current = control_->job_seq.load(std::memory_order_acquire);
+    if (current > last_seen) {
+      *seq = current;
+      *kind = control_->job_kind.load(std::memory_order_relaxed);
+      *payload_len = control_->payload_len.load(std::memory_order_relaxed);
+      return true;
+    }
+    char bell;
+    ssize_t n;
+    do {
+      n = ::read(fd, &bell, 1);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+      return false;  // EOF: the parent is gone
+    }
+  }
+}
+
+void ShmChannel::CompleteJob(size_t worker, uint64_t seq,
+                             uint64_t result_len) {
+  Control::PerWorker& mine = control_->workers[worker];
+  mine.result_len.store(result_len, std::memory_order_relaxed);
+  // Release-orders the slot bytes and result_len before the done word the
+  // parent acquires.
+  mine.done_seq.store(seq, std::memory_order_release);
+  if (res_write_[worker] >= 0) {
+    RingBell(res_write_[worker]);
+  }
+}
+
+}  // namespace m3::io

@@ -1,0 +1,163 @@
+#ifndef M3_IO_SHM_CHANNEL_H_
+#define M3_IO_SHM_CHANNEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace m3::io {
+
+/// \brief Fork-shared control block + result slots for a one-parent,
+/// N-worker process fleet (cluster::ProcessFleet).
+///
+/// Layout: one anonymous MAP_SHARED mapping created BEFORE fork, so parent
+/// and every worker address the same physical pages:
+///
+///   [ control block: job_seq, job_kind, payload_len, per-worker done ]
+///   [ broadcast region (parent -> all workers): job payload          ]
+///   [ worker 0 slot: result_len, result bytes ... stats bytes        ]
+///   [ worker 1 slot: ... ]                                (page-aligned)
+///
+/// Protocol (single outstanding job, strictly sequenced):
+///   - The parent writes the broadcast payload, then PublishJob() stores
+///     kind/len and release-increments `job_seq`, then writes one doorbell
+///     byte down each worker's command pipe.
+///   - A worker blocks in AwaitJob() on its command pipe (EOF = parent
+///     died -> exit), acquire-loads the sequence, runs the job, writes its
+///     result into its slot, and CompleteJob() release-stores the sequence
+///     into its `done` word and writes one byte up its result pipe.
+///   - The parent's WaitWorker() polls the worker's result pipe with a
+///     deadline: readable -> check done word; POLLHUP/EOF -> the worker
+///     died (its pipe write end closed with it); timeout -> the worker
+///     hung. Worker death is detected by the kernel closing the pipe — no
+///     signal handling, no polling of /proc.
+///
+/// The parent keeps BOTH ends of every command pipe open, so publishing to
+/// a dead worker can never raise SIGPIPE; death is discovered on the wait
+/// side. Workers are the only writers of result pipes; the parent closes
+/// the write ends it would otherwise hold so a worker's exit produces EOF.
+///
+/// Sequencing starts at `job_seq == 1`, which doubles as the startup
+/// barrier: each worker acks readiness with CompleteJob(seq=1, len=0)
+/// before the first real job (seq 2) is published.
+///
+/// Atomics in the shared mapping are std::atomic<uint64_t>; the layout is
+/// process-shared, which these are on every platform this project targets
+/// (lock-free 64-bit atomics — asserted at Create()).
+class ShmChannel {
+ public:
+  struct Options {
+    size_t num_workers = 0;
+    /// Bytes of the parent->worker broadcast region (job payload).
+    size_t broadcast_bytes = 0;
+    /// Result-slot capacity per worker, bytes (worker i gets
+    /// slot_bytes[i]). Sized by the caller for the worst-case job.
+    std::vector<size_t> slot_bytes;
+  };
+
+  /// Outcome of waiting for one worker's completion.
+  enum class Wait {
+    kDone,     ///< worker completed the awaited sequence
+    kDead,     ///< worker's result pipe hit EOF without completion
+    kTimeout,  ///< deadline expired with the worker still running
+  };
+
+  /// Job kinds published through the control block. Kind numbers are part
+  /// of the parent<->worker protocol, not persisted anywhere.
+  static constexpr uint64_t kJobLrGradient = 1;
+  static constexpr uint64_t kJobKMeansIteration = 2;
+  static constexpr uint64_t kJobShutdown = 3;
+
+  /// Maps the shared block and opens the per-worker pipe pairs. Must be
+  /// called before fork(); the object is then shared by inheritance.
+  static util::Result<ShmChannel> Create(const Options& options);
+
+  ShmChannel(ShmChannel&& other) noexcept;
+  ShmChannel& operator=(ShmChannel&& other) noexcept;
+  ShmChannel(const ShmChannel&) = delete;
+  ShmChannel& operator=(const ShmChannel&) = delete;
+  ~ShmChannel();
+
+  size_t num_workers() const { return num_workers_; }
+  size_t broadcast_capacity() const { return broadcast_bytes_; }
+  size_t slot_capacity(size_t worker) const { return slot_bytes_[worker]; }
+
+  /// The parent->worker payload region (both sides see the same bytes).
+  uint8_t* broadcast() { return broadcast_; }
+  const uint8_t* broadcast() const { return broadcast_; }
+
+  /// Worker `worker`'s result region (past its length word).
+  uint8_t* slot(size_t worker) { return slots_[worker]; }
+  const uint8_t* slot(size_t worker) const { return slots_[worker]; }
+
+  /// \name Parent side.
+  /// @{
+
+  /// Publishes a job: stores `kind` and `payload_len` (payload already
+  /// written into broadcast()), release-increments the sequence, and rings
+  /// every worker's doorbell. Returns the new sequence to wait on.
+  uint64_t PublishJob(uint64_t kind, uint64_t payload_len);
+
+  /// Waits until `worker` completes sequence `seq`, dies, or
+  /// `deadline_seconds` elapses. Draining the result pipe keeps completion
+  /// bytes from accumulating across jobs. A POLLHUP with the completion
+  /// already stored still returns kDone (the worker finished, then exited
+  /// — e.g. the shutdown ack).
+  Wait WaitWorker(size_t worker, uint64_t seq, double deadline_seconds);
+
+  /// Bytes worker `worker` stored for its last completed job.
+  uint64_t SlotLen(size_t worker) const;
+
+  /// Closes the parent-held write end of `worker`'s result pipe (call once
+  /// per worker after fork, so only the worker holds it and its death
+  /// produces EOF).
+  void OnParentAfterFork(size_t worker);
+  /// @}
+
+  /// \name Worker side (call only in the forked child).
+  /// @{
+
+  /// Drops every descriptor worker `worker` must not hold: other workers'
+  /// pipes entirely, plus the parent-only ends of its own pair. After
+  /// this, the worker owns exactly {its cmd read end, its res write end}.
+  void OnWorkerAfterFork(size_t worker);
+
+  /// Blocks until the parent publishes a sequence newer than `last_seen`.
+  /// Returns false when the parent died (command pipe EOF) — the worker
+  /// should exit. On true, `*seq`, `*kind`, `*payload_len` describe the
+  /// published job.
+  bool AwaitJob(size_t worker, uint64_t last_seen, uint64_t* seq,
+                uint64_t* kind, uint64_t* payload_len);
+
+  /// Stores `result_len`, release-publishes `seq` into the worker's done
+  /// word, and rings the parent's result pipe.
+  void CompleteJob(size_t worker, uint64_t seq, uint64_t result_len);
+  /// @}
+
+ private:
+  ShmChannel() = default;
+
+  struct Control;  // shared-page control block (defined in .cc)
+
+  Control* control_ = nullptr;  ///< start of the shared mapping
+  void* base_ = nullptr;
+  size_t mapped_bytes_ = 0;
+  size_t num_workers_ = 0;
+  size_t broadcast_bytes_ = 0;
+  std::vector<size_t> slot_bytes_;
+  uint8_t* broadcast_ = nullptr;
+  std::vector<uint8_t*> slots_;
+  /// Per-worker descriptor quads: cmd pipe (parent writes, worker reads)
+  /// and res pipe (worker writes, parent reads). -1 once closed.
+  std::vector<int> cmd_read_, cmd_write_, res_read_, res_write_;
+
+  void CloseAll();
+};
+
+}  // namespace m3::io
+
+#endif  // M3_IO_SHM_CHANNEL_H_

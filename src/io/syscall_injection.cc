@@ -1,0 +1,47 @@
+#include "io/syscall_injection.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace m3::io {
+
+namespace {
+testing::PreadFn g_pread_override = nullptr;
+testing::PwriteFn g_pwrite_override = nullptr;
+testing::MunmapFn g_munmap_override = nullptr;
+}  // namespace
+
+namespace testing {
+
+void SetPreadOverride(PreadFn fn) { g_pread_override = fn; }
+void SetPwriteOverride(PwriteFn fn) { g_pwrite_override = fn; }
+void SetMunmapOverride(MunmapFn fn) { g_munmap_override = fn; }
+
+}  // namespace testing
+
+namespace internal {
+
+ssize_t Pread(int fd, void* buf, size_t count, off_t offset) {
+  if (g_pread_override != nullptr) {
+    return g_pread_override(fd, buf, count, offset);
+  }
+  return ::pread(fd, buf, count, offset);
+}
+
+ssize_t Pwrite(int fd, const void* buf, size_t count, off_t offset) {
+  if (g_pwrite_override != nullptr) {
+    return g_pwrite_override(fd, buf, count, offset);
+  }
+  return ::pwrite(fd, buf, count, offset);
+}
+
+int Munmap(void* addr, size_t length) {
+  if (g_munmap_override != nullptr) {
+    return g_munmap_override(addr, length);
+  }
+  return ::munmap(addr, length);
+}
+
+}  // namespace internal
+
+}  // namespace m3::io

@@ -1,0 +1,49 @@
+#ifndef M3_IO_SYSCALL_INJECTION_H_
+#define M3_IO_SYSCALL_INJECTION_H_
+
+#include <sys/types.h>
+
+/// \file
+/// \brief Test seam for the raw syscalls behind the full-transfer loops.
+///
+/// The EINTR/short-transfer retry loops in io::File and the pread prefetch
+/// backend cannot be regression-tested against the real kernel (it will not
+/// interrupt a pread on cue), so the loops issue their syscalls through the
+/// indirection below. Production behavior is byte-identical to calling the
+/// syscall directly; tests install an override that fakes EINTR, short
+/// reads, or a failing munmap, then restore the default.
+///
+/// Overrides are process-global and not thread-safe: install them only from
+/// single-threaded test fixtures, and always reset to nullptr before the
+/// test ends.
+
+namespace m3::io {
+
+namespace testing {
+
+using PreadFn = ssize_t (*)(int fd, void* buf, size_t count, off_t offset);
+using PwriteFn = ssize_t (*)(int fd, const void* buf, size_t count,
+                             off_t offset);
+using MunmapFn = int (*)(void* addr, size_t length);
+
+/// Installs an override for the pread(2)/pwrite(2)/munmap(2) the io layer's
+/// transfer loops issue. nullptr restores the real syscall.
+void SetPreadOverride(PreadFn fn);
+void SetPwriteOverride(PwriteFn fn);
+void SetMunmapOverride(MunmapFn fn);
+
+}  // namespace testing
+
+namespace internal {
+
+/// The syscall (or its installed override). Semantics match the syscall:
+/// return count on success, -1 with errno set on failure.
+ssize_t Pread(int fd, void* buf, size_t count, off_t offset);
+ssize_t Pwrite(int fd, const void* buf, size_t count, off_t offset);
+int Munmap(void* addr, size_t length);
+
+}  // namespace internal
+
+}  // namespace m3::io
+
+#endif  // M3_IO_SYSCALL_INJECTION_H_

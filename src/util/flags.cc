@@ -47,6 +47,7 @@ Status FlagParser::Apply(const std::string& name, const std::string& value) {
     return Status::InvalidArgument("unknown flag --" + name);
   }
   Flag& flag = it->second;
+  set_flags_.insert(name);
   switch (flag.type) {
     case Type::kInt64: {
       M3_ASSIGN_OR_RETURN(int64_t v, ParseInt64(value));
@@ -100,6 +101,7 @@ Status FlagParser::Parse(int argc, char** argv) {
     }
     if (it->second.type == Type::kBool) {
       *static_cast<bool*>(it->second.storage) = true;
+      set_flags_.insert(body);
       continue;
     }
     if (i + 1 >= argc) {

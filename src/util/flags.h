@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,14 @@ class FlagParser {
   /// True iff Parse consumed a --help flag.
   bool help_requested() const { return help_requested_; }
 
+  /// True iff the flag was explicitly set on the command line (including a
+  /// bare `--name` boolean). Lets callers distinguish an untouched default
+  /// from an explicit-but-empty value (e.g. `--trace=`), which benches
+  /// must reject instead of silently running untraced.
+  bool was_set(const std::string& name) const {
+    return set_flags_.count(name) > 0;
+  }
+
   /// Arguments that were not flags, in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -64,6 +73,7 @@ class FlagParser {
   std::string description_;
   std::map<std::string, Flag> flags_;
   std::vector<std::string> positional_;
+  std::set<std::string> set_flags_;  ///< names Parse() explicitly applied
   bool help_requested_ = false;
 };
 

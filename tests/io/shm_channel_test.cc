@@ -1,0 +1,208 @@
+// ShmChannel protocol suite: the fork-shared control block must sequence
+// jobs exactly (startup barrier at seq 1, first real job at seq 2), carry
+// payloads through the broadcast/slot regions with release/acquire
+// ordering, and turn worker death into kDead (pipe EOF) and a hung worker
+// into kTimeout — never a parent hang. Each test forks a real child so
+// the cross-process semantics (MAP_SHARED atomics, fd inheritance and
+// post-fork closing) are what is actually exercised.
+
+#include "io/shm_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/stopwatch.h"
+
+namespace m3::io {
+namespace {
+
+ShmChannel::Options OneWorker() {
+  ShmChannel::Options options;
+  options.num_workers = 1;
+  options.broadcast_bytes = 64;
+  options.slot_bytes = {64};
+  return options;
+}
+
+void ReapChild(pid_t pid) {
+  int status = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(pid, &status, 0);
+  } while (reaped < 0 && errno == EINTR);
+  ASSERT_EQ(reaped, pid);
+}
+
+TEST(ShmChannelTest, CreateValidatesOptions) {
+  ShmChannel::Options options = OneWorker();
+  options.num_workers = 0;
+  EXPECT_FALSE(ShmChannel::Create(options).ok());
+
+  options = OneWorker();
+  options.num_workers = 65;  // > kMaxWorkers
+  EXPECT_FALSE(ShmChannel::Create(options).ok());
+
+  options = OneWorker();
+  options.slot_bytes = {64, 64};  // one slot per worker, exactly
+  EXPECT_FALSE(ShmChannel::Create(options).ok());
+}
+
+TEST(ShmChannelTest, JobRoundTripThroughForkedWorker) {
+  auto channel = ShmChannel::Create(OneWorker()).ValueOrDie();
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    channel.OnWorkerAfterFork(0);
+    channel.CompleteJob(0, 1, 0);  // startup ack
+    uint64_t last_seen = 1;
+    for (;;) {
+      uint64_t seq = 0;
+      uint64_t kind = 0;
+      uint64_t payload_len = 0;
+      if (!channel.AwaitJob(0, last_seen, &seq, &kind, &payload_len)) {
+        ::_exit(10);  // parent died — not expected in this test
+      }
+      last_seen = seq;
+      if (kind == ShmChannel::kJobShutdown) {
+        channel.CompleteJob(0, seq, 0);
+        ::_exit(0);
+      }
+      // Echo job: double the broadcast word into the slot.
+      uint64_t value = 0;
+      std::memcpy(&value, channel.broadcast(), sizeof(value));
+      if (payload_len != sizeof(value)) {
+        ::_exit(11);
+      }
+      value *= 2;
+      std::memcpy(channel.slot(0), &value, sizeof(value));
+      channel.CompleteJob(0, seq, sizeof(value));
+    }
+  }
+  channel.OnParentAfterFork(0);
+
+  // Startup barrier: the worker acks sequence 1 without a publish.
+  ASSERT_EQ(channel.WaitWorker(0, 1, 10.0), ShmChannel::Wait::kDone);
+
+  // Two sequenced echo jobs: payload ordering and slot lengths hold.
+  for (const uint64_t value : {uint64_t{21}, uint64_t{1000}}) {
+    std::memcpy(channel.broadcast(), &value, sizeof(value));
+    const uint64_t seq = channel.PublishJob(7, sizeof(value));
+    ASSERT_EQ(channel.WaitWorker(0, seq, 10.0), ShmChannel::Wait::kDone);
+    EXPECT_EQ(channel.SlotLen(0), sizeof(uint64_t));
+    uint64_t echoed = 0;
+    std::memcpy(&echoed, channel.slot(0), sizeof(echoed));
+    EXPECT_EQ(echoed, value * 2);
+  }
+
+  // Shutdown ack arrives even though the worker exits right after it
+  // (the completion byte rides ahead of the POLLHUP).
+  const uint64_t seq = channel.PublishJob(ShmChannel::kJobShutdown, 0);
+  EXPECT_EQ(channel.WaitWorker(0, seq, 10.0), ShmChannel::Wait::kDone);
+  ReapChild(pid);
+}
+
+TEST(ShmChannelTest, DeadWorkerIsEofNotATimeout) {
+  auto channel = ShmChannel::Create(OneWorker()).ValueOrDie();
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    channel.OnWorkerAfterFork(0);
+    channel.CompleteJob(0, 1, 0);
+    ::_exit(0);  // die without ever serving a job
+  }
+  channel.OnParentAfterFork(0);
+  ASSERT_EQ(channel.WaitWorker(0, 1, 10.0), ShmChannel::Wait::kDone);
+
+  // The worker is gone: waiting must report kDead promptly via pipe EOF,
+  // not sit out the (deliberately generous) deadline.
+  const uint64_t seq = channel.PublishJob(7, 0);
+  util::Stopwatch stopwatch;
+  EXPECT_EQ(channel.WaitWorker(0, seq, 30.0), ShmChannel::Wait::kDead);
+  EXPECT_LT(stopwatch.ElapsedSeconds(), 10.0);
+  ReapChild(pid);
+}
+
+TEST(ShmChannelTest, HungWorkerHitsTheDeadline) {
+  auto channel = ShmChannel::Create(OneWorker()).ValueOrDie();
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    channel.OnWorkerAfterFork(0);
+    channel.CompleteJob(0, 1, 0);
+    for (;;) {
+      ::usleep(100000);  // hang: never serve the published job
+    }
+  }
+  channel.OnParentAfterFork(0);
+  ASSERT_EQ(channel.WaitWorker(0, 1, 10.0), ShmChannel::Wait::kDone);
+
+  const uint64_t seq = channel.PublishJob(7, 0);
+  util::Stopwatch stopwatch;
+  EXPECT_EQ(channel.WaitWorker(0, seq, 0.3), ShmChannel::Wait::kTimeout);
+  EXPECT_GE(stopwatch.ElapsedSeconds(), 0.3);
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  ReapChild(pid);
+}
+
+TEST(ShmChannelTest, AwaitJobSeesParentDeathAsEof) {
+  // Simulate the parent dying by destroying the parent-held command-pipe
+  // ends: the child's AwaitJob must return false instead of blocking.
+  auto channel = ShmChannel::Create(OneWorker()).ValueOrDie();
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    channel.OnWorkerAfterFork(0);
+    channel.CompleteJob(0, 1, 0);
+    uint64_t seq = 0;
+    uint64_t kind = 0;
+    uint64_t payload_len = 0;
+    // No new job is ever published; the channel teardown in the parent
+    // closes the command pipe and AwaitJob reports the orphaning.
+    ::_exit(channel.AwaitJob(0, 1, &seq, &kind, &payload_len) ? 12 : 0);
+  }
+  channel.OnParentAfterFork(0);
+  ASSERT_EQ(channel.WaitWorker(0, 1, 10.0), ShmChannel::Wait::kDone);
+
+  {
+    ShmChannel dropped = std::move(channel);  // closes every parent fd
+  }
+  int status = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(pid, &status, 0);
+  } while (reaped < 0 && errno == EINTR);
+  ASSERT_EQ(reaped, pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(ShmChannelTest, PublishToDeadWorkerDoesNotKillTheParent) {
+  // The parent holds both command-pipe ends, so PublishJob after a worker
+  // death must not raise SIGPIPE; the death surfaces on the wait side.
+  auto channel = ShmChannel::Create(OneWorker()).ValueOrDie();
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    channel.OnWorkerAfterFork(0);
+    channel.CompleteJob(0, 1, 0);
+    ::_exit(0);
+  }
+  channel.OnParentAfterFork(0);
+  ASSERT_EQ(channel.WaitWorker(0, 1, 10.0), ShmChannel::Wait::kDone);
+  ReapChild(pid);  // fully gone before publishing
+
+  const uint64_t seq = channel.PublishJob(7, 0);
+  EXPECT_EQ(channel.WaitWorker(0, seq, 5.0), ShmChannel::Wait::kDead);
+}
+
+}  // namespace
+}  // namespace m3::io

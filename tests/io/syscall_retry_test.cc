@@ -1,0 +1,210 @@
+// Regression suite for the raw-syscall edges of the io layer, driven
+// through the io::testing injection seam: EINTR and short transfers must
+// be retried to full length (File::ReadExactAt/WriteExactAt and the pread
+// prefetch backend), a zero-byte pwrite must fail instead of looping
+// forever, and a failed munmap must still close the backing fd and leave
+// the mapping object inert (no dangling addr_, idempotent Unmap).
+
+#include "io/syscall_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/buffered_io.h"
+#include "io/file.h"
+#include "io/mmap_file.h"
+#include "io/prefetch_backend.h"
+
+namespace m3::io {
+namespace {
+
+// Injection state; the overrides are plain function pointers, so the knobs
+// live in file-scope globals reset by the guard below.
+int g_pread_calls = 0;
+int g_pwrite_calls = 0;
+int g_munmap_fails_remaining = 0;
+
+/// Restores every override (tests must never leak a fake syscall).
+struct InjectionGuard {
+  ~InjectionGuard() {
+    testing::SetPreadOverride(nullptr);
+    testing::SetPwriteOverride(nullptr);
+    testing::SetMunmapOverride(nullptr);
+  }
+};
+
+/// Every third call is interrupted; the rest transfer at most 3 bytes.
+ssize_t FlakyShortPread(int fd, void* buf, size_t count, off_t offset) {
+  ++g_pread_calls;
+  if (g_pread_calls % 3 == 1) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::pread(fd, buf, std::min<size_t>(count, 3), offset);
+}
+
+ssize_t FlakyShortPwrite(int fd, const void* buf, size_t count, off_t offset) {
+  ++g_pwrite_calls;
+  if (g_pwrite_calls % 3 == 1) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::pwrite(fd, buf, std::min<size_t>(count, 3), offset);
+}
+
+ssize_t ZeroPwrite(int, const void*, size_t, off_t) { return 0; }
+
+int FailingMunmap(void* addr, size_t length) {
+  if (g_munmap_fails_remaining > 0) {
+    --g_munmap_fails_remaining;
+    errno = EPERM;
+    return -1;
+  }
+  return ::munmap(addr, length);
+}
+
+class SyscallRetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/m3_syscall_retry_" +
+           std::to_string(::getpid());
+    ASSERT_TRUE(MakeDirs(dir_).ok());
+    g_pread_calls = 0;
+    g_pwrite_calls = 0;
+    g_munmap_fails_remaining = 0;
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  /// Writes `bytes` through the REAL syscalls (no override installed yet).
+  void WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+    auto file = File::CreateTruncate(path).ValueOrDie();
+    ASSERT_TRUE(file.WriteExactAt(0, bytes.data(), bytes.size()).ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+
+  std::string dir_;
+  InjectionGuard guard_;
+};
+
+TEST_F(SyscallRetryTest, ReadExactAtRetriesEintrAndShortReads) {
+  std::vector<uint8_t> expected(257);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    expected[i] = static_cast<uint8_t>(i * 7 + 1);
+  }
+  const std::string path = Path("short_reads.bin");
+  WriteFile(path, expected);
+
+  testing::SetPreadOverride(&FlakyShortPread);
+  auto file = File::OpenReadOnly(path).ValueOrDie();
+  std::vector<uint8_t> got(expected.size(), 0);
+  ASSERT_TRUE(file.ReadExactAt(0, got.data(), got.size()).ok());
+  EXPECT_EQ(got, expected);
+  // 3-byte transfers with every third call interrupted: the loop really
+  // iterated (this is the regression the seam exists to pin).
+  EXPECT_GT(g_pread_calls, static_cast<int>(expected.size() / 3));
+  testing::SetPreadOverride(nullptr);
+}
+
+TEST_F(SyscallRetryTest, ReadExactAtReportsEofOnTruncatedFile) {
+  const std::string path = Path("truncated.bin");
+  WriteFile(path, std::vector<uint8_t>(16, 0xAB));
+
+  testing::SetPreadOverride(&FlakyShortPread);
+  auto file = File::OpenReadOnly(path).ValueOrDie();
+  std::vector<uint8_t> got(32, 0);
+  const util::Status status = file.ReadExactAt(0, got.data(), got.size());
+  EXPECT_FALSE(status.ok());  // EOF mid-transfer is an error, not a hang
+  testing::SetPreadOverride(nullptr);
+}
+
+TEST_F(SyscallRetryTest, WriteExactAtRetriesEintrAndShortWrites) {
+  std::vector<uint8_t> payload(201);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(255 - i % 251);
+  }
+  const std::string path = Path("short_writes.bin");
+
+  testing::SetPwriteOverride(&FlakyShortPwrite);
+  {
+    auto file = File::CreateTruncate(path).ValueOrDie();
+    ASSERT_TRUE(file.WriteExactAt(0, payload.data(), payload.size()).ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+  testing::SetPwriteOverride(nullptr);
+  EXPECT_GT(g_pwrite_calls, static_cast<int>(payload.size() / 3));
+
+  auto file = File::OpenReadOnly(path).ValueOrDie();
+  std::vector<uint8_t> got(payload.size(), 0);
+  ASSERT_TRUE(file.ReadExactAt(0, got.data(), got.size()).ok());
+  EXPECT_EQ(got, payload);
+}
+
+TEST_F(SyscallRetryTest, ZeroByteWriteFailsInsteadOfLooping) {
+  testing::SetPwriteOverride(&ZeroPwrite);
+  auto file = File::CreateTruncate(Path("zero_write.bin")).ValueOrDie();
+  const uint8_t byte = 1;
+  const util::Status status = file.WriteExactAt(0, &byte, 1);
+  EXPECT_FALSE(status.ok());
+  testing::SetPwriteOverride(nullptr);
+}
+
+TEST_F(SyscallRetryTest, PreadBackendSurvivesEintrAndShortReads) {
+  const size_t bytes = 64 << 10;
+  const std::string path = Path("prefetch.bin");
+  WriteFile(path, std::vector<uint8_t>(bytes, 0x5A));
+  auto mapping = MemoryMappedFile::Map(path).ValueOrDie();
+
+  testing::SetPreadOverride(&FlakyShortPread);
+  auto backend = MakePrefetchBackend(PrefetchBackendKind::kPread);
+  auto outcome = backend->Prefetch(mapping, 0, bytes).ValueOrDie();
+  testing::SetPreadOverride(nullptr);
+
+  EXPECT_GT(outcome.submits, 0u);
+  EXPECT_EQ(outcome.completions, outcome.submits);
+  EXPECT_EQ(outcome.fallbacks, 0u);
+}
+
+TEST_F(SyscallRetryTest, FailedUnmapStillClosesFileAndStaysIdempotent) {
+  const std::string path = Path("unmap.bin");
+  WriteFile(path, std::vector<uint8_t>(4096, 0x11));
+  auto mapping = MemoryMappedFile::Map(path).ValueOrDie();
+  ASSERT_TRUE(mapping.is_mapped());
+
+  g_munmap_fails_remaining = 1;
+  testing::SetMunmapOverride(&FailingMunmap);
+  const util::Status status = mapping.Unmap();
+  EXPECT_FALSE(status.ok());  // the munmap failure is reported...
+  EXPECT_FALSE(mapping.is_mapped());  // ...but no dangling mapping pointer
+  // ...and the backing fd is closed, so a second Unmap is a clean no-op.
+  EXPECT_TRUE(mapping.Unmap().ok());
+  testing::SetMunmapOverride(nullptr);
+}
+
+TEST_F(SyscallRetryTest, FileDoubleCloseIsOk) {
+  auto file = File::CreateTruncate(Path("double_close.bin")).ValueOrDie();
+  EXPECT_TRUE(file.Close().ok());
+  EXPECT_FALSE(file.is_open());
+  EXPECT_TRUE(file.Close().ok());  // never a close(2) on a reused fd
+}
+
+TEST_F(SyscallRetryTest, BufferedWriterDoubleCloseIsOk) {
+  auto writer = BufferedWriter::Create(Path("writer.bin"), 64).ValueOrDie();
+  const uint64_t value = 42;
+  ASSERT_TRUE(writer.AppendValue(value).ok());
+  EXPECT_TRUE(writer.Close().ok());
+  EXPECT_TRUE(writer.Close().ok());  // second close skips the flush path
+}
+
+}  // namespace
+}  // namespace m3::io

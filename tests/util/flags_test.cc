@@ -111,6 +111,58 @@ TEST(FlagParserTest, HelpSetsFlagAndSucceeds) {
   EXPECT_TRUE(parser.help_requested());
 }
 
+TEST(FlagParserTest, BadDoubleAndSizeValuesAreErrors) {
+  double x = 0.0;
+  uint64_t size = 0;
+  FlagParser parser("test");
+  parser.AddDouble("x", &x, "a double");
+  parser.AddSize("size", &size, "a size");
+  {
+    ArgvBuilder args({"prog", "--x=fast"});
+    EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+  }
+  {
+    ArgvBuilder args({"prog", "--size=12q"});
+    EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+  }
+}
+
+TEST(FlagParserTest, TrailingGarbageAfterNumberIsError) {
+  // "4x" must not silently parse as 4 — the benches rely on this to reject
+  // malformed --workers/--fleet values instead of running a wrong config.
+  int64_t n = 0;
+  FlagParser parser("test");
+  parser.AddInt64("n", &n, "an int");
+  ArgvBuilder args({"prog", "--n=4x"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagParserTest, WasSetTracksEverySyntaxForm) {
+  int64_t n = 0;
+  std::string s = "default";
+  bool b = false;
+  FlagParser parser("test");
+  parser.AddInt64("n", &n, "an int");
+  parser.AddString("s", &s, "a string");
+  parser.AddBool("b", &b, "a bool");
+  ArgvBuilder args({"prog", "--n=1", "--s", "", "--b"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(parser.was_set("n"));    // --flag=value
+  EXPECT_TRUE(parser.was_set("s"));    // --flag value (even empty)
+  EXPECT_TRUE(parser.was_set("b"));    // bare bool
+  EXPECT_TRUE(s.empty());  // was_set distinguishes "--s ''" from unset
+}
+
+TEST(FlagParserTest, WasSetIsFalseForDefaultsAndUnknownNames) {
+  int64_t n = 5;
+  FlagParser parser("test");
+  parser.AddInt64("n", &n, "an int");
+  ArgvBuilder args({"prog"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_FALSE(parser.was_set("n"));
+  EXPECT_FALSE(parser.was_set("never_registered"));
+}
+
 TEST(FlagParserTest, UsageListsFlagsAndDefaults) {
   int64_t iters = 10;
   FlagParser parser("my bench");
