@@ -33,6 +33,13 @@ struct M3Options {
   /// Rows per sequential scan chunk for training algorithms (0 = auto).
   uint64_t chunk_rows = 0;
 
+  /// Sparse (CSR) scans only: target payload bytes (col_idx + values) per
+  /// chunk for the nnz-budget SparseChunker (0 = auto, ~8 MiB). Positive
+  /// `chunk_rows` overrides with uniform row chunking — the mode whose
+  /// chunk boundaries (and therefore bits) match a dense scan of the
+  /// densified data.
+  uint64_t chunk_nnz_bytes = 0;
+
   /// Chunks of MADV_WILLNEED readahead the execution engine
   /// (exec::ChunkPipeline) keeps ahead of training scans. 0 disables the
   /// prefetch stage; the default overlaps the next chunk's disk reads

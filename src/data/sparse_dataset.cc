@@ -1,0 +1,278 @@
+#include "data/sparse_dataset.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "io/file.h"
+#include "util/format.h"
+#include "util/random.h"
+
+namespace m3::data {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Shape bound that keeps every section-size product and sum far from
+/// uint64 overflow (2^48 rows of 8 bytes is 2^51; offsets add at most
+/// the file size). Headers are untrusted input: a fuzzer can claim any
+/// rows/nnz it likes, and the validation arithmetic below must stay
+/// exact for all of them.
+constexpr uint64_t kMaxPlausibleCount = 1ull << 48;
+
+uint64_t AlignUp(uint64_t value, uint64_t align) {
+  return (value + align - 1) / align * align;
+}
+
+}  // namespace
+
+uint64_t SparseDatasetMeta::FileBytes() const {
+  uint64_t end = kSparseDatasetHeaderBytes;
+  end = std::max(end, row_ptr_offset + RowPtrBytes());
+  end = std::max(end, col_idx_offset + ColIdxBytes());
+  end = std::max(end, values_offset + ValueBytes());
+  end = std::max(end, labels_offset + LabelBytes());
+  return end;
+}
+
+Result<SparseDatasetWriter> SparseDatasetWriter::Create(
+    const std::string& path, uint64_t cols) {
+  if (cols == 0) {
+    return Status::InvalidArgument("dataset must have at least one column");
+  }
+  if (cols > UINT32_MAX) {
+    return Status::InvalidArgument(
+        "CSR column indices are uint32; cols > UINT32_MAX unsupported");
+  }
+  M3_ASSIGN_OR_RETURN(io::BufferedWriter writer,
+                      io::BufferedWriter::Create(path, 4 << 20));
+  // Reserve the header page; contents are stamped in Finalize(). The
+  // values section streams right behind it (the page boundary doubles as
+  // its alignment).
+  const std::vector<char> zeros(kSparseDatasetHeaderBytes, 0);
+  M3_RETURN_IF_ERROR(writer.Append(zeros.data(), zeros.size()));
+  return SparseDatasetWriter(std::move(writer), path, cols);
+}
+
+Status SparseDatasetWriter::AppendRow(const uint32_t* cols,
+                                      const double* values, size_t nnz,
+                                      double label) {
+  for (size_t k = 0; k < nnz; ++k) {
+    if (cols[k] >= cols_) {
+      return Status::InvalidArgument(util::StrFormat(
+          "column %u out of range (dataset has %llu columns)",
+          static_cast<unsigned>(cols[k]),
+          static_cast<unsigned long long>(cols_)));
+    }
+    if (k > 0 && cols[k] <= cols[k - 1]) {
+      return Status::InvalidArgument(util::StrFormat(
+          "columns must be strictly increasing (%u after %u)",
+          static_cast<unsigned>(cols[k]),
+          static_cast<unsigned>(cols[k - 1])));
+    }
+  }
+  M3_RETURN_IF_ERROR(writer_.Append(values, nnz * sizeof(double)));
+  col_idx_.insert(col_idx_.end(), cols, cols + nnz);
+  row_ptr_.push_back(row_ptr_.back() + nnz);
+  labels_.push_back(label);
+  return Status::OK();
+}
+
+Status SparseDatasetWriter::Finalize(uint32_t num_classes) {
+  if (finalized_) {
+    return Status::FailedPrecondition("dataset already finalized");
+  }
+  finalized_ = true;
+  const uint64_t rows = labels_.size();
+  const uint64_t nnz = row_ptr_.back();
+
+  SparseRawHeader header;
+  std::memcpy(header.magic, kSparseDatasetMagic, sizeof(kSparseDatasetMagic));
+  header.version = kSparseDatasetVersion;
+  header.rows = rows;
+  header.cols = cols_;
+  header.nnz = nnz;
+  header.num_classes = num_classes;
+  header.flags = 0;
+  header.values_offset = kSparseDatasetHeaderBytes;
+  header.col_idx_offset =
+      AlignUp(header.values_offset + nnz * sizeof(double), kSparseSectionAlign);
+  header.row_ptr_offset = AlignUp(
+      header.col_idx_offset + nnz * sizeof(uint32_t), kSparseSectionAlign);
+  header.labels_offset = AlignUp(
+      header.row_ptr_offset + (rows + 1) * sizeof(uint64_t),
+      kSparseSectionAlign);
+
+  // The values section is already streamed; pad to each section start and
+  // append the in-memory sections behind it.
+  const std::vector<char> padding(kSparseSectionAlign, 0);
+  uint64_t written = header.values_offset + nnz * sizeof(double);
+  auto pad_to = [&](uint64_t offset) -> Status {
+    M3_RETURN_IF_ERROR(writer_.Append(padding.data(), offset - written));
+    written = offset;
+    return Status::OK();
+  };
+  M3_RETURN_IF_ERROR(pad_to(header.col_idx_offset));
+  M3_RETURN_IF_ERROR(
+      writer_.Append(col_idx_.data(), col_idx_.size() * sizeof(uint32_t)));
+  written += col_idx_.size() * sizeof(uint32_t);
+  M3_RETURN_IF_ERROR(pad_to(header.row_ptr_offset));
+  M3_RETURN_IF_ERROR(
+      writer_.Append(row_ptr_.data(), row_ptr_.size() * sizeof(uint64_t)));
+  written += row_ptr_.size() * sizeof(uint64_t);
+  M3_RETURN_IF_ERROR(pad_to(header.labels_offset));
+  M3_RETURN_IF_ERROR(
+      writer_.Append(labels_.data(), labels_.size() * sizeof(double)));
+  M3_RETURN_IF_ERROR(writer_.Close());
+
+  M3_ASSIGN_OR_RETURN(io::File file, io::File::OpenReadWrite(path_));
+  M3_RETURN_IF_ERROR(file.WriteExactAt(0, &header, sizeof(header)));
+  M3_RETURN_IF_ERROR(file.Sync());
+  return file.Close();
+}
+
+Result<SparseDatasetMeta> ReadSparseDatasetMeta(const std::string& path) {
+  M3_ASSIGN_OR_RETURN(io::File file, io::File::OpenReadOnly(path));
+  SparseRawHeader header;
+  M3_RETURN_IF_ERROR(file.ReadExactAt(0, &header, sizeof(header)));
+  if (std::memcmp(header.magic, kSparseDatasetMagic,
+                  sizeof(kSparseDatasetMagic)) != 0) {
+    return Status::InvalidArgument("not an M3 sparse dataset: " + path);
+  }
+  if (header.version != kSparseDatasetVersion) {
+    return Status::NotSupported(util::StrFormat(
+        "sparse dataset version %u unsupported", header.version));
+  }
+  if (header.cols == 0 || header.cols > UINT32_MAX) {
+    return Status::InvalidArgument(util::StrFormat(
+        "sparse dataset cols %llu outside [1, 2^32)",
+        static_cast<unsigned long long>(header.cols)));
+  }
+  // Reject shapes whose byte sizes would overflow the arithmetic below —
+  // a fuzzed header can claim anything.
+  if (header.rows >= kMaxPlausibleCount || header.nnz >= kMaxPlausibleCount) {
+    return Status::InvalidArgument(util::StrFormat(
+        "sparse dataset shape implausible (rows=%llu nnz=%llu)",
+        static_cast<unsigned long long>(header.rows),
+        static_cast<unsigned long long>(header.nnz)));
+  }
+  SparseDatasetMeta meta;
+  meta.rows = header.rows;
+  meta.cols = header.cols;
+  meta.nnz = header.nnz;
+  meta.num_classes = header.num_classes;
+  meta.row_ptr_offset = header.row_ptr_offset;
+  meta.col_idx_offset = header.col_idx_offset;
+  meta.values_offset = header.values_offset;
+  meta.labels_offset = header.labels_offset;
+  // MappedSparseDataset hands these offsets to typed pointers over a
+  // page-aligned mmap base; a misaligned offset would make every later
+  // access UB (UBSan: misaligned load), so reject the file here, where a
+  // path and a message are still available.
+  if (meta.row_ptr_offset % alignof(uint64_t) != 0 ||
+      meta.col_idx_offset % alignof(uint32_t) != 0 ||
+      meta.values_offset % alignof(double) != 0 ||
+      meta.labels_offset % alignof(double) != 0) {
+    return Status::InvalidArgument(util::StrFormat(
+        "sparse dataset section offsets misaligned (row_ptr %llu, col_idx "
+        "%llu, values %llu, labels %llu): %s",
+        static_cast<unsigned long long>(meta.row_ptr_offset),
+        static_cast<unsigned long long>(meta.col_idx_offset),
+        static_cast<unsigned long long>(meta.values_offset),
+        static_cast<unsigned long long>(meta.labels_offset), path.c_str()));
+  }
+  M3_ASSIGN_OR_RETURN(uint64_t actual_size, file.Size());
+  // Per-section bound check, overflow-safe: the offset must sit inside
+  // the file and leave room for the section behind it. (Sections may not
+  // start inside the header page either.)
+  const std::pair<uint64_t, uint64_t> sections[] = {
+      {meta.row_ptr_offset, meta.RowPtrBytes()},
+      {meta.col_idx_offset, meta.ColIdxBytes()},
+      {meta.values_offset, meta.ValueBytes()},
+      {meta.labels_offset, meta.LabelBytes()},
+  };
+  for (const auto& [offset, bytes] : sections) {
+    if (offset < kSparseDatasetHeaderBytes || offset > actual_size ||
+        bytes > actual_size - offset) {
+      return Status::InvalidArgument(util::StrFormat(
+          "sparse dataset truncated or section out of bounds (section at "
+          "%llu, %llu bytes, file has %llu): %s",
+          static_cast<unsigned long long>(offset),
+          static_cast<unsigned long long>(bytes),
+          static_cast<unsigned long long>(actual_size), path.c_str()));
+    }
+  }
+  return meta;
+}
+
+Status WriteSparseDataset(const std::string& path, const la::CsrView& x,
+                          const std::vector<double>& labels,
+                          uint32_t num_classes) {
+  if (x.rows() != labels.size()) {
+    return Status::InvalidArgument("labels size != matrix rows");
+  }
+  M3_ASSIGN_OR_RETURN(SparseDatasetWriter writer,
+                      SparseDatasetWriter::Create(path, x.cols()));
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const la::SparseRowView row = x.Row(r);
+    M3_RETURN_IF_ERROR(
+        writer.AppendRow(row.cols, row.values, row.nnz, labels[r]));
+  }
+  return writer.Finalize(num_classes);
+}
+
+Status GenerateSparseDataset(const std::string& path,
+                             const SparseSyntheticOptions& options) {
+  if (options.rows == 0 || options.cols == 0) {
+    return Status::InvalidArgument("cannot generate empty sparse dataset");
+  }
+  if (options.cols > UINT32_MAX) {
+    return Status::InvalidArgument("cols > UINT32_MAX unsupported");
+  }
+  M3_ASSIGN_OR_RETURN(SparseDatasetWriter writer,
+                      SparseDatasetWriter::Create(path, options.cols));
+  util::Rng rng(options.seed);
+  // Planted hyperplane making labels learnable (and classes non-trivial).
+  std::vector<double> plane(options.cols);
+  for (double& w : plane) {
+    w = rng.Uniform(-1.0, 1.0);
+  }
+  std::vector<uint32_t> cols;
+  std::vector<double> values;
+  for (uint64_t r = 0; r < options.rows; ++r) {
+    // Ragged rows on purpose: [0, 2*nnz_per_row] stored entries.
+    const uint64_t max_nnz = std::min<uint64_t>(options.cols,
+                                                2 * options.nnz_per_row);
+    const uint64_t nnz = max_nnz == 0 ? 0 : rng.UniformInt(max_nnz + 1);
+    cols.clear();
+    values.clear();
+    // Distinct sorted column draws: sample without replacement via
+    // retry (nnz << cols in any sparse regime worth the name).
+    while (cols.size() < nnz) {
+      const uint32_t c = static_cast<uint32_t>(rng.UniformInt(options.cols));
+      if (std::find(cols.begin(), cols.end(), c) == cols.end()) {
+        cols.push_back(c);
+      }
+    }
+    std::sort(cols.begin(), cols.end());
+    double margin = 0.0;
+    for (const uint32_t c : cols) {
+      double v = rng.Uniform(-1.0, 1.0);
+      if (v == 0.0) {
+        v = 0.5;  // keep stored entries genuinely nonzero
+      }
+      values.push_back(v);
+      margin += v * plane[c];
+    }
+    const double label = options.binary_labels
+                             ? (margin > 0.0 ? 1.0 : 0.0)
+                             : (margin < -0.5 ? 0.0
+                                              : (margin < 0.5 ? 1.0 : 2.0));
+    M3_RETURN_IF_ERROR(
+        writer.AppendRow(cols.data(), values.data(), cols.size(), label));
+  }
+  return writer.Finalize(options.binary_labels ? 2 : 3);
+}
+
+}  // namespace m3::data

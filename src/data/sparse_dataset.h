@@ -1,0 +1,154 @@
+#ifndef M3_DATA_SPARSE_DATASET_H_
+#define M3_DATA_SPARSE_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/buffered_io.h"
+#include "la/sparse.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace m3::data {
+
+/// \brief On-disk layout of an M3 sparse (CSR) dataset file.
+///
+/// Like the dense format, designed for memory mapping — every section
+/// starts on a page boundary so typed views over the mapping are aligned,
+/// and each section is one contiguous run so a chunked scan of rows
+/// [b, e) touches exactly three sequential byte spans:
+///
+///   [0, 4096)                     header page (fixed size, versioned)
+///   [values_offset,  +nnz*8)      double nonzero values   (streamed)
+///   [col_idx_offset, +nnz*4)      uint32 column indices
+///   [row_ptr_offset, +(rows+1)*8) uint64 row offsets into col_idx/values
+///   [labels_offset,  +rows*8)     double labels, one per row
+///
+/// Section positions come from the header offsets, never from the order
+/// above; readers must not assume adjacency. Column indices within a row
+/// are strictly increasing.
+struct SparseDatasetMeta {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  uint64_t nnz = 0;
+  uint32_t num_classes = 0;
+  uint64_t row_ptr_offset = 0;
+  uint64_t col_idx_offset = 0;
+  uint64_t values_offset = 0;
+  uint64_t labels_offset = 0;
+
+  uint64_t RowPtrBytes() const { return (rows + 1) * sizeof(uint64_t); }
+  uint64_t ColIdxBytes() const { return nnz * sizeof(uint32_t); }
+  uint64_t ValueBytes() const { return nnz * sizeof(double); }
+  uint64_t LabelBytes() const { return rows * sizeof(double); }
+
+  /// Bytes a full feature scan touches per pass (col_idx + values).
+  uint64_t PayloadBytes() const { return ColIdxBytes() + ValueBytes(); }
+
+  /// Total file size implied by the meta (max section end).
+  uint64_t FileBytes() const;
+};
+
+/// Size of the reserved header page.
+inline constexpr uint64_t kSparseDatasetHeaderBytes = 4096;
+/// Every section starts on this boundary.
+inline constexpr uint64_t kSparseSectionAlign = 4096;
+
+/// \brief The raw header record at file offset 0.
+///
+/// Public (unlike the dense format's) so the format-fuzz suite can
+/// corrupt individual fields surgically instead of flipping blind bytes.
+struct SparseRawHeader {
+  char magic[4];  // "M3SP"
+  uint32_t version;
+  uint64_t rows;
+  uint64_t cols;
+  uint64_t nnz;
+  uint32_t num_classes;
+  uint32_t flags;
+  uint64_t row_ptr_offset;
+  uint64_t col_idx_offset;
+  uint64_t values_offset;
+  uint64_t labels_offset;
+};
+static_assert(sizeof(SparseRawHeader) == 72);
+static_assert(sizeof(SparseRawHeader) <= kSparseDatasetHeaderBytes);
+
+inline constexpr char kSparseDatasetMagic[4] = {'M', '3', 'S', 'P'};
+inline constexpr uint32_t kSparseDatasetVersion = 1;
+
+/// \brief Streams CSR rows into a new sparse dataset file.
+///
+/// The values section (8 bytes/nnz, the bulk of the file) is streamed
+/// buffered as rows arrive; col_idx (4 bytes/nnz), row_ptr and labels are
+/// held in memory and written behind it by Finalize(), which also stamps
+/// the header. A writer dropped without Finalize() leaves an unreadable
+/// file by design.
+class SparseDatasetWriter {
+ public:
+  static util::Result<SparseDatasetWriter> Create(const std::string& path,
+                                                  uint64_t cols);
+
+  SparseDatasetWriter(SparseDatasetWriter&&) = default;
+  SparseDatasetWriter& operator=(SparseDatasetWriter&&) = default;
+
+  /// Appends one row of `nnz` (column, value) pairs. Columns must be
+  /// strictly increasing and < cols; `nnz == 0` appends an empty row.
+  util::Status AppendRow(const uint32_t* cols, const double* values,
+                         size_t nnz, double label);
+
+  uint64_t rows_written() const { return labels_.size(); }
+  uint64_t nnz_written() const { return row_ptr_.back(); }
+
+  /// Writes col_idx + row_ptr + labels + header and closes the file.
+  util::Status Finalize(uint32_t num_classes);
+
+ private:
+  SparseDatasetWriter(io::BufferedWriter writer, std::string path,
+                      uint64_t cols)
+      : writer_(std::move(writer)), path_(std::move(path)), cols_(cols) {}
+
+  io::BufferedWriter writer_;
+  std::string path_;
+  uint64_t cols_;
+  std::vector<uint64_t> row_ptr_{0};
+  std::vector<uint32_t> col_idx_;
+  std::vector<double> labels_;
+  bool finalized_ = false;
+};
+
+/// \brief Reads and validates the header page of a sparse dataset file.
+///
+/// Everything checkable from the header alone: magic, version, plausible
+/// shape (overflow-guarded), section offsets aligned for their element
+/// type, sections inside the file. The O(nnz) structural checks
+/// (monotone row_ptr, col_idx < cols) belong to the mmap reader
+/// (core::MappedSparseDataset::Open), which has the sections in memory.
+util::Result<SparseDatasetMeta> ReadSparseDatasetMeta(const std::string& path);
+
+/// \brief Writes a complete in-memory CSR matrix + labels as a file.
+util::Status WriteSparseDataset(const std::string& path, const la::CsrView& x,
+                                const std::vector<double>& labels,
+                                uint32_t num_classes);
+
+/// \brief Deterministic synthetic sparse dataset generator.
+struct SparseSyntheticOptions {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  /// Mean stored nonzeros per row; actual per-row counts vary in
+  /// [0, 2*nnz_per_row] so chunk raggedness is exercised. Clamped to cols.
+  uint64_t nnz_per_row = 16;
+  uint64_t seed = 2016;
+  bool binary_labels = true;
+};
+
+/// \brief Generates a random CSR dataset: per-row sorted distinct column
+/// draws with nonzero values in [-1, 1] \ {0}, labels made learnable by a
+/// planted hyperplane. Deterministic in `seed`.
+util::Status GenerateSparseDataset(const std::string& path,
+                                   const SparseSyntheticOptions& options);
+
+}  // namespace m3::data
+
+#endif  // M3_DATA_SPARSE_DATASET_H_

@@ -34,7 +34,7 @@ namespace m3::exec {
 /// collide); positions are dense, so `position % window` is free by
 /// dispatch time.
 template <typename T, typename MapFn, typename ReduceFn>
-void MapReduceChunks(ChunkPipeline* pipeline, const la::RowChunker& chunker,
+void MapReduceChunks(ChunkPipeline* pipeline, const la::Chunker& chunker,
                      const ChunkSchedule& schedule, MapFn&& map,
                      ReduceFn&& reduce) {
   const size_t window = pipeline != nullptr ? pipeline->max_in_flight() : 1;
@@ -56,7 +56,7 @@ void MapReduceChunks(ChunkPipeline* pipeline, const la::RowChunker& chunker,
 
 /// \brief Sequential-order map-reduce (the trainers' reference order).
 template <typename T, typename MapFn, typename ReduceFn>
-void MapReduceChunks(ChunkPipeline* pipeline, const la::RowChunker& chunker,
+void MapReduceChunks(ChunkPipeline* pipeline, const la::Chunker& chunker,
                      MapFn&& map, ReduceFn&& reduce) {
   MapReduceChunks<T>(pipeline, chunker,
                      ChunkSchedule::Sequential(chunker.NumChunks()),

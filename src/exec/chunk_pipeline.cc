@@ -42,7 +42,8 @@ ChunkPipeline::ChunkPipeline(PipelineOptions options)
 ChunkPipeline::ChunkPipeline(MappedRegion region, PipelineOptions options)
     : region_(region), options_(options) {
   if (region_.mapping != nullptr) {
-    M3_CHECK(region_.row_bytes > 0, "row_bytes must be positive");
+    M3_CHECK(region_.row_bytes > 0 || region_.byte_map != nullptr,
+             "bound region needs row_bytes or a byte_map");
     if (options_.shared_prefetch_backend != nullptr) {
       backend_ = options_.shared_prefetch_backend;
     } else {
@@ -94,7 +95,34 @@ PipelineStats ChunkPipeline::ConsumeStats() {
   return out;
 }
 
-void ChunkPipeline::RequestPrefetchThrough(const la::RowChunker& chunker,
+void ChunkPipeline::AppendChunkSpans(size_t row_begin, size_t row_end,
+                                     std::vector<ByteSpan>* out) const {
+  if (region_.byte_map != nullptr) {
+    region_.byte_map->AppendSpans(row_begin, row_end, out);
+    return;
+  }
+  const uint64_t length =
+      static_cast<uint64_t>(row_end - row_begin) * region_.row_bytes;
+  if (length > 0) {
+    out->push_back(
+        ByteSpan{region_.base_offset + row_begin * region_.row_bytes, length});
+  }
+}
+
+uint64_t ChunkPipeline::ChunkBytes(size_t row_begin, size_t row_end) const {
+  if (region_.byte_map == nullptr) {
+    return static_cast<uint64_t>(row_end - row_begin) * region_.row_bytes;
+  }
+  std::vector<ByteSpan> spans;
+  region_.byte_map->AppendSpans(row_begin, row_end, &spans);
+  uint64_t total = 0;
+  for (const ByteSpan& span : spans) {
+    total += span.length;
+  }
+  return total;
+}
+
+void ChunkPipeline::RequestPrefetchThrough(const la::Chunker& chunker,
                                            const ChunkSchedule& schedule,
                                            size_t goal) {
   if (io_pool_ == nullptr || options_.readahead_chunks == 0) {
@@ -102,24 +130,40 @@ void ChunkPipeline::RequestPrefetchThrough(const la::RowChunker& chunker,
   }
   goal = std::min(goal, schedule.num_chunks());
   for (size_t pos = prefetch_goal_; pos < goal; ++pos) {
-    const la::RowChunker::Range range = chunker.Chunk(schedule.At(pos));
-    const uint64_t offset = region_.base_offset + range.begin * region_.row_bytes;
-    const uint64_t length = range.size() * region_.row_bytes;
+    const la::Chunker::Range range = chunker.Chunk(schedule.At(pos));
+    std::vector<ByteSpan> spans;
+    AppendChunkSpans(range.begin, range.end, &spans);
+    // Always submit the task, even for a zero-byte chunk (all-empty sparse
+    // rows): the watermark must advance and the chunk must count as one
+    // prefetch, or every later position would misclassify as a stall and
+    // the prefetches == hits + stalls + unclassified invariant would break.
     const io::MemoryMappedFile* mapping = region_.mapping;
-    io_pool_->Submit([this, mapping, offset, length, pos] {
+    io_pool_->Submit([this, mapping, spans = std::move(spans), pos] {
       obs::NameThisThread("pipeline-io");
+      uint64_t total_bytes = 0;
+      for (const ByteSpan& span : spans) {
+        total_bytes += span.length;
+      }
       obs::ScopedSpan span("exec", "prefetch");
       if (span.armed()) {
         span.AddArg("position", static_cast<uint64_t>(pos));
-        span.AddArg("bytes", static_cast<uint64_t>(length));
+        span.AddArg("bytes", total_bytes);
         span.AddArg("backend", BackendTraceName(backend_));
       }
       util::Stopwatch watch;
       // Best effort: a failed prefetch only loses overlap, never data.
       io::PrefetchOutcome outcome;
-      if (auto result = backend_->Prefetch(*mapping, offset, length);
-          result.ok()) {
-        outcome = result.value();
+      for (const ByteSpan& range : spans) {
+        if (range.length == 0) {
+          continue;
+        }
+        if (auto result =
+                backend_->Prefetch(*mapping, range.offset, range.length);
+            result.ok()) {
+          outcome.submits += result.value().submits;
+          outcome.completions += result.value().completions;
+          outcome.fallbacks += result.value().fallbacks;
+        }
       }
       const double elapsed = watch.ElapsedSeconds();
       if (span.armed()) {
@@ -128,7 +172,7 @@ void ChunkPipeline::RequestPrefetchThrough(const la::RowChunker& chunker,
       prefetched_through_.store(pos + 1, std::memory_order_release);
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.prefetches;
-      stats_.prefetch_bytes += length;
+      stats_.prefetch_bytes += total_bytes;
       stats_.prefetch_seconds += elapsed;
       stats_.backend_submits += outcome.submits;
       stats_.backend_completions += outcome.completions;
@@ -174,8 +218,7 @@ void ChunkPipeline::RunMapStage(const ScheduledChunkFn& map, size_t position,
       ++stats_.prefetch_hits;
     } else {
       ++stats_.stalls;
-      stats_.stall_bytes +=
-          static_cast<uint64_t>(row_end - row_begin) * region_.row_bytes;
+      stats_.stall_bytes += ChunkBytes(row_begin, row_end);
       // The map stage touches the pages here, so its wall time carries the
       // unhidden fault-service cost — the stall's per-chunk duration.
       stats_.stall_duration.Add(elapsed);
@@ -186,7 +229,7 @@ void ChunkPipeline::RunMapStage(const ScheduledChunkFn& map, size_t position,
 }
 
 void ChunkPipeline::ClassifyRetireRace(size_t position,
-                                       const la::RowChunker::Range& range) {
+                                       const la::Chunker::Range& range) {
   if (race_stage_ != RaceStage::kRetire || !bound() ||
       options_.readahead_chunks == 0) {
     return;
@@ -206,7 +249,7 @@ void ChunkPipeline::ClassifyRetireRace(size_t position,
     ++stats_.prefetch_hits;
   } else {
     ++stats_.stalls;
-    stats_.stall_bytes += range.size() * region_.row_bytes;
+    stats_.stall_bytes += ChunkBytes(range.begin, range.end);
   }
 }
 
@@ -236,33 +279,41 @@ void ChunkPipeline::RunRetireStage(const ScheduledChunkFn& retire,
   }
 }
 
-void ChunkPipeline::EvictRetired(const la::RowChunker::Range& range) {
+void ChunkPipeline::EvictRetired(const la::Chunker::Range& range) {
   if (!bound() || options_.ram_budget_bytes == 0) {
     return;
   }
-  // The retired chunk joins the trailing residency window; the
-  // oldest-visited chunks beyond the budget leave it. Visit order — not
-  // file order — so the window is correct under any schedule.
-  const uint64_t offset = range.begin * region_.row_bytes;
-  // A revisited chunk (window carried across passes) would otherwise hold
-  // two entries: its bytes double-counted and the stale entry later
-  // evicting pages this visit just re-admitted. Keep only the newest.
-  for (auto it = resident_window_.begin(); it != resident_window_.end();
-       ++it) {
-    if (it->first == offset) {
-      resident_window_bytes_ -= it->second;
-      resident_window_.erase(it);
-      break;
+  // The retired chunk's spans join the trailing residency window; the
+  // oldest-visited spans beyond the budget leave it. Visit order — not
+  // file order — so the window is correct under any schedule. A ragged
+  // (byte_map) chunk holds one entry per span, all admitted together.
+  std::vector<ByteSpan> spans;
+  AppendChunkSpans(range.begin, range.end, &spans);
+  for (const ByteSpan& span : spans) {
+    if (span.length == 0) {
+      continue;
     }
+    // A revisited chunk (window carried across passes) would otherwise hold
+    // two entries: its bytes double-counted and the stale entry later
+    // evicting pages this visit just re-admitted. Keep only the newest.
+    // Spans are a pure function of the row range, so offset identity is
+    // chunk identity.
+    for (auto it = resident_window_.begin(); it != resident_window_.end();
+         ++it) {
+      if (it->first == span.offset) {
+        resident_window_bytes_ -= it->second;
+        resident_window_.erase(it);
+        break;
+      }
+    }
+    resident_window_.emplace_back(span.offset, span.length);
+    resident_window_bytes_ += span.length;
   }
-  resident_window_.emplace_back(offset, range.size() * region_.row_bytes);
-  resident_window_bytes_ += resident_window_.back().second;
   while (resident_window_bytes_ > options_.ram_budget_bytes &&
          !resident_window_.empty()) {
-    const auto [rel_offset, length] = resident_window_.front();
+    const auto [offset, length] = resident_window_.front();
     resident_window_.pop_front();
     resident_window_bytes_ -= length;
-    const uint64_t offset = region_.base_offset + rel_offset;
     const io::MemoryMappedFile* mapping = region_.mapping;
     auto evict = [this, mapping, offset, length] {
       obs::NameThisThread("pipeline-io");
@@ -288,7 +339,7 @@ void ChunkPipeline::EvictRetired(const la::RowChunker::Range& range) {
   }
 }
 
-void ChunkPipeline::RunSerial(const la::RowChunker& chunker,
+void ChunkPipeline::RunSerial(const la::Chunker& chunker,
                               const ChunkSchedule& schedule,
                               const ScheduledChunkFn& map,
                               const ScheduledChunkFn& retire) {
@@ -297,7 +348,7 @@ void ChunkPipeline::RunSerial(const la::RowChunker& chunker,
     // Keep the prefetch stage `readahead_chunks` positions ahead of compute.
     RequestPrefetchThrough(chunker, schedule, pos + 1 + options_.readahead_chunks);
     const size_t chunk = schedule.At(pos);
-    const la::RowChunker::Range range = chunker.Chunk(chunk);
+    const la::Chunker::Range range = chunker.Chunk(chunk);
     RunMapStage(map, pos, chunk, range.begin, range.end);
     ClassifyRetireRace(pos, range);
     if (retire) {
@@ -307,7 +358,7 @@ void ChunkPipeline::RunSerial(const la::RowChunker& chunker,
   }
 }
 
-void ChunkPipeline::RunParallel(const la::RowChunker& chunker,
+void ChunkPipeline::RunParallel(const la::Chunker& chunker,
                                 const ChunkSchedule& schedule,
                                 const ScheduledChunkFn& map,
                                 const ScheduledChunkFn& retire) {
@@ -321,7 +372,7 @@ void ChunkPipeline::RunParallel(const la::RowChunker& chunker,
         RequestPrefetchThrough(chunker, schedule,
                                next + 1 + options_.readahead_chunks);
         const size_t chunk = schedule.At(next);
-        const la::RowChunker::Range range = chunker.Chunk(chunk);
+        const la::Chunker::Range range = chunker.Chunk(chunk);
         in_flight.emplace_back(
             next, compute_pool_->Submit([this, &map, p = next, chunk, range] {
               obs::NameThisThread("pipeline-worker");
@@ -332,7 +383,7 @@ void ChunkPipeline::RunParallel(const la::RowChunker& chunker,
       in_flight.front().second.get();  // in-order retirement barrier
       in_flight.pop_front();
       const size_t chunk = schedule.At(retiring);
-      const la::RowChunker::Range range = chunker.Chunk(chunk);
+      const la::Chunker::Range range = chunker.Chunk(chunk);
       ClassifyRetireRace(retiring, range);
       if (retire) {
         RunRetireStage(retire, retiring, chunk, range.begin, range.end);
@@ -353,7 +404,7 @@ void ChunkPipeline::RunParallel(const la::RowChunker& chunker,
   }
 }
 
-void ChunkPipeline::Run(const la::RowChunker& chunker, const ChunkFn& map,
+void ChunkPipeline::Run(const la::Chunker& chunker, const ChunkFn& map,
                         const ChunkFn& retire) {
   M3_CHECK(map != nullptr, "null chunk functor");
   Run(chunker, ChunkSchedule::Sequential(chunker.NumChunks()),
@@ -367,7 +418,7 @@ void ChunkPipeline::Run(const la::RowChunker& chunker, const ChunkFn& map,
              : ScheduledChunkFn());
 }
 
-void ChunkPipeline::Run(const la::RowChunker& chunker,
+void ChunkPipeline::Run(const la::Chunker& chunker,
                         const ChunkSchedule& schedule,
                         const ScheduledChunkFn& map,
                         const ScheduledChunkFn& retire,
@@ -424,9 +475,12 @@ void ChunkPipeline::Run(const la::RowChunker& chunker,
     if (!schedule.is_sequential() && advice == io::Advice::kSequential) {
       advice = io::Advice::kNormal;
     }
-    region_.mapping
-        ->AdviseRange(advice, region_.base_offset,
-                      chunker.total_rows() * region_.row_bytes)
+    ByteSpan extent{region_.base_offset,
+                    chunker.total_rows() * region_.row_bytes};
+    if (region_.byte_map != nullptr) {
+      extent = region_.byte_map->Extent();
+    }
+    region_.mapping->AdviseRange(advice, extent.offset, extent.length)
         .IgnoreError();
     // Warm the pipe before compute starts.
     RequestPrefetchThrough(chunker, schedule, options_.readahead_chunks);
@@ -464,7 +518,7 @@ void ChunkPipeline::Run(const la::RowChunker& chunker,
   }
 }
 
-void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
+void RunPass(ChunkPipeline* pipeline, const la::Chunker& chunker,
              const ChunkFn& map, const ChunkFn& retire) {
   RunPass(pipeline, chunker, ChunkSchedule::Sequential(chunker.NumChunks()),
           [&map](size_t, size_t chunk, size_t row_begin, size_t row_end) {
@@ -478,7 +532,7 @@ void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
                  : ScheduledChunkFn());
 }
 
-void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
+void RunPass(ChunkPipeline* pipeline, const la::Chunker& chunker,
              const ChunkSchedule& schedule, const ScheduledChunkFn& map,
              const ScheduledChunkFn& retire, RaceStage race_stage) {
   if (pipeline != nullptr) {
@@ -490,7 +544,7 @@ void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
            schedule.num_chunks(), chunker.NumChunks());
   for (size_t pos = 0; pos < schedule.num_chunks(); ++pos) {
     const size_t chunk = schedule.At(pos);
-    const la::RowChunker::Range range = chunker.Chunk(chunk);
+    const la::Chunker::Range range = chunker.Chunk(chunk);
     map(pos, chunk, range.begin, range.end);
     if (retire) {
       retire(pos, chunk, range.begin, range.end);

@@ -4,7 +4,7 @@
 /// \file
 /// \brief The engine's pass driver: prefetch -> compute -> retire -> evict.
 ///
-/// Stage lifecycle of one Run() pass over a RowChunker + ChunkSchedule:
+/// Stage lifecycle of one Run() pass over a la::Chunker + ChunkSchedule:
 ///   1. prefetch — a single background I/O thread walks the schedule
 ///      `readahead_chunks` positions ahead of compute and hands each
 ///      chunk's byte range to the configured io::PrefetchBackend
@@ -40,6 +40,7 @@
 #include <memory>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "exec/chunk_schedule.h"
 #include "exec/pipeline_stats.h"
@@ -50,16 +51,57 @@
 
 namespace m3::exec {
 
-/// \brief A row-wise window of a memory mapping that a pipeline scans.
+/// \brief A contiguous byte range inside a mapping (absolute offsets).
+struct ByteSpan {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+/// \brief Maps row ranges to the byte spans a scan of those rows touches.
 ///
-/// Row r of the scanned region lives at byte offset
-/// `base_offset + r * row_bytes` inside `mapping`. An unbound region
-/// (`mapping == nullptr`) disables the prefetch and evict stages — the
-/// pipeline then only orchestrates compute.
+/// The byte-range abstraction that lets one engine drive layouts whose
+/// rows are not a uniform stride. The dense layout is the implicit
+/// identity map (`base_offset + r * row_bytes`, handled inline by the
+/// pipeline); a CSR layout maps a row range to its row_ptr / col_idx /
+/// values slices. The prefetch, evict, and stall-accounting stages all
+/// consume spans, so schedules, backends, counters, and tracing carry
+/// over to any layout unchanged.
+///
+/// Implementations must be pure functions of the row range (same range →
+/// same spans, every call, every pass): the evict window dedupes revisited
+/// chunks by their first span's offset, and stall accounting assumes a
+/// chunk's byte cost is stable. Spans are absolute offsets into the
+/// mapping. Must be safe to call from the pipeline's I/O thread
+/// concurrently with the driver (const, no mutation).
+class ChunkByteMap {
+ public:
+  virtual ~ChunkByteMap() = default;
+
+  /// Appends the spans a scan of rows [row_begin, row_end) touches.
+  /// Zero-length spans may be omitted; spans need not be sorted.
+  virtual void AppendSpans(size_t row_begin, size_t row_end,
+                           std::vector<ByteSpan>* out) const = 0;
+
+  /// The enclosing byte range of every span this map can produce (what a
+  /// whole-region madvise should cover).
+  virtual ByteSpan Extent() const = 0;
+};
+
+/// \brief A window of a memory mapping that a pipeline scans.
+///
+/// With `byte_map == nullptr` the region is dense row-major: row r lives
+/// at byte offset `base_offset + r * row_bytes` inside `mapping`. With a
+/// `byte_map`, the map translates row ranges to byte spans and
+/// `base_offset`/`row_bytes` are ignored by the I/O stages. An unbound
+/// region (`mapping == nullptr`) disables the prefetch and evict stages —
+/// the pipeline then only orchestrates compute.
 struct MappedRegion {
   const io::MemoryMappedFile* mapping = nullptr;
   uint64_t base_offset = 0;
   uint64_t row_bytes = 0;
+  /// Not-owned row→bytes translation for non-uniform layouts (CSR). Must
+  /// outlive the pipeline.
+  const ChunkByteMap* byte_map = nullptr;
 };
 
 /// \brief Knobs for the three pipeline stages.
@@ -143,7 +185,7 @@ using ChunkFn = std::function<void(size_t, size_t, size_t)>;
 
 /// Schedule-aware chunk functor: (position, chunk_index, row_begin,
 /// row_end). `position` is the chunk's place in the pass's visit order
-/// (dense in [0, schedule.num_chunks())); `chunk_index` is the RowChunker
+/// (dense in [0, schedule.num_chunks())); `chunk_index` is the chunker's
 /// chunk visited there. For a sequential schedule the two coincide.
 using ScheduledChunkFn =
     std::function<void(size_t, size_t, size_t, size_t)>;
@@ -185,7 +227,7 @@ class ChunkPipeline {
   /// ascending chunk order, after that chunk's `map` has returned. Blocks
   /// until every chunk has retired and background evictions for the pass
   /// have settled.
-  void Run(const la::RowChunker& chunker, const ChunkFn& map,
+  void Run(const la::Chunker& chunker, const ChunkFn& map,
            const ChunkFn& retire = ChunkFn());
 
   /// Drives one full pass visiting `chunker`'s chunks in `schedule` order.
@@ -199,7 +241,7 @@ class ChunkPipeline {
   /// pipeline: trainers share one pipeline between map-compute
   /// evaluations and retire-compute epochs).
   /// \pre schedule.num_chunks() == chunker.NumChunks()
-  void Run(const la::RowChunker& chunker, const ChunkSchedule& schedule,
+  void Run(const la::Chunker& chunker, const ChunkSchedule& schedule,
            const ScheduledChunkFn& map,
            const ScheduledChunkFn& retire = ScheduledChunkFn(),
            RaceStage race_stage = RaceStage::kMap);
@@ -224,15 +266,24 @@ class ChunkPipeline {
   PipelineStats ConsumeStats();
 
  private:
-  void RunSerial(const la::RowChunker& chunker, const ChunkSchedule& schedule,
+  void RunSerial(const la::Chunker& chunker, const ChunkSchedule& schedule,
                  const ScheduledChunkFn& map, const ScheduledChunkFn& retire);
-  void RunParallel(const la::RowChunker& chunker,
+  void RunParallel(const la::Chunker& chunker,
                    const ChunkSchedule& schedule, const ScheduledChunkFn& map,
                    const ScheduledChunkFn& retire);
 
-  /// Issues background MADV_WILLNEED so the chunks at schedule positions
+  /// The byte spans a scan of rows [row_begin, row_end) touches: one
+  /// `row_bytes`-strided span for dense regions, the byte_map's spans
+  /// otherwise. Zero-length chunks append nothing.
+  void AppendChunkSpans(size_t row_begin, size_t row_end,
+                        std::vector<ByteSpan>* out) const;
+
+  /// Total bytes a scan of rows [row_begin, row_end) touches.
+  uint64_t ChunkBytes(size_t row_begin, size_t row_end) const;
+
+  /// Issues background prefetch so the chunks at schedule positions
   /// [prefetch_goal_, goal) are in flight; updates prefetch_goal_.
-  void RequestPrefetchThrough(const la::RowChunker& chunker,
+  void RequestPrefetchThrough(const la::Chunker& chunker,
                               const ChunkSchedule& schedule, size_t goal);
 
   /// Checks the prefetch race for the chunk at `position` (RaceStage::kMap
@@ -243,15 +294,15 @@ class ChunkPipeline {
   /// Samples the prefetch race at retire time (RaceStage::kRetire passes):
   /// called once per position on the driving thread, in position order,
   /// just before the chunk's retire runs.
-  void ClassifyRetireRace(size_t position, const la::RowChunker::Range& range);
+  void ClassifyRetireRace(size_t position, const la::Chunker::Range& range);
 
   /// Runs `retire` timed (calling thread, ascending position order).
   void RunRetireStage(const ScheduledChunkFn& retire, size_t position,
                       size_t chunk, size_t row_begin, size_t row_end);
 
-  /// Appends the retired chunk's byte range to the trailing residency
+  /// Appends the retired chunk's byte spans to the trailing residency
   /// window and evicts the oldest-visited ranges beyond the RAM budget.
-  void EvictRetired(const la::RowChunker::Range& range);
+  void EvictRetired(const la::Chunker::Range& range);
 
   MappedRegion region_;
   PipelineOptions options_;
@@ -274,8 +325,9 @@ class ChunkPipeline {
   // All are in schedule-position space, not chunk-index space.
   size_t prefetch_goal_ = 0;  ///< positions [0, goal) have prefetch issued
   std::atomic<size_t> prefetched_through_{0};  ///< completed prefix
-  /// Trailing residency window: byte ranges (region-relative offset,
-  /// length) of retired chunks not yet evicted, in visit order.
+  /// Trailing residency window: byte spans (absolute offset, length) of
+  /// retired chunks not yet evicted, in visit order. A ragged (byte_map)
+  /// chunk contributes one entry per span.
   std::deque<std::pair<uint64_t, uint64_t>> resident_window_;
   uint64_t resident_window_bytes_ = 0;
   /// Positions below this raced their prefetch with no compute lead time
@@ -301,7 +353,7 @@ class ChunkPipeline {
 /// but prefetch/evict overlap and `map` may fan out. Either way `retire`
 /// observes chunks in ascending order, so reductions merged at retire are
 /// bitwise identical across both modes and any worker count.
-void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
+void RunPass(ChunkPipeline* pipeline, const la::Chunker& chunker,
              const ChunkFn& map, const ChunkFn& retire = ChunkFn());
 
 /// \brief Schedule-aware RunPass: one pass in `schedule` order.
@@ -311,7 +363,7 @@ void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
 /// `retire` keeps ascending position order. Both modes therefore visit
 /// chunks in exactly the same sequence — the serial loop is the reference
 /// semantics for the pipelined one.
-void RunPass(ChunkPipeline* pipeline, const la::RowChunker& chunker,
+void RunPass(ChunkPipeline* pipeline, const la::Chunker& chunker,
              const ChunkSchedule& schedule, const ScheduledChunkFn& map,
              const ScheduledChunkFn& retire = ScheduledChunkFn(),
              RaceStage race_stage = RaceStage::kMap);

@@ -22,6 +22,10 @@ double ChunkedObjective::ApplyRegularization(la::ConstVectorView,
   return 0.0;
 }
 
+std::unique_ptr<la::Chunker> ChunkedObjective::MakeChunker() const {
+  return std::make_unique<la::RowChunker>(NumRows(), chunk_rows_);
+}
+
 double ChunkedObjective::EvaluateWithGradient(la::ConstVectorView w,
                                               la::VectorView grad) {
   if (hooks_.before_pass) {
@@ -30,7 +34,8 @@ double ChunkedObjective::EvaluateWithGradient(la::ConstVectorView w,
   ++passes_;
   grad.SetZero();
   double loss = 0;
-  const la::RowChunker chunker(NumRows(), chunk_rows_);
+  const std::unique_ptr<la::Chunker> chunker_ptr = MakeChunker();
+  const la::Chunker& chunker = *chunker_ptr;
   const size_t dim = Dimension();
   exec::MapReduceChunks<ChunkPartial>(
       pipeline_, chunker,
@@ -45,7 +50,7 @@ double ChunkedObjective::EvaluateWithGradient(la::ConstVectorView w,
         loss += partial.loss;
         la::Axpy(1.0, partial.grad, grad);
         if (hooks_.after_chunk) {
-          const la::RowChunker::Range range = chunker.Chunk(chunk);
+          const la::Chunker::Range range = chunker.Chunk(chunk);
           hooks_.after_chunk(range.begin, range.end);
         }
       });

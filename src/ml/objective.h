@@ -3,7 +3,9 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 
+#include "la/chunker.h"
 #include "la/matrix.h"
 
 namespace m3::exec {
@@ -86,6 +88,14 @@ class ChunkedObjective : public DifferentiableFunction {
  protected:
   ChunkedObjective(size_t chunk_rows, ScanHooks hooks)
       : chunk_rows_(chunk_rows), hooks_(std::move(hooks)) {}
+
+  /// The chunker driving EvaluateWithGradient's pass. Default: uniform
+  /// la::RowChunker(NumRows(), chunk_rows()). Sparse objectives override
+  /// with an nnz-budget la::SparseChunker so ragged rows still yield
+  /// uniform-cost chunks. Must be deterministic: the chunk boundaries fix
+  /// the FP merge grouping, so the same chunker means the same bits at
+  /// every worker count.
+  virtual std::unique_ptr<la::Chunker> MakeChunker() const;
 
   /// Adds the per-pass regularization contribution (once per full pass,
   /// after all chunks merged) and returns its loss term. Default: none.

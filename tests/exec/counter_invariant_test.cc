@@ -314,6 +314,152 @@ TEST_F(CounterInvariantTest, InvariantUnchangedWithTracingOnAcrossWorkers) {
 }
 
 // ---------------------------------------------------------------------------
+// Ragged (byte-mapped) chunks: the invariant is a property of positions,
+// not bytes, so it must survive chunks of wildly different sizes —
+// including zero-byte chunks (all-empty CSR rows), whose prefetch stage
+// has no I/O to issue but must still advance the watermark and count.
+// ---------------------------------------------------------------------------
+
+/// Maps row r to the byte range [row_offsets[r], row_offsets[r+1]) of the
+/// region — the test-local stand-in for core::CsrByteMap, exercising the
+/// engine's span plumbing without the file format.
+class RaggedByteMap final : public ChunkByteMap {
+ public:
+  explicit RaggedByteMap(std::vector<uint64_t> row_offsets)
+      : row_offsets_(std::move(row_offsets)) {}
+
+  void AppendSpans(size_t row_begin, size_t row_end,
+                   std::vector<ByteSpan>* out) const override {
+    const uint64_t begin = row_offsets_[row_begin];
+    const uint64_t end = row_offsets_[row_end];
+    if (end > begin) {
+      out->push_back(ByteSpan{begin, end - begin});
+    }
+  }
+
+  ByteSpan Extent() const override {
+    return ByteSpan{row_offsets_.front(),
+                    row_offsets_.back() - row_offsets_.front()};
+  }
+
+ private:
+  std::vector<uint64_t> row_offsets_;
+};
+
+class RaggedChunkTest : public CounterInvariantTest {
+ protected:
+  /// Ragged per-row payloads over a real mapped file: a few giant rows, a
+  /// run of empty ones, and a tail of small ones. Returns row_ptr-style
+  /// nnz offsets (8 bytes per nnz into the mapped doubles).
+  static std::vector<uint64_t> RaggedRowPtr() {
+    const std::vector<uint64_t> nnz_per_row = {
+        0, 0, 512, 3, 0, 1024, 1, 1, 0, 0, 0, 256, 7, 7, 7, 0, 640, 2, 0, 90};
+    std::vector<uint64_t> row_ptr{0};
+    for (const uint64_t nnz : nnz_per_row) {
+      row_ptr.push_back(row_ptr.back() + nnz);
+    }
+    return row_ptr;
+  }
+};
+
+TEST_F(RaggedChunkTest, InvariantHoldsOnRaggedChunksPerScheduleKind) {
+  const std::vector<uint64_t> row_ptr = RaggedRowPtr();
+  const size_t rows = row_ptr.size() - 1;
+  io::MemoryMappedFile mapped = MakeMapped(row_ptr.back(), 1);
+  std::vector<uint64_t> offsets(row_ptr.size());
+  for (size_t i = 0; i < row_ptr.size(); ++i) {
+    offsets[i] = row_ptr[i] * sizeof(double);
+  }
+  const RaggedByteMap byte_map(offsets);
+  // A tight budget yields chunks from one giant row down to all-empty.
+  const la::SparseChunker chunker(row_ptr.data(), rows,
+                                  300 * sizeof(double), sizeof(double));
+  ASSERT_GT(chunker.NumChunks(), 4u);
+  for (const ScanOrder order : {ScanOrder::kSequential, ScanOrder::kShuffled,
+                                ScanOrder::kStrided}) {
+    for (const size_t workers : {size_t{0}, size_t{2}, size_t{4}}) {
+      SCOPED_TRACE(std::string(ToString(order)) +
+                   " workers=" + std::to_string(workers));
+      PipelineOptions options;
+      options.readahead_chunks = 2;
+      options.num_workers = workers;
+      MappedRegion region;
+      region.mapping = &mapped;
+      region.byte_map = &byte_map;
+      ChunkPipeline pipeline(region, options);
+      pipeline.Run(chunker, MakeKind(order, chunker.NumChunks()),
+                   [](size_t, size_t, size_t, size_t) {});
+      const PipelineStats stats = pipeline.stats();
+      EXPECT_EQ(stats.prefetches, chunker.NumChunks());
+      ExpectInvariant(stats);
+    }
+  }
+}
+
+TEST_F(RaggedChunkTest, ZeroByteChunksStillCountAsPrefetches) {
+  // One fat row, then nothing but empty rows: the SparseChunker closes the
+  // fat chunk and the trailing empties form a second, zero-byte chunk. Its
+  // prefetch has no bytes to move but must still submit, advance the
+  // watermark (or the pass deadlocks), and land in exactly one of the
+  // three classification counters.
+  std::vector<uint64_t> row_ptr{0, 4096};
+  for (int i = 0; i < 7; ++i) {
+    row_ptr.push_back(4096);
+  }
+  const size_t rows = row_ptr.size() - 1;
+  io::MemoryMappedFile mapped = MakeMapped(4096, 1);
+  std::vector<uint64_t> offsets(row_ptr.size());
+  for (size_t i = 0; i < row_ptr.size(); ++i) {
+    offsets[i] = row_ptr[i] * sizeof(double);
+  }
+  const RaggedByteMap byte_map(offsets);
+  const la::SparseChunker chunker(row_ptr.data(), rows, 64, sizeof(double));
+  ASSERT_EQ(chunker.NumChunks(), 2u);
+  ASSERT_EQ(chunker.Chunk(1).size(), rows - 1);  // the all-empty chunk
+  PipelineOptions options;
+  options.readahead_chunks = 1;
+  MappedRegion region;
+  region.mapping = &mapped;
+  region.byte_map = &byte_map;
+  ChunkPipeline pipeline(region, options);
+  size_t chunks_seen = 0;
+  pipeline.Run(chunker, [&](size_t, size_t, size_t) { ++chunks_seen; });
+  EXPECT_EQ(chunks_seen, 2u);
+  const PipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.prefetches, 2u);
+  ExpectInvariant(stats);
+}
+
+TEST_F(RaggedChunkTest, EvictionUnderRamBudgetKeepsInvariantOnRaggedChunks) {
+  const std::vector<uint64_t> row_ptr = RaggedRowPtr();
+  const size_t rows = row_ptr.size() - 1;
+  io::MemoryMappedFile mapped = MakeMapped(row_ptr.back(), 1);
+  std::vector<uint64_t> offsets(row_ptr.size());
+  for (size_t i = 0; i < row_ptr.size(); ++i) {
+    offsets[i] = row_ptr[i] * sizeof(double);
+  }
+  const RaggedByteMap byte_map(offsets);
+  const la::SparseChunker chunker(row_ptr.data(), rows,
+                                  200 * sizeof(double), sizeof(double));
+  PipelineOptions options;
+  options.readahead_chunks = 3;
+  options.num_workers = 2;
+  options.ram_budget_bytes = row_ptr.back() * sizeof(double) / 4;
+  MappedRegion region;
+  region.mapping = &mapped;
+  region.byte_map = &byte_map;
+  ChunkPipeline pipeline(region, options);
+  for (size_t pass = 0; pass < 3; ++pass) {
+    pipeline.Run(chunker,
+                 ChunkSchedule::Shuffled(chunker.NumChunks(), 17 + pass),
+                 [](size_t, size_t, size_t, size_t) {});
+  }
+  const PipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.prefetches, 3 * chunker.NumChunks());
+  ExpectInvariant(stats);
+}
+
+// ---------------------------------------------------------------------------
 // Strided schedules with a lane offset (the cluster's shard order)
 // ---------------------------------------------------------------------------
 

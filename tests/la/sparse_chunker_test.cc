@@ -1,0 +1,162 @@
+// SparseChunker boundary policy, pinned case by case: chunks must cover
+// the row space exactly once, respect the payload budget except where a
+// single row makes that impossible, and depend only on (row_ptr, budget)
+// — the determinism the engine's bitwise fold builds on. The degenerate
+// shapes here (all-empty, one giant row, budget below every row) are the
+// ones a uniform RowChunker handles trivially and an nnz-budget policy
+// can silently get wrong.
+
+#include "la/chunker.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace m3::la {
+namespace {
+
+/// row_ptr from per-row nnz counts.
+std::vector<uint64_t> RowPtr(const std::vector<uint64_t>& nnz_per_row) {
+  std::vector<uint64_t> row_ptr{0};
+  for (const uint64_t nnz : nnz_per_row) {
+    row_ptr.push_back(row_ptr.back() + nnz);
+  }
+  return row_ptr;
+}
+
+/// Every chunker must tile [0, total_rows) with contiguous non-empty
+/// half-open ranges.
+void ExpectExactCover(const Chunker& chunker) {
+  size_t cursor = 0;
+  for (size_t i = 0; i < chunker.NumChunks(); ++i) {
+    const Chunker::Range range = chunker.Chunk(i);
+    EXPECT_EQ(range.begin, cursor) << "chunk " << i;
+    EXPECT_GT(range.end, range.begin) << "chunk " << i;
+    cursor = range.end;
+  }
+  EXPECT_EQ(cursor, chunker.total_rows());
+}
+
+TEST(SparseChunkerTest, ZeroRowsYieldsZeroChunks) {
+  const std::vector<uint64_t> row_ptr = RowPtr({});
+  const SparseChunker chunker(row_ptr.data(), 0, 1024);
+  EXPECT_EQ(chunker.total_rows(), 0u);
+  EXPECT_EQ(chunker.NumChunks(), 0u);
+}
+
+TEST(SparseChunkerTest, AllEmptyRowsMergeIntoOneFreeChunk) {
+  const std::vector<uint64_t> row_ptr = RowPtr({0, 0, 0, 0, 0});
+  const SparseChunker chunker(row_ptr.data(), 5, 64);
+  ASSERT_EQ(chunker.NumChunks(), 1u);
+  EXPECT_EQ(chunker.Chunk(0).begin, 0u);
+  EXPECT_EQ(chunker.Chunk(0).end, 5u);
+  EXPECT_EQ(chunker.ChunkNnz(0), 0u);
+  ExpectExactCover(chunker);
+}
+
+TEST(SparseChunkerTest, UniformRowsSplitAtTheBudget) {
+  // 8 rows x 2 nnz x 12 bytes = 24 bytes/row; budget 48 = 2 rows/chunk.
+  const std::vector<uint64_t> row_ptr = RowPtr({2, 2, 2, 2, 2, 2, 2, 2});
+  const SparseChunker chunker(row_ptr.data(), 8, 48);
+  ASSERT_EQ(chunker.NumChunks(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(chunker.Chunk(i).size(), 2u) << "chunk " << i;
+    EXPECT_EQ(chunker.ChunkNnz(i), 4u) << "chunk " << i;
+  }
+  ExpectExactCover(chunker);
+}
+
+TEST(SparseChunkerTest, GiantRowBecomesItsOwnChunk) {
+  // Row 2's payload (100 nnz x 12 bytes) dwarfs the 60-byte budget: it
+  // must land alone, and its neighbors must not be dragged in with it.
+  const std::vector<uint64_t> row_ptr = RowPtr({1, 1, 100, 1, 1});
+  const SparseChunker chunker(row_ptr.data(), 5, 60);
+  ExpectExactCover(chunker);
+  bool giant_isolated = false;
+  for (size_t i = 0; i < chunker.NumChunks(); ++i) {
+    const Chunker::Range range = chunker.Chunk(i);
+    if (range.begin <= 2 && 2 < range.end) {
+      giant_isolated = range.size() == 1;
+    }
+  }
+  EXPECT_TRUE(giant_isolated) << "giant row shares a chunk";
+}
+
+TEST(SparseChunkerTest, BudgetBelowEveryRowIsolatesNonEmptyRows) {
+  // Budget 1 byte < any nonzero row: each nonzero row is its own chunk;
+  // the empty rows between them merge into whichever chunk is open.
+  const std::vector<uint64_t> row_ptr = RowPtr({3, 0, 2, 0, 0, 4});
+  const SparseChunker chunker(row_ptr.data(), 6, 1);
+  ExpectExactCover(chunker);
+  // No chunk may hold two nonzero rows.
+  for (size_t i = 0; i < chunker.NumChunks(); ++i) {
+    const Chunker::Range range = chunker.Chunk(i);
+    size_t nonzero_rows = 0;
+    for (size_t r = range.begin; r < range.end; ++r) {
+      nonzero_rows += row_ptr[r + 1] > row_ptr[r] ? 1 : 0;
+    }
+    EXPECT_LE(nonzero_rows, 1u) << "chunk " << i;
+  }
+}
+
+TEST(SparseChunkerTest, ZeroBudgetClampsInsteadOfLooping) {
+  const std::vector<uint64_t> row_ptr = RowPtr({1, 1, 1});
+  const SparseChunker chunker(row_ptr.data(), 3, /*nnz_budget_bytes=*/0);
+  ExpectExactCover(chunker);
+  EXPECT_EQ(chunker.NumChunks(), 3u);
+}
+
+TEST(SparseChunkerTest, EmptyRowsAreFreeRiders) {
+  // Interleaved empties must not close chunks: 4 nonzero rows of 24
+  // payload bytes under a 48-byte budget pair up two per chunk no matter
+  // how many empty rows sit between them.
+  const std::vector<uint64_t> row_ptr = RowPtr({2, 0, 0, 2, 0, 2, 0, 0, 2});
+  const SparseChunker chunker(row_ptr.data(), 9, 48);
+  ExpectExactCover(chunker);
+  ASSERT_EQ(chunker.NumChunks(), 2u);
+  EXPECT_EQ(chunker.ChunkNnz(0), 4u);
+  EXPECT_EQ(chunker.ChunkNnz(1), 4u);
+}
+
+TEST(SparseChunkerTest, PayloadStaysUnderBudgetExceptSingleRowChunks) {
+  const std::vector<uint64_t> row_ptr =
+      RowPtr({5, 0, 17, 3, 3, 3, 0, 40, 1, 1, 6, 0, 0, 9, 2});
+  const uint64_t kBudget = 10 * kCsrBytesPerNnz;
+  const SparseChunker chunker(row_ptr.data(), 15, kBudget);
+  ExpectExactCover(chunker);
+  uint64_t total_nnz = 0;
+  for (size_t i = 0; i < chunker.NumChunks(); ++i) {
+    total_nnz += chunker.ChunkNnz(i);
+    const uint64_t payload = chunker.ChunkNnz(i) * kCsrBytesPerNnz;
+    if (chunker.Chunk(i).size() > 1) {
+      EXPECT_LE(payload, kBudget) << "chunk " << i;
+    }
+  }
+  EXPECT_EQ(total_nnz, row_ptr[15]);
+}
+
+TEST(SparseChunkerTest, BoundariesAreAPureFunctionOfTheInputs) {
+  const std::vector<uint64_t> row_ptr =
+      RowPtr({3, 1, 0, 12, 5, 5, 0, 2, 8, 1});
+  const SparseChunker a(row_ptr.data(), 10, 7 * kCsrBytesPerNnz);
+  const SparseChunker b(row_ptr.data(), 10, 7 * kCsrBytesPerNnz);
+  ASSERT_EQ(a.NumChunks(), b.NumChunks());
+  for (size_t i = 0; i < a.NumChunks(); ++i) {
+    EXPECT_EQ(a.Chunk(i).begin, b.Chunk(i).begin);
+    EXPECT_EQ(a.Chunk(i).end, b.Chunk(i).end);
+  }
+}
+
+TEST(SparseChunkerTest, CustomBytesPerNnzScalesTheBudget) {
+  // 4 bytes/nnz (col_idx only): 6 nnz fit where kCsrBytesPerNnz would
+  // allow 2.
+  const std::vector<uint64_t> row_ptr = RowPtr({2, 2, 2, 2, 2, 2});
+  const SparseChunker chunker(row_ptr.data(), 6, 24, /*bytes_per_nnz=*/4);
+  ExpectExactCover(chunker);
+  ASSERT_EQ(chunker.NumChunks(), 2u);
+  EXPECT_EQ(chunker.Chunk(0).size(), 3u);
+}
+
+}  // namespace
+}  // namespace m3::la

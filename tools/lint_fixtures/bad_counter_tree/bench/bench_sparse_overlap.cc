@@ -1,0 +1,15 @@
+// Lint fixture: a bench binary that forgot to register --trace. The real
+// bench_sparse_overlap registers the flag through bench_common.h's
+// ValidateBenchFlags; this miniature omits it so the bench-trace rule has
+// a seeded violation to find (never compiled, parsed only by m3_lint.py).
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+  // flags.AddInt("rows", ...) etc. — but no trace flag and no
+  // bench::TraceSession, the drift the bench-trace rule exists to catch.
+  (void)argc;
+  (void)argv;
+  std::printf("sparse overlap bench (fixture)\n");
+  return 0;
+}
