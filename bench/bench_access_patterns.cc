@@ -117,8 +117,9 @@ int Run(int argc, char** argv) {
     for (io::Advice advice : {io::Advice::kNormal, io::Advice::kSequential,
                               io::Advice::kRandom, io::Advice::kWillNeed}) {
       auto dataset = MappedDataset::Open(path).ValueOrDie();
-      (void)dataset.EvictAll();  // cold start per cell
-      (void)dataset.Advise(advice);
+      // cold start per cell
+      M3_IGNORE_STATUS(dataset.EvictAll(), "best-effort cold-start evict");
+      M3_IGNORE_STATUS(dataset.Advise(advice), "advisory madvise");
       la::ConstMatrixView x = dataset.features();
       util::Stopwatch watch;
       for (size_t row : pattern.order) {
@@ -147,7 +148,7 @@ int Run(int argc, char** argv) {
                 "cost only; on a stock Linux kernel the cold-cache spread "
                 "appears.\n");
   }
-  (void)io::RemoveFile(path);
+  M3_IGNORE_STATUS(io::RemoveFile(path), "best-effort scratch cleanup");
   return 0;
 }
 

@@ -106,7 +106,7 @@ int Run(int argc, char** argv) {
   thread_table.Print(stdout, csv);
   std::printf("(machine has %zu logical cpus)\n", util::NumCpus());
 
-  (void)io::RemoveFile(path);
+  M3_IGNORE_STATUS(io::RemoveFile(path), "best-effort scratch cleanup");
   return 0;
 }
 

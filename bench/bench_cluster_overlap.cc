@@ -157,11 +157,11 @@ int Run(int argc, char** argv) {
       util::HumanBytes(config.InstanceCacheBytes()).c_str(),
       static_cast<long long>(iterations));
 
-  (void)dataset.EvictAll();
+  M3_IGNORE_STATUS(dataset.EvictAll(), "best-effort cold-start evict");
   ClusterRun baseline = RunLr(inline_reference, dataset, y,
                               static_cast<size_t>(iterations),
                               /*bind_mapping=*/false);
-  (void)dataset.EvictAll();
+  M3_IGNORE_STATUS(dataset.EvictAll(), "best-effort cold-start evict");
   ClusterRun measured = RunLr(pipelined, dataset, y,
                               static_cast<size_t>(iterations),
                               /*bind_mapping=*/true);
@@ -227,7 +227,7 @@ int Run(int argc, char** argv) {
             .c_str(),
         calibrated_config.overlap_efficiency,
         calibrated_config.local_cpu_seconds_per_byte);
-    (void)dataset.EvictAll();
+    M3_IGNORE_STATUS(dataset.EvictAll(), "best-effort cold-start evict");
     cluster::SparkCluster calibrated(calibrated_config);
     ClusterRun rerun = RunLr(calibrated, dataset, y,
                              static_cast<size_t>(iterations),
@@ -295,7 +295,7 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(refaults), measured.stats.jobs,
       refaulting ? "re-faulting observed" : "NO RE-FAULTING",
       measured.seconds, baseline.seconds);
-  (void)io::RemoveFile(path);
+  M3_IGNORE_STATUS(io::RemoveFile(path), "best-effort scratch cleanup");
   // hits >> stalls gates the exit at every worker count. These partition
   // scans compute inside `map` (MapReduceChunks), so the kMap race —
   // sampled when a worker actually starts the map, with the warm-up

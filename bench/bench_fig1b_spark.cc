@@ -251,7 +251,7 @@ int Run(int argc, char** argv) {
   std::printf("shape check: ordering must be M3 <= Spark x8 < Spark x4 for "
               "both algorithms.\n");
 
-  (void)io::RemoveFile(path);
+  M3_IGNORE_STATUS(io::RemoveFile(path), "best-effort scratch cleanup");
   return 0;
 }
 

@@ -47,7 +47,7 @@ struct Backings {
     mapped.TouchAllPages();  // warm
     // Unlink immediately: the mapping stays valid and /tmp stays clean
     // even though the benchmark registry never destroys the fixture.
-    (void)io::RemoveFile(path);
+    M3_IGNORE_STATUS(io::RemoveFile(path), "best-effort scratch cleanup");
   }
 
   la::ConstMatrixView HeapView() const { return heap.View(); }

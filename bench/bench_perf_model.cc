@@ -114,7 +114,7 @@ int Run(int argc, char** argv) {
     m.exec = io::GlobalExecCounters() - before;
     measured.push_back(m);
   }
-  (void)io::RemoveFile(path);
+  M3_IGNORE_STATUS(io::RemoveFile(path), "best-effort scratch cleanup");
 
   // Calibrate on the smallest size only; predict the rest.
   FitOptions fit_options;

@@ -247,8 +247,9 @@ int Run(int argc, char** argv) {
   };
   std::vector<SgdRun> runs;
   for (const SgdConfig& config : configs) {
-    (void)dataset.Advise(io::Advice::kNormal);
-    (void)dataset.EvictAll();  // cold start: first epoch reads from storage
+    M3_IGNORE_STATUS(dataset.Advise(io::Advice::kNormal), "advisory madvise");
+    // cold start: first epoch reads from storage
+    M3_IGNORE_STATUS(dataset.EvictAll(), "best-effort cold-start evict");
     runs.push_back(config.readahead == 0
                        ? RunHandRolled(dataset, y, params)
                        : RunEngine(dataset, y, params, config));
@@ -303,7 +304,7 @@ int Run(int argc, char** argv) {
               "hand-rolled loop (target: faster, with hits > stalls)\n",
               std::abs(improvement),
               improvement >= 0 ? "faster" : "slower");
-  (void)io::RemoveFile(path);
+  M3_IGNORE_STATUS(io::RemoveFile(path), "best-effort scratch cleanup");
   return identical ? 0 : 1;
 }
 

@@ -175,7 +175,7 @@ int Run(int argc, char** argv) {
     options.prefetch_backend = backend_kind.value();
     options.trace_path = trace;
     auto dataset = MappedDataset::Open(dense_path, options).ValueOrDie();
-    (void)dataset.EvictAll();
+    M3_IGNORE_STATUS(dataset.EvictAll(), "best-effort cold-start evict");
     ml::LogisticRegressionOptions train_options;
     train_options.lbfgs = PaperLbfgsOptions();
     train_options.lbfgs.max_iterations = static_cast<size_t>(iterations);
@@ -205,7 +205,7 @@ int Run(int argc, char** argv) {
     options.trace_path = trace;
     auto dataset = MappedSparseDataset::Open(sparse_path, options)
                        .ValueOrDie();
-    (void)dataset.EvictAll();
+    M3_IGNORE_STATUS(dataset.EvictAll(), "best-effort cold-start evict");
     ml::SparseLogisticRegressionOptions train_options;
     train_options.lbfgs = PaperLbfgsOptions();
     train_options.lbfgs.max_iterations = static_cast<size_t>(iterations);
@@ -269,8 +269,8 @@ int Run(int argc, char** argv) {
                     static_cast<double>(
                         std::max<uint64_t>(1, sparse_scan_bytes)));
   }
-  (void)io::RemoveFile(sparse_path);
-  (void)io::RemoveFile(dense_path);
+  M3_IGNORE_STATUS(io::RemoveFile(sparse_path), "best-effort scratch cleanup");
+  M3_IGNORE_STATUS(io::RemoveFile(dense_path), "best-effort scratch cleanup");
   return (gate_passed && dense.trained && sparse.trained) ? 0 : 1;
 }
 

@@ -114,7 +114,7 @@ int Run(int argc, char** argv) {
 
   // Cold: evict before a single-shot run (eviction may be a no-op on
   // sandboxed kernels; the preamble documents capabilities).
-  (void)dataset.EvictAll();
+  M3_IGNORE_STATUS(dataset.EvictAll(), "best-effort cold-start evict");
   util::Stopwatch watch;
   auto cold_model =
       ml::LogisticRegression(lr_options).Train(dataset.features(), y);
@@ -138,7 +138,7 @@ int Run(int argc, char** argv) {
   std::printf("\nexpectation: warm_overhead ~ 1.0x — mapped data is "
               "\"treated identically\" (paper §2).\n");
 
-  (void)io::RemoveFile(path);
+  M3_IGNORE_STATUS(io::RemoveFile(path), "best-effort scratch cleanup");
   return 0;
 }
 

@@ -95,8 +95,10 @@ int Run(int argc, char** argv) {
   }
   table.Print(stdout);
 
-  (void)m3::io::RemoveFile(train_path);
-  (void)m3::io::RemoveFile(test_path);
+  M3_IGNORE_STATUS(m3::io::RemoveFile(train_path),
+                   "best-effort scratch cleanup");
+  M3_IGNORE_STATUS(m3::io::RemoveFile(test_path),
+                   "best-effort scratch cleanup");
   return 0;
 }
 

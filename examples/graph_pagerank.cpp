@@ -78,7 +78,7 @@ int Run(int argc, char** argv) {
               static_cast<unsigned long long>(components.num_components),
               m3::util::HumanDuration(watch.ElapsedSeconds()).c_str());
 
-  (void)m3::io::RemoveFile(path);
+  M3_IGNORE_STATUS(m3::io::RemoveFile(path), "best-effort scratch cleanup");
   return 0;
 }
 

@@ -68,7 +68,7 @@ int Run(int argc, char** argv) {
       assignment, dataset.CopyLabels(), static_cast<size_t>(k), 10);
   std::printf("Cluster purity vs digit labels: %.1f%%\n", purity * 100.0);
 
-  (void)m3::io::RemoveFile(path);
+  M3_IGNORE_STATUS(m3::io::RemoveFile(path), "best-effort scratch cleanup");
   return 0;
 }
 

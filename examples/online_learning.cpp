@@ -113,7 +113,7 @@ int Run(int argc, char** argv) {
   std::printf("Accuracy: %.2f%%\n",
               100.0 * m3::ml::Accuracy(predictions, truth));
 
-  (void)m3::io::RemoveFile(path);
+  M3_IGNORE_STATUS(m3::io::RemoveFile(path), "best-effort scratch cleanup");
   return 0;
 }
 

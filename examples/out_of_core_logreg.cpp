@@ -63,7 +63,7 @@ int Run(int argc, char** argv) {
               m3::io::GetPlatformCapabilities().ToString().c_str());
 
   // Cold cache, like the paper's runs.
-  (void)dataset.value().EvictAll();
+  M3_IGNORE_STATUS(dataset.value().EvictAll(), "best-effort cold-start evict");
 
   m3::ResourceMonitor monitor(0.1);
   monitor.Start();
@@ -103,7 +103,7 @@ int Run(int argc, char** argv) {
               100.0 * m3::ml::Accuracy(predictions, truth));
 
   if (!keep) {
-    (void)m3::io::RemoveFile(path);
+    M3_IGNORE_STATUS(m3::io::RemoveFile(path), "best-effort scratch cleanup");
   }
   return 0;
 }

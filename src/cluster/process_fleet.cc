@@ -353,6 +353,7 @@ Status ProcessFleet::RunLrGradient(la::ConstVectorView w, la::VectorView grad,
   const uint64_t n = w.size();
   uint8_t* broadcast = channel_->broadcast();
   std::memcpy(broadcast, &n, sizeof(n));
+  // m3-aligned: broadcast() is page-aligned; sizeof(n) == 8.
   double* payload = reinterpret_cast<double*>(broadcast + sizeof(n));
   for (size_t i = 0; i < n; ++i) {
     payload[i] = w[i];
@@ -369,6 +370,7 @@ Status ProcessFleet::RunLrGradient(la::ConstVectorView w, la::VectorView grad,
     const Partition& partition = partitions_[p];
     const uint8_t* slot = channel_->slot(partition.instance);
     for (size_t c = 0; c < partition_chunks_[p]; ++c) {
+      // m3-aligned: slot() is page-aligned; stride is a multiple of 8.
       const double* partial = reinterpret_cast<const double*>(
           slot + (partition_chunk_base_[p] + c) * stride);
       *loss += partial[0];
@@ -484,6 +486,7 @@ Result<DistributedKMeansResult> ProcessFleet::RunKMeans(
     const uint64_t d64 = d;
     std::memcpy(broadcast, &k64, sizeof(k64));
     std::memcpy(broadcast + 8, &d64, sizeof(d64));
+    // m3-aligned: broadcast() is page-aligned; 16 is a multiple of 8.
     double* payload = reinterpret_cast<double*>(broadcast + 16);
     for (size_t c = 0; c < k; ++c) {
       const la::ConstVectorView row = centers.Row(c);
@@ -505,7 +508,9 @@ Result<DistributedKMeansResult> ProcessFleet::RunKMeans(
       for (size_t chunk = 0; chunk < partition_chunks_[p]; ++chunk) {
         const uint8_t* partial =
             slot + (partition_chunk_base_[p] + chunk) * stride;
+        // m3-aligned: slot() is page-aligned; stride is a multiple of 8.
         const double* values = reinterpret_cast<const double*>(partial);
+        // m3-aligned: the counts offset is a multiple of sizeof(double).
         const uint64_t* chunk_counts = reinterpret_cast<const uint64_t*>(
             partial + sizeof(double) * (1 + k * d));
         inertia += values[0];
@@ -666,6 +671,7 @@ void ProcessFleet::WorkerMain(size_t worker) {
       uint64_t weights = 0;
       std::memcpy(&weights, broadcast, sizeof(weights));
       la::Vector w(static_cast<size_t>(weights));
+      // m3-aligned: broadcast() is page-aligned; sizeof(weights) == 8.
       const double* payload =
           reinterpret_cast<const double*>(broadcast + sizeof(weights));
       for (size_t i = 0; i < weights; ++i) {
@@ -688,6 +694,8 @@ void ProcessFleet::WorkerMain(size_t worker) {
             return partial;
           },
           [&](size_t, size_t, Partial&& partial) {
+            // m3-aligned: slot() is page-aligned; used advances by
+            // stride, a multiple of 8.
             double* out = reinterpret_cast<double*>(slot + used);
             out[0] = partial.loss;
             for (size_t i = 0; i < weights; ++i) {
@@ -703,6 +711,7 @@ void ProcessFleet::WorkerMain(size_t worker) {
       std::memcpy(&k, broadcast, sizeof(k));
       std::memcpy(&dims, broadcast + 8, sizeof(dims));
       la::Matrix centers(k, dims);
+      // m3-aligned: broadcast() is page-aligned; 16 is a multiple of 8.
       const double* payload =
           reinterpret_cast<const double*>(broadcast + 16);
       for (size_t c = 0; c < k; ++c) {
@@ -744,6 +753,8 @@ void ProcessFleet::WorkerMain(size_t worker) {
             return partial;
           },
           [&](size_t, size_t, Partial&& partial) {
+            // m3-aligned: slot() is page-aligned; used advances by
+            // stride, a multiple of 8.
             uint8_t* out = slot + used;
             double* values = reinterpret_cast<double*>(out);
             values[0] = partial.inertia;
@@ -753,6 +764,8 @@ void ProcessFleet::WorkerMain(size_t worker) {
                 values[1 + c * dims + j] = row[j];
               }
             }
+            // m3-aligned: out is 8-aligned; the counts offset is a
+            // multiple of sizeof(double).
             uint64_t* out_counts = reinterpret_cast<uint64_t*>(
                 out + sizeof(double) * (1 + k * dims));
             for (size_t c = 0; c < k; ++c) {

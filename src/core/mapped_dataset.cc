@@ -48,12 +48,15 @@ MappedDataset::MappedDataset(std::unique_ptr<io::MemoryMappedFile> mapping,
 }
 
 la::ConstMatrixView MappedDataset::features() const {
+  // m3-aligned: ReadDatasetMeta rejects misaligned section offsets
+  // (data/dataset.cc), and the mmap base is page-aligned.
   const double* base = reinterpret_cast<const double*>(
       mapping_->As<const char>() + meta_.features_offset);
   return la::ConstMatrixView(base, meta_.rows, meta_.cols);
 }
 
 la::ConstVectorView MappedDataset::labels() const {
+  // m3-aligned: ReadDatasetMeta rejects misaligned section offsets.
   const double* base = reinterpret_cast<const double*>(
       mapping_->As<const char>() + meta_.labels_offset);
   return la::ConstVectorView(base, meta_.rows);

@@ -59,8 +59,11 @@ Result<MappedSparseDataset> MappedSparseDataset::Open(const std::string& path,
   // SparseChunker) trust. All of it is untrusted input until proven here
   // — the format-fuzz suite drives exactly these paths.
   const char* base = mapping.As<const char>();
+  // m3-aligned: ReadSparseDatasetMeta rejects misaligned section
+  // offsets (data/sparse_dataset.cc); the mmap base is page-aligned.
   const uint64_t* row_ptr =
       reinterpret_cast<const uint64_t*>(base + meta.row_ptr_offset);
+  // m3-aligned: col_idx_offset is 4-aligned by the same validation.
   const uint32_t* col_idx =
       reinterpret_cast<const uint32_t*>(base + meta.col_idx_offset);
   if (row_ptr[0] != 0) {
@@ -115,6 +118,8 @@ MappedSparseDataset::MappedSparseDataset(
     std::unique_ptr<io::MemoryMappedFile> mapping,
     data::SparseDatasetMeta meta, M3Options options)
     : mapping_(std::move(mapping)), meta_(meta), options_(options) {
+  // m3-aligned: ReadSparseDatasetMeta rejects misaligned section
+  // offsets; Open() validated this file before constructing us.
   const uint64_t* row_ptr = reinterpret_cast<const uint64_t*>(
       mapping_->As<const char>() + meta_.row_ptr_offset);
   byte_map_ = std::make_unique<CsrByteMap>(meta_, row_ptr);
@@ -123,6 +128,7 @@ MappedSparseDataset::MappedSparseDataset(
 la::CsrView MappedSparseDataset::csr() const {
   const char* base = mapping_->As<const char>();
   return la::CsrView(
+      // m3-aligned: section offsets validated by ReadSparseDatasetMeta.
       reinterpret_cast<const uint64_t*>(base + meta_.row_ptr_offset),
       reinterpret_cast<const uint32_t*>(base + meta_.col_idx_offset),
       reinterpret_cast<const double*>(base + meta_.values_offset),
@@ -130,6 +136,7 @@ la::CsrView MappedSparseDataset::csr() const {
 }
 
 la::ConstVectorView MappedSparseDataset::labels() const {
+  // m3-aligned: labels_offset validated by ReadSparseDatasetMeta.
   const double* base = reinterpret_cast<const double*>(
       mapping_->As<const char>() + meta_.labels_offset);
   return la::ConstVectorView(base, meta_.rows);
@@ -146,6 +153,7 @@ uint64_t MappedSparseDataset::ChunkNnzBytes() const {
 }
 
 la::SparseChunker MappedSparseDataset::MakeChunker() const {
+  // m3-aligned: row_ptr_offset validated by ReadSparseDatasetMeta.
   const uint64_t* row_ptr = reinterpret_cast<const uint64_t*>(
       mapping_->As<const char>() + meta_.row_ptr_offset);
   return la::SparseChunker(row_ptr, meta_.rows, ChunkNnzBytes());

@@ -190,6 +190,8 @@ class PreadBackend : public PrefetchBackend {
       std::vector<std::future<void>> pending;
       std::atomic<uint64_t> completed{0};
       pending.reserve(blocks.size());
+      // Relaxed: completed is a pure counter; future.get() below is the
+      // synchronization point before it is read.
       for (const auto& [off, len] : blocks) {
         pending.push_back(pool_->Submit([fd, off = off, len = len,
                                          &completed] {
@@ -201,6 +203,7 @@ class PreadBackend : public PrefetchBackend {
       for (auto& future : pending) {
         future.get();
       }
+      // Relaxed: every writer was joined via future.get() above.
       outcome.completions = completed.load(std::memory_order_relaxed);
     } else {
       for (const auto& [off, len] : blocks) {
@@ -701,16 +704,16 @@ PrefetchProbeResult ProbePrefetchEfficacy(const MemoryMappedFile& mapping) {
         page;
     // Cold reference: evict, then time the faulting read with readahead
     // suppressed so each page fault is honest.
-    (void)mapping.Advise(Advice::kRandom);
-    (void)mapping.Evict(0, window);
+    M3_IGNORE_STATUS(mapping.Advise(Advice::kRandom), "advisory madvise");
+    M3_IGNORE_STATUS(mapping.Evict(0, window), "best-effort evict");
     util::Stopwatch cold;
     TouchRange(mapping, 0, window);
     result.cold_read_seconds = cold.ElapsedSeconds();
     // Advised: evict again, issue WILLNEED, give the kernel a moment to
     // start I/O, then time the same faulting read. If WILLNEED works the
     // pages arrive before (or while) the read walks them.
-    (void)mapping.Evict(0, window);
-    (void)mapping.Prefetch(0, window);
+    M3_IGNORE_STATUS(mapping.Evict(0, window), "best-effort evict");
+    M3_IGNORE_STATUS(mapping.Prefetch(0, window), "probe warm-up only");
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     uint64_t resident = 0;
     if (auto count = mapping.CountResidentPages(0, window); count.ok()) {
@@ -719,7 +722,7 @@ PrefetchProbeResult ProbePrefetchEfficacy(const MemoryMappedFile& mapping) {
     util::Stopwatch advised;
     TouchRange(mapping, 0, window);
     result.advised_read_seconds = advised.ElapsedSeconds();
-    (void)mapping.Advise(Advice::kNormal);
+    M3_IGNORE_STATUS(mapping.Advise(Advice::kNormal), "advisory madvise");
     // Two independent signals: pages visibly resident after the advise, or
     // the advised read measurably outrunning the cold one. Either proves
     // WILLNEED moved bytes. (When eviction itself is a no-op — some

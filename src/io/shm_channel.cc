@@ -187,6 +187,7 @@ void ShmChannel::CloseAll() {
 }
 
 uint64_t ShmChannel::PublishJob(uint64_t kind, uint64_t payload_len) {
+  // Relaxed: the release fetch_add below publishes both stores.
   control_->job_kind.store(kind, std::memory_order_relaxed);
   control_->payload_len.store(payload_len, std::memory_order_relaxed);
   // The release increment orders the kind/len stores (and the caller's
@@ -279,6 +280,8 @@ bool ShmChannel::AwaitJob(size_t worker, uint64_t last_seen, uint64_t* seq,
     const uint64_t current = control_->job_seq.load(std::memory_order_acquire);
     if (current > last_seen) {
       *seq = current;
+      // Relaxed: the acquire load of job_seq above orders these reads
+      // after the publisher's release increment.
       *kind = control_->job_kind.load(std::memory_order_relaxed);
       *payload_len = control_->payload_len.load(std::memory_order_relaxed);
       return true;
@@ -297,6 +300,7 @@ bool ShmChannel::AwaitJob(size_t worker, uint64_t last_seen, uint64_t* seq,
 void ShmChannel::CompleteJob(size_t worker, uint64_t seq,
                              uint64_t result_len) {
   Control::PerWorker& mine = control_->workers[worker];
+  // Relaxed: the release done_seq store below publishes result_len.
   mine.result_len.store(result_len, std::memory_order_relaxed);
   // Release-orders the slot bytes and result_len before the done word the
   // parent acquires.

@@ -42,6 +42,8 @@ const char* Basename(const char* path) {
 
 }  // namespace
 
+// Relaxed: the level is an independent word; a racing reader seeing the
+// old level logs (or skips) one extra message, which is acceptable.
 void SetLogLevel(LogLevel level) {
   g_min_level.store(level, std::memory_order_relaxed);
 }

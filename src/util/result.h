@@ -16,8 +16,10 @@ namespace m3::util {
 /// (Arrow's `Result<T>` idiom). A Result is never "empty": it holds exactly
 /// one of a T or a non-OK Status. Constructing a Result from an OK Status is
 /// a programming error and is converted to an Internal error.
+/// [[nodiscard]]: dropping a Result drops both the value and the error
+/// (see util/status.h for the policy and M3_IGNORE_STATUS).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit to allow `return value;`).
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -30,7 +30,15 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 /// A default-constructed Status is OK. Error statuses carry a code and a
 /// message. Statuses are cheap to copy in the OK case (empty message).
-class Status {
+///
+/// [[nodiscard]] on the class makes every silently dropped return an
+/// error under -Werror=unused-result (the build sets it tree-wide): a
+/// close/unmap/publish failure nobody looks at is how out-of-core jobs
+/// report success on corrupt output. Intentional discards must go
+/// through M3_IGNORE_STATUS(expr, "why") below so the reason is
+/// recorded; tools/m3_analyze (rule `unchecked-status`) flags bare
+/// `(void)` casts that would silence the compiler without one.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -101,6 +109,18 @@ class Status {
 };
 
 }  // namespace m3::util
+
+/// Explicitly discards a [[nodiscard]] Status (or Result<T>) with a
+/// recorded reason. The `why` literal is for the reader and the
+/// analyzer; it must be a non-empty string literal. Use only where the
+/// error genuinely cannot matter (best-effort teardown, benchmark
+/// scratch cleanup) — everywhere else, propagate or test the Status.
+#define M3_IGNORE_STATUS(expr, why)                                  \
+  do {                                                               \
+    static_assert(sizeof(why) > 1,                                   \
+                  "M3_IGNORE_STATUS needs a non-empty reason");      \
+    (void)(expr);                                                    \
+  } while (false)
 
 /// Propagates an error Status out of the current function.
 #define M3_RETURN_IF_ERROR(expr)                      \

@@ -81,7 +81,7 @@ TEST_F(PrefetchBackendTest, EveryBackendPrefetchesAndCounts) {
     auto backend = MakePrefetchBackend(kind);
     ASSERT_NE(backend, nullptr);
     EXPECT_EQ(backend->kind(), kind);
-    (void)mapped.Evict(0, mapped.size());
+    M3_IGNORE_STATUS(mapped.Evict(0, mapped.size()), "best-effort evict");
     auto outcome = backend->Prefetch(mapped, 0, mapped.size());
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
     EXPECT_GE(outcome.value().submits, 1u);
@@ -132,7 +132,7 @@ TEST_F(PrefetchBackendTest, UringFallsBackGracefullyWhenProbeFails) {
   ASSERT_NE(backend, nullptr);
   EXPECT_EQ(backend->kind(), PrefetchBackendKind::kUring);
   EXPECT_TRUE(backend->using_fallback());
-  (void)mapped.Evict(0, mapped.size());
+  M3_IGNORE_STATUS(mapped.Evict(0, mapped.size()), "best-effort evict");
   auto outcome = backend->Prefetch(mapped, 0, mapped.size());
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   // Every submit went through the pread fallback and is counted as such.
@@ -151,7 +151,7 @@ TEST_F(PrefetchBackendTest, UringNativePathWhenAvailable) {
   options.uring_queue_depth = 4;
   auto backend = MakePrefetchBackend(PrefetchBackendKind::kUring, options);
   EXPECT_FALSE(backend->using_fallback());
-  (void)mapped.Evict(0, mapped.size());
+  M3_IGNORE_STATUS(mapped.Evict(0, mapped.size()), "best-effort evict");
   auto outcome = backend->Prefetch(mapped, 0, mapped.size());
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   // 4 MiB in 256 KiB blocks = 16 SQEs, all reaped, none degraded.

@@ -258,6 +258,7 @@ TEST_F(TraceRecorderTest, DrainWhileEmittingIsRaceFreeAndParseable) {
   for (int t = 0; t < 4; ++t) {
     writers.emplace_back([&stop, t] {
       NameThisThread("stress-writer");
+      // Relaxed: stop is an advisory flag; join() is the sync point.
       for (uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
         {
           ScopedSpan span("exec", "stress");
@@ -295,6 +296,7 @@ TEST_F(TraceRecorderTest, DrainWhileEmittingIsRaceFreeAndParseable) {
          deadline.ElapsedSeconds() < 10.0) {
     std::this_thread::yield();
   }
+  // Relaxed: stop is an advisory flag; join() is the sync point.
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& writer : writers) {
     writer.join();

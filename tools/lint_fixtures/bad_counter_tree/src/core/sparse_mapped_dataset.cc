@@ -1,0 +1,18 @@
+// Fixture: a blocking call inside a stage-callee body. The real
+// CsrByteMap::AppendSpans runs inside chunk_pipeline's timed prefetch
+// and compute windows; the hot-loop-blocking rule must scan this body
+// even though the Stopwatch lives in another file. Never compiled.
+
+namespace m3 {
+
+void CsrByteMap::AppendSpans(size_t row_begin, size_t row_end,
+                             std::vector<exec::ByteSpan>* out) const {
+  std::lock_guard<std::mutex> guard(mu_);  // violation: blocks stage time
+  out->push_back(exec::ByteSpan{row_begin, row_end - row_begin});
+}
+
+exec::ByteSpan CsrByteMap::Extent() const {
+  return exec::ByteSpan{0, 0};
+}
+
+}  // namespace m3

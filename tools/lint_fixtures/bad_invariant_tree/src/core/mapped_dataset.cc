@@ -1,0 +1,24 @@
+// Fixture: seeded mmap-cast violations. Never compiled. The path
+// mirrors src/core/mapped_dataset.cc so AUDITED_PATHS applies.
+
+namespace m3::core {
+
+double SumRows(const char* base, unsigned long rows) {
+  const double* values = reinterpret_cast<const double*>(base + 64);
+  double total = 0;
+  for (unsigned long r = 0; r < rows; ++r) {
+    total += values[r];
+  }
+  return total;
+}
+
+double FirstValue(const char* base) {
+  return *(const double*)(base + 8);
+}
+
+const unsigned* ColIndex(const char* base) {
+  // m3-aligned: fixture-good — the offset is validated at Open().
+  return reinterpret_cast<const uint32_t*>(base + 32);
+}
+
+}  // namespace m3::core

@@ -1,0 +1,15 @@
+// Fixture: seeded unchecked-status violations. Never compiled.
+
+namespace m3::core {
+
+util::Status CloseLog();
+util::Status FlushIndex();
+util::Status SyncManifest();
+
+void Teardown() {
+  CloseLog();        // violation: bare drop of a Status return
+  (void)FlushIndex();  // violation: (void) discard with no reason
+  M3_IGNORE_STATUS(SyncManifest(), "fixture-good: reason recorded");
+}
+
+}  // namespace m3::core

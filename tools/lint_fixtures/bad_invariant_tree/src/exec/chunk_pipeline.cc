@@ -1,0 +1,23 @@
+// Fixture: seeded atomic-order violations. Never compiled. The path
+// mirrors src/exec/chunk_pipeline.cc so HOT_PATH_FILES applies.
+
+#include <atomic>
+
+namespace m3::exec {
+
+std::atomic<unsigned long> g_chunks{0};
+
+void Tick() {
+  g_chunks.fetch_add(1, std::memory_order_relaxed);  // violation: no why
+}
+
+unsigned long Snapshot() {
+  return g_chunks.load();  // violation: defaulted seq_cst on a hot path
+}
+
+void TickJustified() {
+  // Relaxed: monotone counter; no payload is published through it.
+  g_chunks.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace m3::exec

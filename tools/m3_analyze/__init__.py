@@ -1,0 +1,25 @@
+"""m3_analyze: AST/token-level invariant analyzer for the m3 tree.
+
+Enforces three m3-specific rule families over every TU named by
+compile_commands.json (docs/CORRECTNESS.md has the policy):
+
+  unchecked-status   every call to a util::Status / util::Result<T>
+                     returning function must be consumed (assigned,
+                     returned, tested, or discarded via M3_IGNORE_STATUS).
+  mmap-cast          every reinterpret_cast / C-cast from a mapped byte
+                     region to a typed pointer must be dominated by an
+                     alignment guard or a `// m3-aligned:` justification.
+  atomic-order       every std::memory_order_relaxed carries a why-relaxed
+                     comment; hot-path atomics never default to seq_cst.
+
+Frontends: when python3-clang + libclang are importable the
+unchecked-status rule walks the real AST; otherwise every rule runs on
+the built-in tokenizer (lexer.py) with a declaration-registry heuristic,
+and the degradation is reported as a note (or an error under
+--require-libclang, which CI passes so a broken install can never turn
+the job into a silent skip). The comment-convention rules (mmap-cast
+justifications, why-relaxed comments) are token/comment-level by nature
+and always run on the tokenizer, libclang or not.
+"""
+
+__version__ = "1.0"

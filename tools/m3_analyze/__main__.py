@@ -1,0 +1,135 @@
+"""CLI driver: `python3 tools/m3_analyze --root . [--compdb PATH] ...`.
+
+Exit status mirrors tools/m3_lint.py: 0 clean; 1 findings (or, under
+--strict, skipped rules / missing compilation database; or, under
+--require-libclang, a missing libclang); 2 usage or internal error.
+Output is one `path:line: [rule] message` per finding on stdout, notes
+on stderr — the format the ctest fixture canaries regex against.
+"""
+
+import argparse
+import os
+import sys
+
+# Allow both `python3 tools/m3_analyze` (package __main__) and
+# `python3 tools/m3_analyze/__main__.py` (direct file) invocations.
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    from m3_analyze import compdb, engine  # type: ignore
+    from m3_analyze.engine import AnalyzerContext, SourceFile  # type: ignore
+else:
+    from . import compdb, engine
+    from .engine import AnalyzerContext, SourceFile
+
+
+def build_context(root, compdb_path, require_libclang, no_libclang):
+    files, args_by_file, notes = compdb.resolve_files(root, compdb_path)
+    sources = []
+    for path in files:
+        try:
+            sources.append(SourceFile(root, path))
+        except OSError as e:
+            notes.append(f"note: [io] skipped unreadable {path}: {e}")
+    ctx = AnalyzerContext(root=root, files=sources,
+                          args_by_file=args_by_file)
+    ctx.notes.extend(notes)
+    if no_libclang:
+        index, reason = None, "disabled by --no-libclang"
+    else:
+        index, reason = engine.load_libclang()
+    if index is None:
+        message = (f"[libclang] {reason} — unchecked-status runs on the "
+                   "tokenizer fallback (declaration-registry heuristic; "
+                   "docs/CORRECTNESS.md describes the precision trade)")
+        if require_libclang and not no_libclang:
+            print(f"m3_analyze: error: {message}", file=sys.stderr)
+            print("m3_analyze: --require-libclang demands the AST "
+                  "frontend; install python3-clang + libclang",
+                  file=sys.stderr)
+            return None
+        ctx.notes.append(f"note: {message}")
+    ctx.clang_index = index
+    return ctx
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="m3_analyze", description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repo root (or fixture tree) to analyze")
+    parser.add_argument("--compdb", default=None,
+                        help="compile_commands.json path (default: "
+                             "<root>/build/, then <root>/)")
+    parser.add_argument("--strict", action="store_true",
+                        help="missing compile_commands.json or skipped "
+                             "rules are errors")
+    parser.add_argument("--require-libclang", action="store_true",
+                        help="fail (exit 1) when the libclang AST "
+                             "frontend is unavailable — CI passes this "
+                             "so degradation is loud, not a silent skip")
+    parser.add_argument("--no-libclang", action="store_true",
+                        help="force the tokenizer fallback (testing)")
+    parser.add_argument("--rule", action="append", default=None,
+                        help="run only this rule (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule names and exit")
+    args = parser.parse_args(argv)
+
+    rules = engine.registered_rules()
+    if args.list_rules:
+        print(" ".join(r.name for r in rules))
+        return 0
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"m3_analyze: no such directory: {args.root}",
+              file=sys.stderr)
+        return 2
+    if args.rule:
+        unknown = set(args.rule) - {r.name for r in rules}
+        if unknown:
+            print(f"m3_analyze: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = [r for r in rules if r.name in set(args.rule)]
+
+    try:
+        compdb_path = compdb.find_compdb(root, args.compdb)
+    except compdb.CompDbError as e:
+        print(f"m3_analyze: {e}", file=sys.stderr)
+        return 2
+    ctx = build_context(root, compdb_path, args.require_libclang,
+                        args.no_libclang)
+    if ctx is None:
+        return 1
+
+    findings = []
+    for rule_cls in rules:
+        try:
+            findings.extend(rule_cls().run(ctx))
+        except Exception as e:  # a rule crash must not read as clean
+            print(f"m3_analyze: internal error in rule "
+                  f"'{rule_cls.name}': {type(e).__name__}: {e}",
+                  file=sys.stderr)
+            return 2
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    for note in ctx.notes:
+        print(note, file=sys.stderr)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"m3_analyze: {len(findings)} violation(s)", file=sys.stderr)
+        return 1
+    if args.strict and compdb_path is None:
+        print("m3_analyze: --strict and no compile_commands.json — "
+              "configure the build first (CMAKE_EXPORT_COMPILE_COMMANDS "
+              "is always on)", file=sys.stderr)
+        return 1
+    print(f"m3_analyze: clean ({len(ctx.files)} files, "
+          f"{len(rules)} rules)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""compile_commands.json loading and analyzed-file-set resolution.
+
+The analyzer is compilation-database-driven: the TU list (and, for the
+libclang frontend, the exact flags) come from compile_commands.json so
+the analyzed tree is the compiled tree — a file CMake stopped building
+silently leaves the gate with it. Headers are not TUs, so the file set
+is the union of the database's in-root sources and a `src/**` header
+glob; fixture trees without a database fall back to globbing sources
+too, with a note (strict runs treat the missing database as an error).
+"""
+
+import json
+import os
+
+
+class CompDbError(Exception):
+    pass
+
+
+def _norm(root, directory, name):
+    path = name if os.path.isabs(name) else os.path.join(directory, name)
+    return os.path.normpath(path)
+
+
+def load_compdb(root, compdb_path):
+    """-> {abs_source_path: argument_list} for in-root entries."""
+    with open(compdb_path, encoding="utf-8") as f:
+        try:
+            entries = json.load(f)
+        except json.JSONDecodeError as e:
+            raise CompDbError(f"{compdb_path}: not valid JSON: {e}") from e
+    if not isinstance(entries, list):
+        raise CompDbError(f"{compdb_path}: expected a JSON array")
+    root = os.path.abspath(root)
+    out = {}
+    for entry in entries:
+        try:
+            directory = entry["directory"]
+            source = _norm(root, directory, entry["file"])
+        except (TypeError, KeyError) as e:
+            raise CompDbError(
+                f"{compdb_path}: entry missing directory/file: {e}") from e
+        if not source.startswith(root + os.sep):
+            continue
+        if "arguments" in entry:
+            args = list(entry["arguments"])
+        elif "command" in entry:
+            # shlex-free split is fine for CMake output (no quoted args
+            # with spaces in this tree); keep it dependency-light.
+            args = entry["command"].split()
+        else:
+            args = []
+        out[source] = args
+    return out
+
+
+def find_compdb(root, explicit):
+    """Resolves the database path: --compdb, then build/, then root."""
+    if explicit:
+        if not os.path.isfile(explicit):
+            raise CompDbError(f"--compdb {explicit}: no such file")
+        return explicit
+    for candidate in (os.path.join(root, "build", "compile_commands.json"),
+                      os.path.join(root, "compile_commands.json")):
+        if os.path.isfile(candidate):
+            return candidate
+    return None
+
+
+_SOURCE_DIRS = ("src", "bench", "examples", "tools", "tests")
+_SOURCE_EXTS = (".cc", ".cpp", ".cxx")
+_HEADER_EXTS = (".h", ".hpp")
+
+
+# Deliberately-broken canary trees: analyzed only when --root points AT
+# one, never when it merely contains one.
+_FIXTURE_DIR = "lint_fixtures"
+
+
+def _walk(root, top, exts):
+    out = []
+    for dirpath, dirnames, names in os.walk(os.path.join(root, top)):
+        dirnames[:] = [d for d in dirnames if d != _FIXTURE_DIR]
+        for name in sorted(names):
+            if name.endswith(exts):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def glob_sources(root, dirs=_SOURCE_DIRS):
+    """Fallback TU list (no database): every C++ source under `dirs`."""
+    return sorted(p for top in dirs for p in _walk(root, top, _SOURCE_EXTS))
+
+
+def glob_headers(root, dirs=_SOURCE_DIRS):
+    return sorted(p for top in dirs for p in _walk(root, top, _HEADER_EXTS))
+
+
+def resolve_files(root, compdb_path):
+    """-> (sorted file list, {path: args}, notes). Sources from the
+    database when present (plus globbed headers, which have no TU entry);
+    globbed sources otherwise, with a note explaining the degradation.
+    """
+    notes = []
+    args_by_file = {}
+    root = os.path.abspath(root)
+    if compdb_path is not None:
+        args_by_file = load_compdb(root, compdb_path)
+        sources = [p for p in args_by_file
+                   if p.endswith(_SOURCE_EXTS)
+                   and _in_analyzed_dirs(root, p)]
+        if not sources:
+            raise CompDbError(
+                f"{compdb_path}: no in-root C++ sources under "
+                f"{'/'.join(_SOURCE_DIRS)} — wrong --root?")
+    else:
+        notes.append("note: [compdb] compile_commands.json not found — "
+                     "falling back to globbing sources (configure with "
+                     "CMake to analyze exactly the compiled TU set)")
+        sources = glob_sources(root)
+    files = sorted(set(sources) | set(glob_headers(root)))
+    return files, args_by_file, notes
+
+
+def _in_analyzed_dirs(root, path):
+    rel = os.path.relpath(path, root)
+    return rel.split(os.sep, 1)[0] in _SOURCE_DIRS

@@ -1,0 +1,148 @@
+"""Analyzer engine: source model, finding type, rule registry, frontends.
+
+A Rule sees the whole tree (an AnalyzerContext) and emits Findings; the
+driver sorts and prints them m3_lint-style (`path:line: [rule] message`)
+so ctest PASS_REGULAR_EXPRESSION canaries and humans read one format.
+
+Two frontends exist for AST-grade questions (today: unchecked-status):
+
+  * libclang (clang.cindex), loaded lazily and defensively — any import
+    or .so resolution failure downgrades to the tokenizer with a note,
+    never a crash. CI passes --require-libclang so the downgrade is loud
+    there (a skipped rule must never read as a green gate).
+  * the tokenizer fallback (lexer.py), always available, driving a
+    declaration-registry heuristic documented in each rule.
+
+Comment-convention rules always run on the tokenizer: suppression
+justifications live in comments, which no AST preserves in full.
+"""
+
+import os
+from dataclasses import dataclass, field
+
+from . import lexer
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str  # root-relative
+    line: int
+    rule: str
+    message: str
+
+    def render(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class SourceFile:
+    """Lazy per-file lexical model shared by every rule."""
+
+    def __init__(self, root, path):
+        self.path = path
+        self.rel = os.path.relpath(path, root).replace(os.sep, "/")
+        with open(path, encoding="utf-8", errors="replace") as f:
+            self.text = f.read()
+        self.lines = self.text.splitlines()
+        self._tokens = None
+        self._code = None
+        self._comments = None
+
+    @property
+    def tokens(self):
+        if self._tokens is None:
+            self._tokens = lexer.lex(self.text)
+        return self._tokens
+
+    @property
+    def code(self):
+        if self._code is None:
+            self._code = lexer.code_tokens(self.tokens)
+        return self._code
+
+    @property
+    def comments(self):
+        """{line: comment text} for every line a comment touches."""
+        if self._comments is None:
+            self._comments = lexer.comment_lines(self.tokens)
+        return self._comments
+
+    def comment_near(self, line, lookback, needle):
+        """True if a comment containing `needle` sits on `line` or within
+        `lookback` lines above it (the why-comment convention window)."""
+        for candidate in range(max(1, line - lookback), line + 1):
+            text = self.comments.get(candidate)
+            if text is not None and needle in text.lower():
+                return True
+        return False
+
+
+@dataclass
+class AnalyzerContext:
+    root: str
+    files: list  # [SourceFile] in deterministic (sorted-path) order
+    args_by_file: dict = field(default_factory=dict)
+    clang_index: object = None  # clang.cindex.Index or None (fallback)
+    notes: list = field(default_factory=list)
+
+    def by_rel(self, rel):
+        for f in self.files:
+            if f.rel == rel:
+                return f
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Rule registry
+# ---------------------------------------------------------------------------
+
+RULES = []
+
+
+def rule(name, doc):
+    """Class decorator registering a rule. Rules expose run(ctx) -> [Finding]."""
+    def wrap(cls):
+        cls.name = name
+        cls.doc = doc
+        RULES.append(cls)
+        return cls
+    return wrap
+
+
+def registered_rules():
+    # Import for side effects exactly once; registration order is the
+    # declaration order inside rules/__init__.py (deterministic output).
+    from . import rules  # noqa: F401  pylint: disable=unused-import
+    return list(RULES)
+
+
+# ---------------------------------------------------------------------------
+# libclang frontend loading
+# ---------------------------------------------------------------------------
+
+def load_libclang():
+    """-> (clang.cindex.Index, None) or (None, reason string).
+
+    Requires both the python bindings (python3-clang) and a resolvable
+    libclang.so. Never raises: the analyzer must degrade to the tokenizer
+    fallback, and the driver decides whether the degradation is an error
+    (--require-libclang) or a note.
+    """
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError as e:
+        return None, f"python clang bindings not importable ({e})"
+    try:
+        return cindex.Index.create(), None
+    except Exception as first:  # cindex raises LibclangError and friends
+        # Try well-known sonames before giving up; distro packages often
+        # ship only a versioned libclang-XX.so.
+        for name in ("libclang.so", "libclang-17.so", "libclang-16.so",
+                     "libclang-15.so", "libclang-14.so",
+                     "libclang.so.1", "libclang-cpp.so"):
+            try:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(name)
+                return cindex.Index.create(), None
+            except Exception:
+                continue
+        return None, f"libclang shared library not loadable ({first})"

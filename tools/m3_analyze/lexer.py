@@ -1,0 +1,234 @@
+"""A small C++ lexer: just enough structure for invariant rules.
+
+This is NOT a parser. It produces a flat token stream with line numbers,
+keeps comments (the suppression conventions live in them), collapses
+string/char literals to single tokens (so braces and casts inside
+literals can never confuse a rule), and records preprocessor lines as
+one token each. Rules pattern-match over `Token` sequences; helper
+functions below provide balanced-delimiter matching and an
+enclosing-function-body heuristic.
+"""
+
+from dataclasses import dataclass
+
+# Token kinds.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+CHAR = "char"
+PUNCT = "punct"
+COMMENT = "comment"
+PP = "pp"  # one token per preprocessor line (continuations folded)
+
+# Longest-match punctuators the rules care about; everything else falls
+# back to single characters.
+_PUNCTUATORS = (
+    "->*", "<<=", ">>=", "...", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=",
+)
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int  # 1-based
+
+    def __repr__(self):  # compact in test failure output
+        return f"{self.kind}:{self.text!r}@{self.line}"
+
+
+class LexError(Exception):
+    pass
+
+
+def lex(text):
+    """Tokenizes C++ source. Returns a list of Token (comments included)."""
+    tokens = []
+    i = 0
+    line = 1
+    n = len(text)
+    at_line_start = True  # only whitespace seen since the last newline
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        start_line = line
+        # Preprocessor directive: swallow the logical line (with \-
+        # continuations) as one token. Only at line start, so `a # b`
+        # inside macros does not trigger.
+        if c == "#" and at_line_start:
+            j = i
+            while j < n:
+                if text[j] == "\n":
+                    if j > i and text[j - 1] == "\\":
+                        line += 1
+                        j += 1
+                        continue
+                    break
+                j += 1
+            tokens.append(Token(PP, text[i:j], start_line))
+            i = j
+            continue
+        at_line_start = False
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            tokens.append(Token(COMMENT, text[i:j], start_line))
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            if j < 0:
+                raise LexError(f"line {line}: unterminated block comment")
+            body = text[i:j + 2]
+            tokens.append(Token(COMMENT, body, start_line))
+            line += body.count("\n")
+            i = j + 2
+            continue
+        # Raw string literal R"delim( ... )delim".
+        if c == "R" and text[i:i + 2] == 'R"':
+            close = text.find("(", i + 2)
+            if close < 0 or close - (i + 2) > 16:
+                raise LexError(f"line {line}: malformed raw string")
+            delim = text[i + 2:close]
+            end_marker = ")" + delim + '"'
+            j = text.find(end_marker, close + 1)
+            if j < 0:
+                raise LexError(f"line {line}: unterminated raw string")
+            body = text[i:j + len(end_marker)]
+            tokens.append(Token(STRING, body, start_line))
+            line += body.count("\n")
+            i = j + len(end_marker)
+            continue
+        if c == '"' or c == "'":
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == c:
+                    break
+                if text[j] == "\n":
+                    raise LexError(f"line {line}: unterminated literal")
+                j += 1
+            if j >= n:
+                raise LexError(f"line {line}: unterminated literal")
+            kind = STRING if c == '"' else CHAR
+            tokens.append(Token(kind, text[i:j + 1], start_line))
+            i = j + 1
+            continue
+        if c.isalpha() or c == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token(IDENT, text[i:j], start_line))
+            i = j
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "._'"
+                             or (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token(NUMBER, text[i:j], start_line))
+            i = j
+            continue
+        for punct in _PUNCTUATORS:
+            if text.startswith(punct, i):
+                tokens.append(Token(PUNCT, punct, start_line))
+                i += len(punct)
+                break
+        else:
+            tokens.append(Token(PUNCT, c, start_line))
+            i += 1
+    return tokens
+
+
+def code_tokens(tokens):
+    """Tokens with comments and preprocessor lines stripped."""
+    return [t for t in tokens if t.kind not in (COMMENT, PP)]
+
+
+def comment_lines(tokens):
+    """-> {line_number: comment_text} covering every line a comment spans."""
+    out = {}
+    for tok in tokens:
+        if tok.kind != COMMENT:
+            continue
+        for offset, part in enumerate(tok.text.splitlines()):
+            key = tok.line + offset
+            out[key] = out.get(key, "") + " " + part
+    return out
+
+
+def match_forward(tokens, open_index):
+    """Index of the token closing the delimiter at open_index, or None.
+
+    tokens[open_index] must be one of ( [ { < . For < the match gives up
+    (returns None) on tokens that cannot occur in a template argument
+    list, so `a < b` comparisons are not chased across the file.
+    """
+    pairs = {"(": ")", "[": "]", "{": "}", "<": ">"}
+    opener = tokens[open_index].text
+    closer = pairs[opener]
+    template = opener == "<"
+    depth = 0
+    for i in range(open_index, len(tokens)):
+        text = tokens[i].text
+        if text == opener:
+            depth += 1
+        elif text == closer:
+            depth -= 1
+            if depth == 0:
+                return i
+        elif template and text in (";", "{", "}", "&&", "||"):
+            return None
+    return None
+
+
+def enclosing_function_body(tokens, index):
+    """-> (open_brace_index, close_brace_index) of the innermost brace
+    block containing tokens[index] whose opener looks like a function
+    (or lambda) body, else None.
+
+    Heuristic: a `{` is a function body if the significant token before
+    it is `)`, or a `)`-terminated group followed by const / noexcept /
+    override / final / a trailing-return `-> Type`. Class, struct,
+    namespace and enum braces fail the test, so guard searches do not
+    leak across siblings.
+    """
+    # Stack of open-brace indices containing `index`.
+    stack = []
+    containing = []
+    for i, tok in enumerate(tokens):
+        if i > index and not stack:
+            break
+        if tok.text == "{":
+            stack.append(i)
+        elif tok.text == "}" and stack:
+            open_i = stack.pop()
+            if open_i <= index <= i:
+                containing.append((open_i, i))
+    for open_i, close_i in containing:  # innermost first
+        j = open_i - 1
+        # Skip function-suffix keywords between ')' and '{'.
+        while j >= 0 and tokens[j].kind == IDENT and tokens[j].text in (
+                "const", "noexcept", "override", "final", "mutable", "try"):
+            j -= 1
+        if j >= 0 and tokens[j].text == ")":
+            return (open_i, close_i)
+        # Trailing return type: `) -> Foo<Bar> {`.
+        k = j
+        while k >= 0 and tokens[k].text not in (")", ";", "{", "}"):
+            k -= 1
+        if k >= 0 and tokens[k].text == ")" and k + 1 <= j and \
+                tokens[k + 1].text == "->":
+            return (open_i, close_i)
+    return None

@@ -1,0 +1,7 @@
+"""Rule modules. Importing this package registers every rule (the
+@engine.rule decorator appends to engine.RULES); declaration order here
+is the report order, so keep it stable."""
+
+from . import unchecked_status  # noqa: F401
+from . import mmap_cast  # noqa: F401
+from . import atomic_order  # noqa: F401

@@ -1,0 +1,287 @@
+"""unchecked-status: every Status/Result-returning call is consumed.
+
+A silently dropped `util::Status` is how an error path dies: the close /
+unmap / publish failed, nobody looked, and the job reports success. The
+compiler-level twin is `[[nodiscard]]` on Status/Result (util/status.h)
+with -Werror=unused-result; this rule closes the gaps the attribute
+cannot see — `(void)` casts that silence the warning without a recorded
+reason, and pre-compile review of fixture trees.
+
+A call is CONSUMED when its value is returned, assigned, tested, passed
+as an argument, chained into (`.IgnoreError()`, `.ok()`), or wrapped in
+M3_IGNORE_STATUS(expr, "why") / M3_RETURN_IF_ERROR / M3_ASSIGN_OR_RETURN.
+Findings:
+  * a bare call statement `Foo(...);` whose callee returns Status/Result;
+  * a `(void)Foo(...);` cast — it defeats [[nodiscard]] while recording
+    no reason; M3_IGNORE_STATUS exists precisely for that.
+
+AST frontend: walks CALL_EXPRs whose spelled result type names
+util::Status / util::Result and whose parent is a compound statement.
+Tokenizer fallback: builds a declaration registry — every function /
+method name declared with a Status/Result return type anywhere in the
+analyzed tree — then flags statement-level calls to registered names.
+Names that are ALSO declared with a non-Status return type somewhere are
+ambiguous and skipped (reported under --verbose), trading recall for a
+zero-false-positive default; the [[nodiscard]] twin still catches those
+at compile time.
+"""
+
+import re
+
+from .. import engine, lexer
+
+# Return-type spellings accepted by both frontends.
+_STATUS_TYPE_RE = re.compile(
+    r"\b(?:m3::)?(?:util::)?(?:Status|Result<.*>)\s*&?$")
+
+# Declaration scan: `[qualifiers] util::Status Name(` / `Result<T> Name(`.
+_DECL_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?"
+    r"(?:virtual\s+|static\s+|inline\s+|constexpr\s+|friend\s+|explicit\s+)*"
+    r"(?:m3::)?(?:util::)?(?P<type>Status|Result<[^;={]*>)\s+"
+    r"(?:[A-Za-z_]\w*::)*(?P<name>[A-Za-z_]\w*)\s*\(")
+
+# Same shape with a non-Status head type: used to mark names ambiguous.
+_OTHER_DECL_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?"
+    r"(?:virtual\s+|static\s+|inline\s+|constexpr\s+|friend\s+|explicit\s+)*"
+    r"(?P<type>void|bool|int|unsigned|long|float|double|auto|size_t|ssize_t|"
+    r"u?int(?:8|16|32|64)_t|std::\w+(?:<[^;={]*>)?|[A-Z]\w*(?:<[^;={]*>)?)"
+    r"\s*[*&]?\s+"
+    r"(?:[A-Za-z_]\w*::)*(?P<name>[A-Za-z_]\w*)\s*\(")
+
+# Tokens that legitimately begin a statement right before a bare call.
+_STMT_BOUNDARY = {";", "{", "}", "else", "do"}
+
+# Chain tokens: a statement made only of these up to the callee is a bare
+# `a.b->c::Fn(...)` access chain (no consumption).
+_CHAIN_TOKENS = {".", "->", "::"}
+
+# Keywords that consume the value when they lead the statement; their
+# presence makes the prefix not a bare access chain.
+_CONSUMING_KEYWORDS = {"return", "co_return", "co_await", "co_yield",
+                       "throw", "new", "delete", "case", "goto"}
+
+# Qualifiers naming namespaces outside the analyzed tree: a registered
+# name called as `benchmark::Shutdown()` is a different function whose
+# declaration the registry never saw (system headers are not analyzed).
+_EXTERNAL_NAMESPACES = {"std", "benchmark", "testing", "absl", "gtest"}
+
+
+def build_registry(ctx):
+    """-> (status_names, ambiguous_names) from declarations tree-wide."""
+    status_names = set()
+    other_names = set()
+    for f in ctx.files:
+        for raw in f.lines:
+            m = _DECL_RE.match(raw)
+            if m:
+                status_names.add(m.group("name"))
+                continue
+            m = _OTHER_DECL_RE.match(raw)
+            if m and m.group("type") not in ("Status",) and \
+                    not m.group("type").startswith("Result<"):
+                other_names.add(m.group("name"))
+    return status_names, status_names & other_names
+
+
+def _statement_start(code, callee_index):
+    """Index of the first token of the statement containing the callee."""
+    depth = 0
+    i = callee_index - 1
+    while i >= 0:
+        text = code[i].text
+        if text in (")", "]"):
+            depth += 1
+        elif text in ("(", "["):
+            if depth == 0:
+                return i + 1  # inside an argument list / condition
+            depth -= 1
+        elif depth == 0 and text in _STMT_BOUNDARY:
+            return i + 1
+        i -= 1
+    return 0
+
+
+def _is_pure_chain(code, start, callee_index):
+    """True if tokens[start:callee_index] are only `obj . -> ::` chains
+    (including calls inside the chain, e.g. `file().Close`)."""
+    i = start
+    depth = 0
+    while i < callee_index:
+        text = code[i].text
+        if text in ("(", "["):
+            depth += 1
+        elif text in (")", "]"):
+            depth -= 1
+        elif depth == 0:
+            if code[i].kind == lexer.IDENT:
+                if text in _CONSUMING_KEYWORDS:
+                    return False
+            elif text in _CHAIN_TOKENS:
+                pass
+            else:
+                return False
+        i += 1
+    return depth == 0
+
+
+def _is_void_cast(code, start, callee_index):
+    """True for `(void) chain Fn(...)`."""
+    if callee_index - start < 3:
+        return False
+    if (code[start].text, code[start + 1].text, code[start + 2].text) != \
+            ("(", "void", ")"):
+        return False
+    return _is_pure_chain(code, start + 3, callee_index)
+
+
+def token_findings(source, status_names, ambiguous, skipped_ambiguous):
+    """Tokenizer frontend for one file."""
+    findings = []
+    code = source.code
+    for i, tok in enumerate(code):
+        if tok.kind != lexer.IDENT or tok.text not in status_names:
+            continue
+        if i + 1 >= len(code) or code[i + 1].text != "(":
+            continue
+        # Declarations/definitions: the registry regex already matched
+        # this line; a following `{`, `;` after the param list with a
+        # leading return type is not a call. Distinguish calls by the
+        # token before the name chain: a type name directly before the
+        # identifier (IDENT IDENT `(`) is a declaration.
+        if i > 0 and code[i - 1].kind == lexer.IDENT and \
+                code[i - 1].text not in ("return",):
+            continue  # `Status Close(` declaration or `auto x Foo(` junk
+        if i >= 2 and code[i - 1].text == "::" and \
+                code[i - 2].kind == lexer.IDENT and \
+                code[i - 2].text in _EXTERNAL_NAMESPACES:
+            continue  # same name, external namespace (e.g. benchmark::)
+        close = lexer.match_forward(code, i + 1)
+        if close is None:
+            continue
+        after = code[close + 1] if close + 1 < len(code) else None
+        if after is None or after.text != ";":
+            continue  # chained / nested / condition: consumed
+        start = _statement_start(code, i)
+        if tok.text in ambiguous:
+            if _is_pure_chain(code, start, i) or \
+                    _is_void_cast(code, start, i):
+                skipped_ambiguous.add(tok.text)
+            continue
+        if _is_void_cast(code, start, i):
+            findings.append(engine.Finding(
+                source.rel, tok.line, "unchecked-status",
+                f"'(void){tok.text}(...)' discards a util::Status with no "
+                "recorded reason — use M3_IGNORE_STATUS(expr, \"why\") "
+                "(util/status.h) so the discard carries its justification"))
+        elif _is_pure_chain(code, start, i):
+            findings.append(engine.Finding(
+                source.rel, tok.line, "unchecked-status",
+                f"result of '{tok.text}(...)' (returns util::Status/"
+                "Result) is silently dropped — return it, test .ok(), or "
+                "discard explicitly via M3_IGNORE_STATUS(expr, \"why\")"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# libclang frontend
+# ---------------------------------------------------------------------------
+
+def ast_findings(ctx, source):
+    """AST frontend for one TU. Returns None when the TU cannot be parsed
+    (caller falls back to tokens for that file)."""
+    from clang import cindex  # import guarded by caller
+
+    args = [a for a in ctx.args_by_file.get(source.path, [])[1:]
+            if a != source.path and not a.startswith(("-o", "-c"))]
+    try:
+        tu = ctx.clang_index.parse(source.path, args=args)
+    except Exception:
+        return None
+    if any(d.severity >= cindex.Diagnostic.Fatal for d in tu.diagnostics):
+        return None
+    findings = []
+
+    def is_status_call(node):
+        if node.kind != cindex.CursorKind.CALL_EXPR:
+            return False
+        return bool(_STATUS_TYPE_RE.search(node.type.spelling))
+
+    def line_text(loc):
+        if 1 <= loc.line <= len(source.lines):
+            return source.lines[loc.line - 1]
+        return ""
+
+    def visit(node):
+        if node.kind == cindex.CursorKind.COMPOUND_STMT:
+            for child in node.get_children():
+                stmt = child
+                void_cast = False
+                if stmt.kind == cindex.CursorKind.CSTYLE_CAST_EXPR and \
+                        stmt.type.spelling == "void":
+                    inner = list(stmt.get_children())
+                    if inner:
+                        stmt = inner[-1]
+                        void_cast = True
+                if is_status_call(stmt):
+                    text = line_text(stmt.location)
+                    if "M3_IGNORE_STATUS" in text or \
+                            "IgnoreError" in text:
+                        continue
+                    what = stmt.spelling or "call"
+                    if void_cast:
+                        findings.append(engine.Finding(
+                            source.rel, stmt.location.line,
+                            "unchecked-status",
+                            f"'(void){what}(...)' discards a util::Status "
+                            "with no recorded reason — use "
+                            "M3_IGNORE_STATUS(expr, \"why\")"))
+                    else:
+                        findings.append(engine.Finding(
+                            source.rel, stmt.location.line,
+                            "unchecked-status",
+                            f"result of '{what}(...)' (returns "
+                            f"{stmt.type.spelling}) is silently dropped — "
+                            "return it, test .ok(), or discard via "
+                            "M3_IGNORE_STATUS(expr, \"why\")"))
+        for child in node.get_children():
+            if child.location.file is not None and \
+                    child.location.file.name == source.path:
+                visit(child)
+            elif node.kind == cindex.CursorKind.TRANSLATION_UNIT:
+                continue
+
+    visit(tu.cursor)
+    return findings
+
+
+@engine.rule(
+    "unchecked-status",
+    "every util::Status / util::Result<T> returning call must be consumed")
+class UncheckedStatusRule:
+    def run(self, ctx):
+        findings = []
+        skipped_ambiguous = set()
+        status_names, ambiguous = build_registry(ctx)
+        if not status_names:
+            ctx.notes.append(
+                "note: [unchecked-status] no Status/Result declarations "
+                "found — rule had nothing to check")
+            return findings
+        for source in ctx.files:
+            per_file = None
+            if ctx.clang_index is not None and \
+                    source.path in ctx.args_by_file:
+                per_file = ast_findings(ctx, source)
+            if per_file is None:
+                per_file = token_findings(
+                    source, status_names, ambiguous, skipped_ambiguous)
+            findings.extend(per_file)
+        if skipped_ambiguous:
+            ctx.notes.append(
+                "note: [unchecked-status] skipped ambiguously-declared "
+                "names (also declared with non-Status returns): "
+                + ", ".join(sorted(skipped_ambiguous))
+                + " — the [[nodiscard]] compile twin still covers them")
+        return findings

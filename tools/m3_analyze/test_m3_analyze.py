@@ -1,0 +1,296 @@
+"""Unit tests for tools/m3_analyze: lexer, rule logic, suppressions, CLI.
+
+Run directly (`python3 tools/m3_analyze/test_m3_analyze.py`) or via the
+ctest entry `tools_m3_analyze_unittest`. The fixture-teeth canaries in
+CMakeLists.txt cover the end-to-end tree; these tests pin the parsing
+and suppression edge cases that the canaries' regexes cannot see.
+"""
+
+import contextlib
+import io
+import os
+import sys
+import tempfile
+import unittest
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    from m3_analyze import compdb, engine, lexer
+    from m3_analyze.__main__ import main as cli_main
+    from m3_analyze.engine import AnalyzerContext, SourceFile
+    from m3_analyze.rules import atomic_order, mmap_cast, unchecked_status
+else:
+    from . import compdb, engine, lexer
+    from .__main__ import main as cli_main
+    from .engine import AnalyzerContext, SourceFile
+    from .rules import atomic_order, mmap_cast, unchecked_status
+
+_TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_REPO_ROOT = os.path.dirname(_TOOLS_DIR)
+_FIXTURE = os.path.join(_TOOLS_DIR, "lint_fixtures", "bad_invariant_tree")
+
+
+class TempTree:
+    """Context manager materializing {rel_path: text} as a source tree."""
+
+    def __init__(self, files):
+        self.files = files
+
+    def __enter__(self):
+        self.dir = tempfile.TemporaryDirectory(prefix="m3_analyze_test_")
+        root = self.dir.name
+        sources = []
+        for rel, text in sorted(self.files.items()):
+            path = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(text)
+            sources.append(SourceFile(root, path))
+        return AnalyzerContext(root=root, files=sources)
+
+    def __exit__(self, *exc):
+        self.dir.cleanup()
+
+
+def run_rule(rule_cls, files):
+    with TempTree(files) as ctx:
+        return [f.render() for f in rule_cls().run(ctx)], ctx.notes
+
+
+class LexerTest(unittest.TestCase):
+    def test_comments_strings_and_code(self):
+        toks = lexer.lex('int a = 1; // x\n/* y\n z */ "s // not";\n')
+        code = lexer.code_tokens(toks)
+        self.assertEqual([t.text for t in code],
+                         ["int", "a", "=", "1", ";", '"s // not"', ";"])
+        comments = lexer.comment_lines(toks)
+        self.assertIn("x", comments[1])
+        self.assertIn("y", comments[2])
+        self.assertIn("z", comments[3])  # block comment spans its lines
+
+    def test_raw_string_swallows_quotes(self):
+        toks = lexer.lex('auto s = R"(a " b // c)"; int z;\n')
+        kinds = [t.kind for t in toks]
+        self.assertNotIn(lexer.COMMENT, kinds)
+        self.assertEqual(toks[-2].text, "z")
+
+    def test_pp_continuation_folds_to_one_token(self):
+        toks = lexer.lex("#define M(x) \\\n  (x + 1)\nint a;\n")
+        pp = [t for t in toks if t.kind == lexer.PP]
+        self.assertEqual(len(pp), 1)
+        self.assertEqual(toks[-3].text, "int")
+        self.assertEqual(toks[-3].line, 3)  # folded lines still counted
+
+    def test_match_forward_template_gives_up_on_comparison(self):
+        code = lexer.code_tokens(lexer.lex("if (a < b) { c(); }\n"))
+        lt = next(i for i, t in enumerate(code) if t.text == "<")
+        self.assertIsNone(lexer.match_forward(code, lt))
+
+    def test_match_forward_nested_parens(self):
+        code = lexer.code_tokens(lexer.lex("f(g(h(1)), 2);\n"))
+        self.assertEqual(code[lexer.match_forward(code, 1)].text, ")")
+        self.assertEqual(lexer.match_forward(code, 1), len(code) - 2)
+
+    def test_enclosing_function_body_skips_class_braces(self):
+        code = lexer.code_tokens(lexer.lex(
+            "class C { int f() const { return g(); } };\n"))
+        g = next(i for i, t in enumerate(code) if t.text == "g")
+        span = lexer.enclosing_function_body(code, g)
+        self.assertIsNotNone(span)
+        self.assertEqual(code[span[0] - 1].text, "const")
+
+
+class SourceFileTest(unittest.TestCase):
+    def test_comment_near_window(self):
+        files = {"src/a.cc": "// why: relaxed here\nint a;\nint b;\n"}
+        with TempTree(files) as ctx:
+            src = ctx.files[0]
+            self.assertTrue(src.comment_near(2, 1, "relaxed"))
+            self.assertTrue(src.comment_near(4, 3, "relaxed"))
+            self.assertFalse(src.comment_near(5, 3, "relaxed"))
+
+
+_STATUS_DECLS = "util::Status CloseLog();\nutil::Status FlushIndex();\n"
+
+
+class UncheckedStatusTest(unittest.TestCase):
+    def test_bare_and_void_cast_flagged(self):
+        out, _ = run_rule(unchecked_status.UncheckedStatusRule, {
+            "src/a.cc": _STATUS_DECLS +
+            "void f() {\n  CloseLog();\n  (void)FlushIndex();\n}\n"})
+        self.assertEqual(len(out), 2)
+        self.assertIn("a.cc:4: [unchecked-status]", out[0])
+        self.assertIn("'(void)FlushIndex(...)'", out[1])
+
+    def test_consumed_calls_not_flagged(self):
+        out, _ = run_rule(unchecked_status.UncheckedStatusRule, {
+            "src/a.cc": _STATUS_DECLS + """
+util::Status g() { return CloseLog(); }
+void f() {
+  if (auto st = CloseLog(); !st.ok()) { return; }
+  auto st = FlushIndex();
+  M3_IGNORE_STATUS(CloseLog(), "teardown");
+  CloseLog().IgnoreError();
+  bool same = CloseLog() == FlushIndex();
+}
+"""})
+        self.assertEqual(out, [])
+
+    def test_ambiguous_names_skipped_with_note(self):
+        out, notes = run_rule(unchecked_status.UncheckedStatusRule, {
+            "src/a.cc": "util::Status Append(int v);\n",
+            "src/b.cc": "void Append(double v);\n"
+                        "void f() {\n  Append(1);\n}\n"})
+        self.assertEqual(out, [])
+        self.assertTrue(any("Append" in n for n in notes))
+
+    def test_external_namespace_not_flagged(self):
+        out, _ = run_rule(unchecked_status.UncheckedStatusRule, {
+            "src/a.cc": "util::Status Shutdown();\n"
+                        "void f() {\n  benchmark::Shutdown();\n}\n"})
+        self.assertEqual(out, [])
+
+    def test_ternary_consumption_not_flagged(self):
+        out, _ = run_rule(unchecked_status.UncheckedStatusRule, {
+            "src/a.cc": _STATUS_DECLS +
+            "void f(bool c) {\n"
+            "  auto st = c ? CloseLog() : FlushIndex();\n}\n"})
+        self.assertEqual(out, [])
+
+
+_CAST_PRELUDE = "// fixture\nnamespace m3 {\n"
+
+
+class MmapCastTest(unittest.TestCase):
+    def _run(self, body, rel="src/core/mapped_dataset.cc"):
+        out, _ = run_rule(mmap_cast.MmapCastRule,
+                          {rel: _CAST_PRELUDE + body + "}\n"})
+        return out
+
+    def test_unguarded_cast_flagged(self):
+        out = self._run("void f(const char* p) {\n"
+                        "  auto* d = reinterpret_cast<const double*>(p);\n"
+                        "}\n")
+        self.assertEqual(len(out), 1)
+        self.assertIn("[mmap-cast]", out[0])
+
+    def test_alignof_guard_suppresses(self):
+        out = self._run(
+            "void f(const char* p, unsigned long off) {\n"
+            "  if (off % alignof(double) != 0) { return; }\n"
+            "  auto* d = reinterpret_cast<const double*>(p + off);\n"
+            "}\n")
+        self.assertEqual(out, [])
+
+    def test_comment_guard_suppresses(self):
+        out = self._run(
+            "void f(const char* p) {\n"
+            "  // m3-aligned: offset validated at Open().\n"
+            "  auto* d = reinterpret_cast<const double*>(p + 8);\n"
+            "}\n")
+        self.assertEqual(out, [])
+
+    def test_byte_targets_exempt(self):
+        out = self._run(
+            "void f(const void* p) {\n"
+            "  auto* c = reinterpret_cast<const char*>(p);\n"
+            "  auto* b = reinterpret_cast<const uint8_t*>(p);\n"
+            "}\n")
+        self.assertEqual(out, [])
+
+    def test_unaudited_path_ignored(self):
+        out, _ = run_rule(mmap_cast.MmapCastRule, {
+            "src/la/blas.cc":
+            "void f(const char* p) {\n"
+            "  auto* d = reinterpret_cast<const double*>(p);\n"
+            "}\n"})
+        self.assertEqual(out, [])
+
+    def test_c_style_cast_flagged_multiplication_not(self):
+        out = self._run(
+            "double f(const char* p, double scale) {\n"
+            "  double v = *(const double*)(p + 8);\n"
+            "  double w = (scale) * v;\n"
+            "}\n")
+        self.assertEqual(len(out), 1)
+        self.assertIn("C-style cast", out[0])
+
+
+class AtomicOrderTest(unittest.TestCase):
+    def test_relaxed_without_why_flagged(self):
+        out, _ = run_rule(atomic_order.AtomicOrderRule, {
+            "src/la/x.cc":
+            "void f() {\n"
+            "  c.store(1, std::memory_order_relaxed);\n}\n"})
+        self.assertEqual(len(out), 1)
+        self.assertIn("why-relaxed", out[0])
+
+    def test_relaxed_with_why_not_flagged(self):
+        out, _ = run_rule(atomic_order.AtomicOrderRule, {
+            "src/la/x.cc":
+            "void f() {\n"
+            "  // Relaxed: pure counter, nothing published.\n"
+            "  c.store(1, std::memory_order_relaxed);\n}\n"})
+        self.assertEqual(out, [])
+
+    def test_hot_path_defaulted_order_flagged(self):
+        out, _ = run_rule(atomic_order.AtomicOrderRule, {
+            "src/exec/chunk_pipeline.cc":
+            "void f() {\n  auto v = c.load();\n}\n"})
+        self.assertEqual(len(out), 1)
+        self.assertIn("seq_cst", out[0])
+
+    def test_non_hot_path_defaulted_order_ignored(self):
+        out, _ = run_rule(atomic_order.AtomicOrderRule, {
+            "src/la/x.cc": "void f() {\n  auto v = c.load();\n}\n"})
+        self.assertEqual(out, [])
+
+    def test_hot_path_explicit_order_not_flagged(self):
+        out, _ = run_rule(atomic_order.AtomicOrderRule, {
+            "src/exec/chunk_pipeline.cc":
+            "void f() {\n"
+            "  auto v = c.load(std::memory_order_acquire);\n}\n"})
+        self.assertEqual(out, [])
+
+
+class FixtureTreeTest(unittest.TestCase):
+    """End-to-end: the shipped canary tree seeds exactly the advertised
+    violations and nothing else (the justified twins stay silent)."""
+
+    def _cli(self, *argv):
+        stdout, stderr = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(stdout), \
+                contextlib.redirect_stderr(stderr):
+            code = cli_main(list(argv))
+        return code, stdout.getvalue(), stderr.getvalue()
+
+    def test_fixture_findings(self):
+        code, out, _ = self._cli("--root", _FIXTURE)
+        self.assertEqual(code, 1)
+        lines = [ln for ln in out.splitlines() if ln]
+        self.assertEqual(len(lines), 6)
+        for needle in ("status_sink.cc:10", "status_sink.cc:11",
+                       "mapped_dataset.cc:7", "mapped_dataset.cc:16",
+                       "chunk_pipeline.cc:11", "chunk_pipeline.cc:15"):
+            self.assertTrue(any(needle in ln for ln in lines), needle)
+
+    def test_rule_filter(self):
+        code, out, _ = self._cli("--root", _FIXTURE, "--rule", "mmap-cast")
+        self.assertEqual(code, 1)
+        lines = [ln for ln in out.splitlines() if ln]
+        self.assertEqual(len(lines), 2)
+        self.assertTrue(all("[mmap-cast]" in ln for ln in lines))
+
+    def test_unknown_rule_is_usage_error(self):
+        code, _, err = self._cli("--root", _FIXTURE, "--rule", "nope")
+        self.assertEqual(code, 2)
+        self.assertIn("unknown rule", err)
+
+    def test_fixture_trees_excluded_from_parent_glob(self):
+        for path in compdb.glob_sources(_REPO_ROOT):
+            self.assertNotIn("lint_fixtures", path)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -20,7 +20,9 @@ Rules (see docs/CORRECTNESS.md for the policy and how to extend):
                       OBS_SPAN).
   hot-loop-blocking   no mutex/blocking call inside the *timed window*
                       (util::Stopwatch watch; ... watch.ElapsedSeconds())
-                      of the prefetch/compute/retire/evict stage bodies —
+                      of the prefetch/compute/retire/evict stage bodies,
+                      nor in the stage-callee bodies those windows call
+                      through (CsrByteMap's ChunkByteMap overrides) —
                       blocking there poisons the stage seconds the perf
                       model is fit against. The pass driver is exempt: it
                       orchestrates, so it legitimately waits.
@@ -41,6 +43,17 @@ import sys
 # from hot-loop-blocking (it waits on workers by design).
 PIPELINE_STAGES = ("pass", "prefetch", "compute", "retire", "evict")
 HOT_STAGES = ("prefetch", "compute", "retire", "evict")
+
+# Function bodies that run INSIDE the timed stage windows but live in
+# another file: the sparse pipeline's ChunkByteMap overrides, which the
+# prefetch/compute stages call per chunk. A blocking call there is
+# charged to stage time exactly as if it sat in chunk_pipeline.cc, so
+# the hot-loop-blocking rule scans these bodies too (a per-line scan of
+# chunk_pipeline.cc alone is blind to them).
+HOT_CALLEE_BODIES = {
+    "src/core/sparse_mapped_dataset.cc":
+        ("CsrByteMap::AppendSpans", "CsrByteMap::Extent"),
+}
 
 # Tokens that block or syscall; none may sit inside a timed stage window.
 BLOCKING_TOKENS = (
@@ -250,6 +263,35 @@ class Linter:
                                 "fitted perf model; move it past "
                                 "ElapsedSeconds()")
 
+    def check_hot_callee_bodies(self):
+        for rel, callees in HOT_CALLEE_BODIES.items():
+            text = self.read(rel)
+            if text is None:
+                self.skip("hot-loop-blocking", rel)
+                continue
+            for callee in callees:
+                match = re.search(re.escape(callee) + r"\s*\(", text)
+                if match is None:
+                    self.skip("hot-loop-blocking", f"{rel} {callee}")
+                    continue
+                try:
+                    body, _ = self.brace_block(text, match.end())
+                except ValueError:
+                    continue
+                base_line = text.count(
+                    "\n", 0, text.index("{", match.end())) + 1
+                for offset, line in enumerate(body.splitlines()):
+                    for token in BLOCKING_TOKENS:
+                        if token in line:
+                            self.finding(
+                                rel, base_line + offset,
+                                "hot-loop-blocking",
+                                f"'{token}' in {callee}, which runs "
+                                "inside the timed prefetch/compute "
+                                "windows — blocking here is counted as "
+                                "stage time and skews the fitted perf "
+                                "model")
+
     def check_bench_trace(self):
         bench_dir = os.path.join(self.root, "bench")
         if not os.path.isdir(bench_dir):
@@ -281,6 +323,7 @@ class Linter:
         self.check_counter_plumbing()
         self.check_span_coverage()
         self.check_hot_loop_blocking()
+        self.check_hot_callee_bodies()
         self.check_bench_trace()
         return self.findings, self.skips
 
